@@ -1,0 +1,72 @@
+"""Ablation: what does the choice of fitness metric buy?
+
+Tunes the same scenario for RUNNING, BALANCE and TOTAL and reports the
+resulting (running, total) pairs on the training suite — making the
+paper's §3.3 trade-off discussion concrete: total-tuned heuristics may
+give back running time, running-tuned ones give back compile time, and
+balance sits between.
+"""
+
+import pytest
+
+from conftest import BENCH_GA_CONFIG, emit
+
+from repro.arch import PENTIUM4
+from repro.core.metrics import Metric
+from repro.core.tuner import InliningTuner, TuningTask
+from repro.experiments.runner import run_suite
+from repro.jvm.scenario import OPTIMIZING
+from repro.workloads.suites import SPECJVM98
+
+
+@pytest.fixture(scope="module")
+def tuned_by_metric():
+    tuner = InliningTuner(BENCH_GA_CONFIG)
+    programs = SPECJVM98.programs()
+    out = {}
+    for metric in (Metric.RUNNING, Metric.BALANCE, Metric.TOTAL):
+        task = TuningTask(
+            name=f"ablation-{metric.value}",
+            scenario=OPTIMIZING,
+            machine=PENTIUM4,
+            metric=metric,
+        )
+        out[metric] = tuner.tune(task, programs)
+    return out
+
+
+def test_fitness_metric_ablation(benchmark, tuned_by_metric):
+    programs = SPECJVM98.programs()
+
+    def evaluate_all():
+        return {
+            metric: run_suite(programs, PENTIUM4, OPTIMIZING, tuned.params)
+            for metric, tuned in tuned_by_metric.items()
+        }
+
+    suites = benchmark(evaluate_all)
+
+    timings = {
+        metric: (
+            sum(r.running_seconds for r in result.reports),
+            sum(r.total_seconds for r in result.reports),
+        )
+        for metric, result in suites.items()
+    }
+    emit(
+        "Fitness-metric ablation (SPECjvm98, Opt, x86)",
+        [
+            f"  tuned for {metric.value:<8} -> running {run:7.2f}s  total {tot:7.2f}s  "
+            f"params {tuned_by_metric[metric].params}"
+            for metric, (run, tot) in timings.items()
+        ],
+    )
+
+    # the trade-off frontier is ordered as the paper describes
+    assert timings[Metric.RUNNING][0] <= timings[Metric.TOTAL][0] * 1.02
+    assert timings[Metric.TOTAL][1] <= timings[Metric.RUNNING][1] * 1.02
+    # balance is never the worst on either axis
+    runnings = sorted(v[0] for v in timings.values())
+    totals = sorted(v[1] for v in timings.values())
+    assert timings[Metric.BALANCE][0] <= runnings[-1]
+    assert timings[Metric.BALANCE][1] <= totals[-1]

@@ -1,0 +1,82 @@
+"""Ablation: the instruction-cache model.
+
+DESIGN.md attributes the architecture-specific inlining depths (Table
+4: x86 deep, PPC shallow) to the G4's small I-cache.  This bench turns
+the cache penalty off and shows the PPC's aggressive-inlining running
+penalty disappearing — i.e. without the cache model the architectures
+stop disagreeing about code bloat.
+"""
+
+import pytest
+
+from conftest import emit
+
+from repro.arch import POWERPC_G4
+from repro.experiments.runner import run_suite
+from repro.jvm.inlining import InliningParameters, JIKES_DEFAULT_PARAMETERS
+from repro.jvm.scenario import OPTIMIZING
+from repro.workloads.suites import DACAPO_JBB
+
+#: maximally aggressive inlining within the Table 1 box
+AGGRESSIVE = InliningParameters(
+    callee_max_size=50,
+    always_inline_size=20,
+    max_inline_depth=15,
+    caller_max_size=4000,
+    hot_callee_max_size=400,
+)
+
+#: restrained inlining
+MILD = InliningParameters(
+    callee_max_size=15,
+    always_inline_size=8,
+    max_inline_depth=2,
+    caller_max_size=200,
+    hot_callee_max_size=50,
+)
+
+
+@pytest.fixture(scope="module")
+def programs():
+    return DACAPO_JBB.programs()
+
+
+def _running_penalty(machine, programs):
+    """Aggressive/mild running-time ratio (>1 = bloat hurts)."""
+    aggressive = run_suite(programs, machine, OPTIMIZING, AGGRESSIVE)
+    mild = run_suite(programs, machine, OPTIMIZING, MILD)
+    agg = sum(r.running_seconds for r in aggressive.reports)
+    return agg / sum(r.running_seconds for r in mild.reports), aggressive
+
+
+def test_icache_ablation(benchmark, programs):
+    quiet_ppc = POWERPC_G4.scaled(icache_miss_penalty=0.0)
+
+    def run_both():
+        with_cache, agg_reports = _running_penalty(POWERPC_G4, programs)
+        without_cache, _ = _running_penalty(quiet_ppc, programs)
+        return with_cache, without_cache, agg_reports
+
+    with_cache, without_cache, agg_reports = benchmark(run_both)
+
+    pressured = [r for r in agg_reports.reports if r.icache_factor > 1.01]
+    emit(
+        "I-cache ablation (PPC, DaCapo+JBB, aggressive/mild running ratio)",
+        [
+            f"  with cache model    : {with_cache:.3f}x",
+            f"  without cache model : {without_cache:.3f}x",
+            f"  benchmarks under pressure when aggressive: "
+            f"{[r.benchmark for r in pressured]}",
+        ],
+    )
+
+    # with the model, aggressive inlining costs real running time on
+    # the small-cache machine; without it, that cost largely vanishes
+    assert with_cache > without_cache + 0.01
+    assert len(pressured) >= 2
+    # default Jikes params sit between the extremes
+    default = run_suite(programs, POWERPC_G4, OPTIMIZING, JIKES_DEFAULT_PARAMETERS)
+    mild = run_suite(programs, POWERPC_G4, OPTIMIZING, MILD)
+    agg = run_suite(programs, POWERPC_G4, OPTIMIZING, AGGRESSIVE)
+    d = sum(r.running_seconds for r in default.reports)
+    assert d <= sum(r.running_seconds for r in agg.reports) * 1.02

@@ -1,0 +1,67 @@
+"""Micro-benchmarks of the substrate's hot paths.
+
+Not a paper experiment — these track the performance of the pieces the
+tuning loop executes thousands of times, so regressions in the
+simulator itself are visible.
+"""
+
+import pytest
+
+from repro.arch import PENTIUM4
+from repro.core.evaluation import HeuristicEvaluator
+from repro.core.metrics import Metric
+from repro.jvm.inlining import JIKES_DEFAULT_PARAMETERS, build_inline_plan
+from repro.jvm.runtime import VirtualMachine
+from repro.jvm.scenario import ADAPTIVE, OPTIMIZING
+from repro.workloads.generator import generate_program
+from repro.workloads.suites import DACAPO_JBB, SPECJVM98
+
+
+def test_program_generation(benchmark):
+    """Seeded generation of the biggest benchmark (jython)."""
+    spec = DACAPO_JBB.spec("jython")
+    program = benchmark(generate_program, spec, 1234)
+    assert len(program) == spec.n_methods
+
+
+def test_inline_plan_construction(benchmark):
+    """Building inline plans for every method of jess under defaults."""
+    program = SPECJVM98.program("jess")
+    methods = sorted(program.reachable_methods())
+
+    def build_all():
+        return [
+            build_inline_plan(program, mid, JIKES_DEFAULT_PARAMETERS)
+            for mid in methods
+        ]
+
+    plans = benchmark(build_all)
+    assert len(plans) == len(methods)
+
+
+def test_vm_run_optimizing(benchmark):
+    """One full Opt-scenario run of javac."""
+    program = SPECJVM98.program("javac")
+    vm = VirtualMachine(PENTIUM4, OPTIMIZING)
+    report = benchmark(vm.run, program, JIKES_DEFAULT_PARAMETERS)
+    assert report.total_cycles > 0
+
+
+def test_vm_run_adaptive(benchmark):
+    """One full Adapt-scenario run of javac (profiling + promotion)."""
+    program = SPECJVM98.program("javac")
+    vm = VirtualMachine(PENTIUM4, ADAPTIVE)
+    report = benchmark(vm.run, program, JIKES_DEFAULT_PARAMETERS)
+    assert report.methods_compiled_baseline > 0
+
+
+def test_fitness_evaluation(benchmark):
+    """One GA fitness evaluation: the whole training suite."""
+    evaluator = HeuristicEvaluator(
+        programs=SPECJVM98.programs(),
+        machine=PENTIUM4,
+        scenario=OPTIMIZING,
+        metric=Metric.TOTAL,
+    )
+    fitness = benchmark(evaluator, JIKES_DEFAULT_PARAMETERS.as_tuple())
+    assert fitness > 0

@@ -1,0 +1,69 @@
+"""Extension experiment: tuning under measurement noise.
+
+The paper tuned against real hardware timings, which are noisy; its §5
+protocol (best of several iterations) is a noise mitigation.  This
+bench injects lognormal measurement noise into the fitness function,
+re-runs the tuner at each noise level, and scores the chosen parameters
+*noise-free* — showing how much of the clean-search improvement
+survives realistic measurement jitter.
+"""
+
+import pytest
+
+from conftest import BENCH_GA_CONFIG, emit
+
+from repro.arch import PENTIUM4
+from repro.core.metrics import Metric
+from repro.core.tuner import TuningTask
+from repro.experiments.extensions import noise_robustness
+from repro.jvm.scenario import OPTIMIZING
+from repro.workloads.suites import SPECJVM98
+
+NOISE_LEVELS = (0.0, 0.02, 0.05, 0.10)
+
+
+@pytest.fixture(scope="module")
+def points():
+    task = TuningTask(
+        name="noise-ext",
+        scenario=OPTIMIZING,
+        machine=PENTIUM4,
+        metric=Metric.TOTAL,
+    )
+    return noise_robustness(
+        task,
+        SPECJVM98.programs(),
+        noise_levels=NOISE_LEVELS,
+        ga_config=BENCH_GA_CONFIG.scaled(generations=20, early_stop_patience=8),
+    )
+
+
+def test_noise_robustness(benchmark, points):
+    # timed section: one clean evaluation of the noisiest result
+    from repro.core.evaluation import HeuristicEvaluator
+
+    evaluator = HeuristicEvaluator(
+        programs=SPECJVM98.programs(),
+        machine=PENTIUM4,
+        scenario=OPTIMIZING,
+        metric=Metric.TOTAL,
+    )
+    benchmark(evaluator.fitness_of_params, points[-1].params)
+
+    emit(
+        "Noise robustness (Opt:Tot on x86; true improvement of the "
+        "parameters chosen under noisy measurement)",
+        [
+            f"  noise_sd={p.noise_sd:<5} true improvement {p.true_improvement:+.1%}  "
+            f"params {p.params}"
+            for p in points
+        ],
+    )
+
+    clean = points[0].true_improvement
+    assert clean > 0.05  # the clean search finds real gains
+    # moderate noise keeps most of the improvement (the GA's population
+    # averaging is noise-tolerant)
+    by_level = {p.noise_sd: p.true_improvement for p in points}
+    assert by_level[0.02] > 0.0
+    assert by_level[0.05] > clean * 0.25

@@ -1,0 +1,65 @@
+"""Extension experiment: the cross-shipping penalty matrix.
+
+Quantifies the paper's portability motivation: what does each machine
+lose by running the *other* machine's tuned heuristic instead of its
+own?  (The paper observes Jikes RVM shipped one heuristic for both
+Intel and PowerPC.)
+"""
+
+import pytest
+
+from conftest import BENCH_GA_CONFIG, emit
+
+from repro.arch import PENTIUM4, POWERPC_G4
+from repro.core.metrics import Metric
+from repro.experiments.extensions import transfer_matrix
+from repro.jvm.scenario import OPTIMIZING
+from repro.workloads.suites import SPECJVM98
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return transfer_matrix(
+        machines=[PENTIUM4, POWERPC_G4],
+        scenario=OPTIMIZING,
+        metric=Metric.BALANCE,
+        training_programs=SPECJVM98.programs(),
+        ga_config=BENCH_GA_CONFIG,
+    )
+
+
+def test_cross_architecture_transfer(benchmark, matrix):
+    # timed section: evaluating one full cross pair
+    from repro.core.evaluation import HeuristicEvaluator
+
+    evaluator = HeuristicEvaluator(
+        programs=SPECJVM98.programs(),
+        machine=PENTIUM4,
+        scenario=OPTIMIZING,
+        metric=Metric.BALANCE,
+    )
+    benchmark(
+        evaluator.fitness_of_params, matrix.tuned["powerpc-g4"].params
+    )
+
+    lines = ["            " + "  ".join(f"{m:>12}" for m in matrix.machines)]
+    for run_on in matrix.machines:
+        cells = "  ".join(
+            f"{matrix.penalty(run_on, tuned_for):>11.3f}x"
+            for tuned_for in matrix.machines
+        )
+        lines.append(f"{run_on:>11} {cells}")
+    lines.append("(rows: machine running; columns: machine the heuristic was tuned for)")
+    emit("Cross-shipping penalty matrix (SPECjvm98, Opt, balance)", lines)
+    emit(
+        "Tuned vectors",
+        [f"  {name}: {t.params}" for name, t in matrix.tuned.items()],
+    )
+
+    # each machine is best served by its own tuning
+    for run_on in matrix.machines:
+        for tuned_for in matrix.machines:
+            assert matrix.penalty(run_on, tuned_for) >= 1.0 - 1e-9
+    # and the tuned vectors genuinely differ across architectures
+    params = {t.params.as_tuple() for t in matrix.tuned.values()}
+    assert len(params) == 2

@@ -1,0 +1,56 @@
+"""Figure 10: tuning the heuristic for each program individually, for
+pure running time, under Opt on x86.
+
+Paper: every SPECjvm98 program improves by >=10% (4 of 7 by ~15%);
+DaCapo results vary — antlr -46%, fop/jython/pseudojbb >=10%, ps shows
+no significant reduction; overall average -15%.
+"""
+
+import pytest
+
+from conftest import BENCH_GA_CONFIG, emit, paper_vs_measured
+
+from repro.experiments.figures import figure10
+from repro.experiments.formatting import format_bar_chart, format_percent
+from repro.workloads.suites import DACAPO_JBB, SPECJVM98
+
+
+@pytest.fixture(scope="module")
+def fig10_data():
+    return figure10(ga_config=BENCH_GA_CONFIG)
+
+
+def test_figure10_per_program_running(benchmark, fig10_data):
+    data = benchmark(
+        figure10, (SPECJVM98, DACAPO_JBB), 0, 0, BENCH_GA_CONFIG
+    )
+
+    rows = []
+    all_ratios = []
+    for suite_name, comparison in data.items():
+        emit(
+            f"Figure 10: per-program running-time tuning on {suite_name}",
+            format_bar_chart(
+                [e.benchmark for e in comparison.entries],
+                comparison.running_ratios,
+            ),
+        )
+        all_ratios.extend(comparison.running_ratios)
+        rows.append(
+            (
+                f"{suite_name} avg running reduction",
+                "~15%" if suite_name == "SPECjvm98" else "varied",
+                format_percent(comparison.avg_running_reduction),
+            )
+        )
+    emit("Figure 10 paper-vs-measured", paper_vs_measured(rows))
+
+    spec = data["SPECjvm98"]
+    dacapo = data["DaCapo+JBB"]
+    # specialization never loses to the default on its own program
+    assert all(r <= 1.0 + 1e-9 for r in all_ratios)
+    # meaningful average reduction on the training-style programs
+    assert spec.avg_running_reduction > 0.03
+    # ps is the paper's "nothing to find" program: smallest DaCapo gain
+    ps_ratio = dacapo.entry("ps").running_ratio
+    assert ps_ratio > dacapo.avg_running_ratio - 0.10

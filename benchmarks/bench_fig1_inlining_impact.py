@@ -1,0 +1,44 @@
+"""Figure 1: relative time reduction with inlining (default heuristic
+vs no inlining), SPECjvm98 on x86, Opt and Adapt scenarios.
+
+Paper values: Opt — running -24%, total +3% (degradation); Adapt —
+running -23%, total -8%.
+"""
+
+import pytest
+
+from conftest import emit, paper_vs_measured
+
+from repro.arch import PENTIUM4
+from repro.experiments.figures import figure1
+from repro.experiments.formatting import format_comparison, format_percent
+
+
+@pytest.fixture(scope="module")
+def fig1_data():
+    return figure1(machine=PENTIUM4)
+
+
+def test_figure1_regeneration(benchmark, fig1_data):
+    data = benchmark(figure1, PENTIUM4)
+    opt, adapt = data["Opt"], data["Adapt"]
+
+    emit("Figure 1(a): Opt, default/no-inlining", format_comparison(opt))
+    emit("Figure 1(b): Adapt, default/no-inlining", format_comparison(adapt))
+    emit(
+        "Figure 1 paper-vs-measured (average reductions)",
+        paper_vs_measured(
+            [
+                ("Opt running", "24%", format_percent(1 - opt.avg_running_ratio)),
+                ("Opt total", "-3%", format_percent(1 - opt.avg_total_ratio)),
+                ("Adapt running", "23%", format_percent(1 - adapt.avg_running_ratio)),
+                ("Adapt total", "8%", format_percent(1 - adapt.avg_total_ratio)),
+            ]
+        ),
+    )
+
+    # shape assertions (paper's qualitative findings)
+    assert opt.avg_running_ratio < 0.85
+    assert adapt.avg_running_ratio < 0.85
+    assert sum(1 for t in opt.total_ratios if t > 1.05) >= 2
+    assert adapt.avg_total_ratio < opt.avg_total_ratio

@@ -1,0 +1,58 @@
+"""Figure 2: execution time vs MAX_INLINE_DEPTH for compress and jess
+under both compilation scenarios (all other parameters at the Jikes
+defaults).
+
+Paper values (best depth): compress Opt=2, Adapt=8; jess Opt=0,
+Adapt=2; depth 5 (the shipped default) is the worst choice for jess in
+both scenarios.
+"""
+
+import pytest
+
+from conftest import emit, paper_vs_measured
+
+from repro.experiments.figures import figure2
+from repro.experiments.formatting import format_bar_chart
+
+
+@pytest.fixture(scope="module")
+def fig2_data():
+    return figure2(benchmarks=("compress", "jess"))
+
+
+def test_figure2_regeneration(benchmark, fig2_data):
+    data = benchmark(figure2, ("compress", "jess"))
+
+    for bench_name, sweeps in data.items():
+        for scenario, sweep in sweeps.items():
+            emit(
+                f"Figure 2: {bench_name} under {scenario} (total seconds by depth)",
+                format_bar_chart(
+                    [f"depth {d}" for d in sweep.depths],
+                    list(sweep.total_seconds),
+                    reference=min(sweep.total_seconds),
+                    value_format="{:.2f}s",
+                ),
+            )
+
+    emit(
+        "Figure 2 paper-vs-measured (best depth)",
+        paper_vs_measured(
+            [
+                ("compress Opt", "2", str(data["compress"]["Opt"].best_depth)),
+                ("compress Adapt", "8", str(data["compress"]["Adapt"].best_depth)),
+                ("jess Opt", "0", str(data["jess"]["Opt"].best_depth)),
+                ("jess Adapt", "2", str(data["jess"]["Adapt"].best_depth)),
+            ]
+        ),
+    )
+
+    # shapes: best depth differs per scenario/program; default 5 never
+    # optimal for jess; jess Opt prefers minimal depth
+    jess_opt = data["jess"]["Opt"]
+    assert jess_opt.best_depth <= 1
+    for scenario in ("Opt", "Adapt"):
+        sweep = data["jess"][scenario]
+        default_total = sweep.total_seconds[sweep.depths.index(5)]
+        assert default_total > min(sweep.total_seconds)
+    assert data["compress"]["Adapt"].best_depth >= 1

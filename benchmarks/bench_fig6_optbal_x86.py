@@ -1,0 +1,18 @@
+"""Figure 6: Opt scenario tuned for balance on x86 (Opt:Bal).
+
+Paper: SPECjvm98 running -4% / total -16%; DaCapo running -3% / total
+-26%.
+"""
+
+from figbench import run_figure_bench
+
+
+def test_figure6_optbal_x86(benchmark):
+    data = run_figure_bench(benchmark, 6, "Opt:Bal")
+    spec, dacapo = data["SPECjvm98"], data["DaCapo+JBB"]
+
+    assert spec.avg_total_reduction > 0.08
+    assert spec.avg_running_ratio <= 1.01
+    assert dacapo.avg_total_reduction > 0.12
+    # balance tuning tolerates small test-suite running changes
+    assert abs(dacapo.avg_running_reduction) < 0.12

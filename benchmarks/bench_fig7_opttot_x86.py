@@ -1,0 +1,27 @@
+"""Figure 7: Opt scenario tuned for total time on x86 (Opt:Tot) — the
+paper's headline configuration.
+
+Paper: SPECjvm98 running -1% / total -17%; DaCapo running +4%
+(a small degradation, expected when optimizing total) / total -37%,
+with antlr -58%, ipsixql -50%, pseudojbb -46%, fop -35%.
+"""
+
+from figbench import run_figure_bench
+
+
+def test_figure7_opttot_x86(benchmark):
+    data = run_figure_bench(benchmark, 7, "Opt:Tot")
+    spec, dacapo = data["SPECjvm98"], data["DaCapo+JBB"]
+
+    # the headline numbers' shape
+    assert spec.avg_total_reduction > 0.10  # paper 17%
+    assert dacapo.avg_total_reduction > 0.25  # paper 37%
+    # running time may degrade slightly on the test suite — the paper
+    # calls this expected when tuning for total time
+    assert dacapo.avg_running_reduction < 0.05
+    assert dacapo.avg_running_reduction > -0.15
+    # the biggest individual winner is a short-running code-heavy
+    # program (paper: antlr at 58%)
+    best = min(dacapo.entries, key=lambda e: e.total_ratio)
+    assert best.benchmark in {"antlr", "ipsixql", "jython", "pmd"}
+    assert best.total_ratio < 0.60

@@ -1,0 +1,60 @@
+"""Table 4: the parameter values the GA finds per compilation scenario
+and architecture (the off-line tuning products themselves).
+
+Paper values for reference:
+
+    parameter           Default Adapt Opt:Bal Opt:Tot Adapt(PPC) Opt:Bal(PPC)
+    CALLEE_MAX_SIZE          23    49      10      10         47           23
+    ALWAYS_INLINE_SIZE       11    15      16       6         10           11
+    MAX_INLINE_DEPTH          5    10       8       8          2            8
+    CALLER_MAX_SIZE        2048    60     402    2419       1215          240
+    HOT_CALLEE_MAX_SIZE     135   138      NA      NA        352           NA
+
+Absolute values are search artifacts (many near-optima exist); the
+assertions target the published *regularities*: wide variation across
+scenarios, and tuned heuristics that beat the default on their own
+training fitness.
+"""
+
+import pytest
+
+from conftest import BENCH_GA_CONFIG, emit
+
+from repro.experiments.formatting import format_table
+from repro.experiments.tables import table4
+
+
+@pytest.fixture(scope="module")
+def tbl4():
+    return table4(ga_config=BENCH_GA_CONFIG)
+
+
+def test_table4_regeneration(benchmark, tbl4):
+    # tuning itself is cached; time the table assembly + verification
+    table = benchmark(table4, 0, 0, BENCH_GA_CONFIG)
+
+    headers = ["Parameter"] + list(table.columns)
+    rows = [[label] + cells for label, cells in table.rows()]
+    emit("Table 4: tuned inlining parameter values", format_table(headers, rows))
+    emit(
+        "Training-fitness improvement over default per task",
+        [
+            f"  {name:<14} {tuned.improvement:+.1%} "
+            f"({tuned.evaluations} evaluations, {tuned.generations_run} generations)"
+            for name, tuned in table.tuned.items()
+        ],
+    )
+
+    # every tuned column beats (or ties) the default on its own fitness
+    for name, tuned in table.tuned.items():
+        assert tuned.fitness <= tuned.default_fitness * (1 + 1e-9), name
+
+    # values vary across scenarios (the paper's "notice that values
+    # found vary widely" observation): at least one parameter differs
+    # between any two tuned columns
+    tuned_params = [p.as_tuple() for n, p in table.columns.items() if n != "Default"]
+    assert len(set(tuned_params)) == len(tuned_params)
+
+    # Opt scenarios never consult HOT_CALLEE_MAX_SIZE
+    assert table.cell("Opt:Bal", "hot_callee_max_size") is None
+    assert table.cell("Opt:Tot", "hot_callee_max_size") is None

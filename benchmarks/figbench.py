@@ -1,0 +1,64 @@
+"""Shared engine for the Figure 5-9 benches (tuned vs default on both
+suites, for one scenario/architecture/goal)."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from conftest import BENCH_GA_CONFIG, emit, paper_vs_measured
+
+from repro.experiments.figures import tuned_vs_default
+from repro.experiments.formatting import format_comparison, format_percent
+from repro.experiments.runner import SuiteComparison
+
+#: (scenario task, suite) -> (paper running reduction, paper total
+#: reduction), from Table 5
+PAPER_TABLE5: Dict[Tuple[str, str], Tuple[str, str]] = {
+    ("Adapt", "SPECjvm98"): ("6%", "3%"),
+    ("Adapt", "DaCapo+JBB"): ("0%", "29%"),
+    ("Opt:Bal", "SPECjvm98"): ("4%", "16%"),
+    ("Opt:Bal", "DaCapo+JBB"): ("3%", "26%"),
+    ("Opt:Tot", "SPECjvm98"): ("1%", "17%"),
+    ("Opt:Tot", "DaCapo+JBB"): ("-4%", "37%"),
+    ("Adapt (PPC)", "SPECjvm98"): ("5%", "1%"),
+    ("Adapt (PPC)", "DaCapo+JBB"): ("-1%", "6%"),
+    ("Opt:Bal (PPC)", "SPECjvm98"): ("0%", "6%"),
+    ("Opt:Bal (PPC)", "DaCapo+JBB"): ("4%", "9%"),
+}
+
+
+def run_figure_bench(
+    benchmark, figure_number: int, task_name: str
+) -> Dict[str, SuiteComparison]:
+    """Regenerate one tuned-vs-default figure, print it, return data."""
+    data = benchmark(
+        tuned_vs_default, task_name, 0, 0, BENCH_GA_CONFIG
+    )
+
+    rows = []
+    for suite_name, comparison in data.items():
+        part = "(a)" if suite_name == "SPECjvm98" else "(b)"
+        emit(
+            f"Figure {figure_number}{part}: {task_name} tuned/default on {suite_name}",
+            format_comparison(comparison),
+        )
+        paper_run, paper_tot = PAPER_TABLE5[(task_name, suite_name)]
+        rows.append(
+            (
+                f"{suite_name} running",
+                paper_run,
+                format_percent(comparison.avg_running_reduction),
+            )
+        )
+        rows.append(
+            (
+                f"{suite_name} total",
+                paper_tot,
+                format_percent(comparison.avg_total_reduction),
+            )
+        )
+    emit(
+        f"Figure {figure_number} paper-vs-measured (average reductions)",
+        paper_vs_measured(rows),
+    )
+    return data

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Tune the same scenario for two architectures and compare (Table 4).
+
+The paper's central claim about portability: when the compiler moves to
+a new platform, re-running the off-line tuner finds a *different*
+parameter vector — no human retuning needed.  Here we tune Opt for
+balance on the Pentium-4 and the PowerPC G4 and show both the vectors
+and what happens if you ship the wrong machine's heuristic.
+"""
+
+from repro import (
+    JIKES_DEFAULT_PARAMETERS,
+    OPTIMIZING,
+    PENTIUM4,
+    POWERPC_G4,
+    SPECJVM98,
+    InliningTuner,
+    Metric,
+    TuningTask,
+)
+from repro.core.tuner import DEFAULT_GA_CONFIG
+from repro.experiments.runner import compare_suites, run_suite
+
+
+def main() -> None:
+    config = DEFAULT_GA_CONFIG.scaled(generations=20, early_stop_patience=7)
+    tuner = InliningTuner(config)
+    programs = SPECJVM98.programs()
+
+    tuned = {}
+    for machine in (PENTIUM4, POWERPC_G4):
+        task = TuningTask(
+            name=f"optbal-{machine.name}",
+            scenario=OPTIMIZING,
+            machine=machine,
+            metric=Metric.BALANCE,
+        )
+        print(f"tuning Opt:Bal on {machine.name} ...")
+        tuned[machine.name] = tuner.tune(task, programs)
+
+    print("\nTable 4 style comparison:")
+    print(f"{'parameter':<20} {'default':>8} {'pentium4':>9} {'powerpc':>9}")
+    for label, attr in (
+        ("CALLEE_MAX_SIZE", "callee_max_size"),
+        ("ALWAYS_INLINE_SIZE", "always_inline_size"),
+        ("MAX_INLINE_DEPTH", "max_inline_depth"),
+        ("CALLER_MAX_SIZE", "caller_max_size"),
+    ):
+        print(
+            f"{label:<20} {getattr(JIKES_DEFAULT_PARAMETERS, attr):>8} "
+            f"{getattr(tuned['pentium4'].params, attr):>9} "
+            f"{getattr(tuned['powerpc-g4'].params, attr):>9}"
+        )
+
+    # cross-shipping: each machine runs its own vs the other's heuristic
+    print("\ncross-shipping penalty (SPECjvm98, Opt, avg total ratio vs own tuning):")
+    for machine in (PENTIUM4, POWERPC_G4):
+        own = run_suite(programs, machine, OPTIMIZING, tuned[machine.name].params)
+        other_name = "powerpc-g4" if machine is PENTIUM4 else "pentium4"
+        borrowed = run_suite(programs, machine, OPTIMIZING, tuned[other_name].params)
+        comparison = compare_suites(borrowed, own)
+        print(
+            f"  {machine.name:<10} running on {other_name}'s heuristic: "
+            f"total {comparison.avg_total_ratio:.3f}x"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Reproduce the paper's motivation (Figure 2): execution time versus
+MAX_INLINE_DEPTH for compress and jess, under both compilation
+scenarios.
+
+The point of the figure: the best depth differs per program *and* per
+scenario, and the shipped default (5) is rarely it — which is why a
+one-size-fits-all heuristic leaves performance on the table.
+"""
+
+from repro.experiments.figures import figure2
+from repro.experiments.formatting import format_bar_chart
+from repro.jvm.inlining import JIKES_DEFAULT_PARAMETERS
+
+
+def main() -> None:
+    default_depth = JIKES_DEFAULT_PARAMETERS.max_inline_depth
+    data = figure2(benchmarks=("compress", "jess"))
+    for bench, sweeps in data.items():
+        for scenario, sweep in sweeps.items():
+            print(f"=== {bench} under {scenario}: total seconds vs inline depth ===")
+            labels = [
+                f"depth {d}" + (" (default)" if d == default_depth else "")
+                for d in sweep.depths
+            ]
+            print(
+                format_bar_chart(
+                    labels,
+                    list(sweep.total_seconds),
+                    reference=min(sweep.total_seconds),
+                    value_format="{:.2f}s",
+                )
+            )
+            marker = "" if sweep.best_depth != default_depth else " (the default!)"
+            print(f"best depth: {sweep.best_depth}{marker}\n")
+
+
+if __name__ == "__main__":
+    main()

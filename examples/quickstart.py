@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Quickstart: run benchmarks under different inlining heuristics, then
+tune one with the genetic algorithm.
+
+This walks the library's three core moves:
+
+1. run a benchmark on a simulated machine under a compilation scenario,
+2. compare heuristics (no inlining / shipped default / hand-rolled),
+3. let the GA find a better parameter vector for a chosen goal.
+
+Runs in well under a minute.
+"""
+
+from repro import (
+    JIKES_DEFAULT_PARAMETERS,
+    NO_INLINING,
+    OPTIMIZING,
+    PENTIUM4,
+    SPECJVM98,
+    InliningParameters,
+    InliningTuner,
+    Metric,
+    TuningTask,
+    VirtualMachine,
+)
+from repro.core.tuner import DEFAULT_GA_CONFIG
+
+
+def main() -> None:
+    # --- 1. run one benchmark -----------------------------------------
+    program = SPECJVM98.program("raytrace")
+    vm = VirtualMachine(PENTIUM4, OPTIMIZING)
+
+    report = vm.run(program, JIKES_DEFAULT_PARAMETERS)
+    print("raytrace under Opt with the shipped Jikes RVM heuristic:")
+    print(f"  running {report.running_seconds:.3f}s, "
+          f"compile {report.compile_seconds:.3f}s, total {report.total_seconds:.3f}s")
+
+    # --- 2. compare heuristics ----------------------------------------
+    hand_rolled = InliningParameters(
+        callee_max_size=30,
+        always_inline_size=14,
+        max_inline_depth=3,
+        caller_max_size=400,
+        hot_callee_max_size=100,
+    )
+    print("\nheuristic comparison on raytrace (Opt, Pentium-4):")
+    for label, params in (
+        ("no inlining", NO_INLINING),
+        ("Jikes default", JIKES_DEFAULT_PARAMETERS),
+        ("hand-rolled", hand_rolled),
+    ):
+        r = vm.run(program, params)
+        print(
+            f"  {label:<14} running {r.running_seconds:6.3f}s  "
+            f"total {r.total_seconds:6.3f}s  ({r.inline_sites} sites inlined)"
+        )
+
+    # --- 3. tune with the GA ------------------------------------------
+    task = TuningTask(
+        name="quickstart",
+        scenario=OPTIMIZING,
+        machine=PENTIUM4,
+        metric=Metric.TOTAL,
+    )
+    config = DEFAULT_GA_CONFIG.scaled(generations=12, early_stop_patience=5)
+    print("\ntuning for total time over SPECjvm98 (small budget)...")
+    tuned = InliningTuner(config).tune(task, SPECJVM98.programs())
+    print(f"  tuned parameters : {tuned.params}")
+    print(
+        f"  training fitness : {tuned.fitness:.4f}s "
+        f"vs default {tuned.default_fitness:.4f}s "
+        f"({tuned.improvement:+.1%})"
+    )
+
+    r = vm.run(program, tuned.params)
+    print(f"  raytrace under the tuned heuristic: total {r.total_seconds:.3f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""repro — reproduction of "Automatic Tuning of Inlining Heuristics"
+(Cavazos & O'Boyle, SC 2005).
+
+The library tunes the five parameters of a JIT compiler's inlining
+heuristic with a genetic algorithm, off-line, per compilation scenario
+and target architecture — and reproduces every table and figure of the
+paper's evaluation against a simulated adaptive JVM.
+
+Quickstart
+----------
+>>> from repro import (InliningTuner, TuningTask, Metric,
+...                    SPECJVM98, PENTIUM4, OPTIMIZING)
+>>> task = TuningTask(name="demo", scenario=OPTIMIZING,
+...                   machine=PENTIUM4, metric=Metric.TOTAL)
+>>> tuned = InliningTuner().tune(task, SPECJVM98.programs())
+>>> tuned.params  # doctest: +SKIP
+InliningParameters(...)
+
+See ``examples/`` for runnable scripts and ``benchmarks/`` for the
+per-figure reproduction harness.
+"""
+
+from repro.arch import MachineModel, PENTIUM4, POWERPC_G4, get_machine
+from repro.core import (
+    HeuristicEvaluator,
+    InliningTuner,
+    JIKES_DEFAULT_PARAMETERS,
+    Metric,
+    NO_INLINING,
+    InliningParameters,
+    STANDARD_TASKS,
+    TABLE1_SPACE,
+    TunedHeuristic,
+    TuningTask,
+    get_task,
+)
+from repro.errors import ReproError
+from repro.jvm import (
+    ADAPTIVE,
+    OPTIMIZING,
+    CompilationScenario,
+    ExecutionReport,
+    Program,
+    VirtualMachine,
+)
+from repro.workloads import DACAPO_JBB, SPECJVM98, BenchmarkSpec, get_benchmark, get_suite
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    # architectures
+    "MachineModel",
+    "PENTIUM4",
+    "POWERPC_G4",
+    "get_machine",
+    # JVM simulator
+    "ADAPTIVE",
+    "OPTIMIZING",
+    "CompilationScenario",
+    "ExecutionReport",
+    "Program",
+    "VirtualMachine",
+    # core tuning
+    "HeuristicEvaluator",
+    "InliningTuner",
+    "JIKES_DEFAULT_PARAMETERS",
+    "NO_INLINING",
+    "InliningParameters",
+    "Metric",
+    "STANDARD_TASKS",
+    "TABLE1_SPACE",
+    "TunedHeuristic",
+    "TuningTask",
+    "get_task",
+    # workloads
+    "BenchmarkSpec",
+    "SPECJVM98",
+    "DACAPO_JBB",
+    "get_benchmark",
+    "get_suite",
+]

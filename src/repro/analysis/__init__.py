@@ -1,0 +1,34 @@
+"""Analysis tools beyond the paper's headline experiments.
+
+* :mod:`repro.analysis.sensitivity` — one-at-a-time parameter sweeps
+  (the generalization of the paper's Figure 2 to all five parameters).
+* :mod:`repro.analysis.search` — alternative search strategies (random
+  search, coordinate descent) used by the search-ablation bench to show
+  what the GA buys at equal evaluation budget.
+* :mod:`repro.analysis.convergence` — GA convergence summaries.
+"""
+
+from repro.analysis.sensitivity import ParameterSweep, sweep_parameter, sweep_all
+from repro.analysis.search import (
+    SearchResult,
+    random_search,
+    coordinate_descent,
+    ga_search,
+)
+from repro.analysis.convergence import ConvergenceSummary, summarize_history
+from repro.analysis.landscape import LandscapeSlice, grid_slice, render_heatmap
+
+__all__ = [
+    "ParameterSweep",
+    "sweep_parameter",
+    "sweep_all",
+    "SearchResult",
+    "random_search",
+    "coordinate_descent",
+    "ga_search",
+    "ConvergenceSummary",
+    "summarize_history",
+    "LandscapeSlice",
+    "grid_slice",
+    "render_heatmap",
+]

@@ -1,0 +1,78 @@
+"""GA convergence summaries.
+
+Condenses a run's per-generation history into the quantities the
+examples and docs report: when the best fitness stopped improving, how
+much of the final improvement the first generations delivered, and the
+evaluation economics of the fitness cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.ga.statistics import GenerationStats
+
+__all__ = ["ConvergenceSummary", "summarize_history"]
+
+
+@dataclass(frozen=True)
+class ConvergenceSummary:
+    """Condensed view of a GA run's history."""
+
+    generations: int
+    initial_best: float
+    final_best: float
+    last_improvement_generation: int
+    half_improvement_generation: int
+    total_evaluations: int
+    total_cache_hits: int
+
+    @property
+    def improvement(self) -> float:
+        """Fractional fitness improvement over the run."""
+        if self.initial_best <= 0:
+            raise ConfigurationError("initial best fitness must be positive")
+        return 1.0 - self.final_best / self.initial_best
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of fitness lookups served by the cache."""
+        lookups = self.total_evaluations + self.total_cache_hits
+        return self.total_cache_hits / lookups if lookups else 0.0
+
+
+def summarize_history(history: Sequence[GenerationStats]) -> ConvergenceSummary:
+    """Summarize a GA history (as returned in ``GAResult.history``)."""
+    if not history:
+        raise ConfigurationError("cannot summarize an empty history")
+
+    bests = []
+    running = float("inf")
+    for stats in history:
+        running = min(running, stats.best_fitness)
+        bests.append(running)
+
+    initial, final = bests[0], bests[-1]
+    last_improvement = 0
+    for gen in range(1, len(bests)):
+        if bests[gen] < bests[gen - 1]:
+            last_improvement = gen
+
+    half_target = initial - 0.5 * (initial - final)
+    half_gen = 0
+    for gen, value in enumerate(bests):
+        if value <= half_target:
+            half_gen = gen
+            break
+
+    return ConvergenceSummary(
+        generations=len(history),
+        initial_best=initial,
+        final_best=final,
+        last_improvement_generation=last_improvement,
+        half_improvement_generation=half_gen,
+        total_evaluations=history[-1].evaluations,
+        total_cache_hits=history[-1].cache_hits,
+    )

@@ -1,0 +1,157 @@
+"""Two-dimensional fitness-landscape slices.
+
+The sensitivity sweeps (:mod:`repro.analysis.sensitivity`) show one
+axis at a time; parameter *interactions* — e.g. CALLEE_MAX_SIZE vs
+CALLER_MAX_SIZE trading off code quality against compile blow-up — need
+2-D slices.  :func:`grid_slice` evaluates a grid with the other
+parameters pinned, and :func:`render_heatmap` draws it as ASCII for
+terminals and docs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.evaluation import HeuristicEvaluator
+from repro.errors import ConfigurationError
+from repro.jvm.inlining import InliningParameters
+
+__all__ = ["LandscapeSlice", "grid_slice", "render_heatmap"]
+
+_PARAM_INDEX = {
+    "CALLEE_MAX_SIZE": 0,
+    "ALWAYS_INLINE_SIZE": 1,
+    "MAX_INLINE_DEPTH": 2,
+    "CALLER_MAX_SIZE": 3,
+    "HOT_CALLEE_MAX_SIZE": 4,
+}
+
+#: shade ramp from best (light) to worst (dark)
+_RAMP = " .:-=+o#%@"
+
+
+@dataclass(frozen=True)
+class LandscapeSlice:
+    """A 2-D slice of the fitness landscape.
+
+    ``fitness[i][j]`` corresponds to ``x_values[j]`` on the x parameter
+    and ``y_values[i]`` on the y parameter.
+    """
+
+    x_parameter: str
+    y_parameter: str
+    x_values: Tuple[int, ...]
+    y_values: Tuple[int, ...]
+    fitness: Tuple[Tuple[float, ...], ...]
+    base: InliningParameters
+
+    @property
+    def best_point(self) -> Tuple[int, int]:
+        """(x value, y value) of the slice minimum."""
+        grid = np.asarray(self.fitness)
+        i, j = np.unravel_index(int(np.argmin(grid)), grid.shape)
+        return self.x_values[int(j)], self.y_values[int(i)]
+
+    @property
+    def best_fitness(self) -> float:
+        """Minimum fitness on the slice."""
+        return float(np.asarray(self.fitness).min())
+
+    @property
+    def spread(self) -> float:
+        """max/min fitness ratio minus one over the slice."""
+        grid = np.asarray(self.fitness)
+        low = grid.min()
+        if low <= 0:
+            raise ConfigurationError("fitness must be positive")
+        return float(grid.max() / low - 1.0)
+
+
+def grid_slice(
+    evaluator: HeuristicEvaluator,
+    x_parameter: str,
+    y_parameter: str,
+    x_points: int = 8,
+    y_points: int = 8,
+    base: Optional[InliningParameters] = None,
+) -> LandscapeSlice:
+    """Evaluate an x_points x y_points grid over two parameters."""
+    for name in (x_parameter, y_parameter):
+        if name not in _PARAM_INDEX:
+            raise ConfigurationError(
+                f"unknown parameter {name!r}; expected one of {sorted(_PARAM_INDEX)}"
+            )
+    if x_parameter == y_parameter:
+        raise ConfigurationError("x and y parameters must differ")
+    if x_points < 2 or y_points < 2:
+        raise ConfigurationError("grids need at least 2 points per axis")
+
+    base = base or evaluator.default_params
+    space = evaluator.space
+
+    def axis_values(name: str, points: int) -> Tuple[int, ...]:
+        spec = next(s for s in space.specs if s.name == name)
+        values = np.unique(
+            np.linspace(spec.low, spec.high, points).round().astype(int)
+        )
+        return tuple(int(v) for v in values)
+
+    xs = axis_values(x_parameter, x_points)
+    ys = axis_values(y_parameter, y_points)
+    xi, yi = _PARAM_INDEX[x_parameter], _PARAM_INDEX[y_parameter]
+
+    rows: List[Tuple[float, ...]] = []
+    for y in ys:
+        row = []
+        for x in xs:
+            genome = list(base.as_tuple())
+            genome[xi] = x
+            genome[yi] = y
+            row.append(
+                evaluator.fitness_of_params(InliningParameters.from_sequence(genome))
+            )
+        rows.append(tuple(row))
+
+    return LandscapeSlice(
+        x_parameter=x_parameter,
+        y_parameter=y_parameter,
+        x_values=xs,
+        y_values=ys,
+        fitness=tuple(rows),
+        base=base,
+    )
+
+
+def render_heatmap(slice_: LandscapeSlice, width: int = 4) -> str:
+    """ASCII heatmap: light = fast, dark = slow, ``*`` marks the best."""
+    grid = np.asarray(slice_.fitness)
+    low, high = grid.min(), grid.max()
+    span = high - low
+    best_x, best_y = slice_.best_point
+
+    lines = [
+        f"{slice_.y_parameter} (rows) vs {slice_.x_parameter} (cols); "
+        f"light=fast, dark=slow, * = best"
+    ]
+    header = " " * 7 + "".join(f"{x:>{width}}" for x in slice_.x_values)
+    lines.append(header)
+    for i, y in enumerate(slice_.y_values):
+        cells = []
+        for j, x in enumerate(slice_.x_values):
+            if (x, y) == (best_x, best_y):
+                glyph = "*"
+            elif span <= 0:
+                glyph = _RAMP[0]
+            else:
+                level = (grid[i, j] - low) / span
+                glyph = _RAMP[min(int(level * len(_RAMP)), len(_RAMP) - 1)]
+            cells.append(glyph.rjust(width))
+        lines.append(f"{y:>6} " + "".join(cells))
+    lines.append(
+        f"best: {slice_.x_parameter}={best_x}, {slice_.y_parameter}={best_y} "
+        f"(fitness {slice_.best_fitness:.4g}; spread {slice_.spread:.0%})"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,107 @@
+"""One-at-a-time sensitivity of fitness to each heuristic parameter.
+
+The paper motivates the search with a depth sweep (Figure 2); this
+module generalizes that to all five Table 1 parameters around any base
+point, which both the examples and the ablation benches use to show the
+landscape the GA navigates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.evaluation import HeuristicEvaluator
+from repro.core.parameters import TABLE1_SPACE, ParameterSpace
+from repro.errors import ConfigurationError
+from repro.jvm.inlining import InliningParameters
+
+__all__ = ["ParameterSweep", "sweep_parameter", "sweep_all"]
+
+
+@dataclass(frozen=True)
+class ParameterSweep:
+    """Fitness along one parameter axis, others fixed."""
+
+    parameter: str
+    values: Tuple[int, ...]
+    fitness: Tuple[float, ...]
+    base: InliningParameters
+
+    @property
+    def best_value(self) -> int:
+        """Axis value minimizing fitness."""
+        return self.values[int(np.argmin(self.fitness))]
+
+    @property
+    def spread(self) -> float:
+        """max/min fitness ratio minus one (0 = insensitive axis)."""
+        low = min(self.fitness)
+        if low <= 0:
+            raise ConfigurationError("fitness must be positive")
+        return max(self.fitness) / low - 1.0
+
+    @property
+    def base_value(self) -> int:
+        """The base point's value on this axis."""
+        index = _PARAM_ATTRS[self.parameter]
+        return self.base.as_tuple()[index]
+
+
+_PARAM_ATTRS: Dict[str, int] = {
+    "CALLEE_MAX_SIZE": 0,
+    "ALWAYS_INLINE_SIZE": 1,
+    "MAX_INLINE_DEPTH": 2,
+    "CALLER_MAX_SIZE": 3,
+    "HOT_CALLEE_MAX_SIZE": 4,
+}
+
+
+def _with_value(base: InliningParameters, parameter: str, value: int) -> InliningParameters:
+    genome = list(base.as_tuple())
+    genome[_PARAM_ATTRS[parameter]] = int(value)
+    return InliningParameters.from_sequence(genome)
+
+
+def sweep_parameter(
+    evaluator: HeuristicEvaluator,
+    parameter: str,
+    values: Sequence[int],
+    base: Optional[InliningParameters] = None,
+) -> ParameterSweep:
+    """Evaluate fitness along one parameter axis."""
+    if parameter not in _PARAM_ATTRS:
+        raise ConfigurationError(
+            f"unknown parameter {parameter!r}; expected one of {sorted(_PARAM_ATTRS)}"
+        )
+    if not values:
+        raise ConfigurationError("sweep needs at least one value")
+    base = base or evaluator.default_params
+    fitness = [
+        evaluator.fitness_of_params(_with_value(base, parameter, v)) for v in values
+    ]
+    return ParameterSweep(
+        parameter=parameter,
+        values=tuple(int(v) for v in values),
+        fitness=tuple(fitness),
+        base=base,
+    )
+
+
+def sweep_all(
+    evaluator: HeuristicEvaluator,
+    points_per_axis: int = 9,
+    base: Optional[InliningParameters] = None,
+    space: Optional[ParameterSpace] = None,
+) -> Dict[str, ParameterSweep]:
+    """Sweep every Table 1 axis with evenly spaced values."""
+    space = space or TABLE1_SPACE
+    out: Dict[str, ParameterSweep] = {}
+    for spec in space.specs:
+        values = np.unique(
+            np.linspace(spec.low, spec.high, points_per_axis).round().astype(int)
+        )
+        out[spec.name] = sweep_parameter(evaluator, spec.name, list(values), base=base)
+    return out

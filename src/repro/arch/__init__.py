@@ -1,0 +1,20 @@
+"""Architecture models for the JVM simulator.
+
+The paper tunes inlining heuristics on two machines — a 2.8 GHz Pentium-4
+and a 533 MHz PowerPC G4 — and finds architecture-specific optima
+(Table 4).  Those differences are driven by cache capacity, call cost and
+compile throughput, which is exactly what :class:`MachineModel` encodes.
+"""
+
+from repro.arch.base import MachineModel, get_machine, register_machine, available_machines
+from repro.arch.x86 import PENTIUM4
+from repro.arch.ppc import POWERPC_G4
+
+__all__ = [
+    "MachineModel",
+    "get_machine",
+    "register_machine",
+    "available_machines",
+    "PENTIUM4",
+    "POWERPC_G4",
+]

@@ -1,0 +1,163 @@
+"""Parametric machine model used by the JVM simulator.
+
+The simulator accounts for time in *cycles* and converts to seconds with
+the clock rate.  A :class:`MachineModel` carries every
+architecture-dependent constant the cost model needs:
+
+* ``call_overhead_cycles`` — cycles spent on a call/return sequence
+  (argument marshalling, branch, prologue/epilogue).  Removing this is
+  the direct benefit of inlining.
+* ``icache_capacity`` — instructions that fit in the instruction-cache
+  working set.  When the hot code (post-inlining) outgrows this, a miss
+  penalty is applied; this is the indirect *cost* of inlining.
+* ``compile_cycles_per_instruction`` — per-optimization-level compile
+  throughput.  Optimizing compilation is orders of magnitude slower than
+  baseline compilation, which is why total time (running + compile) can
+  degrade under aggressive inlining.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Mapping
+
+from repro.errors import ConfigurationError
+
+__all__ = ["MachineModel", "register_machine", "get_machine", "available_machines"]
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Immutable description of a target machine.
+
+    Attributes
+    ----------
+    name:
+        Registry key, e.g. ``"pentium4"``.
+    clock_ghz:
+        Clock rate in GHz; used only to convert cycles to seconds for
+        reporting, never for decisions.
+    call_overhead_cycles:
+        Cycles per dynamic call that inlining can eliminate.
+    icache_capacity:
+        Hot-working-set capacity in *estimated machine instructions*
+        (the same unit the inlining heuristic reasons about).
+    icache_miss_penalty:
+        Dimensionless coefficient: running time is multiplied by
+        ``1 + penalty * pressure`` where pressure measures how far the
+        hot code overflows the cache (see
+        :class:`repro.jvm.codecache.CodeCache`).
+    compile_cycles_per_instruction:
+        Mapping from optimization level (0 = baseline) to compile cost in
+        cycles per estimated instruction of (post-inlining) code.
+    opt_speed_factor:
+        Mapping from optimization level to the relative per-instruction
+        execution cost of generated code (baseline = 1.0; optimized < 1).
+    branch_misprediction_cycles:
+        Cycles charged for hard-to-predict control flow; deeper pipelines
+        (Pentium-4) pay more, which raises the value of straightening
+        code via inlining.
+    app_cycle_factor:
+        Cycles-per-work-unit multiplier for *application* code relative
+        to the reference machine.  Captures memory-system quality: the
+        G4's slow bus and small caches inflate application cycles, while
+        the JIT compiler's compact working set is largely unaffected —
+        which is why compilation is a smaller share of total time on the
+        PPC and the paper's PPC total-time gains are modest.
+    """
+
+    name: str
+    clock_ghz: float
+    call_overhead_cycles: float
+    icache_capacity: float
+    icache_miss_penalty: float
+    compile_cycles_per_instruction: Mapping[int, float]
+    opt_speed_factor: Mapping[int, float]
+    branch_misprediction_cycles: float = 10.0
+    app_cycle_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.clock_ghz <= 0:
+            raise ConfigurationError(f"clock_ghz must be positive, got {self.clock_ghz}")
+        if self.call_overhead_cycles < 0:
+            raise ConfigurationError("call_overhead_cycles must be non-negative")
+        if self.icache_capacity <= 0:
+            raise ConfigurationError("icache_capacity must be positive")
+        if self.icache_miss_penalty < 0:
+            raise ConfigurationError("icache_miss_penalty must be non-negative")
+        if self.app_cycle_factor <= 0:
+            raise ConfigurationError("app_cycle_factor must be positive")
+        if 0 not in self.compile_cycles_per_instruction:
+            raise ConfigurationError("compile_cycles_per_instruction must define level 0 (baseline)")
+        if 0 not in self.opt_speed_factor:
+            raise ConfigurationError("opt_speed_factor must define level 0 (baseline)")
+        for level, rate in self.compile_cycles_per_instruction.items():
+            if rate <= 0:
+                raise ConfigurationError(f"compile rate for level {level} must be positive")
+        for level, factor in self.opt_speed_factor.items():
+            if not 0 < factor <= 1.5:
+                raise ConfigurationError(
+                    f"opt_speed_factor for level {level} must be in (0, 1.5], got {factor}"
+                )
+
+    @property
+    def max_opt_level(self) -> int:
+        """Highest optimization level this machine's compiler supports."""
+        return max(self.compile_cycles_per_instruction)
+
+    def compile_rate(self, level: int) -> float:
+        """Compile cost in cycles per estimated instruction at *level*."""
+        try:
+            return self.compile_cycles_per_instruction[level]
+        except KeyError:
+            raise ConfigurationError(
+                f"{self.name} has no compiler for optimization level {level}"
+            ) from None
+
+    def speed_factor(self, level: int) -> float:
+        """Relative execution cost of code generated at *level*."""
+        try:
+            return self.opt_speed_factor[level]
+        except KeyError:
+            raise ConfigurationError(
+                f"{self.name} has no speed factor for optimization level {level}"
+            ) from None
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert a cycle count to seconds on this machine."""
+        return cycles / (self.clock_ghz * 1e9)
+
+    def scaled(self, **overrides) -> "MachineModel":
+        """Return a copy with selected fields replaced.
+
+        Used by the ablation benches (e.g. disabling the I-cache model by
+        setting ``icache_miss_penalty=0``).
+        """
+        return replace(self, **overrides)
+
+
+_REGISTRY: Dict[str, MachineModel] = {}
+
+
+def register_machine(model: MachineModel) -> MachineModel:
+    """Add *model* to the global registry (idempotent for equal models)."""
+    existing = _REGISTRY.get(model.name)
+    if existing is not None and existing != model:
+        raise ConfigurationError(f"machine {model.name!r} already registered with different values")
+    _REGISTRY[model.name] = model
+    return model
+
+
+def get_machine(name: str) -> MachineModel:
+    """Look up a registered machine by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown machine {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_machines() -> list:
+    """Names of all registered machines, sorted."""
+    return sorted(_REGISTRY)

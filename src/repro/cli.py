@@ -1,0 +1,290 @@
+"""Command-line interface: ``repro-inline`` / ``python -m repro``.
+
+Subcommands
+-----------
+``run``     run one benchmark under a scenario/machine/heuristic
+``tune``    run the GA tuner for a standard task
+``figure``  regenerate a paper figure (1, 2, 5-10) as ASCII charts
+``table``   regenerate a paper table (4 or 5)
+``list``    show available benchmarks, machines, scenarios and tasks
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.arch import available_machines, get_machine
+from repro.core.metrics import Metric
+from repro.core.scenarios import STANDARD_TASKS, get_task, task_names
+from repro.core.tuner import DEFAULT_GA_CONFIG, InliningTuner
+from repro.errors import ReproError
+from repro.jvm.inlining import JIKES_DEFAULT_PARAMETERS, NO_INLINING, InliningParameters
+from repro.jvm.runtime import VirtualMachine
+from repro.jvm.scenario import get_scenario
+from repro.workloads.suites import DACAPO_JBB, SPECJVM98, get_benchmark
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-inline",
+        description="GA-tuned JIT inlining heuristics "
+        "(reproduction of Cavazos & O'Boyle, SC 2005)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one benchmark")
+    p_run.add_argument("benchmark")
+    p_run.add_argument("--machine", default="pentium4", choices=available_machines())
+    p_run.add_argument("--scenario", default="opt")
+    p_run.add_argument(
+        "--params",
+        default="default",
+        help="'default', 'none', or five comma-separated integers",
+    )
+    p_run.add_argument("--seed", type=int, default=0, help="workload seed")
+
+    p_tune = sub.add_parser("tune", help="tune the heuristic for a standard task")
+    p_tune.add_argument("task", help=f"one of: {', '.join(task_names())}")
+    p_tune.add_argument("--generations", type=int, default=DEFAULT_GA_CONFIG.generations)
+    p_tune.add_argument("--population", type=int, default=DEFAULT_GA_CONFIG.population_size)
+    p_tune.add_argument("--seed", type=int, default=0)
+    p_tune.add_argument("--quiet", action="store_true")
+
+    p_fig = sub.add_parser("figure", help="regenerate a paper figure")
+    p_fig.add_argument("number", type=int, choices=(1, 2, 5, 6, 7, 8, 9, 10))
+    p_fig.add_argument("--seed", type=int, default=0)
+
+    p_tab = sub.add_parser("table", help="regenerate a paper table")
+    p_tab.add_argument("number", type=int, choices=(4, 5))
+    p_tab.add_argument("--seed", type=int, default=0)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="one-at-a-time parameter sensitivity around the defaults"
+    )
+    p_sweep.add_argument("--machine", default="pentium4", choices=available_machines())
+    p_sweep.add_argument("--scenario", default="opt")
+    p_sweep.add_argument("--metric", default="total")
+    p_sweep.add_argument("--points", type=int, default=7)
+    p_sweep.add_argument(
+        "--benchmarks",
+        default="",
+        help="comma-separated benchmark subset (default: full SPECjvm98)",
+    )
+
+    p_report = sub.add_parser(
+        "report", help="regenerate the EXPERIMENTS.md paper-vs-measured ledger"
+    )
+    p_report.add_argument("--output", default="EXPERIMENTS.md")
+
+    sub.add_parser("list", help="list benchmarks, machines, scenarios, tasks")
+    return parser
+
+
+def _parse_params(text: str) -> InliningParameters:
+    if text == "default":
+        return JIKES_DEFAULT_PARAMETERS
+    if text in ("none", "off"):
+        return NO_INLINING
+    values = [int(v) for v in text.split(",")]
+    return InliningParameters.from_sequence(values)
+
+
+def _cmd_run(args) -> int:
+    program = get_benchmark(args.benchmark, seed=args.seed)
+    machine = get_machine(args.machine)
+    scenario = get_scenario(args.scenario)
+    params = _parse_params(args.params)
+    vm = VirtualMachine(machine, scenario)
+    report = vm.run(program, params)
+    print(f"benchmark : {report.benchmark}")
+    print(f"machine   : {machine.name} ({machine.clock_ghz} GHz)")
+    print(f"scenario  : {scenario.name}")
+    print(f"heuristic : {params}")
+    print(f"running   : {report.running_seconds:9.3f} s")
+    print(f"compile   : {report.compile_seconds:9.3f} s")
+    print(f"total     : {report.total_seconds:9.3f} s")
+    print(f"icache    : {report.icache_factor:9.3f} x")
+    print(
+        f"compiled  : {report.methods_compiled_opt} optimized, "
+        f"{report.methods_compiled_baseline} baseline, "
+        f"{report.inline_sites} sites inlined"
+    )
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    task = get_task(args.task)
+    config = DEFAULT_GA_CONFIG.scaled(
+        generations=args.generations,
+        population_size=args.population,
+        seed=args.seed,
+    )
+    hook = None
+    if not args.quiet:
+        hook = lambda stats: print(f"  {stats}")  # noqa: E731 - tiny CLI callback
+        print(f"tuning {task} ...")
+    tuned = InliningTuner(config).tune(task, SPECJVM98.programs(), on_generation=hook)
+    print(f"tuned parameters : {tuned.params}")
+    print(f"training fitness : {tuned.fitness:.6g} (default {tuned.default_fitness:.6g})")
+    print(f"improvement      : {tuned.improvement:+.1%}")
+    print(
+        f"search           : {tuned.generations_run} generations, "
+        f"{tuned.evaluations} evaluations, {tuned.wall_seconds:.1f}s"
+    )
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    from repro.experiments import figures, formatting
+
+    if args.number == 1:
+        data = figures.figure1(workload_seed=args.seed)
+        for name, comparison in data.items():
+            print(f"--- Figure 1 ({name}) ---")
+            print(formatting.format_comparison(comparison))
+            print()
+        return 0
+    if args.number == 2:
+        data = figures.figure2(workload_seed=args.seed)
+        for bench, sweeps in data.items():
+            for scen, sweep in sweeps.items():
+                print(f"--- Figure 2: {bench} under {scen} ---")
+                print(
+                    formatting.format_bar_chart(
+                        [str(d) for d in sweep.depths],
+                        list(sweep.total_seconds),
+                        reference=min(sweep.total_seconds),
+                        value_format="{:.2f}s",
+                    )
+                )
+                print(f"best depth: {sweep.best_depth}\n")
+        return 0
+    fig_fn = {
+        5: figures.figure5,
+        6: figures.figure6,
+        7: figures.figure7,
+        8: figures.figure8,
+        9: figures.figure9,
+    }.get(args.number)
+    if fig_fn is not None:
+        data = fig_fn(workload_seed=args.seed)
+    else:
+        data = figures.figure10(workload_seed=args.seed)
+    for suite_name, comparison in data.items():
+        print(f"--- Figure {args.number} on {suite_name} ---")
+        print(formatting.format_comparison(comparison))
+        print()
+    return 0
+
+
+def _cmd_table(args) -> int:
+    from repro.experiments import formatting, tables
+
+    if args.number == 4:
+        table = tables.table4(workload_seed=args.seed)
+        headers = ["Parameter"] + list(table.columns)
+        rows = [[label] + cells for label, cells in table.rows()]
+        print("Table 4: tuned inlining parameter values")
+        print(formatting.format_table(headers, rows))
+        return 0
+    rows5 = tables.table5(workload_seed=args.seed)
+    headers = ["Scenario", "SPEC run", "SPEC total", "DaCapo run", "DaCapo total"]
+    body = [
+        [
+            r.scenario,
+            formatting.format_percent(r.spec_running_reduction),
+            formatting.format_percent(r.spec_total_reduction),
+            formatting.format_percent(r.dacapo_running_reduction),
+            formatting.format_percent(r.dacapo_total_reduction),
+        ]
+        for r in rows5
+    ]
+    print("Table 5: average reductions of the tuned heuristic vs default")
+    print(formatting.format_table(headers, body))
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.analysis.sensitivity import sweep_all
+    from repro.core.evaluation import HeuristicEvaluator
+    from repro.experiments.formatting import format_bar_chart
+
+    if args.benchmarks:
+        programs = [get_benchmark(name.strip()) for name in args.benchmarks.split(",")]
+    else:
+        programs = SPECJVM98.programs()
+    evaluator = HeuristicEvaluator(
+        programs=programs,
+        machine=get_machine(args.machine),
+        scenario=get_scenario(args.scenario),
+        metric=Metric.parse(args.metric),
+    )
+    sweeps = sweep_all(evaluator, points_per_axis=args.points)
+    print(
+        f"sensitivity around the Jikes defaults "
+        f"({args.scenario}/{args.machine}/{args.metric}); lower is better:\n"
+    )
+    for name, sweep in sweeps.items():
+        print(f"--- {name} (spread {sweep.spread:.1%}, best {sweep.best_value}) ---")
+        print(
+            format_bar_chart(
+                [str(v) for v in sweep.values],
+                list(sweep.fitness),
+                reference=min(sweep.fitness),
+                value_format="{:.4g}",
+            )
+        )
+        print()
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.experiments.report import generate_report
+
+    text = generate_report(progress=print)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    print(f"wrote {args.output} ({len(text)} bytes)")
+    return 0
+
+
+def _cmd_list(_args) -> int:
+    print("benchmarks (SPECjvm98, training):")
+    for spec in SPECJVM98:
+        print(f"  {spec.name:<10} {spec.description}")
+    print("benchmarks (DaCapo+JBB, test):")
+    for spec in DACAPO_JBB:
+        print(f"  {spec.name:<10} {spec.description}")
+    print(f"machines  : {', '.join(available_machines())}")
+    print("scenarios : adapt, opt")
+    print(f"tasks     : {', '.join(task_names())} (+ Opt:Run for Figure 10)")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "tune": _cmd_tune,
+        "figure": _cmd_figure,
+        "table": _cmd_table,
+        "sweep": _cmd_sweep,
+        "report": _cmd_report,
+        "list": _cmd_list,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""The paper's contribution: GA-driven tuning of inlining heuristics.
+
+This package wires the generic GA (:mod:`repro.ga`) to the JVM
+simulator (:mod:`repro.jvm`) exactly the way the paper wires ECJ to
+Jikes RVM:
+
+* the genome is the five Table 1 parameters
+  (:mod:`repro.core.parameters`);
+* fitness is the geometric mean over the training suite of a
+  per-benchmark metric — running time, total time, or the paper's
+  *balance* formula (:mod:`repro.core.metrics`);
+* :class:`repro.core.tuner.InliningTuner` runs the off-line search per
+  (scenario x architecture x goal) and returns a fixed parameter vector
+  to ship in the compiler, with no runtime overhead.
+"""
+
+from repro.core.parameters import ParameterSpec, ParameterSpace, TABLE1_SPACE
+from repro.core.metrics import Metric, perf_value, geometric_mean, balance_factor
+from repro.core.evaluation import HeuristicEvaluator
+from repro.core.tuner import InliningTuner, TuningTask, TunedHeuristic
+from repro.core.scenarios import STANDARD_TASKS, get_task
+from repro.jvm.inlining import JIKES_DEFAULT_PARAMETERS, NO_INLINING, InliningParameters
+
+__all__ = [
+    "ParameterSpec",
+    "ParameterSpace",
+    "TABLE1_SPACE",
+    "Metric",
+    "perf_value",
+    "geometric_mean",
+    "balance_factor",
+    "HeuristicEvaluator",
+    "InliningTuner",
+    "TuningTask",
+    "TunedHeuristic",
+    "STANDARD_TASKS",
+    "get_task",
+    "JIKES_DEFAULT_PARAMETERS",
+    "NO_INLINING",
+    "InliningParameters",
+]

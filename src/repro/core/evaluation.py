@@ -1,0 +1,85 @@
+"""Genome evaluation: one fitness value per parameter vector.
+
+A :class:`HeuristicEvaluator` owns a VM configured for one
+(machine, scenario) pair and a fixed set of training programs.  Calling
+it with a genome decodes the five parameters, runs every program, and
+returns the geometric-mean ``Perf`` — the exact fitness the paper feeds
+ECJ.  Instances are picklable (for the multiprocess evaluator) and
+deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.base import MachineModel
+from repro.core.metrics import Metric, geometric_mean, perf_value
+from repro.core.parameters import TABLE1_SPACE, ParameterSpace
+from repro.errors import TuningError
+from repro.jvm.callgraph import Program
+from repro.jvm.costmodel import DEFAULT_COST_MODEL, CostModel
+from repro.jvm.inlining import JIKES_DEFAULT_PARAMETERS, InliningParameters
+from repro.jvm.runtime import ExecutionReport, VirtualMachine
+from repro.jvm.scenario import CompilationScenario
+
+__all__ = ["HeuristicEvaluator"]
+
+
+class HeuristicEvaluator:
+    """Fitness function: genome -> geometric-mean Perf over programs."""
+
+    def __init__(
+        self,
+        programs: Sequence[Program],
+        machine: MachineModel,
+        scenario: CompilationScenario,
+        metric: Metric,
+        space: Optional[ParameterSpace] = None,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        default_params: InliningParameters = JIKES_DEFAULT_PARAMETERS,
+    ) -> None:
+        if not programs:
+            raise TuningError("evaluator needs at least one training program")
+        self.programs: Tuple[Program, ...] = tuple(programs)
+        self.machine = machine
+        self.scenario = scenario
+        self.metric = metric
+        self.space = space or TABLE1_SPACE
+        self.vm = VirtualMachine(machine, scenario, cost_model)
+        self.default_params = default_params
+        # Reports under the default heuristic: baseline for the balance
+        # factor and for normalized reporting.
+        self.default_reports: Dict[str, ExecutionReport] = {
+            program.name: self.vm.run(program, default_params)
+            for program in self.programs
+        }
+
+    # ------------------------------------------------------------------
+    def run_all(self, params: InliningParameters) -> List[ExecutionReport]:
+        """Run every training program under *params*."""
+        return [self.vm.run(program, params) for program in self.programs]
+
+    def fitness_of_params(self, params: InliningParameters) -> float:
+        """Geometric-mean Perf of *params* over the training programs."""
+        values = []
+        for program in self.programs:
+            report = self.vm.run(program, params)
+            values.append(
+                perf_value(self.metric, report, self.default_reports[program.name])
+            )
+        return geometric_mean(values)
+
+    def __call__(self, genome: Sequence[int]) -> float:
+        """GA-facing fitness function."""
+        return self.fitness_of_params(self.space.decode(genome))
+
+    @property
+    def default_fitness(self) -> float:
+        """Fitness of the compiler's default heuristic (for reference)."""
+        return self.fitness_of_params(self.default_params)
+
+    def __getstate__(self):
+        return self.__dict__
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)

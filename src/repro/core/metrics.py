@@ -1,0 +1,94 @@
+"""Fitness metrics (paper §3.1, "Fitness Functions").
+
+The fitness of a parameter vector is the geometric mean over the
+training suite of a per-benchmark performance value ``Perf(s)``:
+
+* ``RUNNING`` — running time (no compilation),
+* ``TOTAL`` — total time (first iteration, with compilation),
+* ``BALANCE`` — ``factor * Running(s) + Total(s)`` where
+  ``factor = Total(s_def) / Running(s_def)`` and ``s_def`` is the run
+  under the compiler's default heuristic.  The factor makes the two
+  terms commensurate so neither dominates purely by unit scale.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.jvm.runtime import ExecutionReport
+
+__all__ = ["Metric", "geometric_mean", "balance_factor", "perf_value"]
+
+
+class Metric(enum.Enum):
+    """What the tuner minimizes."""
+
+    RUNNING = "running"
+    TOTAL = "total"
+    BALANCE = "balance"
+
+    @classmethod
+    def parse(cls, name: str) -> "Metric":
+        """Case-insensitive lookup, accepting the paper's labels too
+        ("Bal", "Tot")."""
+        normalized = name.strip().lower()
+        aliases = {
+            "bal": "balance",
+            "tot": "total",
+            "run": "running",
+        }
+        normalized = aliases.get(normalized, normalized)
+        for metric in cls:
+            if metric.value == normalized:
+                return metric
+        raise ConfigurationError(
+            f"unknown metric {name!r}; expected one of "
+            f"{[m.value for m in cls]}"
+        )
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (the paper's ``Perf(S)``)."""
+    if not values:
+        raise ConfigurationError("geometric mean of an empty sequence")
+    total = 0.0
+    for v in values:
+        if v <= 0:
+            raise ConfigurationError(f"geometric mean requires positive values, got {v}")
+        total += math.log(v)
+    return math.exp(total / len(values))
+
+
+def balance_factor(default_report: ExecutionReport) -> float:
+    """``Total(s_def) / Running(s_def)`` for the balance metric."""
+    running = default_report.running_seconds
+    if running <= 0:
+        raise ConfigurationError(
+            f"default run of {default_report.benchmark!r} has non-positive running time"
+        )
+    return default_report.total_seconds / running
+
+
+def perf_value(
+    metric: Metric,
+    report: ExecutionReport,
+    default_report: ExecutionReport = None,
+) -> float:
+    """The paper's ``Perf(s)`` for one benchmark run.
+
+    ``default_report`` is required for :attr:`Metric.BALANCE` (the run
+    of the same benchmark under the default heuristic).
+    """
+    if metric is Metric.RUNNING:
+        return report.running_seconds
+    if metric is Metric.TOTAL:
+        return report.total_seconds
+    if metric is Metric.BALANCE:
+        if default_report is None:
+            raise ConfigurationError("BALANCE metric requires the default-heuristic report")
+        factor = balance_factor(default_report)
+        return factor * report.running_seconds + report.total_seconds
+    raise ConfigurationError(f"unhandled metric {metric!r}")

@@ -1,0 +1,145 @@
+"""Table 1: the tuned parameters and their search ranges.
+
+The paper searches a space of about 3x10^11 points — the product of the
+five ranges below — which makes exhaustive search intractable and
+motivates the GA.  :data:`TABLE1_SPACE` is the exact published space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.ga.individual import IntVectorSpace
+from repro.jvm.inlining import InliningParameters
+
+__all__ = ["ParameterSpec", "ParameterSpace", "TABLE1_SPACE"]
+
+
+@dataclass(frozen=True)
+class ParameterSpec:
+    """One tunable parameter: name, meaning and inclusive range."""
+
+    name: str
+    description: str
+    low: int
+    high: int
+
+    def __post_init__(self) -> None:
+        if self.low > self.high:
+            raise ConfigurationError(
+                f"{self.name}: low {self.low} > high {self.high}"
+            )
+        if self.low < 0:
+            raise ConfigurationError(f"{self.name}: range must be non-negative")
+
+
+class ParameterSpace:
+    """An ordered set of parameter specs <-> an integer GA space."""
+
+    def __init__(self, specs: Sequence[ParameterSpec]) -> None:
+        if not specs:
+            raise ConfigurationError("parameter space must not be empty")
+        names = [s.name for s in specs]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate parameter names: {names}")
+        self.specs: Tuple[ParameterSpec, ...] = tuple(specs)
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """Parameter names in genome order."""
+        return tuple(s.name for s in self.specs)
+
+    def to_ga_space(self) -> IntVectorSpace:
+        """The GA search box over these parameters."""
+        return IntVectorSpace(
+            lows=[s.low for s in self.specs],
+            highs=[s.high for s in self.specs],
+        )
+
+    def decode(self, genome: Sequence[int]) -> InliningParameters:
+        """Interpret a genome as inlining parameters.
+
+        Only defined for the five-parameter Table 1 layout; the genome
+        order is the table's row order.
+        """
+        if len(genome) != len(self.specs):
+            raise ConfigurationError(
+                f"genome has {len(genome)} genes for {len(self.specs)} parameters"
+            )
+        if self.names != TABLE1_NAMES:
+            raise ConfigurationError(
+                "decode() requires the Table 1 parameter layout; "
+                f"got {self.names}"
+            )
+        return InliningParameters.from_sequence(genome)
+
+    def encode(self, params: InliningParameters) -> Tuple[int, ...]:
+        """Inverse of :meth:`decode`."""
+        if self.names != TABLE1_NAMES:
+            raise ConfigurationError(
+                "encode() requires the Table 1 parameter layout; "
+                f"got {self.names}"
+            )
+        return params.as_tuple()
+
+    @property
+    def cardinality(self) -> float:
+        """Number of points in the space (paper: ~3x10^11)."""
+        return self.to_ga_space().cardinality
+
+    def describe(self) -> str:
+        """Render the space as a Table 1 style text table."""
+        width = max(len(s.name) for s in self.specs)
+        lines = [f"{'Parameter':<{width}}  Range        Description"]
+        for s in self.specs:
+            lines.append(
+                f"{s.name:<{width}}  {s.low}-{s.high:<9}  {s.description}"
+            )
+        return "\n".join(lines)
+
+
+TABLE1_NAMES = (
+    "CALLEE_MAX_SIZE",
+    "ALWAYS_INLINE_SIZE",
+    "MAX_INLINE_DEPTH",
+    "CALLER_MAX_SIZE",
+    "HOT_CALLEE_MAX_SIZE",
+)
+
+#: the published search space (Table 1)
+TABLE1_SPACE = ParameterSpace(
+    [
+        ParameterSpec(
+            name="CALLEE_MAX_SIZE",
+            description="Maximum callee size allowable to inline",
+            low=1,
+            high=50,
+        ),
+        ParameterSpec(
+            name="ALWAYS_INLINE_SIZE",
+            description="Callee methods less than this size are always inlined",
+            low=1,
+            high=20,
+        ),
+        ParameterSpec(
+            name="MAX_INLINE_DEPTH",
+            description="Maximum inlining depth at a particular call site",
+            low=1,
+            high=15,
+        ),
+        ParameterSpec(
+            name="CALLER_MAX_SIZE",
+            description="Maximum caller size to inline into",
+            low=1,
+            high=4000,
+        ),
+        ParameterSpec(
+            name="HOT_CALLEE_MAX_SIZE",
+            description="Maximum hot callee to inline",
+            low=1,
+            high=400,
+        ),
+    ]
+)

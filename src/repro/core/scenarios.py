@@ -1,0 +1,67 @@
+"""The paper's standard tuning configurations (Table 4 columns).
+
+Five tuned columns plus the shipped default:
+
+=============  ========  =========  =======
+name           scenario  machine    goal
+=============  ========  =========  =======
+Adapt          Adapt     x86        balance
+Opt:Bal        Opt       x86        balance
+Opt:Tot        Opt       x86        total
+Adapt (PPC)    Adapt     PowerPC    balance
+Opt:Bal (PPC)  Opt       PowerPC    balance
+=============  ========  =========  =======
+
+(The paper tunes *Adapt* only for balance: the adaptive system's whole
+purpose is already to balance compilation against running time.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.arch.ppc import POWERPC_G4
+from repro.arch.x86 import PENTIUM4
+from repro.core.metrics import Metric
+from repro.core.tuner import TuningTask
+from repro.errors import ConfigurationError
+from repro.jvm.scenario import ADAPTIVE, OPTIMIZING
+
+__all__ = ["STANDARD_TASKS", "get_task", "task_names"]
+
+STANDARD_TASKS: Tuple[TuningTask, ...] = (
+    TuningTask(name="Adapt", scenario=ADAPTIVE, machine=PENTIUM4, metric=Metric.BALANCE),
+    TuningTask(name="Opt:Bal", scenario=OPTIMIZING, machine=PENTIUM4, metric=Metric.BALANCE),
+    TuningTask(name="Opt:Tot", scenario=OPTIMIZING, machine=PENTIUM4, metric=Metric.TOTAL),
+    TuningTask(
+        name="Adapt (PPC)", scenario=ADAPTIVE, machine=POWERPC_G4, metric=Metric.BALANCE
+    ),
+    TuningTask(
+        name="Opt:Bal (PPC)", scenario=OPTIMIZING, machine=POWERPC_G4, metric=Metric.BALANCE
+    ),
+)
+
+#: additional tasks used by individual experiments (not Table 4 columns):
+#: Figure 10 tunes each program for pure running time under Opt on x86
+EXTRA_TASKS: Tuple[TuningTask, ...] = (
+    TuningTask(name="Opt:Run", scenario=OPTIMIZING, machine=PENTIUM4, metric=Metric.RUNNING),
+)
+
+_BY_NAME: Dict[str, TuningTask] = {
+    t.name.lower(): t for t in STANDARD_TASKS + EXTRA_TASKS
+}
+
+
+def task_names() -> Tuple[str, ...]:
+    """Names of the standard tasks, in Table 4 column order."""
+    return tuple(t.name for t in STANDARD_TASKS)
+
+
+def get_task(name: str) -> TuningTask:
+    """Look up a standard task by (case-insensitive) name."""
+    try:
+        return _BY_NAME[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown tuning task {name!r}; available: {list(task_names())}"
+        ) from None

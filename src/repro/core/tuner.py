@@ -1,0 +1,198 @@
+"""The off-line tuning driver (the paper's method, end to end).
+
+One :class:`TuningTask` = one column of Table 4: a compilation
+scenario, a target architecture, and an optimization goal.  The tuner
+builds the training-suite evaluator, runs the GA over the Table 1
+space, and returns a :class:`TunedHeuristic` — the fixed parameter
+vector that would be "delivered with the compiler" for that
+configuration (paper §3: the search happens once, off-line; there is no
+runtime component).
+
+The compiler's default parameters are injected into the initial
+population, so on the *training* fitness the tuned result can never be
+worse than the default — mirroring how the paper's search starts from a
+space that contains the hand-tuned point.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.arch.base import MachineModel
+from repro.core.evaluation import HeuristicEvaluator
+from repro.core.metrics import Metric
+from repro.core.parameters import TABLE1_SPACE, ParameterSpace
+from repro.errors import TuningError
+from repro.ga.engine import GAConfig, GAEngine
+from repro.ga.statistics import GenerationStats
+from repro.jvm.callgraph import Program
+from repro.jvm.costmodel import DEFAULT_COST_MODEL, CostModel
+from repro.jvm.inlining import JIKES_DEFAULT_PARAMETERS, InliningParameters
+from repro.jvm.scenario import CompilationScenario
+
+__all__ = ["TuningTask", "TunedHeuristic", "InliningTuner", "DEFAULT_GA_CONFIG"]
+
+#: experiment-scale GA budget.  The paper ran 20 x 500 against real
+#: hardware; the simulator's landscape is noise-free, so a smaller
+#: budget with early stopping converges to the same optima class.
+DEFAULT_GA_CONFIG = GAConfig(
+    population_size=20,
+    generations=40,
+    elitism=2,
+    crossover_rate=0.9,
+    early_stop_patience=10,
+)
+
+
+@dataclass(frozen=True)
+class TuningTask:
+    """One tuning configuration (a Table 4 column)."""
+
+    name: str
+    scenario: CompilationScenario
+    machine: MachineModel
+    metric: Metric
+    seed: int = 0
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: scenario={self.scenario.name}, "
+            f"machine={self.machine.name}, goal={self.metric.value}"
+        )
+
+
+@dataclass(frozen=True)
+class TunedHeuristic:
+    """A tuned parameter vector plus provenance."""
+
+    task_name: str
+    scenario_name: str
+    machine_name: str
+    metric: Metric
+    params: InliningParameters
+    fitness: float
+    default_fitness: float
+    generations_run: int
+    evaluations: int
+    wall_seconds: float
+    history: Tuple[GenerationStats, ...] = field(repr=False, default=())
+
+    @property
+    def improvement(self) -> float:
+        """Fractional training-fitness improvement over the default
+        heuristic (positive = better)."""
+        if self.default_fitness <= 0:
+            raise TuningError("default fitness must be positive")
+        return 1.0 - self.fitness / self.default_fitness
+
+    def to_json(self) -> str:
+        """Serialize (without history) for storage alongside results."""
+        return json.dumps(
+            {
+                "task": self.task_name,
+                "scenario": self.scenario_name,
+                "machine": self.machine_name,
+                "metric": self.metric.value,
+                "params": list(self.params.as_tuple()),
+                "fitness": self.fitness,
+                "default_fitness": self.default_fitness,
+                "generations_run": self.generations_run,
+                "evaluations": self.evaluations,
+                "wall_seconds": self.wall_seconds,
+            }
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "TunedHeuristic":
+        """Inverse of :meth:`to_json` (history is not restored)."""
+        data = json.loads(text)
+        return cls(
+            task_name=data["task"],
+            scenario_name=data["scenario"],
+            machine_name=data["machine"],
+            metric=Metric.parse(data["metric"]),
+            params=InliningParameters.from_sequence(data["params"]),
+            fitness=float(data["fitness"]),
+            default_fitness=float(data["default_fitness"]),
+            generations_run=int(data["generations_run"]),
+            evaluations=int(data["evaluations"]),
+            wall_seconds=float(data["wall_seconds"]),
+        )
+
+
+class InliningTuner:
+    """Runs the GA search for tuning tasks."""
+
+    def __init__(
+        self,
+        ga_config: GAConfig = DEFAULT_GA_CONFIG,
+        space: Optional[ParameterSpace] = None,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        evaluator_factory=None,
+    ) -> None:
+        self.ga_config = ga_config
+        self.space = space or TABLE1_SPACE
+        self.cost_model = cost_model
+        self._evaluator_factory = evaluator_factory or HeuristicEvaluator
+
+    # ------------------------------------------------------------------
+    def tune(
+        self,
+        task: TuningTask,
+        training_programs: Sequence[Program],
+        on_generation=None,
+    ) -> TunedHeuristic:
+        """Tune the heuristic for *task* over *training_programs*."""
+        evaluator = self._evaluator_factory(
+            programs=training_programs,
+            machine=task.machine,
+            scenario=task.scenario,
+            metric=task.metric,
+            space=self.space,
+            cost_model=self.cost_model,
+        )
+        config = self.ga_config.scaled(
+            seed=task.seed, rng_key=f"tuner:{task.name}"
+        )
+        engine = GAEngine(self.space.to_ga_space(), config)
+
+        start = time.perf_counter()
+        result = engine.run(
+            evaluator,
+            on_generation=on_generation,
+            initial_genomes=[self.space.encode(JIKES_DEFAULT_PARAMETERS)],
+        )
+        wall = time.perf_counter() - start
+
+        return TunedHeuristic(
+            task_name=task.name,
+            scenario_name=task.scenario.name,
+            machine_name=task.machine.name,
+            metric=task.metric,
+            params=self.space.decode(result.best_genome),
+            fitness=result.best_fitness,
+            default_fitness=evaluator.default_fitness,
+            generations_run=result.generations_run,
+            evaluations=result.evaluations,
+            wall_seconds=wall,
+            history=result.history,
+        )
+
+    def tune_per_program(
+        self,
+        task: TuningTask,
+        program: Program,
+        on_generation=None,
+    ) -> TunedHeuristic:
+        """Tune for a single program (the paper's §6.5 experiment)."""
+        sub_task = TuningTask(
+            name=f"{task.name}:{program.name}",
+            scenario=task.scenario,
+            machine=task.machine,
+            metric=task.metric,
+            seed=task.seed,
+        )
+        return self.tune(sub_task, [program], on_generation=on_generation)

@@ -1,0 +1,35 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+Each ``figureN``/``tableN`` function returns plain structured data (so
+tests can assert shapes) and the :mod:`repro.experiments.formatting`
+helpers render them as the ASCII analogue of the paper's charts.  The
+``benchmarks/`` directory wraps these in pytest-benchmark entry points,
+one per table/figure (see DESIGN.md §4 for the index).
+"""
+
+from repro.experiments.runner import (
+    SuiteResult,
+    BenchmarkComparison,
+    SuiteComparison,
+    run_suite,
+    compare_suites,
+)
+from repro.experiments.tuning import tuned_heuristic, clear_tuning_cache
+from repro.experiments import extensions, figures, tables
+from repro.experiments.formatting import format_comparison, format_bar_chart, format_table
+
+__all__ = [
+    "SuiteResult",
+    "BenchmarkComparison",
+    "SuiteComparison",
+    "run_suite",
+    "compare_suites",
+    "tuned_heuristic",
+    "clear_tuning_cache",
+    "extensions",
+    "figures",
+    "tables",
+    "format_comparison",
+    "format_bar_chart",
+    "format_table",
+]

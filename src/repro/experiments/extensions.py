@@ -1,0 +1,197 @@
+"""Extension experiments beyond the paper's evaluation.
+
+Two questions the paper raises but does not quantify:
+
+* :func:`transfer_matrix` — *how bad is shipping the wrong machine's
+  heuristic?*  The paper motivates per-platform retuning; this measures
+  the cross-shipping penalty directly (each machine runs each machine's
+  tuned heuristic).
+* :func:`noise_robustness` — *does the GA survive measurement noise?*
+  The paper tuned against real, noisy hardware timings with a best-of-k
+  protocol; this re-runs the tuner with lognormal measurement noise
+  injected and reports how much of the noise-free improvement survives,
+  as a function of noise level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.base import MachineModel
+from repro.core.evaluation import HeuristicEvaluator
+from repro.core.metrics import Metric, geometric_mean, perf_value
+from repro.core.tuner import DEFAULT_GA_CONFIG, InliningTuner, TunedHeuristic, TuningTask
+from repro.errors import ConfigurationError
+from repro.ga.engine import GAConfig
+from repro.jvm.callgraph import Program
+from repro.jvm.inlining import InliningParameters
+from repro.jvm.measurement import measure_benchmark
+from repro.jvm.runtime import VirtualMachine
+from repro.jvm.scenario import CompilationScenario
+
+__all__ = [
+    "TransferMatrix",
+    "transfer_matrix",
+    "NoisePoint",
+    "noise_robustness",
+    "NoisyEvaluator",
+]
+
+
+@dataclass(frozen=True)
+class TransferMatrix:
+    """Cross-shipping penalties between tuned heuristics.
+
+    ``ratio[(run_on, tuned_for)]`` is the geometric-mean metric of
+    machine *run_on* executing the heuristic tuned for *tuned_for*,
+    normalized to *run_on* executing its own tuned heuristic (1.0 on
+    the diagonal; > 1 = penalty).
+    """
+
+    machines: Tuple[str, ...]
+    tuned: Dict[str, TunedHeuristic]
+    ratio: Dict[Tuple[str, str], float]
+
+    def penalty(self, run_on: str, tuned_for: str) -> float:
+        """Cross-shipping ratio for one (machine, heuristic) pair."""
+        return self.ratio[(run_on, tuned_for)]
+
+    def worst_penalty(self) -> float:
+        """Largest off-diagonal penalty."""
+        return max(
+            v for (a, b), v in self.ratio.items() if a != b
+        )
+
+
+def transfer_matrix(
+    machines: Sequence[MachineModel],
+    scenario: CompilationScenario,
+    metric: Metric,
+    training_programs: Sequence[Program],
+    ga_config: GAConfig = DEFAULT_GA_CONFIG,
+    seed: int = 0,
+) -> TransferMatrix:
+    """Tune per machine, then evaluate every (machine, heuristic) pair."""
+    if len(machines) < 2:
+        raise ConfigurationError("transfer needs at least two machines")
+    tuner = InliningTuner(ga_config)
+    tuned: Dict[str, TunedHeuristic] = {}
+    for machine in machines:
+        task = TuningTask(
+            name=f"transfer-{machine.name}",
+            scenario=scenario,
+            machine=machine,
+            metric=metric,
+            seed=seed,
+        )
+        tuned[machine.name] = tuner.tune(task, training_programs)
+
+    ratio: Dict[Tuple[str, str], float] = {}
+    for machine in machines:
+        evaluator = HeuristicEvaluator(
+            programs=training_programs,
+            machine=machine,
+            scenario=scenario,
+            metric=metric,
+        )
+        own = evaluator.fitness_of_params(tuned[machine.name].params)
+        for source in machines:
+            theirs = evaluator.fitness_of_params(tuned[source.name].params)
+            ratio[(machine.name, source.name)] = theirs / own
+
+    return TransferMatrix(
+        machines=tuple(m.name for m in machines),
+        tuned=tuned,
+        ratio=ratio,
+    )
+
+
+class NoisyEvaluator(HeuristicEvaluator):
+    """Evaluator whose fitness comes from noisy measurements.
+
+    Follows the paper's protocol: each benchmark is "measured" with
+    *iterations* timed runs under lognormal noise of ``noise_sd``;
+    total time is the (noisy) first iteration and running time the best
+    of the rest.  Distinct genomes see independent noise, like distinct
+    configurations measured on real hardware.
+    """
+
+    def __init__(self, *args, noise_sd: float = 0.05, iterations: int = 3, **kwargs):
+        super().__init__(*args, **kwargs)
+        if noise_sd < 0:
+            raise ConfigurationError("noise_sd must be non-negative")
+        self.noise_sd = noise_sd
+        self.iterations = iterations
+
+    def fitness_of_params(self, params: InliningParameters) -> float:
+        values: List[float] = []
+        for program in self.programs:
+            measurement = measure_benchmark(
+                self.vm,
+                program,
+                params,
+                iterations=self.iterations,
+                noise_sd=self.noise_sd,
+            )
+            default_report = self.default_reports[program.name]
+            if self.metric is Metric.RUNNING:
+                values.append(measurement.running_seconds)
+            elif self.metric is Metric.TOTAL:
+                values.append(measurement.total_seconds)
+            else:
+                factor = default_report.total_seconds / default_report.running_seconds
+                values.append(
+                    factor * measurement.running_seconds + measurement.total_seconds
+                )
+        return geometric_mean(values)
+
+
+@dataclass(frozen=True)
+class NoisePoint:
+    """Tuning outcome at one noise level, scored without noise."""
+
+    noise_sd: float
+    params: InliningParameters
+    true_fitness: float
+    true_improvement: float
+
+
+def noise_robustness(
+    task: TuningTask,
+    training_programs: Sequence[Program],
+    noise_levels: Sequence[float] = (0.0, 0.02, 0.05, 0.10),
+    iterations: int = 3,
+    ga_config: GAConfig = DEFAULT_GA_CONFIG,
+) -> List[NoisePoint]:
+    """Tune under increasing measurement noise; score noise-free.
+
+    Returns one point per level: the parameters the noisy search chose
+    and their *true* (deterministic) fitness improvement over the
+    default heuristic.
+    """
+    clean = HeuristicEvaluator(
+        programs=training_programs,
+        machine=task.machine,
+        scenario=task.scenario,
+        metric=task.metric,
+    )
+    default_fitness = clean.default_fitness
+
+    points: List[NoisePoint] = []
+    for level in noise_levels:
+        def factory(**kwargs):
+            return NoisyEvaluator(noise_sd=level, iterations=iterations, **kwargs)
+
+        tuner = InliningTuner(ga_config, evaluator_factory=factory)
+        tuned = tuner.tune(task, training_programs)
+        true_fitness = clean.fitness_of_params(tuned.params)
+        points.append(
+            NoisePoint(
+                noise_sd=level,
+                params=tuned.params,
+                true_fitness=true_fitness,
+                true_improvement=1.0 - true_fitness / default_fitness,
+            )
+        )
+    return points

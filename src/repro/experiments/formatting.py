@@ -1,0 +1,98 @@
+"""Plain-text rendering of experiment results.
+
+The paper presents bar charts of normalized times; these helpers render
+the same data as ASCII so the benchmark harness's output is directly
+comparable to the published figures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.runner import SuiteComparison
+
+__all__ = ["format_bar_chart", "format_comparison", "format_table", "format_percent"]
+
+
+def format_percent(fraction: float) -> str:
+    """-0.37 -> '-37%'; 0.05 -> '5%'."""
+    return f"{fraction * 100:.0f}%"
+
+
+def format_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    reference: float = 1.0,
+    width: int = 40,
+    value_format: str = "{:.3f}",
+) -> str:
+    """Horizontal bar chart with a reference line at *reference*.
+
+    Values below the reference render as bars ending before the mark
+    (improvement, in the paper's convention), values above extend past
+    it.
+    """
+    if len(labels) != len(values):
+        raise ValueError(f"{len(labels)} labels for {len(values)} values")
+    if not values:
+        return "(empty chart)"
+    max_value = max(max(values), reference) * 1.05
+    label_width = max(len(l) for l in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar_len = max(1, int(round(value / max_value * width)))
+        ref_pos = int(round(reference / max_value * width))
+        bar = "#" * bar_len
+        if ref_pos >= bar_len:
+            bar = bar + " " * (ref_pos - bar_len) + "|"
+        else:
+            bar = bar[:ref_pos] + "|" + bar[ref_pos + 1 :]
+        lines.append(f"{label:<{label_width}} {bar} " + value_format.format(value))
+    return "\n".join(lines)
+
+
+def format_comparison(comparison: SuiteComparison, kind: str = "both") -> str:
+    """Render a :class:`SuiteComparison` as the paper's chart style.
+
+    *kind* selects ``running``, ``total`` or ``both`` ratio columns.
+    """
+    lines = [comparison.label or "comparison", ""]
+    names = [e.benchmark for e in comparison.entries]
+    if kind in ("running", "both"):
+        lines.append("Running time (relative to baseline; <1 is better):")
+        lines.append(format_bar_chart(names, comparison.running_ratios))
+        lines.append(
+            f"average: {comparison.avg_running_ratio:.3f} "
+            f"({format_percent(comparison.avg_running_reduction)} reduction)"
+        )
+        lines.append("")
+    if kind in ("total", "both"):
+        lines.append("Total time (relative to baseline; <1 is better):")
+        lines.append(format_bar_chart(names, comparison.total_ratios))
+        lines.append(
+            f"average: {comparison.avg_total_ratio:.3f} "
+            f"({format_percent(comparison.avg_total_reduction)} reduction)"
+        )
+    return "\n".join(lines)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    na: str = "NA",
+) -> str:
+    """Render a simple aligned text table; None cells become *na*."""
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered_rows.append([na if cell is None else str(cell) for cell in row])
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in rendered_rows)) if rendered_rows else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(f"{str(h):<{w}}" for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered_rows:
+        lines.append("  ".join(f"{cell:<{w}}" for cell, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,157 @@
+"""Suite runners and normalized comparisons.
+
+The paper's bar charts all have the same form: for each benchmark, the
+ratio of (running | total) time under heuristic A to the time under
+heuristic B — bars below 1.0 are improvements.  :func:`compare_suites`
+produces exactly that, plus the suite averages (geometric mean of the
+ratios, matching the paper's ``Perf(S)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.arch.base import MachineModel
+from repro.core.metrics import geometric_mean
+from repro.errors import ConfigurationError
+from repro.jvm.callgraph import Program
+from repro.jvm.costmodel import DEFAULT_COST_MODEL, CostModel
+from repro.jvm.inlining import InliningParameters
+from repro.jvm.runtime import ExecutionReport, VirtualMachine
+from repro.jvm.scenario import CompilationScenario
+
+__all__ = [
+    "SuiteResult",
+    "BenchmarkComparison",
+    "SuiteComparison",
+    "run_suite",
+    "compare_suites",
+]
+
+
+@dataclass(frozen=True)
+class SuiteResult:
+    """Reports of one suite under one (machine, scenario, params)."""
+
+    scenario: str
+    machine: str
+    params: InliningParameters
+    reports: Tuple[ExecutionReport, ...]
+
+    def report_for(self, benchmark: str) -> ExecutionReport:
+        """Report of one member benchmark."""
+        for report in self.reports:
+            if report.benchmark == benchmark:
+                return report
+        raise ConfigurationError(f"no report for benchmark {benchmark!r}")
+
+    @property
+    def benchmark_names(self) -> Tuple[str, ...]:
+        """Benchmarks in run order."""
+        return tuple(r.benchmark for r in self.reports)
+
+
+@dataclass(frozen=True)
+class BenchmarkComparison:
+    """Normalized times of one benchmark: subject / baseline."""
+
+    benchmark: str
+    running_ratio: float
+    total_ratio: float
+    running_seconds: float
+    total_seconds: float
+    baseline_running_seconds: float
+    baseline_total_seconds: float
+
+
+@dataclass(frozen=True)
+class SuiteComparison:
+    """Per-benchmark ratios plus suite (geometric-mean) averages."""
+
+    label: str
+    entries: Tuple[BenchmarkComparison, ...]
+
+    @property
+    def running_ratios(self) -> List[float]:
+        """Per-benchmark running-time ratios, suite order."""
+        return [e.running_ratio for e in self.entries]
+
+    @property
+    def total_ratios(self) -> List[float]:
+        """Per-benchmark total-time ratios, suite order."""
+        return [e.total_ratio for e in self.entries]
+
+    @property
+    def avg_running_ratio(self) -> float:
+        """Geometric-mean running ratio (paper's suite average)."""
+        return geometric_mean(self.running_ratios)
+
+    @property
+    def avg_total_ratio(self) -> float:
+        """Geometric-mean total ratio."""
+        return geometric_mean(self.total_ratios)
+
+    @property
+    def avg_running_reduction(self) -> float:
+        """Average running-time reduction (positive = faster)."""
+        return 1.0 - self.avg_running_ratio
+
+    @property
+    def avg_total_reduction(self) -> float:
+        """Average total-time reduction (positive = faster)."""
+        return 1.0 - self.avg_total_ratio
+
+    def entry(self, benchmark: str) -> BenchmarkComparison:
+        """Comparison row for one benchmark."""
+        for e in self.entries:
+            if e.benchmark == benchmark:
+                return e
+        raise ConfigurationError(f"no comparison entry for {benchmark!r}")
+
+
+def run_suite(
+    programs: Sequence[Program],
+    machine: MachineModel,
+    scenario: CompilationScenario,
+    params: InliningParameters,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+) -> SuiteResult:
+    """Run every program and collect reports."""
+    vm = VirtualMachine(machine, scenario, cost_model)
+    reports = tuple(vm.run(program, params) for program in programs)
+    return SuiteResult(
+        scenario=scenario.name,
+        machine=machine.name,
+        params=params,
+        reports=reports,
+    )
+
+
+def compare_suites(
+    subject: SuiteResult, baseline: SuiteResult, label: str = ""
+) -> SuiteComparison:
+    """Normalize *subject* against *baseline*, benchmark by benchmark."""
+    if subject.benchmark_names != baseline.benchmark_names:
+        raise ConfigurationError(
+            "subject and baseline ran different benchmarks: "
+            f"{subject.benchmark_names} vs {baseline.benchmark_names}"
+        )
+    entries = []
+    for sub, base in zip(subject.reports, baseline.reports):
+        if base.running_seconds <= 0 or base.total_seconds <= 0:
+            raise ConfigurationError(
+                f"baseline report for {base.benchmark!r} has non-positive times"
+            )
+        entries.append(
+            BenchmarkComparison(
+                benchmark=sub.benchmark,
+                running_ratio=sub.running_seconds / base.running_seconds,
+                total_ratio=sub.total_seconds / base.total_seconds,
+                running_seconds=sub.running_seconds,
+                total_seconds=sub.total_seconds,
+                baseline_running_seconds=base.running_seconds,
+                baseline_total_seconds=base.total_seconds,
+            )
+        )
+    return SuiteComparison(label=label, entries=tuple(entries))

@@ -1,0 +1,124 @@
+"""GA run checkpointing.
+
+A tuning run against real hardware takes days (the paper's 500
+generations x 20 individuals x a benchmark suite per fitness), so being
+able to persist and resume the search matters.  Checkpoints are plain
+JSON: the population (genomes + fitnesses), the best-so-far, the
+generation index, and the full fitness cache, so a resumed run never
+re-measures a genome it has already paid for.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import CheckpointError
+from repro.ga.fitness import FitnessCache
+from repro.ga.individual import Individual
+
+__all__ = ["save_checkpoint", "load_checkpoint", "Checkpoint"]
+
+_FORMAT_VERSION = 1
+
+
+class Checkpoint:
+    """In-memory form of a saved GA state."""
+
+    def __init__(
+        self,
+        generation: int,
+        population: List[Individual],
+        best: Optional[Individual],
+        cache_entries: Dict[Tuple[int, ...], float],
+    ) -> None:
+        self.generation = generation
+        self.population = population
+        self.best = best
+        self.cache_entries = cache_entries
+
+    def restore_cache(self, cache: FitnessCache) -> None:
+        """Load the saved fitness entries into *cache*."""
+        for genome, value in self.cache_entries.items():
+            cache.insert(genome, value)
+
+    @property
+    def genomes(self) -> List[Tuple[int, ...]]:
+        """Population genomes, for seeding a resumed engine run."""
+        return [ind.genome for ind in self.population]
+
+
+def save_checkpoint(
+    path: str,
+    generation: int,
+    population: Sequence[Individual],
+    best: Optional[Individual],
+    cache: Optional[FitnessCache] = None,
+) -> None:
+    """Write a checkpoint atomically (write-temp-then-rename)."""
+    payload: Dict[str, Any] = {
+        "version": _FORMAT_VERSION,
+        "generation": int(generation),
+        "population": [
+            {"genome": list(ind.genome), "fitness": ind.fitness}
+            for ind in population
+        ],
+        "best": (
+            {"genome": list(best.genome), "fitness": best.fitness}
+            if best is not None
+            else None
+        ),
+        "cache": (
+            [[list(genome), value] for genome, value in cache.items()]
+            if cache is not None
+            else []
+        ),
+    }
+    tmp_path = f"{path}.tmp"
+    try:
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp_path, path)
+    except OSError as exc:
+        raise CheckpointError(f"cannot write checkpoint to {path!r}: {exc}") from exc
+
+
+def load_checkpoint(path: str) -> Checkpoint:
+    """Read a checkpoint written by :func:`save_checkpoint`."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(f"corrupt checkpoint {path!r}: {exc}") from exc
+
+    if not isinstance(payload, dict) or payload.get("version") != _FORMAT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path!r} has unsupported format "
+            f"(version={payload.get('version') if isinstance(payload, dict) else '?'})"
+        )
+    try:
+        population = [
+            Individual(entry["genome"], entry["fitness"])
+            for entry in payload["population"]
+        ]
+        best_entry = payload.get("best")
+        best = (
+            Individual(best_entry["genome"], best_entry["fitness"])
+            if best_entry
+            else None
+        )
+        cache_entries = {
+            tuple(int(g) for g in genome): float(value)
+            for genome, value in payload.get("cache", [])
+        }
+        return Checkpoint(
+            generation=int(payload["generation"]),
+            population=population,
+            best=best,
+            cache_entries=cache_entries,
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointError(f"malformed checkpoint {path!r}: {exc}") from exc

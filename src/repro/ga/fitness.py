@@ -1,0 +1,73 @@
+"""Fitness evaluation plumbing: caching and counting.
+
+Evaluating one genome means running every training benchmark through
+the VM — by far the dominant cost of a tuning run — and the GA revisits
+genomes constantly (elites, converged populations).  The cache makes
+revisits free while keeping an honest count of true evaluations, which
+the statistics and the search-ablation bench report.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.errors import GAError
+
+__all__ = ["FitnessCache"]
+
+Genome = Tuple[int, ...]
+
+
+class FitnessCache:
+    """Memoizes a genome -> fitness function.
+
+    Not thread-safe by design: the engine evaluates deduplicated misses
+    in one batch (possibly via a parallel evaluator) and inserts results
+    from the coordinating process only.
+    """
+
+    def __init__(self, function: Callable[[Genome], float]) -> None:
+        self.function = function
+        self._store: Dict[Genome, float] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __contains__(self, genome: Sequence[int]) -> bool:
+        return tuple(int(g) for g in genome) in self._store
+
+    def peek(self, genome: Sequence[int]) -> Optional[float]:
+        """Cached value or None, without evaluating or counting."""
+        return self._store.get(tuple(int(g) for g in genome))
+
+    def evaluate(self, genome: Sequence[int]) -> float:
+        """Fitness of *genome*, computing on first use."""
+        key = tuple(int(g) for g in genome)
+        if key in self._store:
+            self.hits += 1
+            return self._store[key]
+        self.misses += 1
+        value = float(self.function(key))
+        self._check(key, value)
+        self._store[key] = value
+        return value
+
+    def insert(self, genome: Sequence[int], value: float) -> None:
+        """Insert an externally computed fitness (parallel evaluation)."""
+        key = tuple(int(g) for g in genome)
+        value = float(value)
+        self._check(key, value)
+        self._store[key] = value
+
+    @staticmethod
+    def _check(key: Genome, value: float) -> None:
+        if value != value or value in (float("inf"), float("-inf")):
+            raise GAError(f"non-finite fitness {value!r} for genome {list(key)}")
+
+    @property
+    def size(self) -> int:
+        """Number of distinct genomes evaluated so far."""
+        return len(self._store)
+
+    def items(self):
+        """Iterate over (genome, fitness) pairs (checkpointing)."""
+        return self._store.items()

@@ -1,0 +1,116 @@
+"""Genomes and the integer search space.
+
+The paper's genome is "a vector of integers representing the different
+values of the parameters controlling the inlining heuristic" with
+per-gene ranges (Table 1).  :class:`IntVectorSpace` is that box; an
+:class:`Individual` pairs one point in it with its (lazily assigned)
+fitness.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import GAError
+
+__all__ = ["IntVectorSpace", "Individual"]
+
+
+class IntVectorSpace:
+    """An axis-aligned box of integer vectors, with inclusive bounds."""
+
+    def __init__(self, lows: Sequence[int], highs: Sequence[int]) -> None:
+        if len(lows) != len(highs):
+            raise GAError(
+                f"bounds length mismatch: {len(lows)} lows vs {len(highs)} highs"
+            )
+        if not lows:
+            raise GAError("search space must have at least one dimension")
+        self.lows = tuple(int(v) for v in lows)
+        self.highs = tuple(int(v) for v in highs)
+        for i, (lo, hi) in enumerate(zip(self.lows, self.highs)):
+            if lo > hi:
+                raise GAError(f"dimension {i}: low {lo} > high {hi}")
+
+    @property
+    def dimensions(self) -> int:
+        """Number of genes."""
+        return len(self.lows)
+
+    @property
+    def cardinality(self) -> float:
+        """Total number of points (the paper reports ~3e11 for Table 1)."""
+        size = 1.0
+        for lo, hi in zip(self.lows, self.highs):
+            size *= hi - lo + 1
+        return size
+
+    def contains(self, genome: Sequence[int]) -> bool:
+        """True when every gene lies within its bounds."""
+        if len(genome) != self.dimensions:
+            return False
+        return all(
+            lo <= int(g) <= hi for g, lo, hi in zip(genome, self.lows, self.highs)
+        )
+
+    def clip(self, genome: Sequence[int]) -> Tuple[int, ...]:
+        """Project a genome onto the box."""
+        if len(genome) != self.dimensions:
+            raise GAError(
+                f"genome has {len(genome)} genes; space has {self.dimensions}"
+            )
+        return tuple(
+            min(max(int(g), lo), hi)
+            for g, lo, hi in zip(genome, self.lows, self.highs)
+        )
+
+    def random_genome(self, rng: np.random.Generator) -> Tuple[int, ...]:
+        """Sample one genome uniformly."""
+        return tuple(
+            int(rng.integers(lo, hi + 1)) for lo, hi in zip(self.lows, self.highs)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        ranges = ", ".join(f"{lo}..{hi}" for lo, hi in zip(self.lows, self.highs))
+        return f"IntVectorSpace({ranges})"
+
+
+class Individual:
+    """One genome plus its fitness (``None`` until evaluated)."""
+
+    __slots__ = ("genome", "fitness")
+
+    def __init__(
+        self, genome: Sequence[int], fitness: Optional[float] = None
+    ) -> None:
+        self.genome: Tuple[int, ...] = tuple(int(g) for g in genome)
+        self.fitness: Optional[float] = fitness
+
+    @property
+    def evaluated(self) -> bool:
+        """True once a fitness has been assigned."""
+        return self.fitness is not None
+
+    def require_fitness(self) -> float:
+        """Fitness value, raising if the individual was never evaluated."""
+        if self.fitness is None:
+            raise GAError(f"individual {self.genome} has no fitness")
+        return self.fitness
+
+    def copy(self) -> "Individual":
+        """Independent copy (fitness carried over)."""
+        return Individual(self.genome, self.fitness)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Individual):
+            return NotImplemented
+        return self.genome == other.genome
+
+    def __hash__(self) -> int:
+        return hash(self.genome)
+
+    def __repr__(self) -> str:
+        fit = f"{self.fitness:.6g}" if self.fitness is not None else "unevaluated"
+        return f"Individual({list(self.genome)}, fitness={fit})"

@@ -1,0 +1,130 @@
+"""Additional ECJ-style operators.
+
+The core operators (:mod:`repro.ga.selection`, ``crossover``,
+``mutation``) cover the paper's configuration; these extras round out
+the library the way ECJ does, and the operator-sensitivity tests use
+them to show the tuner's result is not an artifact of one operator
+choice.
+
+* :class:`StochasticUniversalSampling` — Baker's low-variance
+  fitness-proportionate selection: one spin of a wheel with N equally
+  spaced pointers.
+* :class:`ArithmeticCrossover` — children are rounded convex blends of
+  the parents; good on numeric landscapes where the optimum lies
+  between two decent points.
+* :class:`BoundaryMutation` — with some probability a gene jumps to one
+  of its range ends; finds threshold-like optima (e.g. "never inline"
+  at CALLEE_MAX_SIZE = 1) that creep steps approach slowly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import GAError
+from repro.ga.crossover import CrossoverOperator
+from repro.ga.individual import Individual, IntVectorSpace
+from repro.ga.mutation import MutationOperator
+from repro.ga.selection import SelectionOperator
+
+__all__ = [
+    "StochasticUniversalSampling",
+    "ArithmeticCrossover",
+    "BoundaryMutation",
+]
+
+Genome = Tuple[int, ...]
+
+
+class StochasticUniversalSampling(SelectionOperator):
+    """Baker's SUS, adapted for minimization.
+
+    A full batch of parents is drawn with one wheel spin; ``select``
+    serves them round-robin and respins when the batch is exhausted, so
+    the operator plugs into the engine's one-at-a-time interface while
+    keeping SUS's low selection variance within each batch.
+    """
+
+    def __init__(self, batch: int = 16, epsilon: float = 0.05) -> None:
+        if batch < 1:
+            raise GAError(f"batch must be >= 1, got {batch}")
+        if epsilon <= 0:
+            raise GAError("epsilon must be positive")
+        self.batch = batch
+        self.epsilon = epsilon
+        self._queue: List[Individual] = []
+        self._population_key: int = 0
+
+    def _respin(
+        self, population: Sequence[Individual], rng: np.random.Generator
+    ) -> None:
+        fits = np.array([ind.fitness for ind in population], dtype=np.float64)
+        worst = fits.max()
+        span = worst - fits.min()
+        if span <= 0.0:
+            weights = np.ones_like(fits)
+        else:
+            weights = (worst - fits) + self.epsilon * span
+        cumulative = np.cumsum(weights)
+        total = cumulative[-1]
+        step = total / self.batch
+        start = rng.uniform(0.0, step)
+        pointers = start + step * np.arange(self.batch)
+        indices = np.searchsorted(cumulative, pointers, side="right")
+        indices = np.minimum(indices, len(population) - 1)
+        rng.shuffle(indices)  # serve in random order
+        self._queue = [population[int(i)] for i in indices]
+        self._population_key = id(population)
+
+    def select(
+        self, population: Sequence[Individual], rng: np.random.Generator
+    ) -> Individual:
+        self._check(population)
+        if not self._queue or self._population_key != id(population):
+            self._respin(population, rng)
+        return self._queue.pop()
+
+
+class ArithmeticCrossover(CrossoverOperator):
+    """Rounded convex blend: ``c1 = round(t*a + (1-t)*b)`` per gene."""
+
+    def __init__(self, spread: float = 0.25) -> None:
+        if not 0.0 <= spread <= 0.5:
+            raise GAError(f"spread must be in [0, 0.5], got {spread}")
+        self.spread = spread
+
+    def cross(
+        self, a: Sequence[int], b: Sequence[int], rng: np.random.Generator
+    ) -> Tuple[Genome, Genome]:
+        self._check(a, b)
+        t = rng.uniform(self.spread, 1.0 - self.spread)
+        child1 = tuple(int(round(t * x + (1 - t) * y)) for x, y in zip(a, b))
+        child2 = tuple(int(round((1 - t) * x + t * y)) for x, y in zip(a, b))
+        return child1, child2
+
+
+class BoundaryMutation(MutationOperator):
+    """Each gene jumps to its low or high bound with ``gene_prob``."""
+
+    def __init__(self, gene_prob: float = 0.1) -> None:
+        if not 0.0 <= gene_prob <= 1.0:
+            raise GAError(f"gene_prob must be in [0, 1], got {gene_prob}")
+        self.gene_prob = gene_prob
+
+    def mutate(
+        self,
+        genome: Sequence[int],
+        space: IntVectorSpace,
+        rng: np.random.Generator,
+    ) -> Genome:
+        if len(genome) != space.dimensions:
+            raise GAError(
+                f"genome has {len(genome)} genes; space has {space.dimensions}"
+            )
+        out = list(int(g) for g in genome)
+        for i in range(len(out)):
+            if rng.random() < self.gene_prob:
+                out[i] = space.lows[i] if rng.random() < 0.5 else space.highs[i]
+        return tuple(out)

@@ -1,0 +1,79 @@
+"""Batch evaluators: serial and multiprocess.
+
+The GA engine hands an evaluator the batch of *distinct, uncached*
+genomes of each generation.  The default serial evaluator is right for
+the simulator (a single evaluation is tens of milliseconds and NumPy
+releases little to gain); the multiprocess evaluator exists for
+expensive fitness functions (e.g. measuring a real VM, as the paper
+did) and follows the guide rule of communicating only picklable,
+coarse-grained work units.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.errors import GAError
+
+__all__ = ["SerialEvaluator", "MultiprocessEvaluator"]
+
+Genome = Tuple[int, ...]
+FitnessFn = Callable[[Genome], float]
+
+
+class SerialEvaluator:
+    """Evaluate genomes one after another in-process."""
+
+    def map(self, function: FitnessFn, genomes: Sequence[Genome]) -> List[float]:
+        """Apply *function* to every genome, preserving order."""
+        return [float(function(g)) for g in genomes]
+
+    def close(self) -> None:
+        """No resources to release."""
+
+
+class MultiprocessEvaluator:
+    """Evaluate genomes across a process pool.
+
+    The fitness function must be picklable (a module-level function or a
+    picklable callable object); lambdas and closures will fail with a
+    clear error from the pickle layer.  The pool is created lazily and
+    reused across generations; call :meth:`close` (or use as a context
+    manager) when done.
+    """
+
+    def __init__(self, processes: Optional[int] = None, chunksize: int = 1) -> None:
+        if processes is not None and processes < 1:
+            raise GAError(f"processes must be >= 1, got {processes}")
+        if chunksize < 1:
+            raise GAError(f"chunksize must be >= 1, got {chunksize}")
+        self.processes = processes or max(1, (os.cpu_count() or 2) - 1)
+        self.chunksize = chunksize
+        self._pool: Optional[multiprocessing.pool.Pool] = None
+
+    def _ensure_pool(self) -> multiprocessing.pool.Pool:
+        if self._pool is None:
+            self._pool = multiprocessing.get_context("spawn").Pool(self.processes)
+        return self._pool
+
+    def map(self, function: FitnessFn, genomes: Sequence[Genome]) -> List[float]:
+        """Apply *function* to every genome in parallel, order-preserving."""
+        if not genomes:
+            return []
+        pool = self._ensure_pool()
+        return [float(v) for v in pool.map(function, genomes, chunksize=self.chunksize)]
+
+    def close(self) -> None:
+        """Shut the pool down."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "MultiprocessEvaluator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,118 @@
+"""Parent-selection operators.
+
+All operators *minimize*: lower fitness is better, matching the paper's
+``Perf`` objective (time to be reduced).  Each operator draws one parent
+from an evaluated population using the supplied generator.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import GAError
+from repro.ga.individual import Individual
+
+__all__ = [
+    "SelectionOperator",
+    "TournamentSelection",
+    "RouletteSelection",
+    "RankSelection",
+]
+
+
+class SelectionOperator:
+    """Interface: pick one parent from *population*."""
+
+    def select(
+        self, population: Sequence[Individual], rng: np.random.Generator
+    ) -> Individual:
+        raise NotImplementedError
+
+    @staticmethod
+    def _check(population: Sequence[Individual]) -> None:
+        if not population:
+            raise GAError("cannot select from an empty population")
+        for ind in population:
+            if not ind.evaluated:
+                raise GAError(f"unevaluated individual in population: {ind!r}")
+
+
+class TournamentSelection(SelectionOperator):
+    """Pick the best of *size* uniformly drawn contestants.
+
+    The classic default (and ECJ's): selection pressure scales with the
+    tournament size; size 2 is gentle, 4-7 is aggressive.
+    """
+
+    def __init__(self, size: int = 4) -> None:
+        if size < 1:
+            raise GAError(f"tournament size must be >= 1, got {size}")
+        self.size = size
+
+    def select(
+        self, population: Sequence[Individual], rng: np.random.Generator
+    ) -> Individual:
+        self._check(population)
+        indices = rng.integers(0, len(population), size=self.size)
+        best = min((population[int(i)] for i in indices), key=lambda ind: ind.fitness)
+        return best
+
+
+class RouletteSelection(SelectionOperator):
+    """Fitness-proportionate selection, adapted for minimization.
+
+    Weights are ``(worst - f) + eps * span`` so the worst individual
+    retains a small chance and ties degrade to uniform selection.
+    """
+
+    def __init__(self, epsilon: float = 0.05) -> None:
+        if epsilon <= 0:
+            raise GAError("epsilon must be positive")
+        self.epsilon = epsilon
+
+    def select(
+        self, population: Sequence[Individual], rng: np.random.Generator
+    ) -> Individual:
+        self._check(population)
+        fits = np.array([ind.fitness for ind in population], dtype=np.float64)
+        worst = fits.max()
+        span = worst - fits.min()
+        if span <= 0.0:
+            return population[int(rng.integers(len(population)))]
+        weights = (worst - fits) + self.epsilon * span
+        weights /= weights.sum()
+        return population[int(rng.choice(len(population), p=weights))]
+
+
+class RankSelection(SelectionOperator):
+    """Linear rank-based selection.
+
+    Immune to the fitness scale (useful when times span orders of
+    magnitude): the best individual is ``pressure`` times as likely as
+    the worst.
+    """
+
+    def __init__(self, pressure: float = 2.0) -> None:
+        if not 1.0 < pressure <= 2.0:
+            raise GAError(f"pressure must be in (1, 2], got {pressure}")
+        self.pressure = pressure
+
+    def select(
+        self, population: Sequence[Individual], rng: np.random.Generator
+    ) -> Individual:
+        self._check(population)
+        n = len(population)
+        order = sorted(range(n), key=lambda i: population[i].fitness)
+        # rank 0 = best; linear weights from `pressure` down to (2 - pressure)
+        weights = np.array(
+            [
+                self.pressure - (self.pressure - (2.0 - self.pressure)) * rank / max(n - 1, 1)
+                for rank in range(n)
+            ],
+            dtype=np.float64,
+        )
+        weights /= weights.sum()
+        pick = int(rng.choice(n, p=weights))
+        return population[order[pick]]

@@ -1,0 +1,58 @@
+"""Per-generation statistics of a GA run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import GAError
+from repro.ga.individual import Individual
+
+__all__ = ["GenerationStats"]
+
+
+@dataclass(frozen=True)
+class GenerationStats:
+    """Summary of one generation's evaluated population."""
+
+    generation: int
+    best_fitness: float
+    mean_fitness: float
+    worst_fitness: float
+    std_fitness: float
+    best_genome: Tuple[int, ...]
+    evaluations: int
+    cache_hits: int
+
+    @classmethod
+    def from_population(
+        cls,
+        generation: int,
+        population: Sequence[Individual],
+        evaluations: int,
+        cache_hits: int,
+    ) -> "GenerationStats":
+        """Compute stats over an evaluated population."""
+        if not population:
+            raise GAError("cannot compute statistics of an empty population")
+        fits = np.array([ind.require_fitness() for ind in population], dtype=np.float64)
+        best_idx = int(np.argmin(fits))
+        return cls(
+            generation=generation,
+            best_fitness=float(fits.min()),
+            mean_fitness=float(fits.mean()),
+            worst_fitness=float(fits.max()),
+            std_fitness=float(fits.std()),
+            best_genome=population[best_idx].genome,
+            evaluations=evaluations,
+            cache_hits=cache_hits,
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"gen {self.generation:3d}: best={self.best_fitness:.6g} "
+            f"mean={self.mean_fitness:.6g} worst={self.worst_fitness:.6g} "
+            f"(evals={self.evaluations}, cached={self.cache_hits})"
+        )

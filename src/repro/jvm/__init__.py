@@ -1,0 +1,62 @@
+"""A discrete JVM/JIT simulator standing in for Jikes RVM 2.3.3.
+
+The paper tunes the inlining heuristic of Jikes RVM's optimizing
+compiler.  This package reimplements, in simulation, every piece of that
+system the tuning loop touches:
+
+* a method/bytecode model with Jikes-style *estimated machine size*
+  (:mod:`repro.jvm.bytecode`, :mod:`repro.jvm.methods`),
+* a weighted dynamic call graph (:mod:`repro.jvm.callgraph`),
+* the exact inlining decision procedures of the paper's Figures 3 and 4
+  plus recursive inline-plan construction (:mod:`repro.jvm.inlining`),
+* a non-optimizing baseline compiler and a multi-level optimizing
+  compiler with a cycle-accurate* cost model
+  (:mod:`repro.jvm.baseline_compiler`, :mod:`repro.jvm.opt_compiler`),
+* an instruction-cache pressure model (:mod:`repro.jvm.codecache`),
+* a sampling profiler and an Arnold-style adaptive optimization system
+  (:mod:`repro.jvm.profiler`, :mod:`repro.jvm.adaptive`),
+* the virtual machine driver implementing the paper's two-iteration
+  timing methodology (:mod:`repro.jvm.runtime`).
+
+(*"cycle-accurate" in the sense of deterministic cycle bookkeeping, not
+micro-architectural simulation; see DESIGN.md for the substitution
+argument.)
+"""
+
+from repro.jvm.bytecode import InstructionKind, InstructionMix, MethodBody
+from repro.jvm.methods import MethodInfo, estimate_machine_size
+from repro.jvm.callgraph import CallSite, Program
+from repro.jvm.inlining import (
+    InliningParameters,
+    InlineDecision,
+    optimizing_heuristic,
+    hot_callsite_heuristic,
+    InlinePlan,
+    build_inline_plan,
+)
+from repro.jvm.scenario import CompilationScenario, ADAPTIVE, OPTIMIZING
+from repro.jvm.runtime import VirtualMachine, ExecutionReport
+from repro.jvm.measurement import Measurement, measure_benchmark
+
+__all__ = [
+    "InstructionKind",
+    "InstructionMix",
+    "MethodBody",
+    "MethodInfo",
+    "estimate_machine_size",
+    "CallSite",
+    "Program",
+    "InliningParameters",
+    "InlineDecision",
+    "optimizing_heuristic",
+    "hot_callsite_heuristic",
+    "InlinePlan",
+    "build_inline_plan",
+    "CompilationScenario",
+    "ADAPTIVE",
+    "OPTIMIZING",
+    "VirtualMachine",
+    "ExecutionReport",
+    "Measurement",
+    "measure_benchmark",
+]

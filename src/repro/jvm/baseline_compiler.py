@@ -1,0 +1,76 @@
+"""The non-optimizing baseline compiler.
+
+Under the adaptive scenario "all dynamically loaded methods are first
+compiled by the non-optimizing baseline compiler that converts bytecodes
+straight to machine code without performing any optimizations, not even
+inlining" (paper §3.3).  Accordingly:
+
+* compile cost is cheap and *linear* in method size,
+* generated code is naive (speed factor 1.0) and bulky
+  (``baseline_code_bloat``),
+* every call site remains a residual call.
+"""
+
+from __future__ import annotations
+
+from repro.arch.base import MachineModel
+from repro.jvm.callgraph import Program
+from repro.jvm.compiled import CompiledMethod
+from repro.jvm.costmodel import CostModel
+
+__all__ = ["BaselineCompiler"]
+
+
+class BaselineCompiler:
+    """Fast bytecode-to-machine translation with no optimization."""
+
+    def __init__(self, machine: MachineModel, cost_model: CostModel) -> None:
+        self.machine = machine
+        self.cost_model = cost_model
+
+    def effective_call_cost(self) -> float:
+        """Cycles charged per dynamic call (overhead + prediction)."""
+        return (
+            self.machine.call_overhead_cycles
+            + self.cost_model.call_mispredict_weight
+            * self.machine.branch_misprediction_cycles
+        )
+
+    def compile(self, program: Program, method_id: int) -> CompiledMethod:
+        """Produce the baseline version of *method_id*."""
+        method = program.method(method_id)
+        cm = self.cost_model
+        machine = self.machine
+
+        code_size = method.estimated_size * cm.baseline_code_bloat
+        compile_cycles = machine.compile_rate(0) * method.estimated_size
+
+        call_cost = self.effective_call_cost()
+        call_rate = 0.0
+        forward = []
+        self_rate = 0.0
+        for site in program.sites_of(method_id):
+            call_rate += site.calls_per_invocation
+            if site.is_recursive:
+                self_rate += site.calls_per_invocation
+            else:
+                forward.append((site.callee_id, site.calls_per_invocation))
+
+        cycles = (
+            method.work_units
+            * machine.speed_factor(0)
+            * cm.work_cycle_scale
+            * machine.app_cycle_factor
+            + call_rate * call_cost
+        )
+
+        return CompiledMethod(
+            method_id=method_id,
+            opt_level=0,
+            code_size=code_size,
+            compile_cycles=compile_cycles,
+            cycles_per_invocation=cycles,
+            residual_forward=tuple(forward),
+            residual_self_rate=self_rate,
+            inline_count=0,
+        )

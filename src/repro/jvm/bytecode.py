@@ -1,0 +1,151 @@
+"""Abstract bytecode model.
+
+Real Jikes RVM decides inlining from an *estimated machine-instruction
+size* computed from a method's bytecodes.  We model a method body as a
+histogram over a small abstract instruction alphabet
+(:class:`InstructionMix`); each kind carries
+
+* an *expansion factor* — how many machine instructions one such
+  bytecode typically lowers to (drives the size estimate the heuristic
+  tests), and
+* a *work weight* — relative dynamic cost per execution (drives the
+  running-time model).
+
+This keeps the simulator mechanistic (sizes and costs are derived from
+the same underlying body, as in a real VM) without simulating
+instruction semantics, which the tuning loop never observes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterator, Mapping, Tuple
+
+from repro.errors import WorkloadError
+
+__all__ = ["InstructionKind", "InstructionMix", "MethodBody"]
+
+
+class InstructionKind(enum.Enum):
+    """Abstract bytecode categories with (expansion, work-weight) traits."""
+
+    #: stack/local data movement (aload, istore, dup, ...)
+    MOVE = "move"
+    #: integer/float arithmetic and comparisons
+    ARITH = "arith"
+    #: object field / array element access (getfield, aaload, ...)
+    MEMORY = "memory"
+    #: conditional and unconditional control flow
+    BRANCH = "branch"
+    #: object allocation (new, newarray)
+    ALLOC = "alloc"
+    #: method invocation opcodes (invokevirtual et al.)
+    INVOKE = "invoke"
+    #: method returns
+    RETURN = "return"
+
+
+#: machine instructions generated per bytecode of each kind
+#: (used by :func:`repro.jvm.methods.estimate_machine_size`)
+EXPANSION: Dict[InstructionKind, float] = {
+    InstructionKind.MOVE: 1.0,
+    InstructionKind.ARITH: 1.2,
+    InstructionKind.MEMORY: 2.2,
+    InstructionKind.BRANCH: 1.5,
+    InstructionKind.ALLOC: 6.0,
+    InstructionKind.INVOKE: 4.0,
+    InstructionKind.RETURN: 2.0,
+}
+
+#: relative dynamic cycles per executed bytecode of each kind, *excluding*
+#: call overhead (which the architecture model charges per dynamic call)
+WORK_WEIGHT: Dict[InstructionKind, float] = {
+    InstructionKind.MOVE: 0.8,
+    InstructionKind.ARITH: 1.0,
+    InstructionKind.MEMORY: 2.5,
+    InstructionKind.BRANCH: 1.4,
+    InstructionKind.ALLOC: 12.0,
+    InstructionKind.INVOKE: 0.0,  # charged separately as call overhead
+    InstructionKind.RETURN: 0.5,
+}
+
+
+@dataclass(frozen=True)
+class InstructionMix:
+    """An immutable histogram of bytecode counts by kind."""
+
+    counts: Tuple[Tuple[InstructionKind, int], ...]
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[InstructionKind, int]) -> "InstructionMix":
+        """Build a mix from a ``{kind: count}`` mapping, dropping zeros."""
+        items = []
+        for kind, count in mapping.items():
+            if not isinstance(kind, InstructionKind):
+                raise WorkloadError(f"not an InstructionKind: {kind!r}")
+            if count < 0:
+                raise WorkloadError(f"negative instruction count for {kind}: {count}")
+            if count:
+                items.append((kind, int(count)))
+        items.sort(key=lambda item: item[0].value)
+        return cls(counts=tuple(items))
+
+    def __iter__(self) -> Iterator[Tuple[InstructionKind, int]]:
+        return iter(self.counts)
+
+    def count(self, kind: InstructionKind) -> int:
+        """Number of bytecodes of *kind* in this mix."""
+        for k, c in self.counts:
+            if k is kind:
+                return c
+        return 0
+
+    @property
+    def total(self) -> int:
+        """Total bytecode count."""
+        return sum(c for _, c in self.counts)
+
+
+@dataclass(frozen=True)
+class MethodBody:
+    """The simulated body of a method.
+
+    Attributes
+    ----------
+    mix:
+        Static bytecode histogram.
+    loop_weight:
+        Average number of times each bytecode executes per method
+        invocation.  Loop-heavy numeric kernels (compress, mpegaudio)
+        have a large ``loop_weight``; straight-line glue code has ~1.
+    """
+
+    mix: InstructionMix
+    loop_weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.loop_weight <= 0:
+            raise WorkloadError(f"loop_weight must be positive, got {self.loop_weight}")
+        if self.mix.total <= 0:
+            raise WorkloadError("method body must contain at least one bytecode")
+
+    @property
+    def bytecode_size(self) -> int:
+        """Static number of bytecodes in the body."""
+        return self.mix.total
+
+    @property
+    def work_units(self) -> float:
+        """Abstract dynamic work per invocation (pre-architecture).
+
+        The optimizing compiler's speed factor and the architecture's
+        cycle weights scale this into cycles.
+        """
+        static = sum(WORK_WEIGHT[k] * c for k, c in self.mix)
+        return static * self.loop_weight
+
+    @property
+    def invoke_count(self) -> int:
+        """Number of static call sites implied by the body."""
+        return self.mix.count(InstructionKind.INVOKE)

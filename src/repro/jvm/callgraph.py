@@ -1,0 +1,234 @@
+"""Weighted dynamic call graphs.
+
+A :class:`Program` is the unit the virtual machine runs: a set of
+methods, an entry point, and weighted call sites.  Call-site weights are
+``calls_per_invocation`` — the average number of times the site executes
+per invocation of its enclosing method — which is what a real VM's edge
+profiler measures and what drives both invocation-count propagation and
+hot-call-site detection.
+
+Structural restriction
+----------------------
+Call edges are *forward* (``caller_id < callee_id``) or *self-recursive*
+(``caller_id == callee_id``).  Forward edges make exact invocation-count
+propagation a single pass in index order; self edges model recursion and
+are resolved with the geometric-series closed form (a method whose self
+site runs ``c`` times per invocation executes ``1/(1-c)`` times per
+external call).  Mutual recursion is not modelled; the tuning loop is
+insensitive to it because the heuristic only ever sees sizes and depths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.jvm.methods import MethodInfo
+
+__all__ = ["CallSite", "Program", "MAX_SELF_CALLS_PER_INVOCATION"]
+
+#: self-recursive sites must converge: calls/invocation strictly below 1
+MAX_SELF_CALLS_PER_INVOCATION = 0.95
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """A static call site with its profiled execution weight.
+
+    Attributes
+    ----------
+    caller_id / callee_id:
+        Method indices; ``callee_id >= caller_id`` (see module docs).
+    site_index:
+        Position of the site within the caller (0-based); distinguishes
+        multiple sites calling the same callee.
+    calls_per_invocation:
+        Average executions of this site per caller invocation.
+    """
+
+    caller_id: int
+    callee_id: int
+    site_index: int
+    calls_per_invocation: float
+
+    def __post_init__(self) -> None:
+        if self.calls_per_invocation < 0:
+            raise WorkloadError(
+                f"calls_per_invocation must be non-negative, got {self.calls_per_invocation}"
+            )
+        if self.callee_id < self.caller_id:
+            raise WorkloadError(
+                f"back edge {self.caller_id}->{self.callee_id}: only forward or "
+                "self-recursive call edges are supported"
+            )
+        if self.is_recursive and self.calls_per_invocation > MAX_SELF_CALLS_PER_INVOCATION:
+            raise WorkloadError(
+                f"self-recursive site on method {self.caller_id} has "
+                f"calls_per_invocation={self.calls_per_invocation} >= "
+                f"{MAX_SELF_CALLS_PER_INVOCATION}; recursion would not converge"
+            )
+
+    @property
+    def is_recursive(self) -> bool:
+        """True for self-recursive sites (caller calls itself)."""
+        return self.caller_id == self.callee_id
+
+
+class Program:
+    """An immutable simulated program: methods + entry + call sites."""
+
+    def __init__(
+        self,
+        name: str,
+        methods: Sequence[MethodInfo],
+        call_sites: Iterable[CallSite],
+        entry_id: int = 0,
+    ) -> None:
+        if not methods:
+            raise WorkloadError(f"program {name!r} has no methods")
+        self.name = name
+        self.methods: Tuple[MethodInfo, ...] = tuple(methods)
+        for index, method in enumerate(self.methods):
+            if method.method_id != index:
+                raise WorkloadError(
+                    f"method at position {index} has method_id {method.method_id}; "
+                    "methods must be densely indexed"
+                )
+        if not 0 <= entry_id < len(self.methods):
+            raise WorkloadError(f"entry_id {entry_id} out of range for {len(self.methods)} methods")
+        self.entry_id = entry_id
+
+        sites: List[CallSite] = sorted(
+            call_sites, key=lambda s: (s.caller_id, s.site_index)
+        )
+        self._sites_by_caller: Dict[int, Tuple[CallSite, ...]] = {}
+        seen: Set[Tuple[int, int]] = set()
+        for site in sites:
+            if site.caller_id >= len(self.methods) or site.callee_id >= len(self.methods):
+                raise WorkloadError(
+                    f"call site {site.caller_id}->{site.callee_id} references unknown method"
+                )
+            key = (site.caller_id, site.site_index)
+            if key in seen:
+                raise WorkloadError(
+                    f"duplicate site_index {site.site_index} in method {site.caller_id}"
+                )
+            seen.add(key)
+            self._sites_by_caller.setdefault(site.caller_id, ())
+        grouped: Dict[int, List[CallSite]] = {}
+        for site in sites:
+            grouped.setdefault(site.caller_id, []).append(site)
+        self._sites_by_caller = {cid: tuple(ss) for cid, ss in grouped.items()}
+        self.call_sites: Tuple[CallSite, ...] = tuple(sites)
+
+        for cid, group in self._sites_by_caller.items():
+            self_rate = sum(s.calls_per_invocation for s in group if s.is_recursive)
+            if self_rate > MAX_SELF_CALLS_PER_INVOCATION:
+                raise WorkloadError(
+                    f"method {cid} has total self-recursive call rate {self_rate:.3f} "
+                    f">= {MAX_SELF_CALLS_PER_INVOCATION}; recursion would not converge"
+                )
+
+        # dense numpy views used by the hot evaluation loops
+        self.sizes = np.array([m.estimated_size for m in self.methods], dtype=np.float64)
+        self.work = np.array([m.work_units for m in self.methods], dtype=np.float64)
+
+        self._reachable: Optional[frozenset] = None
+        self._base_counts: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # structure queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.methods)
+
+    def method(self, method_id: int) -> MethodInfo:
+        """Return the method with the given dense index."""
+        return self.methods[method_id]
+
+    def sites_of(self, caller_id: int) -> Tuple[CallSite, ...]:
+        """Call sites contained in method *caller_id* (possibly empty)."""
+        return self._sites_by_caller.get(caller_id, ())
+
+    @property
+    def total_estimated_size(self) -> float:
+        """Sum of all methods' estimated sizes (loaded-code volume)."""
+        return float(self.sizes.sum())
+
+    def reachable_methods(self) -> frozenset:
+        """Method ids reachable from the entry via call sites."""
+        if self._reachable is None:
+            seen: Set[int] = set()
+            stack = [self.entry_id]
+            while stack:
+                mid = stack.pop()
+                if mid in seen:
+                    continue
+                seen.add(mid)
+                for site in self.sites_of(mid):
+                    if site.callee_id not in seen:
+                        stack.append(site.callee_id)
+            self._reachable = frozenset(seen)
+        return self._reachable
+
+    # ------------------------------------------------------------------
+    # baseline invocation counts (no inlining)
+    # ------------------------------------------------------------------
+    def baseline_invocations(self) -> np.ndarray:
+        """Per-method invocation counts with *no* inlining.
+
+        Entry executes once; counts propagate along call edges in index
+        order (valid because edges are forward), with self-recursion
+        folded via the geometric closed form.  Methods unreachable from
+        the entry have count zero.  The result is cached; callers must
+        not mutate it.
+        """
+        if self._base_counts is None:
+            counts = np.zeros(len(self.methods), dtype=np.float64)
+            counts[self.entry_id] = 1.0
+            for mid in range(len(self.methods)):
+                if counts[mid] == 0.0:
+                    continue
+                self_rate = 0.0
+                for site in self.sites_of(mid):
+                    if site.is_recursive:
+                        self_rate += site.calls_per_invocation
+                if self_rate > 0.0:
+                    counts[mid] /= max(1.0 - self_rate, 1e-9)
+                for site in self.sites_of(mid):
+                    if not site.is_recursive:
+                        counts[site.callee_id] += counts[mid] * site.calls_per_invocation
+            self._base_counts = counts
+            self._base_counts.flags.writeable = False
+        return self._base_counts
+
+    # ------------------------------------------------------------------
+    # export / debugging
+    # ------------------------------------------------------------------
+    def to_dot(self, max_methods: int = 200) -> str:
+        """Render the call graph in Graphviz DOT format (truncated)."""
+        lines = [f'digraph "{self.name}" {{']
+        reachable = sorted(self.reachable_methods())[:max_methods]
+        shown = set(reachable)
+        for mid in reachable:
+            method = self.methods[mid]
+            lines.append(
+                f'  m{mid} [label="{method.name}\\nsize={method.estimated_size:.0f}"];'
+            )
+        for site in self.call_sites:
+            if site.caller_id in shown and site.callee_id in shown:
+                lines.append(
+                    f"  m{site.caller_id} -> m{site.callee_id} "
+                    f'[label="{site.calls_per_invocation:.2g}"];'
+                )
+        lines.append("}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Program({self.name!r}, methods={len(self.methods)}, "
+            f"sites={len(self.call_sites)})"
+        )

@@ -1,0 +1,104 @@
+"""Code-space accounting and the instruction-cache pressure model.
+
+Aggressive inlining's indirect cost is a larger runtime footprint and
+more I-cache misses (paper §1).  The simulator models this as a smooth
+multiplicative penalty on running time computed from the *hot working
+set*: the code of methods weighted by their share of running time.
+
+The penalty function is deliberately smooth and saturating —
+
+``factor = 1 + penalty * x / (1 + x)``, ``x = max(0, hot/capacity - 1)``
+
+— so the GA sees a gradient rather than a cliff, and pathological bloat
+cannot produce unbounded slowdowns (real miss rates saturate too).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Tuple
+
+import numpy as np
+
+from repro.arch.base import MachineModel
+from repro.jvm.costmodel import CostModel
+
+__all__ = ["CodeCache", "hot_code_size", "pressure_factor"]
+
+
+def hot_code_size(
+    code_sizes: np.ndarray,
+    method_times: np.ndarray,
+    hot_share_at_full: float,
+) -> float:
+    """Weighted hot working-set size.
+
+    A method whose share of running time is at least ``hot_share_at_full``
+    contributes its full code size; colder methods contribute
+    proportionally to their share.  Methods that never run contribute
+    nothing.
+    """
+    total = float(method_times.sum())
+    if total <= 0.0:
+        return 0.0
+    shares = method_times / total
+    weights = np.minimum(shares / hot_share_at_full, 1.0)
+    return float(np.dot(code_sizes, weights))
+
+
+def pressure_factor(hot_size: float, capacity: float, penalty: float) -> float:
+    """Multiplicative running-time factor for a given hot set size."""
+    if hot_size <= capacity or penalty == 0.0:
+        return 1.0
+    overflow = hot_size / capacity - 1.0
+    return 1.0 + penalty * overflow / (1.0 + overflow)
+
+
+@dataclass
+class CodeCache:
+    """Tracks installed compiled code and evaluates cache pressure.
+
+    One instance per VM run.  ``install`` is called by the compilers;
+    ``execution_factor`` is evaluated once the run's per-method times
+    are known.
+    """
+
+    machine: MachineModel
+    cost_model: CostModel
+
+    def __post_init__(self) -> None:
+        self._installed: Dict[int, float] = {}
+
+    def install(self, method_id: int, code_size: float) -> None:
+        """Record (or replace) the compiled code of a method."""
+        self._installed[method_id] = float(code_size)
+
+    def installed_size(self, method_id: int) -> float:
+        """Code size currently installed for *method_id* (0 if none)."""
+        return self._installed.get(method_id, 0.0)
+
+    @property
+    def total_code_size(self) -> float:
+        """Total installed code across all methods."""
+        return float(sum(self._installed.values()))
+
+    @property
+    def method_count(self) -> int:
+        """Number of methods with installed code."""
+        return len(self._installed)
+
+    def sizes_array(self, n_methods: int) -> np.ndarray:
+        """Dense array of installed code sizes."""
+        sizes = np.zeros(n_methods, dtype=np.float64)
+        for mid, size in self._installed.items():
+            sizes[mid] = size
+        return sizes
+
+    def execution_factor(self, method_times: np.ndarray) -> Tuple[float, float]:
+        """Return ``(icache_factor, hot_size)`` for the given profile."""
+        sizes = self.sizes_array(len(method_times))
+        hot = hot_code_size(sizes, method_times, self.cost_model.hot_share_at_full)
+        factor = pressure_factor(
+            hot, self.machine.icache_capacity, self.machine.icache_miss_penalty
+        )
+        return factor, hot

@@ -1,0 +1,74 @@
+"""Compiled-method records shared by both compilers.
+
+A :class:`CompiledMethod` is everything the runtime needs to account for
+a method version: its installed code size, what it cost to compile, its
+per-invocation execution cost, and its *residual call edges* (the calls
+its code still makes after inlining, which feed invocation-count
+propagation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.errors import CompilationError
+
+__all__ = ["CompiledMethod"]
+
+
+@dataclass(frozen=True)
+class CompiledMethod:
+    """One compiled version of a method.
+
+    Attributes
+    ----------
+    method_id:
+        The method this code implements.
+    opt_level:
+        0 for the baseline compiler, >=1 for the optimizing compiler.
+    code_size:
+        Installed machine code size (estimated instructions), after any
+        inlining growth.
+    compile_cycles:
+        One-time cost of producing this version.
+    cycles_per_invocation:
+        Execution cost of one invocation, *excluding* I-cache effects
+        (applied globally by the runtime).
+    residual_forward:
+        ``(callee_id, rate)`` pairs for remaining calls to *other*
+        methods; ``rate`` is dynamic calls per invocation of this one.
+    residual_self_rate:
+        Remaining self-recursive calls per invocation (resolved with the
+        geometric closed form during propagation); must stay < 1.
+    inline_count:
+        Number of call sites inlined into this version (diagnostics).
+    """
+
+    method_id: int
+    opt_level: int
+    code_size: float
+    compile_cycles: float
+    cycles_per_invocation: float
+    residual_forward: Tuple[Tuple[int, float], ...]
+    residual_self_rate: float = 0.0
+    inline_count: int = 0
+
+    def __post_init__(self) -> None:
+        if self.code_size <= 0:
+            raise CompilationError(
+                f"method {self.method_id}: code_size must be positive, got {self.code_size}"
+            )
+        if self.compile_cycles < 0:
+            raise CompilationError(
+                f"method {self.method_id}: negative compile_cycles"
+            )
+        if self.cycles_per_invocation < 0:
+            raise CompilationError(
+                f"method {self.method_id}: negative cycles_per_invocation"
+            )
+        if not 0.0 <= self.residual_self_rate < 1.0:
+            raise CompilationError(
+                f"method {self.method_id}: residual_self_rate "
+                f"{self.residual_self_rate} outside [0, 1)"
+            )

@@ -1,0 +1,110 @@
+"""Tunable constants of the simulator's cost physics.
+
+Collected in one dataclass so the ablation benches can switch individual
+effects off (e.g. the I-cache penalty) and so tests can probe
+monotonicity properties against a known configuration.  The default
+values are calibrated so the *shapes* of the paper's results hold (see
+DESIGN.md §2 and EXPERIMENTS.md); none of the downstream code hard-codes
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+
+__all__ = ["CostModel", "DEFAULT_COST_MODEL"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Constants of the execution/compilation cost model.
+
+    Attributes
+    ----------
+    work_cycle_scale:
+        Cycles per abstract work unit (method bodies express work in
+        units; see :mod:`repro.jvm.bytecode`).
+    inline_opt_bonus:
+        Fraction of an inlined body's work eliminated by the extra
+        optimization inlining enables (constant propagation into the
+        callee, better scheduling across the boundary, ...).
+    inline_bonus_decay:
+        Per-depth geometric decay of that bonus — the second-order
+        opportunities of an inlined-into-inlined body are smaller.
+    call_mispredict_weight:
+        Fraction of the architecture's branch-misprediction cost charged
+        per dynamic call (indirect-call prediction pressure).
+    compile_superlinear_scale:
+        Method size (estimated instructions) at which per-instruction
+        compile cost has doubled — models the superlinear dataflow
+        passes that make huge post-inlining methods disproportionately
+        expensive to compile (why CALLER_MAX_SIZE matters).
+    baseline_code_bloat:
+        Size multiplier of baseline-compiled code relative to the
+        estimated optimizing-compiler size (the baseline compiler emits
+        naive code).
+    opt_code_density:
+        Size multiplier of opt-compiled code before inlining growth.
+    adaptive_mix_fraction:
+        Fraction of a hot method's first-iteration invocations that run
+        at baseline speed before the adaptive system promotes it.
+    sampling_overhead:
+        Fractional slowdown of the first iteration due to the adaptive
+        system's timer-based sampling.
+    hot_share_at_full:
+        A method whose share of running time reaches this value counts
+        its code fully toward the hot working set; smaller shares count
+        proportionally (smooth I-cache occupancy model).
+    """
+
+    work_cycle_scale: float = 1.0
+    inline_opt_bonus: float = 0.12
+    inline_bonus_decay: float = 0.85
+    call_mispredict_weight: float = 0.30
+    compile_superlinear_scale: float = 550.0
+    baseline_code_bloat: float = 1.30
+    opt_code_density: float = 0.95
+    adaptive_mix_fraction: float = 0.28
+    sampling_overhead: float = 0.01
+    hot_share_at_full: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.work_cycle_scale <= 0:
+            raise ConfigurationError("work_cycle_scale must be positive")
+        if not 0 <= self.inline_opt_bonus < 1:
+            raise ConfigurationError("inline_opt_bonus must be in [0, 1)")
+        if not 0 < self.inline_bonus_decay <= 1:
+            raise ConfigurationError("inline_bonus_decay must be in (0, 1]")
+        if self.call_mispredict_weight < 0:
+            raise ConfigurationError("call_mispredict_weight must be non-negative")
+        if self.compile_superlinear_scale <= 0:
+            raise ConfigurationError("compile_superlinear_scale must be positive")
+        if self.baseline_code_bloat < 1:
+            raise ConfigurationError("baseline_code_bloat must be >= 1")
+        if self.opt_code_density <= 0:
+            raise ConfigurationError("opt_code_density must be positive")
+        if not 0 <= self.adaptive_mix_fraction <= 1:
+            raise ConfigurationError("adaptive_mix_fraction must be in [0, 1]")
+        if self.sampling_overhead < 0:
+            raise ConfigurationError("sampling_overhead must be non-negative")
+        if self.hot_share_at_full <= 0:
+            raise ConfigurationError("hot_share_at_full must be positive")
+
+    def inline_bonus_at_depth(self, depth: int) -> float:
+        """Work-elimination fraction for a body inlined at *depth*."""
+        return self.inline_opt_bonus * self.inline_bonus_decay ** max(depth - 1, 0)
+
+    def without_icache(self) -> "CostModel":
+        """Convenience copy for machine-level ablation (paired with a
+        machine whose ``icache_miss_penalty`` is zeroed)."""
+        return self  # penalty lives on the machine; kept for symmetry
+
+    def scaled(self, **overrides) -> "CostModel":
+        """Return a copy with selected constants replaced."""
+        return replace(self, **overrides)
+
+
+#: the calibrated default used by all experiments
+DEFAULT_COST_MODEL = CostModel()

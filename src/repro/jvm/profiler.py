@@ -1,0 +1,107 @@
+"""Online sampling profiler (adaptive scenario).
+
+Under *Adapt*, Jikes RVM's adaptive optimization system samples the
+running program to find (a) methods where time is being spent and (b)
+frequently executed call edges [Arnold et al., OOPSLA'00].  The
+simulator computes the exact quantities the sampler estimates — per-
+method time under the baseline code and per-edge dynamic call counts —
+directly from the weighted call graph, which corresponds to an unbiased
+sampler in the limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Mapping, Tuple
+
+import numpy as np
+
+from repro.jvm.callgraph import Program
+from repro.jvm.compiled import CompiledMethod
+
+__all__ = ["ExecutionProfile", "profile_baseline"]
+
+
+@dataclass(frozen=True)
+class ExecutionProfile:
+    """What the profiler learned about one (program, code-state) pair.
+
+    Attributes
+    ----------
+    method_times:
+        Cycles per outer iteration attributed to each method.
+    invocations:
+        Per-method invocation counts per outer iteration.
+    edge_calls:
+        Dynamic calls per outer iteration for every static call site,
+        keyed by ``(caller_id, site_index)``.
+    """
+
+    method_times: np.ndarray
+    invocations: np.ndarray
+    edge_calls: Mapping[Tuple[int, int], float]
+
+    @property
+    def total_time(self) -> float:
+        """Total profiled cycles per iteration."""
+        return float(self.method_times.sum())
+
+    @property
+    def total_calls(self) -> float:
+        """Total dynamic calls per iteration."""
+        return float(sum(self.edge_calls.values()))
+
+    def time_share(self, method_id: int) -> float:
+        """Fraction of total time spent in *method_id*."""
+        total = self.total_time
+        if total <= 0:
+            return 0.0
+        return float(self.method_times[method_id]) / total
+
+    def hot_methods(self, min_share: float) -> Tuple[int, ...]:
+        """Methods whose time share meets *min_share*, hottest first."""
+        total = self.total_time
+        if total <= 0:
+            return ()
+        shares = self.method_times / total
+        hot = np.flatnonzero(shares >= min_share)
+        order = np.argsort(-self.method_times[hot], kind="stable")
+        return tuple(int(m) for m in hot[order])
+
+    def hot_sites(self, min_call_share: float) -> FrozenSet[Tuple[int, int]]:
+        """Call sites whose dynamic call share meets *min_call_share*."""
+        total = self.total_calls
+        if total <= 0:
+            return frozenset()
+        threshold = min_call_share * total
+        return frozenset(
+            key for key, calls in self.edge_calls.items() if calls >= threshold
+        )
+
+
+def profile_baseline(
+    program: Program,
+    baseline_versions: Mapping[int, CompiledMethod],
+) -> ExecutionProfile:
+    """Profile one iteration of *program* running baseline code.
+
+    Baseline code performs no inlining, so invocation counts equal the
+    program's intrinsic counts; per-method time is count x per-invocation
+    baseline cycles; per-edge calls are count x site weight.
+    """
+    counts = program.baseline_invocations()
+    times = np.zeros(len(program), dtype=np.float64)
+    for mid, version in baseline_versions.items():
+        times[mid] = counts[mid] * version.cycles_per_invocation
+
+    edge_calls: Dict[Tuple[int, int], float] = {}
+    for site in program.call_sites:
+        calls = counts[site.caller_id] * site.calls_per_invocation
+        if calls > 0.0:
+            edge_calls[(site.caller_id, site.site_index)] = calls
+
+    return ExecutionProfile(
+        method_times=times,
+        invocations=counts,
+        edge_calls=edge_calls,
+    )

@@ -1,0 +1,104 @@
+"""Compilation scenarios (paper §3.3).
+
+Two scenarios are modelled, matching the paper:
+
+* **Optimizing (Opt)** — every dynamically invoked method is compiled by
+  the optimizing compiler at its highest level.  There is no profile, so
+  inlining uses only the Figure 3 heuristic (Table 4 reports
+  HOT_CALLEE_MAX_SIZE as "NA" here).
+* **Adaptive (Adapt)** — methods are first baseline-compiled; online
+  profiling finds the hot subset, which the adaptive optimization system
+  recompiles with the optimizing compiler, applying Figure 4 to hot call
+  sites.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ScenarioMode", "CompilationScenario", "ADAPTIVE", "OPTIMIZING", "get_scenario"]
+
+
+class ScenarioMode(enum.Enum):
+    """How compilation is driven."""
+
+    ADAPTIVE = "adaptive"
+    OPTIMIZING = "optimizing"
+
+
+@dataclass(frozen=True)
+class CompilationScenario:
+    """Configuration of one compilation scenario.
+
+    Attributes
+    ----------
+    name:
+        Display name ("Adapt", "Opt", ...).
+    mode:
+        Adaptive or optimizing drive.
+    opt_level:
+        Level used by the optimizing compiler (and the maximum level the
+        adaptive system may promote to).
+    hot_method_share:
+        Adaptive only: minimum share of profiled running time for a
+        method to be considered for recompilation.
+    hot_edge_share:
+        Adaptive only: a call site is *hot* (Figure 4 applies) when its
+        dynamic call count is at least this share of all dynamic calls.
+    future_factor:
+        Adaptive only: the recompilation cost/benefit model assumes the
+        method will run this multiple of its observed time again.
+    """
+
+    name: str
+    mode: ScenarioMode
+    opt_level: int = 2
+    hot_method_share: float = 0.0002
+    hot_edge_share: float = 0.0005
+    future_factor: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.opt_level < 1:
+            raise ConfigurationError(f"opt_level must be >= 1, got {self.opt_level}")
+        if not 0 < self.hot_method_share < 1:
+            raise ConfigurationError("hot_method_share must be in (0, 1)")
+        if not 0 < self.hot_edge_share < 1:
+            raise ConfigurationError("hot_edge_share must be in (0, 1)")
+        if self.future_factor <= 0:
+            raise ConfigurationError("future_factor must be positive")
+
+    @property
+    def is_adaptive(self) -> bool:
+        """True for hot-spot driven compilation."""
+        return self.mode is ScenarioMode.ADAPTIVE
+
+    @property
+    def uses_hot_callsite_heuristic(self) -> bool:
+        """Whether Figure 4 participates (adaptive recompilation only)."""
+        return self.is_adaptive
+
+    def scaled(self, **overrides) -> "CompilationScenario":
+        """Return a copy with selected fields replaced."""
+        return replace(self, **overrides)
+
+
+#: the paper's *Adapt* scenario
+ADAPTIVE = CompilationScenario(name="Adapt", mode=ScenarioMode.ADAPTIVE)
+
+#: the paper's *Opt* scenario
+OPTIMIZING = CompilationScenario(name="Opt", mode=ScenarioMode.OPTIMIZING)
+
+_SCENARIOS = {"adapt": ADAPTIVE, "adaptive": ADAPTIVE, "opt": OPTIMIZING, "optimizing": OPTIMIZING}
+
+
+def get_scenario(name: str) -> CompilationScenario:
+    """Look up a scenario by (case-insensitive) name."""
+    try:
+        return _SCENARIOS[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; available: adapt, opt"
+        ) from None

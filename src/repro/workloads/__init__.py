@@ -1,0 +1,49 @@
+"""Synthetic benchmark programs.
+
+The paper trains on SPECjvm98 and tests on DaCapo+JBB.  Neither suite
+(nor a JVM to run them) is available offline, so this package generates
+*synthetic equivalents*: seeded, layered, weighted call graphs whose
+published structural characteristics — code volume, method-size
+distribution, call density, hot-spot concentration, running-time scale —
+are encoded per benchmark in :mod:`repro.workloads.specjvm98` and
+:mod:`repro.workloads.dacapo`.  See DESIGN.md §2 for why this preserves
+the behaviour the tuning loop observes.
+"""
+
+from repro.workloads.spec import BenchmarkSpec, MixWeights
+from repro.workloads.generator import ProgramGenerator, generate_program
+from repro.workloads.specjvm98 import SPECJVM98_SPECS
+from repro.workloads.dacapo import DACAPO_JBB_SPECS
+from repro.workloads.serialization import (
+    program_to_dict,
+    program_from_dict,
+    save_program,
+    load_program,
+)
+from repro.workloads.suites import (
+    BenchmarkSuite,
+    SPECJVM98,
+    DACAPO_JBB,
+    get_suite,
+    get_benchmark,
+    available_suites,
+)
+
+__all__ = [
+    "BenchmarkSpec",
+    "MixWeights",
+    "ProgramGenerator",
+    "generate_program",
+    "SPECJVM98_SPECS",
+    "DACAPO_JBB_SPECS",
+    "BenchmarkSuite",
+    "SPECJVM98",
+    "DACAPO_JBB",
+    "get_suite",
+    "get_benchmark",
+    "available_suites",
+    "program_to_dict",
+    "program_from_dict",
+    "save_program",
+    "load_program",
+]

@@ -1,0 +1,158 @@
+"""Synthetic DaCapo (beta050224) + ipsixql + pseudojbb — the paper's
+*test* suite (Table 3).
+
+These are the "unseen" programs: the GA never trains on them.  Their
+common character relative to SPECjvm98 — much larger code volume, flat
+execution profiles, short default-sized runs — is what makes the
+compile-time component dominate total time, which is where the tuned
+heuristics win big (Table 5: up to 37% average total-time reduction).
+
+* **antlr** — grammar parser/generator: the largest code with the
+  shortest run; the paper's biggest total-time win (58% under Opt:Tot).
+* **fop** — XSL-FO to PDF formatter: large, allocation-heavy.
+* **jython** — Python interpreter in Java: big flat dispatch code.
+* **pmd** — Java source analyzer: AST visitors, many small methods.
+* **ps** — PostScript interpreter: long-running central loop; the one
+  test program where per-program tuning finds nothing (Figure 10).
+* **ipsixql** — XML database queried against Shakespeare's works;
+  short-running (50% total-time win under Opt:Tot).
+* **pseudojbb** — SPECjbb2000 fixed at 70000 transactions, one
+  warehouse.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.workloads.spec import BenchmarkSpec, MixWeights
+
+__all__ = ["DACAPO_JBB_SPECS"]
+
+DACAPO_JBB_SPECS: Tuple[BenchmarkSpec, ...] = (
+    BenchmarkSpec(
+        name="antlr",
+        suite="DaCapo+JBB",
+        description="Parses grammar files and generates a parser/lexer for each",
+        n_methods=900,
+        n_layers=10,
+        size_median=20.0,
+        size_sigma=0.65,
+        fanout_mean=3.4,
+        leaf_fraction=0.20,
+        calls_median=1.5,
+        hot_fraction=0.22,
+        hot_loop_boost=2.5,
+        call_share=0.30,
+        running_seconds=0.75,
+        profile_flatness=0.48,
+        mix=MixWeights(move=2.6, arith=1.6, memory=2.3, branch=1.7, alloc=0.3, ret=0.4),
+    ),
+    BenchmarkSpec(
+        name="fop",
+        suite="DaCapo+JBB",
+        description="Parses an XSL-FO file and formats it into a PDF",
+        n_methods=1100,
+        n_layers=10,
+        size_median=20.0,
+        size_sigma=0.65,
+        fanout_mean=3.2,
+        leaf_fraction=0.22,
+        calls_median=1.5,
+        hot_fraction=0.20,
+        hot_loop_boost=2.5,
+        call_share=0.30,
+        running_seconds=0.8,
+        profile_flatness=0.48,
+        mix=MixWeights(move=2.6, arith=1.4, memory=2.4, branch=1.5, alloc=0.45, ret=0.4),
+    ),
+    BenchmarkSpec(
+        name="jython",
+        suite="DaCapo+JBB",
+        description="Interprets a series of Python programs",
+        n_methods=1300,
+        n_layers=11,
+        size_median=18.0,
+        size_sigma=0.65,
+        fanout_mean=3.6,
+        leaf_fraction=0.20,
+        calls_median=1.5,
+        hot_fraction=0.20,
+        hot_loop_boost=3.0,
+        call_share=0.36,
+        running_seconds=1.5,
+        profile_flatness=0.48,
+        mix=MixWeights(move=2.8, arith=1.5, memory=2.3, branch=1.7, alloc=0.35, ret=0.4),
+    ),
+    BenchmarkSpec(
+        name="pmd",
+        suite="DaCapo+JBB",
+        description="Analyzes Java classes for source-code problems",
+        n_methods=800,
+        n_layers=9,
+        size_median=19.0,
+        size_sigma=0.65,
+        fanout_mean=3.0,
+        leaf_fraction=0.22,
+        calls_median=1.5,
+        hot_fraction=0.18,
+        hot_loop_boost=3.0,
+        call_share=0.32,
+        running_seconds=1.4,
+        profile_flatness=0.5,
+        mix=MixWeights(move=2.6, arith=1.5, memory=2.4, branch=1.6, alloc=0.3, ret=0.4),
+    ),
+    BenchmarkSpec(
+        name="ps",
+        suite="DaCapo+JBB",
+        description="Reads and interprets a PostScript file",
+        n_methods=400,
+        n_layers=8,
+        size_median=22.0,
+        size_sigma=0.6,
+        fanout_mean=2.6,
+        leaf_fraction=0.25,
+        calls_median=1.6,
+        hot_fraction=0.08,
+        hot_loop_boost=6.0,
+        call_share=0.24,
+        running_seconds=6.0,
+        profile_flatness=0.8,
+        mix=MixWeights(move=2.4, arith=1.8, memory=2.4, branch=1.6, alloc=0.2, ret=0.35),
+    ),
+    BenchmarkSpec(
+        name="ipsixql",
+        suite="DaCapo+JBB",
+        description="XML database queried against the works of Shakespeare",
+        n_methods=600,
+        n_layers=9,
+        size_median=18.0,
+        size_sigma=0.65,
+        fanout_mean=3.0,
+        leaf_fraction=0.22,
+        calls_median=1.5,
+        hot_fraction=0.20,
+        hot_loop_boost=2.5,
+        call_share=0.28,
+        running_seconds=0.8,
+        profile_flatness=0.5,
+        mix=MixWeights(move=2.6, arith=1.5, memory=2.5, branch=1.5, alloc=0.3, ret=0.4),
+    ),
+    BenchmarkSpec(
+        name="pseudojbb",
+        suite="DaCapo+JBB",
+        description="SPECjbb2000 modified to run 70000 transactions, one warehouse",
+        n_methods=500,
+        n_layers=9,
+        size_median=19.0,
+        size_sigma=0.65,
+        fanout_mean=3.0,
+        leaf_fraction=0.22,
+        calls_median=1.6,
+        hot_fraction=0.15,
+        hot_loop_boost=3.5,
+        call_share=0.30,
+        running_seconds=1.4,
+        profile_flatness=0.5,
+        mix=MixWeights(move=2.5, arith=1.7, memory=2.4, branch=1.5, alloc=0.35, ret=0.4),
+    ),
+)

@@ -1,0 +1,100 @@
+"""Program serialization: save/load generated call graphs as JSON.
+
+Lets users snapshot the exact program a result was produced on (e.g.
+to attach to a bug report), or hand-author small programs without going
+through the generator.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.errors import WorkloadError
+from repro.jvm.bytecode import InstructionKind, InstructionMix, MethodBody
+from repro.jvm.callgraph import CallSite, Program
+from repro.jvm.methods import MethodInfo
+
+__all__ = ["program_to_dict", "program_from_dict", "save_program", "load_program"]
+
+_FORMAT_VERSION = 1
+
+
+def program_to_dict(program: Program) -> Dict[str, Any]:
+    """Encode *program* as plain JSON-serializable data."""
+    return {
+        "version": _FORMAT_VERSION,
+        "name": program.name,
+        "entry_id": program.entry_id,
+        "methods": [
+            {
+                "name": m.name,
+                "loop_weight": m.body.loop_weight,
+                "mix": {kind.value: count for kind, count in m.body.mix},
+            }
+            for m in program.methods
+        ],
+        "call_sites": [
+            {
+                "caller": s.caller_id,
+                "callee": s.callee_id,
+                "site": s.site_index,
+                "calls": s.calls_per_invocation,
+            }
+            for s in program.call_sites
+        ],
+    }
+
+
+def program_from_dict(data: Dict[str, Any]) -> Program:
+    """Inverse of :func:`program_to_dict`."""
+    if not isinstance(data, dict) or data.get("version") != _FORMAT_VERSION:
+        raise WorkloadError(
+            f"unsupported program format version: {data.get('version') if isinstance(data, dict) else '?'}"
+        )
+    try:
+        methods = []
+        for mid, entry in enumerate(data["methods"]):
+            mix = InstructionMix.from_mapping(
+                {InstructionKind(kind): int(count) for kind, count in entry["mix"].items()}
+            )
+            body = MethodBody(mix=mix, loop_weight=float(entry["loop_weight"]))
+            methods.append(MethodInfo(method_id=mid, name=entry["name"], body=body))
+        sites = [
+            CallSite(
+                caller_id=int(s["caller"]),
+                callee_id=int(s["callee"]),
+                site_index=int(s["site"]),
+                calls_per_invocation=float(s["calls"]),
+            )
+            for s in data["call_sites"]
+        ]
+        return Program(
+            name=str(data["name"]),
+            methods=methods,
+            call_sites=sites,
+            entry_id=int(data["entry_id"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WorkloadError(f"malformed program data: {exc}") from exc
+
+
+def save_program(program: Program, path: str) -> None:
+    """Write *program* to *path* as JSON."""
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(program_to_dict(program), handle)
+    except OSError as exc:
+        raise WorkloadError(f"cannot write program to {path!r}: {exc}") from exc
+
+
+def load_program(path: str) -> Program:
+    """Read a program written by :func:`save_program`."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as exc:
+        raise WorkloadError(f"cannot read program from {path!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise WorkloadError(f"corrupt program file {path!r}: {exc}") from exc
+    return program_from_dict(data)

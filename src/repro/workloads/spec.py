@@ -1,0 +1,181 @@
+"""Benchmark specification records.
+
+A :class:`BenchmarkSpec` captures everything the generator needs to
+produce a program with a given *performance character*: how much code,
+how big the methods, how call-dense the execution, how concentrated the
+hot set, and how long one steady-state iteration takes.  The values for
+the fourteen concrete benchmarks live in
+:mod:`repro.workloads.specjvm98` and :mod:`repro.workloads.dacapo`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Mapping
+
+from repro.errors import ConfigurationError
+from repro.jvm.bytecode import InstructionKind
+
+__all__ = ["MixWeights", "BenchmarkSpec", "CAL_CALL_COST_CYCLES", "CAL_CLOCK_GHZ"]
+
+#: call-cost proxy (cycles per dynamic call) used when calibrating a
+#: spec's call share; roughly the x86 model's effective call cost
+CAL_CALL_COST_CYCLES = 30.0
+
+#: clock used to convert a spec's running_seconds into target cycles
+CAL_CLOCK_GHZ = 2.8
+
+#: body work is calibrated against *optimized* code (the paper's
+#: running-time numbers are all steady-state optimized runs), so the
+#: call_share target is the share seen at the opt compiler's speed
+CAL_OPT_SPEED = 0.5
+
+
+@dataclass(frozen=True)
+class MixWeights:
+    """Relative instruction-kind weights of generated method bodies.
+
+    INVOKE is excluded — call instructions are added to match the
+    generated call sites exactly.
+    """
+
+    move: float = 2.5
+    arith: float = 2.0
+    memory: float = 1.8
+    branch: float = 1.2
+    alloc: float = 0.15
+    ret: float = 0.3
+
+    def as_mapping(self) -> Mapping[InstructionKind, float]:
+        """Weights keyed by :class:`InstructionKind` (no INVOKE)."""
+        return {
+            InstructionKind.MOVE: self.move,
+            InstructionKind.ARITH: self.arith,
+            InstructionKind.MEMORY: self.memory,
+            InstructionKind.BRANCH: self.branch,
+            InstructionKind.ALLOC: self.alloc,
+            InstructionKind.RETURN: self.ret,
+        }
+
+    def __post_init__(self) -> None:
+        if any(
+            w < 0 for w in (self.move, self.arith, self.memory, self.branch, self.alloc, self.ret)
+        ):
+            raise ConfigurationError("mix weights must be non-negative")
+        if self.move + self.arith + self.memory + self.branch + self.alloc + self.ret <= 0:
+            raise ConfigurationError("mix weights must not all be zero")
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """Generation recipe for one synthetic benchmark.
+
+    Structural knobs
+    ----------------
+    n_methods / n_layers:
+        Code volume and maximum call-chain depth; methods are arranged
+        in layers and calls flow to deeper layers (drivers at the top,
+        small utilities at the leaves).
+    size_median / size_sigma:
+        Lognormal distribution of per-method *estimated machine size* —
+        the quantity the Figure 3/4 tests compare against the heuristic
+        parameters, so its placement relative to the Table 1 ranges
+        shapes the tuning landscape.
+    fanout_mean / leaf_fraction:
+        Call sites per method (Poisson) and the fraction of methods with
+        none.
+    calls_median / calls_sigma:
+        Lognormal executions-per-invocation of each call site.
+    self_recursion_prob:
+        Probability a method carries a self-recursive site.
+
+    Hot-spot knobs
+    --------------
+    hot_fraction:
+        Fraction of methods on the hot spine.  Small = concentrated
+        profile (compress); large = flat profile (the DaCapo programs,
+        whose flat profiles make many methods borderline-hot under the
+        adaptive system).
+    hot_call_boost / hot_loop_boost:
+        Multipliers on hot-edge call counts and hot-method loop weights.
+
+    Calibration targets
+    -------------------
+    call_share:
+        Fraction of (no-inlining) running time spent in call overhead at
+        the calibration call cost — high for call-dense programs (jess,
+        raytrace) which is where inlining pays.
+    running_seconds:
+        Steady-state seconds of one iteration without inlining at the
+        calibration clock.  Together with code volume this fixes the
+        compile-time share of total time, the axis the paper's
+        total-time results turn on.
+    profile_flatness:
+        Exponent gamma in (0, 1]: per-method time shares are reshaped
+        toward ``share**gamma`` (renormalized).  1.0 keeps the natural
+        concentrated profile of a kernel benchmark (compress); smaller
+        values flatten it, putting many methods above the adaptive
+        system's promotion threshold — the signature property of the
+        DaCapo programs.
+    """
+
+    name: str
+    suite: str
+    description: str
+    n_methods: int
+    n_layers: int = 8
+    size_median: float = 26.0
+    size_sigma: float = 0.85
+    fanout_mean: float = 3.0
+    leaf_fraction: float = 0.25
+    calls_median: float = 1.6
+    calls_sigma: float = 0.9
+    self_recursion_prob: float = 0.04
+    hot_fraction: float = 0.08
+    hot_call_boost: float = 6.0
+    hot_loop_boost: float = 4.0
+    call_share: float = 0.25
+    running_seconds: float = 5.0
+    entry_fanout: int = 5
+    profile_flatness: float = 1.0
+    mix: MixWeights = field(default_factory=MixWeights)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("benchmark name must be non-empty")
+        if self.n_methods < 3:
+            raise ConfigurationError(f"{self.name}: n_methods must be >= 3")
+        if self.n_layers < 2:
+            raise ConfigurationError(f"{self.name}: n_layers must be >= 2")
+        if self.size_median <= 0 or self.size_sigma < 0:
+            raise ConfigurationError(f"{self.name}: invalid size distribution")
+        if self.fanout_mean < 0:
+            raise ConfigurationError(f"{self.name}: fanout_mean must be >= 0")
+        if not 0 <= self.leaf_fraction < 1:
+            raise ConfigurationError(f"{self.name}: leaf_fraction must be in [0, 1)")
+        if self.calls_median <= 0 or self.calls_sigma < 0:
+            raise ConfigurationError(f"{self.name}: invalid calls distribution")
+        if not 0 <= self.self_recursion_prob < 1:
+            raise ConfigurationError(f"{self.name}: self_recursion_prob must be in [0, 1)")
+        if not 0 < self.hot_fraction <= 1:
+            raise ConfigurationError(f"{self.name}: hot_fraction must be in (0, 1]")
+        if self.hot_call_boost < 1 or self.hot_loop_boost < 1:
+            raise ConfigurationError(f"{self.name}: hot boosts must be >= 1")
+        if not 0 < self.call_share < 1:
+            raise ConfigurationError(f"{self.name}: call_share must be in (0, 1)")
+        if self.running_seconds <= 0:
+            raise ConfigurationError(f"{self.name}: running_seconds must be positive")
+        if self.entry_fanout < 1:
+            raise ConfigurationError(f"{self.name}: entry_fanout must be >= 1")
+        if not 0 < self.profile_flatness <= 1:
+            raise ConfigurationError(f"{self.name}: profile_flatness must be in (0, 1]")
+
+    @property
+    def target_cycles(self) -> float:
+        """Calibration target: cycles of one no-inlining iteration."""
+        return self.running_seconds * CAL_CLOCK_GHZ * 1e9
+
+    def scaled(self, **overrides) -> "BenchmarkSpec":
+        """Return a copy with selected fields replaced (used by tests
+        and examples to derive small variants)."""
+        return replace(self, **overrides)

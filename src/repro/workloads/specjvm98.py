@@ -1,0 +1,157 @@
+"""Synthetic SPECjvm98 — the paper's *training* suite (Table 2).
+
+Each spec encodes the published performance character of the real
+benchmark (run with the ``-s100`` data set, as in the paper):
+
+* **compress** — LZW kernel: tiny hot set of numeric loops, few calls,
+  long-running.  Compile time is irrelevant; the paper finds *Opt* best
+  for it (Figure 2a).
+* **jess** — expert-system shell: hundreds of small methods, very
+  call-dense, short-running.  Compile-sensitive; the paper finds
+  inlining depth 0 best under *Opt* (Figure 2b).
+* **db** — in-memory database: memory-bound loops over records.
+* **javac** — the JDK 1.0.2 compiler: the largest code volume in the
+  suite, flat profile, short run — one of the programs whose *Opt*
+  total time the default heuristic degrades badly (Figure 1a).
+* **mpegaudio** — MP3 decoder: numeric loops, moderate call density.
+* **raytrace** — single-threaded mtrt: very call-dense vector/ray math
+  in tiny methods; the biggest running-time winner from inlining.
+* **jack** — parser generator: many methods, token-pump call chains,
+  short-running.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.workloads.spec import BenchmarkSpec, MixWeights
+
+__all__ = ["SPECJVM98_SPECS"]
+
+SPECJVM98_SPECS: Tuple[BenchmarkSpec, ...] = (
+    BenchmarkSpec(
+        name="compress",
+        suite="SPECjvm98",
+        description="Java version of 129.compress from SPEC 95 (LZW kernel)",
+        n_methods=80,
+        n_layers=6,
+        size_median=24.0,
+        size_sigma=0.6,
+        fanout_mean=2.2,
+        leaf_fraction=0.30,
+        calls_median=1.8,
+        hot_fraction=0.06,
+        hot_loop_boost=8.0,
+        call_share=0.08,
+        running_seconds=8.0,
+        profile_flatness=1.0,
+        mix=MixWeights(move=2.0, arith=3.5, memory=2.0, branch=1.4, alloc=0.05, ret=0.3),
+    ),
+    BenchmarkSpec(
+        name="jess",
+        suite="SPECjvm98",
+        description="Java expert system shell (rule matching over facts)",
+        n_methods=450,
+        n_layers=9,
+        size_median=16.0,
+        size_sigma=0.55,
+        fanout_mean=4.0,
+        leaf_fraction=0.20,
+        calls_median=1.5,
+        hot_fraction=0.12,
+        call_share=0.32,
+        running_seconds=2.0,
+        profile_flatness=0.7,
+        mix=MixWeights(move=2.8, arith=1.6, memory=2.2, branch=1.5, alloc=0.25, ret=0.4),
+    ),
+    BenchmarkSpec(
+        name="db",
+        suite="SPECjvm98",
+        description="Builds and operates on an in-memory database",
+        n_methods=100,
+        n_layers=6,
+        size_median=22.0,
+        size_sigma=0.6,
+        fanout_mean=2.5,
+        leaf_fraction=0.28,
+        calls_median=1.7,
+        hot_fraction=0.08,
+        hot_loop_boost=6.0,
+        call_share=0.16,
+        running_seconds=11.0,
+        profile_flatness=0.85,
+        mix=MixWeights(move=2.2, arith=1.4, memory=3.2, branch=1.4, alloc=0.1, ret=0.3),
+    ),
+    BenchmarkSpec(
+        name="javac",
+        suite="SPECjvm98",
+        description="Java source to bytecode compiler in JDK 1.0.2",
+        n_methods=700,
+        n_layers=10,
+        size_median=22.0,
+        size_sigma=0.65,
+        fanout_mean=3.4,
+        leaf_fraction=0.22,
+        calls_median=1.5,
+        hot_fraction=0.18,
+        hot_loop_boost=3.0,
+        call_share=0.30,
+        running_seconds=2.2,
+        profile_flatness=0.62,
+        mix=MixWeights(move=2.6, arith=1.6, memory=2.4, branch=1.6, alloc=0.3, ret=0.4),
+    ),
+    BenchmarkSpec(
+        name="mpegaudio",
+        suite="SPECjvm98",
+        description="Decodes an MPEG-3 audio file (numeric filter loops)",
+        n_methods=140,
+        n_layers=7,
+        size_median=26.0,
+        size_sigma=0.6,
+        fanout_mean=2.4,
+        leaf_fraction=0.30,
+        calls_median=1.8,
+        hot_fraction=0.07,
+        hot_loop_boost=7.0,
+        call_share=0.12,
+        running_seconds=6.0,
+        profile_flatness=0.95,
+        mix=MixWeights(move=2.0, arith=3.8, memory=1.8, branch=1.2, alloc=0.05, ret=0.3),
+    ),
+    BenchmarkSpec(
+        name="raytrace",
+        suite="SPECjvm98",
+        description="Raytracer on a dinosaur scene (single-threaded mtrt)",
+        n_methods=160,
+        n_layers=8,
+        size_median=15.0,
+        size_sigma=0.55,
+        fanout_mean=3.2,
+        leaf_fraction=0.25,
+        calls_median=1.8,
+        hot_fraction=0.10,
+        hot_loop_boost=5.0,
+        call_share=0.36,
+        running_seconds=4.0,
+        profile_flatness=0.8,
+        mix=MixWeights(move=2.4, arith=3.0, memory=2.0, branch=1.0, alloc=0.2, ret=0.4),
+    ),
+    BenchmarkSpec(
+        name="jack",
+        suite="SPECjvm98",
+        description="Java parser generator with lexical analysis",
+        n_methods=550,
+        n_layers=9,
+        size_median=18.0,
+        size_sigma=0.6,
+        fanout_mean=3.0,
+        leaf_fraction=0.22,
+        calls_median=1.5,
+        hot_fraction=0.15,
+        hot_loop_boost=3.5,
+        call_share=0.28,
+        running_seconds=1.7,
+        profile_flatness=0.75,
+        mix=MixWeights(move=2.6, arith=1.5, memory=2.3, branch=1.7, alloc=0.25, ret=0.4),
+    ),
+)

@@ -1,0 +1,117 @@
+"""Benchmark-suite registry with program caching.
+
+Program generation is deterministic but not free (a DaCapo-sized graph
+takes tens of milliseconds), and the tuning loop runs the same programs
+thousands of times, so generated :class:`~repro.jvm.callgraph.Program`
+objects are cached per ``(benchmark, seed)``.  Programs are immutable,
+so sharing is safe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.jvm.callgraph import Program
+from repro.workloads.dacapo import DACAPO_JBB_SPECS
+from repro.workloads.generator import generate_program
+from repro.workloads.spec import BenchmarkSpec
+from repro.workloads.specjvm98 import SPECJVM98_SPECS
+
+__all__ = [
+    "BenchmarkSuite",
+    "SPECJVM98",
+    "DACAPO_JBB",
+    "get_suite",
+    "get_benchmark",
+    "available_suites",
+]
+
+
+@dataclass(frozen=True)
+class BenchmarkSuite:
+    """An ordered, named collection of benchmark specs."""
+
+    name: str
+    specs: Tuple[BenchmarkSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.specs:
+            raise ConfigurationError(f"suite {self.name!r} is empty")
+        names = [s.name for s in self.specs]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"suite {self.name!r} has duplicate benchmark names")
+
+    @property
+    def benchmark_names(self) -> Tuple[str, ...]:
+        """Names of the member benchmarks, in suite order."""
+        return tuple(s.name for s in self.specs)
+
+    def spec(self, name: str) -> BenchmarkSpec:
+        """Look up one member spec by benchmark name."""
+        for s in self.specs:
+            if s.name == name:
+                return s
+        raise ConfigurationError(
+            f"suite {self.name!r} has no benchmark {name!r}; "
+            f"members: {list(self.benchmark_names)}"
+        )
+
+    def programs(self, seed: int = 0) -> List[Program]:
+        """Generate (or fetch cached) programs for every member."""
+        return [_cached_program(self.name, s.name, seed) for s in self.specs]
+
+    def program(self, name: str, seed: int = 0) -> Program:
+        """Generate (or fetch cached) one member program."""
+        self.spec(name)  # validates membership
+        return _cached_program(self.name, name, seed)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __iter__(self):
+        return iter(self.specs)
+
+
+#: the paper's training suite (Table 2)
+SPECJVM98 = BenchmarkSuite(name="SPECjvm98", specs=SPECJVM98_SPECS)
+
+#: the paper's test suite (Table 3)
+DACAPO_JBB = BenchmarkSuite(name="DaCapo+JBB", specs=DACAPO_JBB_SPECS)
+
+_SUITES: Dict[str, BenchmarkSuite] = {
+    "specjvm98": SPECJVM98,
+    "dacapo+jbb": DACAPO_JBB,
+    "dacapo": DACAPO_JBB,
+}
+
+
+def available_suites() -> List[str]:
+    """Canonical names of the registered suites."""
+    return [SPECJVM98.name, DACAPO_JBB.name]
+
+
+def get_suite(name: str) -> BenchmarkSuite:
+    """Look up a suite by (case-insensitive) name."""
+    try:
+        return _SUITES[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown suite {name!r}; available: {available_suites()}"
+        ) from None
+
+
+def get_benchmark(name: str, seed: int = 0) -> Program:
+    """Find *name* in any registered suite and return its program."""
+    for suite in (SPECJVM98, DACAPO_JBB):
+        if name in suite.benchmark_names:
+            return suite.program(name, seed)
+    raise ConfigurationError(f"no suite contains a benchmark named {name!r}")
+
+
+@lru_cache(maxsize=256)
+def _cached_program(suite_name: str, bench_name: str, seed: int) -> Program:
+    suite = get_suite(suite_name)
+    return generate_program(suite.spec(bench_name), seed=seed)

@@ -1,0 +1,58 @@
+"""Tests for convergence summaries."""
+
+import pytest
+
+from repro.analysis.convergence import summarize_history
+from repro.errors import ConfigurationError
+from repro.ga.statistics import GenerationStats
+
+
+def _stats(gen, best, evaluations=0, hits=0):
+    return GenerationStats(
+        generation=gen,
+        best_fitness=best,
+        mean_fitness=best + 1,
+        worst_fitness=best + 2,
+        std_fitness=0.1,
+        best_genome=(1,),
+        evaluations=evaluations,
+        cache_hits=hits,
+    )
+
+
+class TestSummarizeHistory:
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize_history([])
+
+    def test_monotone_tracking_ignores_regressions(self):
+        # generation bests may regress without elitism; the summary
+        # tracks the running best
+        history = [_stats(0, 10.0), _stats(1, 12.0), _stats(2, 8.0)]
+        summary = summarize_history(history)
+        assert summary.initial_best == 10.0
+        assert summary.final_best == 8.0
+        assert summary.last_improvement_generation == 2
+
+    def test_improvement_fraction(self):
+        history = [_stats(0, 10.0), _stats(1, 5.0)]
+        assert summarize_history(history).improvement == pytest.approx(0.5)
+
+    def test_half_improvement_generation(self):
+        history = [_stats(0, 10.0), _stats(1, 9.0), _stats(2, 7.0), _stats(3, 6.0)]
+        # half of (10 -> 6) is reached at fitness 8, first hit at gen 2
+        assert summarize_history(history).half_improvement_generation == 2
+
+    def test_flat_history(self):
+        history = [_stats(0, 4.0), _stats(1, 4.0)]
+        summary = summarize_history(history)
+        assert summary.improvement == 0.0
+        assert summary.last_improvement_generation == 0
+        assert summary.half_improvement_generation == 0
+
+    def test_cache_hit_rate(self):
+        history = [_stats(0, 4.0, evaluations=10, hits=0), _stats(1, 4.0, 15, 5)]
+        summary = summarize_history(history)
+        assert summary.total_evaluations == 15
+        assert summary.total_cache_hits == 5
+        assert summary.cache_hit_rate == pytest.approx(0.25)

@@ -1,0 +1,86 @@
+"""Tests for 2-D landscape slices."""
+
+import pytest
+
+from helpers import chain_program, diamond_program
+
+from repro.analysis.landscape import grid_slice, render_heatmap
+from repro.arch import PENTIUM4
+from repro.core.evaluation import HeuristicEvaluator
+from repro.core.metrics import Metric
+from repro.errors import ConfigurationError
+from repro.jvm.scenario import OPTIMIZING
+
+
+@pytest.fixture(scope="module")
+def evaluator():
+    return HeuristicEvaluator(
+        programs=[diamond_program(), chain_program()],
+        machine=PENTIUM4,
+        scenario=OPTIMIZING,
+        metric=Metric.TOTAL,
+    )
+
+
+@pytest.fixture(scope="module")
+def slice_(evaluator):
+    return grid_slice(
+        evaluator, "CALLEE_MAX_SIZE", "MAX_INLINE_DEPTH", x_points=4, y_points=3
+    )
+
+
+class TestGridSlice:
+    def test_grid_shape(self, slice_):
+        assert len(slice_.fitness) == len(slice_.y_values)
+        assert all(len(row) == len(slice_.x_values) for row in slice_.fitness)
+
+    def test_axis_values_span_table1_ranges(self, slice_):
+        assert slice_.x_values[0] == 1 and slice_.x_values[-1] == 50
+        assert slice_.y_values[0] == 1 and slice_.y_values[-1] == 15
+
+    def test_best_point_consistent(self, slice_):
+        x, y = slice_.best_point
+        i = slice_.y_values.index(y)
+        j = slice_.x_values.index(x)
+        assert slice_.fitness[i][j] == slice_.best_fitness
+
+    def test_corner_matches_direct_evaluation(self, slice_, evaluator):
+        from repro.jvm.inlining import InliningParameters
+
+        genome = list(evaluator.default_params.as_tuple())
+        genome[0] = slice_.x_values[0]
+        genome[2] = slice_.y_values[0]
+        direct = evaluator.fitness_of_params(
+            InliningParameters.from_sequence(genome)
+        )
+        assert slice_.fitness[0][0] == pytest.approx(direct)
+
+    def test_same_axis_rejected(self, evaluator):
+        with pytest.raises(ConfigurationError):
+            grid_slice(evaluator, "CALLEE_MAX_SIZE", "CALLEE_MAX_SIZE")
+
+    def test_unknown_axis_rejected(self, evaluator):
+        with pytest.raises(ConfigurationError):
+            grid_slice(evaluator, "CALLEE_MAX_SIZE", "NOPE")
+
+    def test_too_few_points_rejected(self, evaluator):
+        with pytest.raises(ConfigurationError):
+            grid_slice(evaluator, "CALLEE_MAX_SIZE", "MAX_INLINE_DEPTH", x_points=1)
+
+    def test_spread_nonnegative(self, slice_):
+        assert slice_.spread >= 0.0
+
+
+class TestHeatmap:
+    def test_renders_all_rows(self, slice_):
+        text = render_heatmap(slice_)
+        lines = text.splitlines()
+        # title + header + one line per y + footer
+        assert len(lines) == 2 + len(slice_.y_values) + 1
+
+    def test_marks_best_point(self, slice_):
+        assert "*" in render_heatmap(slice_)
+
+    def test_mentions_both_parameters(self, slice_):
+        text = render_heatmap(slice_)
+        assert "CALLEE_MAX_SIZE" in text and "MAX_INLINE_DEPTH" in text

@@ -1,0 +1,77 @@
+"""Tests for the search-strategy baselines."""
+
+import pytest
+
+from repro.analysis.search import coordinate_descent, ga_search, random_search
+from repro.errors import ConfigurationError
+from repro.ga.individual import IntVectorSpace
+
+
+def sphere(genome):
+    return float(sum((g - 7) ** 2 for g in genome))
+
+
+@pytest.fixture
+def space():
+    return IntVectorSpace([0, 0, 0], [20, 20, 20])
+
+
+class TestRandomSearch:
+    def test_respects_budget(self, space):
+        result = random_search(sphere, space, budget=30)
+        assert result.evaluations == 30
+
+    def test_finds_reasonable_point(self, space):
+        result = random_search(sphere, space, budget=200, seed=1)
+        assert result.best_fitness < sphere((0, 0, 0))
+
+    def test_deterministic(self, space):
+        a = random_search(sphere, space, budget=50, seed=3)
+        b = random_search(sphere, space, budget=50, seed=3)
+        assert a.best_genome == b.best_genome
+
+    def test_invalid_budget(self, space):
+        with pytest.raises(ConfigurationError):
+            random_search(sphere, space, budget=0)
+
+
+class TestCoordinateDescent:
+    def test_solves_separable_problem(self, space):
+        result = coordinate_descent(sphere, space, budget=150, start=(0, 0, 0))
+        assert result.best_genome == (7, 7, 7)
+
+    def test_budget_respected(self, space):
+        result = coordinate_descent(sphere, space, budget=25, start=(0, 0, 0))
+        assert result.evaluations <= 25
+
+    def test_start_point_used(self, space):
+        result = coordinate_descent(sphere, space, budget=5, start=(7, 7, 7))
+        assert result.best_fitness == 0.0
+
+    def test_invalid_budget(self, space):
+        with pytest.raises(ConfigurationError):
+            coordinate_descent(sphere, space, budget=0)
+
+
+class TestGASearch:
+    def test_budget_bounds_nominal_evaluations(self, space):
+        result = ga_search(sphere, space, budget=100, population_size=10)
+        assert result.evaluations <= 100
+
+    def test_budget_below_population_rejected(self, space):
+        with pytest.raises(ConfigurationError):
+            ga_search(sphere, space, budget=5, population_size=10)
+
+    def test_improves_over_best_of_first_population(self, space):
+        result = ga_search(sphere, space, budget=200, population_size=10, seed=2)
+        assert result.best_fitness <= 5.0
+
+    def test_all_strategies_report_common_interface(self, space):
+        for result in (
+            random_search(sphere, space, budget=20),
+            coordinate_descent(sphere, space, budget=20),
+            ga_search(sphere, space, budget=20, population_size=10),
+        ):
+            assert space.contains(result.best_genome)
+            assert result.best_fitness == sphere(result.best_genome)
+            assert result.strategy in str(result)

@@ -1,0 +1,79 @@
+"""Tests for the parameter-sensitivity sweeps."""
+
+import pytest
+
+from helpers import diamond_program, chain_program
+
+from repro.analysis.sensitivity import sweep_all, sweep_parameter
+from repro.arch import PENTIUM4
+from repro.core.evaluation import HeuristicEvaluator
+from repro.core.metrics import Metric
+from repro.errors import ConfigurationError
+from repro.jvm.inlining import InliningParameters
+from repro.jvm.scenario import OPTIMIZING
+
+
+@pytest.fixture
+def evaluator():
+    return HeuristicEvaluator(
+        programs=[diamond_program(), chain_program()],
+        machine=PENTIUM4,
+        scenario=OPTIMIZING,
+        metric=Metric.TOTAL,
+    )
+
+
+class TestSweepParameter:
+    def test_values_and_fitness_align(self, evaluator):
+        sweep = sweep_parameter(evaluator, "MAX_INLINE_DEPTH", [1, 3, 5])
+        assert sweep.values == (1, 3, 5)
+        assert len(sweep.fitness) == 3
+
+    def test_best_value_minimizes(self, evaluator):
+        sweep = sweep_parameter(evaluator, "CALLEE_MAX_SIZE", [1, 10, 25, 50])
+        best_idx = sweep.values.index(sweep.best_value)
+        assert sweep.fitness[best_idx] == min(sweep.fitness)
+
+    def test_only_named_axis_varies(self, evaluator):
+        base = InliningParameters(20, 10, 5, 500, 100)
+        sweep = sweep_parameter(evaluator, "CALLER_MAX_SIZE", [100, 4000], base=base)
+        assert sweep.base_value == 500
+        # evaluation with the axis pinned back to base matches the base
+        direct = evaluator.fitness_of_params(base)
+        pinned = sweep_parameter(evaluator, "CALLER_MAX_SIZE", [500], base=base)
+        assert pinned.fitness[0] == pytest.approx(direct)
+
+    def test_unknown_parameter_rejected(self, evaluator):
+        with pytest.raises(ConfigurationError):
+            sweep_parameter(evaluator, "FOO", [1])
+
+    def test_empty_values_rejected(self, evaluator):
+        with pytest.raises(ConfigurationError):
+            sweep_parameter(evaluator, "CALLEE_MAX_SIZE", [])
+
+    def test_spread_nonnegative(self, evaluator):
+        sweep = sweep_parameter(evaluator, "ALWAYS_INLINE_SIZE", [1, 10, 20])
+        assert sweep.spread >= 0.0
+
+
+class TestSweepAll:
+    def test_covers_every_axis(self, evaluator):
+        sweeps = sweep_all(evaluator, points_per_axis=3)
+        assert set(sweeps) == {
+            "CALLEE_MAX_SIZE",
+            "ALWAYS_INLINE_SIZE",
+            "MAX_INLINE_DEPTH",
+            "CALLER_MAX_SIZE",
+            "HOT_CALLEE_MAX_SIZE",
+        }
+
+    def test_axis_values_within_table1_ranges(self, evaluator):
+        sweeps = sweep_all(evaluator, points_per_axis=4)
+        assert min(sweeps["CALLEE_MAX_SIZE"].values) >= 1
+        assert max(sweeps["CALLEE_MAX_SIZE"].values) <= 50
+        assert max(sweeps["CALLER_MAX_SIZE"].values) <= 4000
+
+    def test_hot_callee_axis_inert_under_opt(self, evaluator):
+        # Opt has no profile, so HOT_CALLEE_MAX_SIZE cannot matter
+        sweeps = sweep_all(evaluator, points_per_axis=4)
+        assert sweeps["HOT_CALLEE_MAX_SIZE"].spread == pytest.approx(0.0)

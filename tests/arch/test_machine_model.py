@@ -1,0 +1,120 @@
+"""Tests for the architecture models."""
+
+import pytest
+
+from repro.arch import PENTIUM4, POWERPC_G4, available_machines, get_machine
+from repro.arch.base import MachineModel, register_machine
+from repro.errors import ConfigurationError
+
+
+def _valid_kwargs(**overrides):
+    kwargs = dict(
+        name="testmachine",
+        clock_ghz=1.0,
+        call_overhead_cycles=10.0,
+        icache_capacity=1000.0,
+        icache_miss_penalty=0.5,
+        compile_cycles_per_instruction={0: 50.0, 2: 1000.0},
+        opt_speed_factor={0: 1.0, 2: 0.5},
+    )
+    kwargs.update(overrides)
+    return kwargs
+
+
+class TestValidation:
+    def test_valid_model_constructs(self):
+        model = MachineModel(**_valid_kwargs())
+        assert model.max_opt_level == 2
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("clock_ghz", 0.0),
+            ("clock_ghz", -1.0),
+            ("call_overhead_cycles", -1.0),
+            ("icache_capacity", 0.0),
+            ("icache_miss_penalty", -0.1),
+            ("app_cycle_factor", 0.0),
+        ],
+    )
+    def test_bad_scalars_rejected(self, field, value):
+        with pytest.raises(ConfigurationError):
+            MachineModel(**_valid_kwargs(**{field: value}))
+
+    def test_missing_baseline_compile_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MachineModel(**_valid_kwargs(compile_cycles_per_instruction={2: 1000.0}))
+
+    def test_missing_baseline_speed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MachineModel(**_valid_kwargs(opt_speed_factor={2: 0.5}))
+
+    def test_nonpositive_compile_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MachineModel(
+                **_valid_kwargs(compile_cycles_per_instruction={0: 50.0, 2: 0.0})
+            )
+
+    def test_speed_factor_range_enforced(self):
+        with pytest.raises(ConfigurationError):
+            MachineModel(**_valid_kwargs(opt_speed_factor={0: 1.0, 2: 2.0}))
+
+
+class TestAccessors:
+    def test_compile_rate_lookup(self):
+        model = MachineModel(**_valid_kwargs())
+        assert model.compile_rate(0) == 50.0
+        assert model.compile_rate(2) == 1000.0
+
+    def test_unknown_level_raises(self):
+        model = MachineModel(**_valid_kwargs())
+        with pytest.raises(ConfigurationError):
+            model.compile_rate(7)
+        with pytest.raises(ConfigurationError):
+            model.speed_factor(7)
+
+    def test_cycles_to_seconds(self):
+        model = MachineModel(**_valid_kwargs(clock_ghz=2.0))
+        assert model.cycles_to_seconds(2e9) == pytest.approx(1.0)
+
+    def test_scaled_returns_modified_copy(self):
+        model = MachineModel(**_valid_kwargs())
+        quiet = model.scaled(icache_miss_penalty=0.0)
+        assert quiet.icache_miss_penalty == 0.0
+        assert model.icache_miss_penalty == 0.5
+        assert quiet.name == model.name
+
+
+class TestBuiltinModels:
+    def test_both_registered(self):
+        assert "pentium4" in available_machines()
+        assert "powerpc-g4" in available_machines()
+
+    def test_lookup_roundtrip(self):
+        assert get_machine("pentium4") is PENTIUM4
+        assert get_machine("powerpc-g4") is POWERPC_G4
+
+    def test_unknown_machine_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_machine("cray1")
+
+    def test_paper_architecture_contrasts(self):
+        """The contrasts the paper's results rely on (§4.2)."""
+        # P4 is faster-clocked and pays more per call (deep pipeline)
+        assert PENTIUM4.clock_ghz > POWERPC_G4.clock_ghz
+        assert PENTIUM4.call_overhead_cycles > POWERPC_G4.call_overhead_cycles
+        # P4 holds more hot code (512KB vs 64KB story)
+        assert PENTIUM4.icache_capacity > POWERPC_G4.icache_capacity
+        # compilation is a relatively larger burden on the P4
+        assert (
+            PENTIUM4.compile_rate(2) / PENTIUM4.app_cycle_factor
+            > POWERPC_G4.compile_rate(2) / POWERPC_G4.app_cycle_factor
+        )
+
+    def test_reregistration_same_model_is_idempotent(self):
+        assert register_machine(PENTIUM4) is PENTIUM4
+
+    def test_reregistration_conflict_rejected(self):
+        conflicting = PENTIUM4.scaled(clock_ghz=9.9)
+        with pytest.raises(ConfigurationError):
+            register_machine(conflicting)

@@ -1,0 +1,80 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from helpers import chain_program, diamond_program, make_program  # noqa: E402
+
+from repro.arch import PENTIUM4, POWERPC_G4
+from repro.jvm.costmodel import DEFAULT_COST_MODEL
+from repro.jvm.scenario import ADAPTIVE, OPTIMIZING
+from repro.workloads.spec import BenchmarkSpec
+
+
+@pytest.fixture(autouse=True)
+def _no_disk_cache(monkeypatch, tmp_path):
+    """Tests never read or pollute the repo's tuning disk cache."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "tuning-cache"))
+    yield
+
+
+@pytest.fixture
+def x86():
+    return PENTIUM4
+
+
+@pytest.fixture
+def ppc():
+    return POWERPC_G4
+
+
+@pytest.fixture
+def opt_scenario():
+    return OPTIMIZING
+
+
+@pytest.fixture
+def adaptive_scenario():
+    return ADAPTIVE
+
+
+@pytest.fixture
+def cost_model():
+    return DEFAULT_COST_MODEL
+
+
+@pytest.fixture
+def diamond():
+    return diamond_program()
+
+
+@pytest.fixture
+def chain():
+    return chain_program()
+
+
+@pytest.fixture
+def tiny_spec():
+    """A small, fast-to-generate benchmark spec for workload tests."""
+    return BenchmarkSpec(
+        name="tinybench",
+        suite="test",
+        description="small synthetic benchmark for tests",
+        n_methods=60,
+        n_layers=5,
+        size_median=18.0,
+        size_sigma=0.6,
+        fanout_mean=2.5,
+        leaf_fraction=0.25,
+        calls_median=1.5,
+        hot_fraction=0.1,
+        call_share=0.3,
+        running_seconds=0.05,
+        profile_flatness=0.7,
+    )

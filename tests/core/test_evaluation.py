@@ -1,0 +1,88 @@
+"""Tests for the GA-facing fitness evaluator."""
+
+import pickle
+
+import pytest
+
+from helpers import chain_program, diamond_program
+
+from repro.arch import PENTIUM4
+from repro.core.evaluation import HeuristicEvaluator
+from repro.core.metrics import Metric, geometric_mean, perf_value
+from repro.errors import TuningError
+from repro.jvm.inlining import JIKES_DEFAULT_PARAMETERS, NO_INLINING
+from repro.jvm.scenario import OPTIMIZING
+
+
+@pytest.fixture
+def evaluator():
+    return HeuristicEvaluator(
+        programs=[diamond_program(), chain_program()],
+        machine=PENTIUM4,
+        scenario=OPTIMIZING,
+        metric=Metric.TOTAL,
+    )
+
+
+class TestEvaluator:
+    def test_requires_programs(self):
+        with pytest.raises(TuningError):
+            HeuristicEvaluator(
+                programs=[],
+                machine=PENTIUM4,
+                scenario=OPTIMIZING,
+                metric=Metric.TOTAL,
+            )
+
+    def test_fitness_is_geomean_of_perf(self, evaluator):
+        params = JIKES_DEFAULT_PARAMETERS
+        reports = evaluator.run_all(params)
+        expected = geometric_mean(
+            [
+                perf_value(
+                    Metric.TOTAL, r, evaluator.default_reports[r.benchmark]
+                )
+                for r in reports
+            ]
+        )
+        assert evaluator.fitness_of_params(params) == pytest.approx(expected)
+
+    def test_callable_decodes_genome(self, evaluator):
+        genome = JIKES_DEFAULT_PARAMETERS.as_tuple()
+        assert evaluator(genome) == pytest.approx(
+            evaluator.fitness_of_params(JIKES_DEFAULT_PARAMETERS)
+        )
+
+    def test_default_fitness_matches_default_params(self, evaluator):
+        assert evaluator.default_fitness == pytest.approx(
+            evaluator.fitness_of_params(JIKES_DEFAULT_PARAMETERS)
+        )
+
+    def test_distinct_params_distinct_fitness(self, evaluator):
+        a = evaluator.fitness_of_params(JIKES_DEFAULT_PARAMETERS)
+        b = evaluator.fitness_of_params(NO_INLINING)
+        assert a != b
+
+    def test_deterministic(self, evaluator):
+        genome = (20, 10, 4, 500, 100)
+        assert evaluator(genome) == evaluator(genome)
+
+    def test_balance_metric_uses_default_reports(self):
+        evaluator = HeuristicEvaluator(
+            programs=[diamond_program()],
+            machine=PENTIUM4,
+            scenario=OPTIMIZING,
+            metric=Metric.BALANCE,
+        )
+        fitness = evaluator.fitness_of_params(JIKES_DEFAULT_PARAMETERS)
+        report = evaluator.run_all(JIKES_DEFAULT_PARAMETERS)[0]
+        # balance of the default run: factor * running + total
+        factor = report.total_seconds / report.running_seconds
+        assert fitness == pytest.approx(
+            factor * report.running_seconds + report.total_seconds
+        )
+
+    def test_picklable_for_multiprocess_evaluation(self, evaluator):
+        clone = pickle.loads(pickle.dumps(evaluator))
+        genome = (20, 10, 4, 500, 100)
+        assert clone(genome) == pytest.approx(evaluator(genome))

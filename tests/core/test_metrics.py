@@ -1,0 +1,101 @@
+"""Tests for the fitness metrics (paper §3.1)."""
+
+import math
+
+import pytest
+
+from helpers import diamond_program
+
+from repro.arch import PENTIUM4
+from repro.core.metrics import Metric, balance_factor, geometric_mean, perf_value
+from repro.errors import ConfigurationError
+from repro.jvm.inlining import JIKES_DEFAULT_PARAMETERS, NO_INLINING
+from repro.jvm.runtime import VirtualMachine
+from repro.jvm.scenario import OPTIMIZING
+
+
+@pytest.fixture
+def reports():
+    vm = VirtualMachine(PENTIUM4, OPTIMIZING)
+    program = diamond_program()
+    return (
+        vm.run(program, NO_INLINING),
+        vm.run(program, JIKES_DEFAULT_PARAMETERS),
+    )
+
+
+class TestGeometricMean:
+    def test_matches_formula(self):
+        values = [2.0, 8.0]
+        assert geometric_mean(values) == pytest.approx(4.0)
+
+    def test_single_value(self):
+        assert geometric_mean([3.5]) == pytest.approx(3.5)
+
+    def test_scale_equivariance(self):
+        values = [1.0, 2.0, 4.0]
+        assert geometric_mean([10 * v for v in values]) == pytest.approx(
+            10 * geometric_mean(values)
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            geometric_mean([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ConfigurationError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestMetricParse:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("running", Metric.RUNNING),
+            ("TOTAL", Metric.TOTAL),
+            ("Balance", Metric.BALANCE),
+            ("Bal", Metric.BALANCE),
+            ("Tot", Metric.TOTAL),
+            ("run", Metric.RUNNING),
+        ],
+    )
+    def test_aliases(self, text, expected):
+        assert Metric.parse(text) is expected
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Metric.parse("speed")
+
+
+class TestPerfValue:
+    def test_running_metric(self, reports):
+        _, report = reports
+        assert perf_value(Metric.RUNNING, report) == report.running_seconds
+
+    def test_total_metric(self, reports):
+        _, report = reports
+        assert perf_value(Metric.TOTAL, report) == report.total_seconds
+
+    def test_balance_formula(self, reports):
+        default_report, report = reports
+        factor = balance_factor(default_report)
+        expected = factor * report.running_seconds + report.total_seconds
+        assert perf_value(Metric.BALANCE, report, default_report) == pytest.approx(
+            expected
+        )
+
+    def test_balance_requires_default_report(self, reports):
+        _, report = reports
+        with pytest.raises(ConfigurationError):
+            perf_value(Metric.BALANCE, report)
+
+    def test_balance_factor_is_total_over_running(self, reports):
+        default_report, _ = reports
+        assert balance_factor(default_report) == pytest.approx(
+            default_report.total_seconds / default_report.running_seconds
+        )
+
+    def test_balance_factor_at_least_one(self, reports):
+        # total includes compilation, so the factor can't be below 1
+        default_report, _ = reports
+        assert balance_factor(default_report) >= 1.0

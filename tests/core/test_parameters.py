@@ -1,0 +1,62 @@
+"""Tests for the Table 1 parameter space."""
+
+import pytest
+
+from repro.core.parameters import TABLE1_SPACE, ParameterSpace, ParameterSpec
+from repro.errors import ConfigurationError
+from repro.jvm.inlining import JIKES_DEFAULT_PARAMETERS, InliningParameters
+
+
+class TestParameterSpec:
+    def test_inverted_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ParameterSpec(name="X", description="d", low=10, high=5)
+
+    def test_negative_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ParameterSpec(name="X", description="d", low=-1, high=5)
+
+
+class TestTable1Space:
+    def test_published_ranges(self):
+        ranges = {s.name: (s.low, s.high) for s in TABLE1_SPACE.specs}
+        assert ranges["CALLEE_MAX_SIZE"] == (1, 50)
+        assert ranges["MAX_INLINE_DEPTH"] == (1, 15)
+        assert ranges["CALLER_MAX_SIZE"] == (1, 4000)
+        assert ranges["HOT_CALLEE_MAX_SIZE"] == (1, 400)
+
+    def test_cardinality_is_intractable(self):
+        # the paper reports ~3e11 and concludes exhaustive search is
+        # intractable; our space must be of that order
+        assert TABLE1_SPACE.cardinality > 1e10
+
+    def test_defaults_inside_space(self):
+        space = TABLE1_SPACE.to_ga_space()
+        assert space.contains(JIKES_DEFAULT_PARAMETERS.as_tuple())
+
+    def test_decode_encode_roundtrip(self):
+        params = InliningParameters(10, 5, 3, 100, 50)
+        assert TABLE1_SPACE.decode(TABLE1_SPACE.encode(params)) == params
+
+    def test_decode_wrong_arity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TABLE1_SPACE.decode((1, 2, 3))
+
+    def test_decode_requires_table1_layout(self):
+        other = ParameterSpace(
+            [ParameterSpec(name="X", description="d", low=0, high=1)]
+        )
+        with pytest.raises(ConfigurationError):
+            other.decode((1,))
+        with pytest.raises(ConfigurationError):
+            other.encode(JIKES_DEFAULT_PARAMETERS)
+
+    def test_duplicate_names_rejected(self):
+        spec = ParameterSpec(name="X", description="d", low=0, high=1)
+        with pytest.raises(ConfigurationError):
+            ParameterSpace([spec, spec])
+
+    def test_describe_lists_every_parameter(self):
+        text = TABLE1_SPACE.describe()
+        for spec in TABLE1_SPACE.specs:
+            assert spec.name in text

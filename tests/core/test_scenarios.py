@@ -1,0 +1,43 @@
+"""Tests for the standard tuning-task catalog."""
+
+import pytest
+
+from repro.core.metrics import Metric
+from repro.core.scenarios import EXTRA_TASKS, STANDARD_TASKS, get_task, task_names
+from repro.errors import ConfigurationError
+
+
+class TestCatalog:
+    def test_five_table4_columns(self):
+        assert task_names() == (
+            "Adapt",
+            "Opt:Bal",
+            "Opt:Tot",
+            "Adapt (PPC)",
+            "Opt:Bal (PPC)",
+        )
+
+    def test_lookup_case_insensitive(self):
+        assert get_task("opt:tot").name == "Opt:Tot"
+        assert get_task("ADAPT (PPC)").name == "Adapt (PPC)"
+
+    def test_unknown_task_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_task("Opt:Speed")
+
+    def test_adapt_tasks_tune_for_balance_only(self):
+        # paper: Adapt is only tuned for balance (its whole purpose is
+        # already balancing compile vs run time)
+        for task in STANDARD_TASKS:
+            if task.scenario.is_adaptive:
+                assert task.metric is Metric.BALANCE
+
+    def test_machines_cover_both_architectures(self):
+        machines = {task.machine.name for task in STANDARD_TASKS}
+        assert machines == {"pentium4", "powerpc-g4"}
+
+    def test_figure10_extra_task(self):
+        task = get_task("Opt:Run")
+        assert task in EXTRA_TASKS
+        assert task.metric is Metric.RUNNING
+        assert not task.scenario.is_adaptive

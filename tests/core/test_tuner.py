@@ -1,0 +1,101 @@
+"""Tests for the tuning driver (small budgets)."""
+
+import json
+
+import pytest
+
+from helpers import chain_program, diamond_program, make_program
+
+from repro.arch import PENTIUM4
+from repro.core.metrics import Metric
+from repro.core.tuner import (
+    DEFAULT_GA_CONFIG,
+    InliningTuner,
+    TunedHeuristic,
+    TuningTask,
+)
+from repro.ga.engine import GAConfig
+from repro.jvm.inlining import JIKES_DEFAULT_PARAMETERS
+from repro.jvm.scenario import OPTIMIZING
+
+TINY_GA = GAConfig(population_size=8, generations=5, elitism=1)
+
+
+@pytest.fixture
+def task():
+    return TuningTask(
+        name="unit", scenario=OPTIMIZING, machine=PENTIUM4, metric=Metric.TOTAL
+    )
+
+
+@pytest.fixture
+def programs():
+    return [diamond_program(), chain_program()]
+
+
+class TestTune:
+    def test_result_fields(self, task, programs):
+        tuned = InliningTuner(TINY_GA).tune(task, programs)
+        assert tuned.task_name == "unit"
+        assert tuned.scenario_name == "Opt"
+        assert tuned.machine_name == "pentium4"
+        assert tuned.metric is Metric.TOTAL
+        assert tuned.generations_run == 5
+        assert tuned.evaluations > 0
+        assert tuned.wall_seconds > 0
+        assert len(tuned.history) == 5
+
+    def test_tuned_never_worse_than_default_on_training(self, task, programs):
+        # the default genome is injected into the initial population
+        tuned = InliningTuner(TINY_GA).tune(task, programs)
+        assert tuned.fitness <= tuned.default_fitness * (1 + 1e-12)
+        assert tuned.improvement >= -1e-12
+
+    def test_determinism(self, task, programs):
+        a = InliningTuner(TINY_GA).tune(task, programs)
+        b = InliningTuner(TINY_GA).tune(task, programs)
+        assert a.params == b.params
+        assert a.fitness == b.fitness
+
+    def test_seed_changes_search(self, programs):
+        t1 = TuningTask(
+            name="unit", scenario=OPTIMIZING, machine=PENTIUM4,
+            metric=Metric.TOTAL, seed=1,
+        )
+        t2 = TuningTask(
+            name="unit", scenario=OPTIMIZING, machine=PENTIUM4,
+            metric=Metric.TOTAL, seed=2,
+        )
+        a = InliningTuner(TINY_GA).tune(t1, programs)
+        b = InliningTuner(TINY_GA).tune(t2, programs)
+        histories_differ = [s.mean_fitness for s in a.history] != [
+            s.mean_fitness for s in b.history
+        ]
+        assert histories_differ
+
+    def test_tune_per_program_scopes_name(self, task):
+        program = diamond_program()
+        tuned = InliningTuner(TINY_GA).tune_per_program(task, program)
+        assert tuned.task_name == "unit:diamond"
+
+
+class TestSerialization:
+    def test_json_roundtrip(self, task, programs):
+        tuned = InliningTuner(TINY_GA).tune(task, programs)
+        loaded = TunedHeuristic.from_json(tuned.to_json())
+        assert loaded.params == tuned.params
+        assert loaded.fitness == tuned.fitness
+        assert loaded.default_fitness == tuned.default_fitness
+        assert loaded.metric is tuned.metric
+        assert loaded.history == ()  # history not serialized
+
+    def test_json_is_plain_dict(self, task, programs):
+        tuned = InliningTuner(TINY_GA).tune(task, programs)
+        payload = json.loads(tuned.to_json())
+        assert payload["params"] == list(tuned.params.as_tuple())
+
+
+class TestTaskStr:
+    def test_describes_configuration(self, task):
+        text = str(task)
+        assert "Opt" in text and "pentium4" in text and "total" in text

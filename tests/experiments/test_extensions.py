@@ -1,0 +1,147 @@
+"""Tests for the extension experiments (transfer matrix, noise)."""
+
+import pytest
+
+from helpers import chain_program, diamond_program, make_program
+
+from repro.arch import PENTIUM4, POWERPC_G4
+from repro.core.metrics import Metric
+from repro.core.tuner import TuningTask
+from repro.errors import ConfigurationError
+from repro.experiments.extensions import (
+    NoisyEvaluator,
+    noise_robustness,
+    transfer_matrix,
+)
+from repro.ga.engine import GAConfig
+from repro.jvm.inlining import JIKES_DEFAULT_PARAMETERS
+from repro.jvm.scenario import OPTIMIZING
+
+TINY_GA = GAConfig(population_size=8, generations=4, elitism=1)
+
+
+@pytest.fixture(scope="module")
+def programs():
+    return [diamond_program(), chain_program(length=5, calls=3.0)]
+
+
+class TestTransferMatrix:
+    @pytest.fixture(scope="class")
+    def matrix(self, programs):
+        return transfer_matrix(
+            machines=[PENTIUM4, POWERPC_G4],
+            scenario=OPTIMIZING,
+            metric=Metric.TOTAL,
+            training_programs=programs,
+            ga_config=TINY_GA,
+        )
+
+    def test_diagonal_is_one(self, matrix):
+        for name in matrix.machines:
+            assert matrix.penalty(name, name) == pytest.approx(1.0)
+
+    def test_off_diagonal_is_penalty_or_tie(self, matrix):
+        """A machine running another machine's heuristic can't beat its
+        own tuning on the training metric."""
+        for run_on in matrix.machines:
+            for tuned_for in matrix.machines:
+                assert matrix.penalty(run_on, tuned_for) >= 1.0 - 1e-9
+
+    def test_tuned_results_recorded(self, matrix):
+        assert set(matrix.tuned) == {"pentium4", "powerpc-g4"}
+
+    def test_worst_penalty(self, matrix):
+        assert matrix.worst_penalty() >= 1.0 - 1e-9
+
+    def test_single_machine_rejected(self, programs):
+        with pytest.raises(ConfigurationError):
+            transfer_matrix(
+                machines=[PENTIUM4],
+                scenario=OPTIMIZING,
+                metric=Metric.TOTAL,
+                training_programs=programs,
+                ga_config=TINY_GA,
+            )
+
+
+class TestNoisyEvaluator:
+    def test_zero_noise_matches_clean(self, programs):
+        from repro.core.evaluation import HeuristicEvaluator
+
+        clean = HeuristicEvaluator(
+            programs=programs,
+            machine=PENTIUM4,
+            scenario=OPTIMIZING,
+            metric=Metric.TOTAL,
+        )
+        noisy = NoisyEvaluator(
+            programs=programs,
+            machine=PENTIUM4,
+            scenario=OPTIMIZING,
+            metric=Metric.TOTAL,
+            noise_sd=0.0,
+        )
+        genome = JIKES_DEFAULT_PARAMETERS.as_tuple()
+        assert noisy(genome) == pytest.approx(clean(genome))
+
+    def test_noise_perturbs_fitness(self, programs):
+        from repro.core.evaluation import HeuristicEvaluator
+
+        clean = HeuristicEvaluator(
+            programs=programs,
+            machine=PENTIUM4,
+            scenario=OPTIMIZING,
+            metric=Metric.TOTAL,
+        )
+        noisy = NoisyEvaluator(
+            programs=programs,
+            machine=PENTIUM4,
+            scenario=OPTIMIZING,
+            metric=Metric.TOTAL,
+            noise_sd=0.10,
+        )
+        genome = JIKES_DEFAULT_PARAMETERS.as_tuple()
+        assert noisy(genome) != pytest.approx(clean(genome), rel=1e-6)
+
+    def test_frozen_noise_is_deterministic(self, programs):
+        noisy = NoisyEvaluator(
+            programs=programs,
+            machine=PENTIUM4,
+            scenario=OPTIMIZING,
+            metric=Metric.TOTAL,
+            noise_sd=0.05,
+        )
+        genome = (20, 10, 3, 400, 100)
+        assert noisy(genome) == noisy(genome)
+
+    def test_negative_noise_rejected(self, programs):
+        with pytest.raises(ConfigurationError):
+            NoisyEvaluator(
+                programs=programs,
+                machine=PENTIUM4,
+                scenario=OPTIMIZING,
+                metric=Metric.TOTAL,
+                noise_sd=-0.1,
+            )
+
+
+class TestNoiseRobustness:
+    def test_points_cover_levels(self, programs):
+        task = TuningTask(
+            name="noise-test",
+            scenario=OPTIMIZING,
+            machine=PENTIUM4,
+            metric=Metric.TOTAL,
+        )
+        points = noise_robustness(
+            task,
+            programs,
+            noise_levels=(0.0, 0.05),
+            ga_config=TINY_GA,
+        )
+        assert [p.noise_sd for p in points] == [0.0, 0.05]
+        # noise-free tuning can't lose to the default (it's seeded)
+        assert points[0].true_improvement >= -1e-9
+        # every point reports true (deterministic) fitness
+        for point in points:
+            assert point.true_fitness > 0

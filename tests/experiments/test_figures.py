@@ -1,0 +1,100 @@
+"""Tests for figure data generators (cheap configurations only).
+
+GA-backed figures run with a tiny budget here; the shape assertions for
+the full-budget runs live in the benchmark harness and EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.experiments import figures
+from repro.ga.engine import GAConfig
+
+TINY_GA = GAConfig(population_size=6, generations=3, elitism=1)
+
+
+class TestFigure1:
+    def test_structure(self):
+        data = figures.figure1()
+        assert set(data) == {"Opt", "Adapt"}
+        for comparison in data.values():
+            assert [e.benchmark for e in comparison.entries] == [
+                "compress", "jess", "db", "javac", "mpegaudio", "raytrace", "jack",
+            ]
+
+    def test_paper_shape_running_improves_under_both(self):
+        data = figures.figure1()
+        assert data["Opt"].avg_running_ratio < 0.9
+        assert data["Adapt"].avg_running_ratio < 0.9
+
+    def test_paper_shape_opt_total_roughly_neutral_with_degraders(self):
+        comparison = figures.figure1()["Opt"]
+        assert comparison.avg_total_ratio > 0.9
+        assert sum(1 for t in comparison.total_ratios if t > 1.05) >= 2
+
+    def test_paper_shape_adapt_total_improves(self):
+        comparison = figures.figure1()["Adapt"]
+        assert comparison.avg_total_ratio < 1.0
+
+
+class TestFigure2:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return figures.figure2(benchmarks=("compress", "jess"), depths=range(0, 9, 2))
+
+    def test_structure(self, data):
+        assert set(data) == {"compress", "jess"}
+        assert set(data["jess"]) == {"Opt", "Adapt"}
+        sweep = data["jess"]["Opt"]
+        assert sweep.depths == (0, 2, 4, 6, 8)
+        assert len(sweep.total_seconds) == 5
+
+    def test_depth_matters_for_jess_opt(self, data):
+        sweep = data["jess"]["Opt"]
+        assert max(sweep.total_seconds) / min(sweep.total_seconds) > 1.1
+
+    def test_best_depth_defined(self, data):
+        for bench in data.values():
+            for sweep in bench.values():
+                assert sweep.best_depth in sweep.depths
+
+    def test_unknown_benchmark_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            figures.figure2(benchmarks=("doom",), depths=[0])
+
+
+class TestTunedFigures:
+    @pytest.fixture(scope="class")
+    def fig5(self):
+        return figures.figure5(ga_config=TINY_GA)
+
+    def test_covers_both_suites(self, fig5):
+        assert set(fig5) == {"SPECjvm98", "DaCapo+JBB"}
+        assert len(fig5["SPECjvm98"].entries) == 7
+        assert len(fig5["DaCapo+JBB"].entries) == 7
+
+    def test_tuned_not_worse_than_default_on_training_balance(self, fig5):
+        # even a tiny GA can't be worse: the default is in the initial
+        # population, so on the training suite the tuned balance
+        # fitness is bounded; ratios stay near or below 1
+        spec = fig5["SPECjvm98"]
+        assert spec.avg_total_ratio < 1.1
+
+    def test_caching_reuses_tuning(self, fig5):
+        # second call must not re-run the GA (in-process cache)
+        again = figures.figure5(ga_config=TINY_GA)
+        assert again["SPECjvm98"].total_ratios == fig5["SPECjvm98"].total_ratios
+
+
+class TestFigure10:
+    def test_per_program_structure(self):
+        from repro.workloads.suites import SPECJVM98, BenchmarkSuite
+
+        small_suite = BenchmarkSuite(name="SPECjvm98", specs=SPECJVM98.specs[:2])
+        data = figures.figure10(suites=[small_suite], ga_config=TINY_GA)
+        comparison = data["SPECjvm98"]
+        assert [e.benchmark for e in comparison.entries] == ["compress", "jess"]
+        # tuned for running time: not worse than default on its own program
+        for entry in comparison.entries:
+            assert entry.running_ratio <= 1.0 + 1e-9

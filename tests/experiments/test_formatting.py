@@ -1,0 +1,86 @@
+"""Tests for ASCII rendering of results."""
+
+import pytest
+
+from helpers import diamond_program
+
+from repro.arch import PENTIUM4
+from repro.experiments.formatting import (
+    format_bar_chart,
+    format_comparison,
+    format_percent,
+    format_table,
+)
+from repro.experiments.runner import compare_suites, run_suite
+from repro.jvm.inlining import JIKES_DEFAULT_PARAMETERS, NO_INLINING
+from repro.jvm.scenario import OPTIMIZING
+
+
+class TestFormatPercent:
+    @pytest.mark.parametrize(
+        "value,expected", [(0.37, "37%"), (-0.04, "-4%"), (0.0, "0%"), (1.0, "100%")]
+    )
+    def test_rendering(self, value, expected):
+        assert format_percent(value) == expected
+
+
+class TestBarChart:
+    def test_rows_and_values(self):
+        chart = format_bar_chart(["a", "bb"], [0.5, 1.2])
+        lines = chart.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("a ")
+        assert "0.500" in lines[0]
+        assert "1.200" in lines[1]
+
+    def test_reference_mark_present(self):
+        chart = format_bar_chart(["x"], [0.5], reference=1.0)
+        assert "|" in chart
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            format_bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty_chart(self):
+        assert "empty" in format_bar_chart([], [])
+
+    def test_custom_value_format(self):
+        chart = format_bar_chart(["x"], [2.5], value_format="{:.1f}s")
+        assert "2.5s" in chart
+
+
+class TestFormatComparison:
+    def _comparison(self):
+        program = diamond_program()
+        subject = run_suite([program], PENTIUM4, OPTIMIZING, JIKES_DEFAULT_PARAMETERS)
+        baseline = run_suite([program], PENTIUM4, OPTIMIZING, NO_INLINING)
+        return compare_suites(subject, baseline, label="demo")
+
+    def test_both_sections(self):
+        text = format_comparison(self._comparison())
+        assert "Running time" in text and "Total time" in text
+        assert "demo" in text
+
+    def test_single_section(self):
+        text = format_comparison(self._comparison(), kind="running")
+        assert "Running time" in text and "Total time" not in text
+
+    def test_average_line_present(self):
+        text = format_comparison(self._comparison())
+        assert "average:" in text
+
+
+class TestFormatTable:
+    def test_alignment_and_na(self):
+        text = format_table(
+            ["Name", "Value"], [["row1", 1], ["row-with-long-name", None]]
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        assert "NA" in lines[3]
+        # columns aligned: every line at least as wide as the header
+        assert all(len(line) >= len("Name  Value") - 2 for line in lines)
+
+    def test_empty_rows(self):
+        text = format_table(["A"], [])
+        assert "A" in text

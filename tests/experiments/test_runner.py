@@ -1,0 +1,75 @@
+"""Tests for suite runners and normalized comparisons."""
+
+import pytest
+
+from helpers import chain_program, diamond_program
+
+from repro.arch import PENTIUM4
+from repro.core.metrics import geometric_mean
+from repro.errors import ConfigurationError
+from repro.experiments.runner import compare_suites, run_suite
+from repro.jvm.inlining import JIKES_DEFAULT_PARAMETERS, NO_INLINING
+from repro.jvm.scenario import OPTIMIZING
+
+
+@pytest.fixture
+def programs():
+    return [diamond_program(), chain_program()]
+
+
+class TestRunSuite:
+    def test_reports_in_order(self, programs):
+        result = run_suite(programs, PENTIUM4, OPTIMIZING, JIKES_DEFAULT_PARAMETERS)
+        assert result.benchmark_names == ("diamond", "chain")
+        assert result.scenario == "Opt"
+        assert result.machine == "pentium4"
+
+    def test_report_lookup(self, programs):
+        result = run_suite(programs, PENTIUM4, OPTIMIZING, JIKES_DEFAULT_PARAMETERS)
+        assert result.report_for("chain").benchmark == "chain"
+        with pytest.raises(ConfigurationError):
+            result.report_for("nope")
+
+
+class TestCompareSuites:
+    def test_self_comparison_is_all_ones(self, programs):
+        result = run_suite(programs, PENTIUM4, OPTIMIZING, JIKES_DEFAULT_PARAMETERS)
+        comparison = compare_suites(result, result, label="self")
+        assert comparison.running_ratios == [1.0, 1.0]
+        assert comparison.total_ratios == [1.0, 1.0]
+        assert comparison.avg_running_reduction == pytest.approx(0.0)
+
+    def test_ratios_are_subject_over_baseline(self, programs):
+        subject = run_suite(programs, PENTIUM4, OPTIMIZING, JIKES_DEFAULT_PARAMETERS)
+        baseline = run_suite(programs, PENTIUM4, OPTIMIZING, NO_INLINING)
+        comparison = compare_suites(subject, baseline)
+        for entry, sub, base in zip(
+            comparison.entries, subject.reports, baseline.reports
+        ):
+            assert entry.running_ratio == pytest.approx(
+                sub.running_seconds / base.running_seconds
+            )
+            assert entry.total_ratio == pytest.approx(
+                sub.total_seconds / base.total_seconds
+            )
+
+    def test_averages_are_geometric(self, programs):
+        subject = run_suite(programs, PENTIUM4, OPTIMIZING, JIKES_DEFAULT_PARAMETERS)
+        baseline = run_suite(programs, PENTIUM4, OPTIMIZING, NO_INLINING)
+        comparison = compare_suites(subject, baseline)
+        assert comparison.avg_total_ratio == pytest.approx(
+            geometric_mean(comparison.total_ratios)
+        )
+
+    def test_entry_lookup(self, programs):
+        subject = run_suite(programs, PENTIUM4, OPTIMIZING, JIKES_DEFAULT_PARAMETERS)
+        comparison = compare_suites(subject, subject)
+        assert comparison.entry("diamond").benchmark == "diamond"
+        with pytest.raises(ConfigurationError):
+            comparison.entry("nope")
+
+    def test_mismatched_suites_rejected(self, programs):
+        a = run_suite(programs, PENTIUM4, OPTIMIZING, JIKES_DEFAULT_PARAMETERS)
+        b = run_suite(programs[:1], PENTIUM4, OPTIMIZING, JIKES_DEFAULT_PARAMETERS)
+        with pytest.raises(ConfigurationError):
+            compare_suites(a, b)

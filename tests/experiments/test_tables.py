@@ -1,0 +1,81 @@
+"""Tests for Table 4/5 generators (tiny GA budgets)."""
+
+import pytest
+
+from repro.experiments.tables import table4, table5
+from repro.ga.engine import GAConfig
+
+TINY_GA = GAConfig(population_size=6, generations=3, elitism=1)
+
+
+@pytest.fixture(scope="module")
+def tbl4():
+    return table4(ga_config=TINY_GA)
+
+
+class TestTable4:
+    def test_columns_default_plus_five_scenarios(self, tbl4):
+        assert list(tbl4.columns) == [
+            "Default",
+            "Adapt",
+            "Opt:Bal",
+            "Opt:Tot",
+            "Adapt (PPC)",
+            "Opt:Bal (PPC)",
+        ]
+
+    def test_default_column_is_jikes(self, tbl4):
+        from repro.jvm.inlining import JIKES_DEFAULT_PARAMETERS
+
+        assert tbl4.columns["Default"] == JIKES_DEFAULT_PARAMETERS
+
+    def test_rows_are_five_parameters(self, tbl4):
+        rows = tbl4.rows()
+        assert [r[0] for r in rows] == [
+            "CALLEE_MAX_SIZE",
+            "ALWAYS_INLINE_SIZE",
+            "MAX_INLINE_DEPTH",
+            "CALLER_MAX_SIZE",
+            "HOT_CALLEE_MAX_SIZE",
+        ]
+        assert all(len(r[1]) == 6 for r in rows)
+
+    def test_hot_callee_na_for_opt_scenarios(self, tbl4):
+        assert tbl4.cell("Opt:Bal", "hot_callee_max_size") is None
+        assert tbl4.cell("Opt:Tot", "hot_callee_max_size") is None
+        assert tbl4.cell("Opt:Bal (PPC)", "hot_callee_max_size") is None
+        assert tbl4.cell("Adapt", "hot_callee_max_size") is not None
+
+    def test_values_within_table1_ranges(self, tbl4):
+        from repro.core.parameters import TABLE1_SPACE
+
+        space = TABLE1_SPACE.to_ga_space()
+        for name, params in tbl4.columns.items():
+            assert space.contains(params.as_tuple()), name
+
+    def test_tuned_results_recorded(self, tbl4):
+        assert set(tbl4.tuned) == set(tbl4.columns) - {"Default"}
+        for tuned in tbl4.tuned.values():
+            assert tuned.fitness <= tuned.default_fitness + 1e-12
+
+
+class TestTable5:
+    def test_rows_cover_scenarios(self):
+        rows = table5(ga_config=TINY_GA)
+        assert [r.scenario for r in rows] == [
+            "Adapt",
+            "Opt:Bal",
+            "Opt:Tot",
+            "Adapt (PPC)",
+            "Opt:Bal (PPC)",
+        ]
+
+    def test_reductions_are_fractions(self):
+        for row in table5(ga_config=TINY_GA):
+            for value in (
+                row.spec_running_reduction,
+                row.spec_total_reduction,
+                row.dacapo_running_reduction,
+                row.dacapo_total_reduction,
+            ):
+                assert -1.0 < value < 1.0

@@ -1,0 +1,138 @@
+"""Tests for the generational GA engine."""
+
+import pytest
+
+from repro.errors import GAError
+from repro.ga.engine import GAConfig, GAEngine
+from repro.ga.individual import IntVectorSpace
+from repro.ga.mutation import RandomResetMutation
+from repro.ga.selection import TournamentSelection
+
+
+def sphere(genome):
+    """Minimized at (10, 10, 10)."""
+    return float(sum((g - 10) ** 2 for g in genome))
+
+
+@pytest.fixture
+def space():
+    return IntVectorSpace([0, 0, 0], [31, 31, 31])
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        GAConfig()
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("population_size", 1),
+            ("generations", 0),
+            ("elitism", -1),
+            ("crossover_rate", 1.5),
+            ("early_stop_patience", 0),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(GAError):
+            GAConfig(**{field: value})
+
+    def test_elitism_must_fit_population(self):
+        with pytest.raises(GAError):
+            GAConfig(population_size=4, elitism=4)
+
+
+class TestEngineRun:
+    def test_finds_near_optimum_on_sphere(self, space):
+        config = GAConfig(population_size=24, generations=40, seed=1)
+        result = GAEngine(space, config).run(sphere)
+        assert result.best_fitness <= 3.0
+
+    def test_determinism(self, space):
+        config = GAConfig(population_size=12, generations=10, seed=7)
+        a = GAEngine(space, config).run(sphere)
+        b = GAEngine(space, config).run(sphere)
+        assert a.best_genome == b.best_genome
+        assert a.best_fitness == b.best_fitness
+        assert [s.best_fitness for s in a.history] == [
+            s.best_fitness for s in b.history
+        ]
+
+    def test_seed_changes_trajectory(self, space):
+        base = GAConfig(population_size=12, generations=8)
+        a = GAEngine(space, base.scaled(seed=1)).run(sphere)
+        b = GAEngine(space, base.scaled(seed=2)).run(sphere)
+        assert [s.mean_fitness for s in a.history] != [
+            s.mean_fitness for s in b.history
+        ]
+
+    def test_best_fitness_monotone_over_history(self, space):
+        config = GAConfig(population_size=12, generations=15, seed=0, elitism=2)
+        result = GAEngine(space, config).run(sphere)
+        best_so_far = float("inf")
+        for stats in result.history:
+            best_so_far = min(best_so_far, stats.best_fitness)
+        assert result.best_fitness == best_so_far
+
+    def test_elitism_keeps_generation_best_from_regressing(self, space):
+        config = GAConfig(population_size=16, generations=12, seed=3, elitism=2)
+        result = GAEngine(space, config).run(sphere)
+        bests = [s.best_fitness for s in result.history]
+        assert all(a >= b for a, b in zip(bests, bests[1:]))  # non-increasing
+
+    def test_initial_genomes_seed_population(self, space):
+        config = GAConfig(population_size=8, generations=1, seed=0)
+        result = GAEngine(space, config).run(sphere, initial_genomes=[(10, 10, 10)])
+        assert result.best_fitness == 0.0
+
+    def test_initial_genomes_clipped(self, space):
+        config = GAConfig(population_size=8, generations=1, seed=0)
+        result = GAEngine(space, config).run(sphere, initial_genomes=[(99, 99, 99)])
+        assert all(g <= 31 for g in result.best_genome)
+
+    def test_early_stopping(self, space):
+        config = GAConfig(
+            population_size=8,
+            generations=500,
+            seed=0,
+            early_stop_patience=3,
+        )
+        result = GAEngine(space, config).run(sphere, initial_genomes=[(10, 10, 10)])
+        assert result.stopped_early
+        assert result.generations_run < 500
+
+    def test_on_generation_hook_called_per_generation(self, space):
+        config = GAConfig(population_size=8, generations=5, seed=0)
+        seen = []
+        GAEngine(space, config).run(sphere, on_generation=seen.append)
+        assert [s.generation for s in seen] == [0, 1, 2, 3, 4]
+
+    def test_cache_economy_reported(self, space):
+        config = GAConfig(population_size=16, generations=20, seed=0)
+        result = GAEngine(space, config).run(sphere)
+        assert result.evaluations + result.cache_hits == 16 * result.generations_run
+        assert result.cache_hits > 0  # elites are revisited
+
+    def test_all_individuals_stay_in_space(self, space):
+        config = GAConfig(
+            population_size=10,
+            generations=10,
+            seed=0,
+            mutation=RandomResetMutation(gene_prob=0.9),
+            selection=TournamentSelection(2),
+        )
+        observed = []
+        GAEngine(space, config).run(
+            lambda g: observed.append(g) or sphere(g)
+        )
+        assert all(space.contains(g) for g in observed)
+
+    def test_bad_evaluator_length_detected(self, space):
+        class BrokenEvaluator:
+            def map(self, fn, genomes):
+                return [1.0]  # wrong length
+
+        config = GAConfig(population_size=8, generations=2, seed=0)
+        engine = GAEngine(space, config, evaluator=BrokenEvaluator())
+        with pytest.raises(GAError):
+            engine.run(sphere)

@@ -1,0 +1,70 @@
+"""Failure injection: the GA stack must fail loudly and cleanly, never
+swallow errors or return half-evaluated state."""
+
+import pytest
+
+from repro.errors import GAError
+from repro.ga.engine import GAConfig, GAEngine
+from repro.ga.fitness import FitnessCache
+from repro.ga.individual import IntVectorSpace
+
+
+@pytest.fixture
+def space():
+    return IntVectorSpace([0, 0], [10, 10])
+
+
+class FlakyFitness:
+    """Raises on the Nth evaluation."""
+
+    def __init__(self, fail_at: int):
+        self.calls = 0
+        self.fail_at = fail_at
+
+    def __call__(self, genome):
+        self.calls += 1
+        if self.calls == self.fail_at:
+            raise RuntimeError("measurement harness crashed")
+        return float(sum(genome))
+
+
+class TestEnginePropagation:
+    def test_fitness_exception_propagates_first_generation(self, space):
+        config = GAConfig(population_size=6, generations=3, seed=0)
+        with pytest.raises(RuntimeError, match="measurement harness crashed"):
+            GAEngine(space, config).run(FlakyFitness(fail_at=3))
+
+    def test_fitness_exception_propagates_mid_run(self, space):
+        config = GAConfig(population_size=6, generations=50, seed=0)
+        flaky = FlakyFitness(fail_at=10)
+        with pytest.raises(RuntimeError):
+            GAEngine(space, config).run(flaky)
+        assert flaky.calls == 10  # stopped at the failure, no retries
+
+    def test_nan_fitness_rejected_with_genome_context(self, space):
+        config = GAConfig(population_size=4, generations=2, seed=0)
+        with pytest.raises(GAError, match="non-finite"):
+            GAEngine(space, config).run(lambda g: float("nan"))
+
+
+class TestCacheConsistencyAfterFailure:
+    def test_failed_evaluation_not_cached(self):
+        flaky = FlakyFitness(fail_at=1)
+        cache = FitnessCache(flaky)
+        with pytest.raises(RuntimeError):
+            cache.evaluate((1, 2))
+        assert cache.size == 0
+        # subsequent evaluation succeeds and is cached
+        assert cache.evaluate((1, 2)) == 3.0
+        assert cache.size == 1
+
+    def test_miss_counter_not_corrupted_by_failure(self):
+        flaky = FlakyFitness(fail_at=2)
+        cache = FitnessCache(flaky)
+        cache.evaluate((1, 1))
+        with pytest.raises(RuntimeError):
+            cache.evaluate((2, 2))
+        # the failed attempt burned a miss count but stored nothing;
+        # the cache still answers correctly afterwards
+        assert cache.peek((2, 2)) is None
+        assert cache.evaluate((1, 1)) == 2.0

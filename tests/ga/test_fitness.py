@@ -1,0 +1,61 @@
+"""Tests for the fitness cache."""
+
+import math
+
+import pytest
+
+from repro.errors import GAError
+from repro.ga.fitness import FitnessCache
+
+
+class TestFitnessCache:
+    def test_first_evaluation_is_a_miss(self):
+        calls = []
+        cache = FitnessCache(lambda g: calls.append(g) or float(sum(g)))
+        assert cache.evaluate((1, 2)) == 3.0
+        assert cache.misses == 1 and cache.hits == 0
+        assert calls == [(1, 2)]
+
+    def test_revisit_is_a_hit_without_recompute(self):
+        calls = []
+        cache = FitnessCache(lambda g: calls.append(g) or float(sum(g)))
+        cache.evaluate((1, 2))
+        assert cache.evaluate((1, 2)) == 3.0
+        assert cache.misses == 1 and cache.hits == 1
+        assert len(calls) == 1
+
+    def test_genome_normalization(self):
+        cache = FitnessCache(lambda g: float(sum(g)))
+        cache.evaluate([1, 2])
+        assert (1, 2) in cache
+        assert cache.peek((1.0, 2.0)) == 3.0
+
+    def test_peek_does_not_count(self):
+        cache = FitnessCache(lambda g: 1.0)
+        assert cache.peek((1,)) is None
+        assert cache.misses == 0 and cache.hits == 0
+
+    def test_insert_external_value(self):
+        cache = FitnessCache(lambda g: 0.0)
+        cache.insert((5,), 2.5)
+        assert cache.evaluate((5,)) == 2.5
+        assert cache.misses == 0
+
+    def test_nan_fitness_rejected(self):
+        cache = FitnessCache(lambda g: float("nan"))
+        with pytest.raises(GAError):
+            cache.evaluate((1,))
+
+    def test_infinite_fitness_rejected(self):
+        cache = FitnessCache(lambda g: math.inf)
+        with pytest.raises(GAError):
+            cache.evaluate((1,))
+        with pytest.raises(GAError):
+            cache.insert((2,), -math.inf)
+
+    def test_size_and_items(self):
+        cache = FitnessCache(lambda g: float(sum(g)))
+        cache.evaluate((1,))
+        cache.evaluate((2,))
+        assert cache.size == 2
+        assert dict(cache.items()) == {(1,): 1.0, (2,): 2.0}

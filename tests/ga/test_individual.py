@@ -1,0 +1,95 @@
+"""Tests for genomes and the integer search space."""
+
+import pytest
+
+from repro.errors import GAError
+from repro.ga.individual import Individual, IntVectorSpace
+from repro.rng import rng_for
+
+
+class TestIntVectorSpace:
+    def test_dimensions_and_cardinality(self):
+        space = IntVectorSpace([0, 0], [9, 4])
+        assert space.dimensions == 2
+        assert space.cardinality == 50
+
+    def test_mismatched_bounds_rejected(self):
+        with pytest.raises(GAError):
+            IntVectorSpace([0], [1, 2])
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(GAError):
+            IntVectorSpace([], [])
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(GAError):
+            IntVectorSpace([5], [3])
+
+    def test_contains(self):
+        space = IntVectorSpace([1, 1], [10, 10])
+        assert space.contains((1, 10))
+        assert not space.contains((0, 5))
+        assert not space.contains((5, 11))
+        assert not space.contains((5,))
+
+    def test_clip(self):
+        space = IntVectorSpace([1, 1], [10, 10])
+        assert space.clip((0, 99)) == (1, 10)
+        assert space.clip((5, 5)) == (5, 5)
+
+    def test_clip_wrong_arity_rejected(self):
+        space = IntVectorSpace([1], [10])
+        with pytest.raises(GAError):
+            space.clip((1, 2))
+
+    def test_random_genome_in_bounds(self):
+        space = IntVectorSpace([1, 100, 3], [50, 4000, 15])
+        rng = rng_for("test", 0)
+        for _ in range(100):
+            assert space.contains(space.random_genome(rng))
+
+    def test_random_genome_covers_bounds(self):
+        space = IntVectorSpace([0], [1])
+        rng = rng_for("test", 0)
+        seen = {space.random_genome(rng)[0] for _ in range(50)}
+        assert seen == {0, 1}
+
+    def test_degenerate_single_point_space(self):
+        space = IntVectorSpace([7], [7])
+        rng = rng_for("test", 0)
+        assert space.random_genome(rng) == (7,)
+        assert space.cardinality == 1
+
+
+class TestIndividual:
+    def test_genome_normalized_to_int_tuple(self):
+        ind = Individual([1.0, 2.0])
+        assert ind.genome == (1, 2)
+        assert all(isinstance(g, int) for g in ind.genome)
+
+    def test_fitness_lifecycle(self):
+        ind = Individual((1, 2))
+        assert not ind.evaluated
+        with pytest.raises(GAError):
+            ind.require_fitness()
+        ind.fitness = 1.5
+        assert ind.evaluated
+        assert ind.require_fitness() == 1.5
+
+    def test_equality_and_hash_by_genome(self):
+        a = Individual((1, 2), fitness=1.0)
+        b = Individual((1, 2), fitness=99.0)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Individual((2, 1))
+
+    def test_copy_is_independent(self):
+        a = Individual((1, 2), fitness=3.0)
+        b = a.copy()
+        b.fitness = 9.0
+        assert a.fitness == 3.0
+        assert a == b  # genome equality preserved
+
+    def test_repr_shows_state(self):
+        assert "unevaluated" in repr(Individual((1,)))
+        assert "1.5" in repr(Individual((1,), fitness=1.5))

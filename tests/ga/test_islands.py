@@ -1,0 +1,103 @@
+"""Tests for the island-model GA."""
+
+import pytest
+
+from repro.errors import GAError
+from repro.ga.engine import GAConfig
+from repro.ga.individual import IntVectorSpace
+from repro.ga.islands import IslandConfig, IslandGAEngine
+
+
+def sphere(genome):
+    return float(sum((g - 12) ** 2 for g in genome))
+
+
+@pytest.fixture
+def space():
+    return IntVectorSpace([0, 0, 0], [31, 31, 31])
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        IslandConfig()
+
+    def test_too_few_islands_rejected(self):
+        with pytest.raises(GAError):
+            IslandConfig(islands=1)
+
+    def test_migrants_bounded_by_population(self):
+        with pytest.raises(GAError):
+            IslandConfig(base=GAConfig(population_size=4), migrants=4)
+        with pytest.raises(GAError):
+            IslandConfig(migrants=0)
+
+    def test_migration_interval_positive(self):
+        with pytest.raises(GAError):
+            IslandConfig(migration_interval=0)
+
+
+class TestIslandRun:
+    def test_finds_near_optimum(self, space):
+        config = IslandConfig(
+            base=GAConfig(population_size=10, generations=25, seed=0),
+            islands=3,
+            migration_interval=4,
+        )
+        result = IslandGAEngine(space, config).run(sphere)
+        assert result.best_fitness <= 4.0
+
+    def test_deterministic(self, space):
+        config = IslandConfig(
+            base=GAConfig(population_size=8, generations=10, seed=5), islands=3
+        )
+        a = IslandGAEngine(space, config).run(sphere)
+        b = IslandGAEngine(space, config).run(sphere)
+        assert a.best_genome == b.best_genome
+        assert a.best_fitness == b.best_fitness
+
+    def test_initial_genomes_seed_first_island(self, space):
+        config = IslandConfig(
+            base=GAConfig(population_size=6, generations=1, seed=0), islands=2
+        )
+        result = IslandGAEngine(space, config).run(
+            sphere, initial_genomes=[(12, 12, 12)]
+        )
+        assert result.best_fitness == 0.0
+
+    def test_history_covers_all_islands(self, space):
+        config = IslandConfig(
+            base=GAConfig(population_size=6, generations=4, seed=0), islands=3
+        )
+        result = IslandGAEngine(space, config).run(sphere)
+        assert len(result.history) == 4
+        # stats are computed over the merged population of 18
+        assert result.evaluations + result.cache_hits == 18 * 4
+
+    def test_early_stopping(self, space):
+        config = IslandConfig(
+            base=GAConfig(
+                population_size=6,
+                generations=300,
+                seed=0,
+                early_stop_patience=3,
+            ),
+            islands=2,
+        )
+        result = IslandGAEngine(space, config).run(
+            sphere, initial_genomes=[(12, 12, 12)]
+        )
+        assert result.stopped_early
+        assert result.generations_run < 300
+
+    def test_migration_spreads_good_genomes(self, space):
+        """After migration, the champion genome appears on more than
+        one island (checked indirectly: islands converge faster with
+        migration than without)."""
+        base = GAConfig(population_size=8, generations=20, seed=9)
+        with_migration = IslandGAEngine(
+            space, IslandConfig(base=base, islands=4, migration_interval=2)
+        ).run(sphere, initial_genomes=[(12, 12, 11)])
+        without_migration = IslandGAEngine(
+            space, IslandConfig(base=base, islands=4, migration_interval=10_000)
+        ).run(sphere, initial_genomes=[(12, 12, 11)])
+        assert with_migration.best_fitness <= without_migration.best_fitness

@@ -1,0 +1,186 @@
+"""Tests for selection, crossover and mutation operators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GAError
+from repro.ga.crossover import OnePointCrossover, TwoPointCrossover, UniformCrossover
+from repro.ga.individual import Individual, IntVectorSpace
+from repro.ga.mutation import CreepMutation, RandomResetMutation
+from repro.ga.selection import RankSelection, RouletteSelection, TournamentSelection
+from repro.rng import rng_for
+
+
+@pytest.fixture
+def rng():
+    return rng_for("operator-tests", 0)
+
+
+@pytest.fixture
+def population():
+    return [Individual((i, i), fitness=float(i)) for i in range(10)]
+
+
+class TestTournament:
+    def test_selects_minimum_of_contestants(self, population, rng):
+        # with tournament size == population size the best always wins
+        selector = TournamentSelection(size=200)
+        winner = selector.select(population, rng)
+        assert winner.fitness == 0.0
+
+    def test_pressure_grows_with_size(self, population, rng):
+        small = TournamentSelection(size=1)
+        large = TournamentSelection(size=6)
+        mean_small = np.mean(
+            [small.select(population, rng).fitness for _ in range(300)]
+        )
+        mean_large = np.mean(
+            [large.select(population, rng).fitness for _ in range(300)]
+        )
+        assert mean_large < mean_small
+
+    def test_invalid_size(self):
+        with pytest.raises(GAError):
+            TournamentSelection(size=0)
+
+    def test_empty_population_rejected(self, rng):
+        with pytest.raises(GAError):
+            TournamentSelection().select([], rng)
+
+    def test_unevaluated_individual_rejected(self, rng):
+        with pytest.raises(GAError):
+            TournamentSelection().select([Individual((1,))], rng)
+
+
+class TestRoulette:
+    def test_biases_toward_better(self, population, rng):
+        selector = RouletteSelection()
+        picks = [selector.select(population, rng).fitness for _ in range(500)]
+        assert np.mean(picks) < np.mean([i.fitness for i in population])
+
+    def test_uniform_when_all_tied(self, rng):
+        population = [Individual((i,), fitness=5.0) for i in range(4)]
+        selector = RouletteSelection()
+        seen = {selector.select(population, rng).genome for _ in range(200)}
+        assert len(seen) == 4
+
+    def test_worst_retains_chance(self, population, rng):
+        selector = RouletteSelection(epsilon=0.5)
+        picks = {selector.select(population, rng).fitness for _ in range(800)}
+        assert 9.0 in picks
+
+
+class TestRank:
+    def test_biases_toward_better(self, population, rng):
+        selector = RankSelection(pressure=2.0)
+        picks = [selector.select(population, rng).fitness for _ in range(500)]
+        assert np.mean(picks) < np.mean([i.fitness for i in population])
+
+    def test_scale_invariance(self, rng):
+        small = [Individual((i,), fitness=float(i)) for i in range(6)]
+        huge = [Individual((i,), fitness=1e9 + i) for i in range(6)]
+        selector = RankSelection()
+        picks_small = np.mean(
+            [selector.select(small, rng).genome[0] for _ in range(400)]
+        )
+        picks_huge = np.mean(
+            [selector.select(huge, rng).genome[0] for _ in range(400)]
+        )
+        assert abs(picks_small - picks_huge) < 0.6
+
+    def test_invalid_pressure(self):
+        with pytest.raises(GAError):
+            RankSelection(pressure=1.0)
+        with pytest.raises(GAError):
+            RankSelection(pressure=2.5)
+
+
+class TestCrossover:
+    @pytest.mark.parametrize(
+        "operator",
+        [OnePointCrossover(), TwoPointCrossover(), UniformCrossover()],
+        ids=["one-point", "two-point", "uniform"],
+    )
+    def test_children_mix_genes_positionally(self, operator, rng):
+        a = (0,) * 8
+        b = (1,) * 8
+        child1, child2 = operator.cross(a, b, rng)
+        # each position holds a gene from one of the parents
+        assert all(g in (0, 1) for g in child1 + child2)
+        # the two children are complementary
+        assert all(x + y == 1 for x, y in zip(child1, child2))
+
+    def test_one_point_preserves_prefix_suffix(self, rng):
+        a = tuple(range(10))
+        b = tuple(range(100, 110))
+        child1, child2 = OnePointCrossover().cross(a, b, rng)
+        cut = next(i for i, g in enumerate(child1) if g >= 100)
+        assert child1[:cut] == a[:cut]
+        assert child1[cut:] == b[cut:]
+        assert child2[:cut] == b[:cut]
+        assert child2[cut:] == a[cut:]
+
+    def test_single_gene_genomes_pass_through(self, rng):
+        assert OnePointCrossover().cross((1,), (2,), rng) == ((1,), (2,))
+
+    def test_two_point_falls_back_for_short_genomes(self, rng):
+        child1, child2 = TwoPointCrossover().cross((0, 0), (1, 1), rng)
+        assert all(g in (0, 1) for g in child1 + child2)
+
+    def test_mismatched_parents_rejected(self, rng):
+        with pytest.raises(GAError):
+            OnePointCrossover().cross((1, 2), (1, 2, 3), rng)
+
+    def test_uniform_extreme_probs(self, rng):
+        a, b = (0, 0, 0), (1, 1, 1)
+        keep, _ = UniformCrossover(swap_prob=0.0).cross(a, b, rng)
+        swap, _ = UniformCrossover(swap_prob=1.0).cross(a, b, rng)
+        assert keep == a
+        assert swap == b
+
+    def test_uniform_invalid_prob(self):
+        with pytest.raises(GAError):
+            UniformCrossover(swap_prob=1.5)
+
+
+class TestMutation:
+    def test_reset_stays_in_bounds(self, rng):
+        space = IntVectorSpace([1, 1, 1], [50, 20, 15])
+        op = RandomResetMutation(gene_prob=1.0)
+        for _ in range(100):
+            assert space.contains(op.mutate((25, 10, 7), space, rng))
+
+    def test_reset_zero_prob_is_identity(self, rng):
+        space = IntVectorSpace([1, 1], [50, 50])
+        op = RandomResetMutation(gene_prob=0.0)
+        assert op.mutate((10, 20), space, rng) == (10, 20)
+
+    def test_creep_stays_in_bounds(self, rng):
+        space = IntVectorSpace([1, 1, 1], [50, 4000, 15])
+        op = CreepMutation(gene_prob=1.0, sigma_frac=0.3)
+        for _ in range(200):
+            assert space.contains(op.mutate((50, 1, 15), space, rng))
+
+    def test_creep_makes_local_steps(self, rng):
+        space = IntVectorSpace([0], [1000])
+        op = CreepMutation(gene_prob=1.0, sigma_frac=0.01)
+        deltas = [abs(op.mutate((500,), space, rng)[0] - 500) for _ in range(200)]
+        assert np.mean(deltas) < 30
+
+    def test_creep_skips_degenerate_axis(self, rng):
+        space = IntVectorSpace([5], [5])
+        op = CreepMutation(gene_prob=1.0)
+        assert op.mutate((5,), space, rng) == (5,)
+
+    def test_wrong_arity_rejected(self, rng):
+        space = IntVectorSpace([0, 0], [1, 1])
+        with pytest.raises(GAError):
+            RandomResetMutation().mutate((1,), space, rng)
+        with pytest.raises(GAError):
+            CreepMutation().mutate((1,), space, rng)
+
+    def test_invalid_params(self):
+        with pytest.raises(GAError):
+            RandomResetMutation(gene_prob=-0.1)
+        with pytest.raises(GAError):
+            CreepMutation(sigma_frac=0.0)

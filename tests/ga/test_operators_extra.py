@@ -1,0 +1,120 @@
+"""Tests for the extra ECJ-style operators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GAError
+from repro.ga.engine import GAConfig, GAEngine
+from repro.ga.individual import Individual, IntVectorSpace
+from repro.ga.operators_extra import (
+    ArithmeticCrossover,
+    BoundaryMutation,
+    StochasticUniversalSampling,
+)
+from repro.rng import rng_for
+
+
+@pytest.fixture
+def rng():
+    return rng_for("extra-operators", 0)
+
+
+@pytest.fixture
+def population():
+    return [Individual((i, i), fitness=float(i)) for i in range(10)]
+
+
+class TestSUS:
+    def test_biases_toward_better(self, population, rng):
+        selector = StochasticUniversalSampling(batch=8)
+        picks = [selector.select(population, rng).fitness for _ in range(400)]
+        assert np.mean(picks) < np.mean([i.fitness for i in population])
+
+    def test_batch_has_low_variance(self, population, rng):
+        """One SUS batch covers the population proportionally — the
+        best individual appears at least once per full batch."""
+        selector = StochasticUniversalSampling(batch=len(population))
+        batch = [selector.select(population, rng) for _ in range(len(population))]
+        assert any(ind.fitness == 0.0 for ind in batch)
+
+    def test_respin_on_new_population(self, population, rng):
+        selector = StochasticUniversalSampling(batch=4)
+        selector.select(population, rng)
+        other = [Individual((9, 9), fitness=1.0) for _ in range(3)]
+        pick = selector.select(other, rng)
+        assert pick in other
+
+    def test_uniform_when_tied(self, rng):
+        population = [Individual((i,), fitness=2.0) for i in range(5)]
+        selector = StochasticUniversalSampling(batch=50)
+        seen = {selector.select(population, rng).genome for _ in range(100)}
+        assert len(seen) >= 4
+
+    def test_invalid_config(self):
+        with pytest.raises(GAError):
+            StochasticUniversalSampling(batch=0)
+        with pytest.raises(GAError):
+            StochasticUniversalSampling(epsilon=0.0)
+
+
+class TestArithmeticCrossover:
+    def test_children_between_parents(self, rng):
+        op = ArithmeticCrossover()
+        a, b = (0, 100, 10), (50, 0, 10)
+        for _ in range(50):
+            for child in op.cross(a, b, rng):
+                for gene, lo_hi in zip(child, zip(a, b)):
+                    assert min(lo_hi) <= gene <= max(lo_hi)
+
+    def test_children_in_space_if_parents_are(self, rng):
+        space = IntVectorSpace([0, 0, 0], [100, 100, 100])
+        op = ArithmeticCrossover()
+        for _ in range(50):
+            c1, c2 = op.cross((0, 100, 37), (100, 0, 64), rng)
+            assert space.contains(c1) and space.contains(c2)
+
+    def test_identical_parents_fixed_point(self, rng):
+        op = ArithmeticCrossover()
+        assert op.cross((5, 5), (5, 5), rng) == ((5, 5), (5, 5))
+
+    def test_invalid_spread(self):
+        with pytest.raises(GAError):
+            ArithmeticCrossover(spread=0.6)
+
+
+class TestBoundaryMutation:
+    def test_jumps_land_on_bounds(self, rng):
+        space = IntVectorSpace([1, 1], [50, 4000])
+        op = BoundaryMutation(gene_prob=1.0)
+        for _ in range(50):
+            mutated = op.mutate((25, 2000), space, rng)
+            assert mutated[0] in (1, 50)
+            assert mutated[1] in (1, 4000)
+
+    def test_zero_prob_identity(self, rng):
+        space = IntVectorSpace([1, 1], [50, 4000])
+        op = BoundaryMutation(gene_prob=0.0)
+        assert op.mutate((25, 2000), space, rng) == (25, 2000)
+
+    def test_wrong_arity_rejected(self, rng):
+        space = IntVectorSpace([1], [50])
+        with pytest.raises(GAError):
+            BoundaryMutation().mutate((1, 2), space, rng)
+
+
+class TestOperatorsInsideEngine:
+    def test_engine_converges_with_extra_operators(self):
+        space = IntVectorSpace([0, 0, 0], [31, 31, 31])
+        config = GAConfig(
+            population_size=16,
+            generations=30,
+            seed=0,
+            selection=StochasticUniversalSampling(batch=8),
+            crossover=ArithmeticCrossover(),
+            mutation=BoundaryMutation(gene_prob=0.15),
+        )
+        result = GAEngine(space, config).run(
+            lambda g: float(sum((x - 31) ** 2 for x in g))
+        )
+        # boundary mutation nails a corner optimum quickly
+        assert result.best_fitness <= 2.0

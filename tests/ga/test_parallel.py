@@ -1,0 +1,52 @@
+"""Tests for the batch evaluators."""
+
+import pytest
+
+from repro.errors import GAError
+from repro.ga.parallel import MultiprocessEvaluator, SerialEvaluator
+
+
+def square_sum(genome):
+    return float(sum(g * g for g in genome))
+
+
+class TestSerialEvaluator:
+    def test_order_preserved(self):
+        evaluator = SerialEvaluator()
+        genomes = [(1,), (2,), (3,)]
+        assert evaluator.map(square_sum, genomes) == [1.0, 4.0, 9.0]
+
+    def test_empty_batch(self):
+        assert SerialEvaluator().map(square_sum, []) == []
+
+    def test_close_is_noop(self):
+        SerialEvaluator().close()
+
+
+class TestMultiprocessEvaluator:
+    def test_invalid_config(self):
+        with pytest.raises(GAError):
+            MultiprocessEvaluator(processes=0)
+        with pytest.raises(GAError):
+            MultiprocessEvaluator(chunksize=0)
+
+    def test_empty_batch_without_pool(self):
+        evaluator = MultiprocessEvaluator(processes=1)
+        assert evaluator.map(square_sum, []) == []
+        assert evaluator._pool is None  # pool created lazily
+
+    @pytest.mark.slow
+    def test_parallel_map_matches_serial(self):
+        genomes = [(i, i + 1) for i in range(8)]
+        with MultiprocessEvaluator(processes=2) as evaluator:
+            parallel = evaluator.map(square_sum, genomes)
+        serial = SerialEvaluator().map(square_sum, genomes)
+        assert parallel == serial
+
+    @pytest.mark.slow
+    def test_pool_reused_across_batches(self):
+        with MultiprocessEvaluator(processes=2) as evaluator:
+            evaluator.map(square_sum, [(1,)])
+            pool = evaluator._pool
+            evaluator.map(square_sum, [(2,)])
+            assert evaluator._pool is pool

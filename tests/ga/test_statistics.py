@@ -1,0 +1,40 @@
+"""Tests for per-generation statistics."""
+
+import pytest
+
+from repro.errors import GAError
+from repro.ga.individual import Individual
+from repro.ga.statistics import GenerationStats
+
+
+class TestFromPopulation:
+    def test_summary_values(self):
+        population = [Individual((i,), fitness=float(i)) for i in (3, 1, 2)]
+        stats = GenerationStats.from_population(
+            5, population, evaluations=10, cache_hits=2
+        )
+        assert stats.generation == 5
+        assert stats.best_fitness == 1.0
+        assert stats.worst_fitness == 3.0
+        assert stats.mean_fitness == pytest.approx(2.0)
+        assert stats.best_genome == (1,)
+        assert stats.evaluations == 10
+        assert stats.cache_hits == 2
+
+    def test_std_zero_for_uniform_population(self):
+        population = [Individual((i,), fitness=4.0) for i in range(3)]
+        stats = GenerationStats.from_population(0, population, 3, 0)
+        assert stats.std_fitness == 0.0
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(GAError):
+            GenerationStats.from_population(0, [], 0, 0)
+
+    def test_unevaluated_individual_rejected(self):
+        with pytest.raises(GAError):
+            GenerationStats.from_population(0, [Individual((1,))], 0, 0)
+
+    def test_str_format(self):
+        population = [Individual((1,), fitness=2.0)]
+        text = str(GenerationStats.from_population(3, population, 1, 0))
+        assert "gen   3" in text and "best=2" in text

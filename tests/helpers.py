@@ -1,0 +1,98 @@
+"""Shared test helpers: compact builders for hand-crafted programs.
+
+Unit tests need call graphs whose sizes and weights are chosen exactly,
+not sampled — these builders construct methods with a target *estimated
+machine size* so tests can place callees precisely relative to the
+heuristic thresholds (e.g. "a callee of size 10 is always inlined under
+the defaults; one of size 30 is never").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.jvm.bytecode import InstructionKind, InstructionMix, MethodBody
+from repro.jvm.callgraph import CallSite, Program
+from repro.jvm.methods import MethodInfo
+
+__all__ = ["make_body", "make_program", "chain_program", "diamond_program"]
+
+
+def make_body(
+    target_size: float,
+    n_invokes: int = 0,
+    loop_weight: float = 1.0,
+) -> MethodBody:
+    """Build a body whose estimated size is close to *target_size*.
+
+    Uses ARITH (expansion 1.2) filler plus one RETURN (2.0) and the
+    requested INVOKE slots (4.0 each).  The achieved size is within one
+    ARITH expansion (1.2) of the target for feasible targets.
+    """
+    base = 2.0 + 4.0 * n_invokes
+    filler = max(int(round((target_size - base) / 1.2)), 1)
+    mapping = {
+        InstructionKind.ARITH: filler,
+        InstructionKind.RETURN: 1,
+    }
+    if n_invokes:
+        mapping[InstructionKind.INVOKE] = n_invokes
+    return MethodBody(mix=InstructionMix.from_mapping(mapping), loop_weight=loop_weight)
+
+
+def make_program(
+    sizes: Sequence[float],
+    edges: Iterable[Tuple[int, int, float]],
+    name: str = "test",
+    loops: Optional[Sequence[float]] = None,
+    entry_id: int = 0,
+) -> Program:
+    """Build a program from method sizes and weighted edges.
+
+    *edges* are ``(caller, callee, calls_per_invocation)``; site indices
+    are assigned in input order per caller.
+    """
+    edge_list = list(edges)
+    invoke_counts: Dict[int, int] = {}
+    for caller, _callee, _calls in edge_list:
+        invoke_counts[caller] = invoke_counts.get(caller, 0) + 1
+
+    methods: List[MethodInfo] = []
+    for mid, size in enumerate(sizes):
+        loop = loops[mid] if loops is not None else 1.0
+        body = make_body(size, n_invokes=invoke_counts.get(mid, 0), loop_weight=loop)
+        methods.append(MethodInfo(method_id=mid, name=f"{name}.m{mid}", body=body))
+
+    site_counter: Dict[int, int] = {}
+    call_sites = []
+    for caller, callee, calls in edge_list:
+        idx = site_counter.get(caller, 0)
+        site_counter[caller] = idx + 1
+        call_sites.append(
+            CallSite(
+                caller_id=caller,
+                callee_id=callee,
+                site_index=idx,
+                calls_per_invocation=calls,
+            )
+        )
+    return Program(name=name, methods=methods, call_sites=call_sites, entry_id=entry_id)
+
+
+def chain_program(
+    length: int = 4,
+    size: float = 15.0,
+    calls: float = 2.0,
+    name: str = "chain",
+) -> Program:
+    """entry -> m1 -> m2 -> ... each site executing *calls* times."""
+    sizes = [20.0] + [size] * (length - 1)
+    edges = [(i, i + 1, calls) for i in range(length - 1)]
+    return make_program(sizes, edges, name=name)
+
+
+def diamond_program(name: str = "diamond") -> Program:
+    """entry calls two mid methods which both call a shared leaf."""
+    sizes = [25.0, 18.0, 18.0, 9.0]
+    edges = [(0, 1, 1.0), (0, 2, 3.0), (1, 3, 2.0), (2, 3, 5.0)]
+    return make_program(sizes, edges, name=name)

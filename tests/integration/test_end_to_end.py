@@ -1,0 +1,155 @@
+"""End-to-end integration tests over the real benchmark suites.
+
+These run the full pipeline (generation -> VM -> GA tuning -> evaluation)
+with reduced GA budgets and assert the *shapes* of the paper's findings
+that the calibrated model must preserve.
+"""
+
+import pytest
+
+from repro.arch import PENTIUM4, POWERPC_G4
+from repro.core.evaluation import HeuristicEvaluator
+from repro.core.metrics import Metric
+from repro.core.tuner import InliningTuner, TuningTask
+from repro.experiments.figures import figure1, figure2
+from repro.experiments.runner import compare_suites, run_suite
+from repro.ga.engine import GAConfig
+from repro.jvm.inlining import JIKES_DEFAULT_PARAMETERS, NO_INLINING
+from repro.jvm.scenario import ADAPTIVE, OPTIMIZING
+from repro.workloads.suites import DACAPO_JBB, SPECJVM98
+
+SMALL_GA = GAConfig(population_size=10, generations=8, elitism=2, seed=0)
+
+
+class TestMotivation:
+    """Section 2 of the paper: why tune at all."""
+
+    def test_figure1_shapes(self):
+        data = figure1()
+        opt, adapt = data["Opt"], data["Adapt"]
+        # inlining strongly improves running time under both scenarios
+        assert 0.65 < opt.avg_running_ratio < 0.88
+        assert 0.65 < adapt.avg_running_ratio < 0.88
+        # under Opt, compile growth eats the total-time gain for at
+        # least two programs (paper: javac-like degradations)
+        assert sum(1 for t in opt.total_ratios if t > 1.05) >= 2
+        # under Adapt, total time clearly improves on average
+        assert adapt.avg_total_ratio < 0.97
+
+    def test_figure2_shapes(self):
+        data = figure2(benchmarks=("compress", "jess"))
+        jess_opt = data["jess"]["Opt"]
+        # jess under Opt: low depth best, deep inlining much worse
+        assert jess_opt.best_depth <= 1
+        assert max(jess_opt.total_seconds) / min(jess_opt.total_seconds) > 1.3
+        # the Jikes default depth (5) is not the best for jess in
+        # either scenario (the paper's headline observation)
+        for scenario in ("Opt", "Adapt"):
+            sweep = data["jess"][scenario]
+            default_idx = sweep.depths.index(5)
+            assert sweep.total_seconds[default_idx] > min(sweep.total_seconds)
+
+
+class TestTuningEndToEnd:
+    @pytest.fixture(scope="class")
+    def tuned_opt_tot(self):
+        task = TuningTask(
+            name="e2e-opt-tot",
+            scenario=OPTIMIZING,
+            machine=PENTIUM4,
+            metric=Metric.TOTAL,
+        )
+        return InliningTuner(SMALL_GA).tune(task, SPECJVM98.programs())
+
+    def test_tuned_beats_default_on_training_total(self, tuned_opt_tot):
+        assert tuned_opt_tot.improvement > 0.05  # paper: 17%
+
+    def test_tuned_generalizes_to_test_suite(self, tuned_opt_tot):
+        """The paper's key claim: tuned on SPECjvm98, the heuristic
+        still wins (more!) on unseen DaCapo+JBB total time."""
+        programs = DACAPO_JBB.programs()
+        tuned = run_suite(programs, PENTIUM4, OPTIMIZING, tuned_opt_tot.params)
+        default = run_suite(
+            programs, PENTIUM4, OPTIMIZING, JIKES_DEFAULT_PARAMETERS
+        )
+        comparison = compare_suites(tuned, default)
+        assert comparison.avg_total_reduction > 0.10  # paper: 37%
+
+    def test_determinism_across_runs(self):
+        task = TuningTask(
+            name="e2e-det",
+            scenario=OPTIMIZING,
+            machine=PENTIUM4,
+            metric=Metric.TOTAL,
+        )
+        a = InliningTuner(SMALL_GA).tune(task, SPECJVM98.programs()[:3])
+        b = InliningTuner(SMALL_GA).tune(task, SPECJVM98.programs()[:3])
+        assert a.params == b.params
+        assert a.fitness == b.fitness
+
+
+class TestArchitectureContrast:
+    def test_icache_pressure_binds_on_ppc_not_x86(self):
+        """Aggressive inlining overflows the G4's small I-cache long
+        before the P4's — the mechanism behind the paper's
+        architecture-specific depth choices (Table 4)."""
+        aggressive = JIKES_DEFAULT_PARAMETERS
+        program = DACAPO_JBB.program("ipsixql")
+        x86 = run_suite([program], PENTIUM4, OPTIMIZING, aggressive).reports[0]
+        ppc = run_suite([program], POWERPC_G4, OPTIMIZING, aggressive).reports[0]
+        assert ppc.icache_factor > x86.icache_factor
+
+    def test_compile_share_larger_on_x86(self):
+        program = DACAPO_JBB.program("antlr")
+        x86 = run_suite([program], PENTIUM4, OPTIMIZING, JIKES_DEFAULT_PARAMETERS).reports[0]
+        ppc = run_suite([program], POWERPC_G4, OPTIMIZING, JIKES_DEFAULT_PARAMETERS).reports[0]
+        assert (
+            x86.compile_seconds / x86.total_seconds
+            > ppc.compile_seconds / ppc.total_seconds
+        )
+
+
+class TestAdaptiveScenario:
+    def test_adaptive_totals_beat_opt_for_short_programs(self):
+        """Hot-spot compilation is the better default for short runs —
+        the reason adaptive systems exist (paper §3.3)."""
+        program = DACAPO_JBB.program("antlr")  # short-running, big code
+        adaptive = run_suite([program], PENTIUM4, ADAPTIVE, JIKES_DEFAULT_PARAMETERS)
+        opt = run_suite([program], PENTIUM4, OPTIMIZING, JIKES_DEFAULT_PARAMETERS)
+        assert (
+            adaptive.reports[0].total_seconds < opt.reports[0].total_seconds
+        )
+
+    def test_opt_running_beats_adaptive(self):
+        program = DACAPO_JBB.program("antlr")
+        adaptive = run_suite([program], PENTIUM4, ADAPTIVE, JIKES_DEFAULT_PARAMETERS)
+        opt = run_suite([program], PENTIUM4, OPTIMIZING, JIKES_DEFAULT_PARAMETERS)
+        assert (
+            opt.reports[0].running_seconds
+            <= adaptive.reports[0].running_seconds * 1.001
+        )
+
+
+class TestBalanceMetric:
+    def test_balance_tuning_trades_running_for_total(self):
+        """Tuning for balance lands between pure-running and pure-total
+        optimization on the training suite."""
+        programs = SPECJVM98.programs()[:4]
+        results = {}
+        for metric in (Metric.RUNNING, Metric.BALANCE, Metric.TOTAL):
+            task = TuningTask(
+                name=f"e2e-{metric.value}",
+                scenario=OPTIMIZING,
+                machine=PENTIUM4,
+                metric=metric,
+            )
+            tuned = InliningTuner(SMALL_GA).tune(task, programs)
+            suite = run_suite(programs, PENTIUM4, OPTIMIZING, tuned.params)
+            results[metric] = (
+                sum(r.running_seconds for r in suite.reports),
+                sum(r.total_seconds for r in suite.reports),
+            )
+        # running-tuned must have the best running time of the three
+        assert results[Metric.RUNNING][0] <= results[Metric.TOTAL][0] * 1.02
+        # total-tuned must have the best total time of the three
+        assert results[Metric.TOTAL][1] <= results[Metric.RUNNING][1] * 1.02

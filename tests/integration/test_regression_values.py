@@ -1,0 +1,81 @@
+"""Golden-value regression pins.
+
+The whole reproduction rests on a deterministic simulator: any change
+to the cost model, the workload generator, or the RNG plumbing shifts
+every experiment.  These pins freeze a handful of end-to-end numbers so
+such changes are *visible* — if you recalibrate deliberately, update
+the constants here (and regenerate EXPERIMENTS.md) in the same change.
+
+Note the jess/no-inlining pin: its running cycles equal the workload
+calibration target (2.0 s x 2.8 GHz = 5.6e9) because no-inlining Opt
+execution is exactly what the generator calibrates against — a useful
+cross-check that calibration still holds end to end.
+"""
+
+import pytest
+
+from repro.arch import PENTIUM4, POWERPC_G4
+from repro.jvm.inlining import JIKES_DEFAULT_PARAMETERS, NO_INLINING
+from repro.jvm.runtime import VirtualMachine
+from repro.jvm.scenario import ADAPTIVE, OPTIMIZING
+from repro.workloads.suites import DACAPO_JBB, SPECJVM98
+
+#: (benchmark, machine, scenario, params) -> (running_cycles,
+#: total_cycles, inline_sites) captured from the calibrated model
+GOLDEN = {
+    ("compress", "pentium4", "Opt", "default"): (
+        21288309284.783295,
+        21384402893.41966,
+        148,
+    ),
+    ("jess", "pentium4", "Opt", "none"): (
+        5600000064.966505,
+        5899599876.784687,
+        0,
+    ),
+    ("javac", "pentium4", "Adapt", "default"): (
+        4314287054.191284,
+        6456690052.775823,
+        766,
+    ),
+    ("antlr", "pentium4", "Opt", "default"): (
+        1372871174.1578705,
+        8191828146.430568,
+        9418,
+    ),
+    ("ipsixql", "powerpc-g4", "Adapt", "default"): (
+        3016423872.6258974,
+        3990245762.5753107,
+        2664,
+    ),
+}
+
+_MACHINES = {"pentium4": PENTIUM4, "powerpc-g4": POWERPC_G4}
+_SCENARIOS = {"Opt": OPTIMIZING, "Adapt": ADAPTIVE}
+_PARAMS = {"default": JIKES_DEFAULT_PARAMETERS, "none": NO_INLINING}
+
+
+def _program(name):
+    if name in SPECJVM98.benchmark_names:
+        return SPECJVM98.program(name)
+    return DACAPO_JBB.program(name)
+
+
+@pytest.mark.parametrize("key", sorted(GOLDEN), ids=lambda k: "-".join(map(str, k)))
+def test_golden_values(key):
+    benchmark, machine, scenario, params = key
+    expected_running, expected_total, expected_sites = GOLDEN[key]
+    vm = VirtualMachine(_MACHINES[machine], _SCENARIOS[scenario])
+    report = vm.run(_program(benchmark), _PARAMS[params])
+    assert report.running_cycles == pytest.approx(expected_running, rel=1e-12)
+    assert report.total_cycles == pytest.approx(expected_total, rel=1e-12)
+    assert report.inline_sites == expected_sites
+
+
+def test_jess_no_inlining_matches_calibration_target():
+    """The generator's running-time calibration holds end to end."""
+    spec = SPECJVM98.spec("jess")
+    report = VirtualMachine(PENTIUM4, OPTIMIZING).run(
+        SPECJVM98.program("jess"), NO_INLINING
+    )
+    assert report.running_cycles == pytest.approx(spec.target_cycles, rel=0.01)

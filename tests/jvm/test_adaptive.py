@@ -1,0 +1,98 @@
+"""Tests for the adaptive optimization system."""
+
+import pytest
+
+from helpers import make_program
+
+from repro.arch import PENTIUM4
+from repro.jvm.adaptive import AdaptiveOptimizationSystem
+from repro.jvm.costmodel import DEFAULT_COST_MODEL
+from repro.jvm.inlining import JIKES_DEFAULT_PARAMETERS
+from repro.jvm.scenario import ADAPTIVE
+
+
+@pytest.fixture
+def aos():
+    return AdaptiveOptimizationSystem(PENTIUM4, ADAPTIVE, DEFAULT_COST_MODEL)
+
+
+def _hot_program():
+    """Entry drives a hot kernel that dominates time."""
+    return make_program(
+        sizes=[25.0, 30.0, 12.0, 18.0],
+        edges=[(0, 1, 1.0), (1, 2, 50.0), (0, 3, 0.1)],
+        loops=[1.0, 40_000.0, 120.0, 1.0],
+        name="hotprog",
+    )
+
+
+class TestAdaptiveRun:
+    def test_every_invoked_method_baseline_compiled(self, aos):
+        program = _hot_program()
+        result = aos.run(program, JIKES_DEFAULT_PARAMETERS)
+        assert set(result.baseline_versions) == {0, 1, 2, 3}
+        assert all(v.opt_level == 0 for v in result.baseline_versions.values())
+
+    def test_unreachable_methods_not_compiled(self, aos):
+        program = make_program([20.0, 10.0, 10.0], [(0, 1, 1.0)])
+        result = aos.run(program, JIKES_DEFAULT_PARAMETERS)
+        assert 2 not in result.baseline_versions
+
+    def test_hot_kernel_promoted(self, aos):
+        program = _hot_program()
+        result = aos.run(program, JIKES_DEFAULT_PARAMETERS)
+        assert 1 in result.promoted
+        assert result.final_versions[1].opt_level >= 1
+
+    def test_cold_method_not_promoted(self, aos):
+        program = _hot_program()
+        result = aos.run(program, JIKES_DEFAULT_PARAMETERS)
+        # method 3 runs 0.1 times per iteration with trivial work
+        assert 3 not in result.promoted
+        assert result.final_versions[3].opt_level == 0
+
+    def test_compile_cycles_cover_baseline_plus_promotions(self, aos):
+        program = _hot_program()
+        result = aos.run(program, JIKES_DEFAULT_PARAMETERS)
+        expected = sum(v.compile_cycles for v in result.baseline_versions.values())
+        expected += sum(
+            result.final_versions[mid].compile_cycles for mid in result.promoted
+        )
+        assert result.compile_cycles == pytest.approx(expected)
+
+    def test_profile_attached(self, aos):
+        program = _hot_program()
+        result = aos.run(program, JIKES_DEFAULT_PARAMETERS)
+        assert result.profile.total_time > 0
+        assert result.profile.time_share(1) + result.profile.time_share(2) > 0.5
+
+    def test_hot_sites_used_for_recompilation(self, aos):
+        # kernel's site to the mid-size callee is hot; with default
+        # params Figure 4 inlines it during promotion
+        program = _hot_program()
+        result = aos.run(program, JIKES_DEFAULT_PARAMETERS)
+        assert (1, 0) in result.hot_sites
+        assert result.final_versions[1].inline_count >= 1
+
+
+class TestChooseLevel:
+    def test_zero_time_method_never_promoted(self, aos):
+        program = _hot_program()
+        result = aos.run(program, JIKES_DEFAULT_PARAMETERS)
+        profile = result.profile
+        # fabricate: ask about a method with zero observed time
+        program2 = make_program([20.0, 10.0, 10.0], [(0, 1, 1.0)])
+        result2 = aos.run(program2, JIKES_DEFAULT_PARAMETERS)
+        assert aos.choose_level(program2, 2, result2.profile) == 0
+
+    def test_hotter_method_gets_higher_or_equal_level(self, aos):
+        program = _hot_program()
+        result = aos.run(program, JIKES_DEFAULT_PARAMETERS)
+        level_hot = aos.choose_level(program, 1, result.profile)
+        level_cold = aos.choose_level(program, 3, result.profile)
+        assert level_hot >= level_cold
+
+    def test_candidate_levels_capped_by_scenario(self):
+        capped = ADAPTIVE.scaled(opt_level=1)
+        aos = AdaptiveOptimizationSystem(PENTIUM4, capped, DEFAULT_COST_MODEL)
+        assert aos._candidate_levels() == [1]

@@ -1,0 +1,106 @@
+"""Tests for the abstract bytecode model."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.jvm.bytecode import (
+    EXPANSION,
+    WORK_WEIGHT,
+    InstructionKind,
+    InstructionMix,
+    MethodBody,
+)
+
+
+class TestInstructionMix:
+    def test_from_mapping_drops_zero_counts(self):
+        mix = InstructionMix.from_mapping(
+            {InstructionKind.ARITH: 3, InstructionKind.MOVE: 0}
+        )
+        assert mix.count(InstructionKind.ARITH) == 3
+        assert mix.count(InstructionKind.MOVE) == 0
+        assert len(mix.counts) == 1
+
+    def test_total(self):
+        mix = InstructionMix.from_mapping(
+            {InstructionKind.ARITH: 3, InstructionKind.BRANCH: 2}
+        )
+        assert mix.total == 5
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(WorkloadError):
+            InstructionMix.from_mapping({InstructionKind.ARITH: -1})
+
+    def test_non_kind_key_rejected(self):
+        with pytest.raises(WorkloadError):
+            InstructionMix.from_mapping({"arith": 3})
+
+    def test_iteration_order_is_stable(self):
+        mapping = {
+            InstructionKind.RETURN: 1,
+            InstructionKind.ARITH: 2,
+            InstructionKind.MOVE: 4,
+        }
+        a = list(InstructionMix.from_mapping(mapping))
+        b = list(InstructionMix.from_mapping(dict(reversed(list(mapping.items())))))
+        assert a == b
+
+    def test_mix_is_hashable(self):
+        mix = InstructionMix.from_mapping({InstructionKind.ARITH: 1})
+        assert hash(mix) == hash(InstructionMix.from_mapping({InstructionKind.ARITH: 1}))
+
+
+class TestMethodBody:
+    def _mix(self, **counts):
+        return InstructionMix.from_mapping(
+            {InstructionKind[k.upper()]: v for k, v in counts.items()}
+        )
+
+    def test_bytecode_size(self):
+        body = MethodBody(mix=self._mix(arith=5, branch=2))
+        assert body.bytecode_size == 7
+
+    def test_work_units_scales_with_loop_weight(self):
+        mix = self._mix(arith=10)
+        flat = MethodBody(mix=mix, loop_weight=1.0)
+        loopy = MethodBody(mix=mix, loop_weight=3.0)
+        assert loopy.work_units == pytest.approx(3.0 * flat.work_units)
+
+    def test_work_units_uses_kind_weights(self):
+        arith = MethodBody(mix=self._mix(arith=10))
+        memory = MethodBody(mix=self._mix(memory=10))
+        assert memory.work_units > arith.work_units  # memory ops cost more
+
+    def test_invoke_count(self):
+        body = MethodBody(mix=self._mix(arith=3, invoke=4))
+        assert body.invoke_count == 4
+
+    def test_invokes_carry_no_body_work(self):
+        with_calls = MethodBody(mix=self._mix(arith=3, invoke=4))
+        without = MethodBody(mix=self._mix(arith=3))
+        assert with_calls.work_units == pytest.approx(without.work_units)
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(WorkloadError):
+            MethodBody(mix=InstructionMix.from_mapping({}))
+
+    def test_nonpositive_loop_weight_rejected(self):
+        with pytest.raises(WorkloadError):
+            MethodBody(mix=self._mix(arith=1), loop_weight=0.0)
+
+
+class TestTraitTables:
+    def test_every_kind_has_traits(self):
+        for kind in InstructionKind:
+            assert kind in EXPANSION
+            assert kind in WORK_WEIGHT
+
+    def test_alloc_is_heaviest_runtime_kind(self):
+        assert WORK_WEIGHT[InstructionKind.ALLOC] == max(WORK_WEIGHT.values())
+
+    def test_invoke_expansion_reflects_call_sequence(self):
+        # the saved-call-sequence constant must not exceed what an
+        # INVOKE expands to, or inlining could shrink code below zero
+        from repro.jvm.methods import CALL_SEQUENCE_SIZE
+
+        assert CALL_SEQUENCE_SIZE <= EXPANSION[InstructionKind.INVOKE]

@@ -1,0 +1,141 @@
+"""Tests for call-graph structure and invocation propagation."""
+
+import numpy as np
+import pytest
+
+from helpers import make_body, make_program
+
+from repro.errors import WorkloadError
+from repro.jvm.callgraph import CallSite, Program
+from repro.jvm.methods import MethodInfo
+
+
+class TestCallSiteValidation:
+    def test_forward_edge_ok(self):
+        CallSite(caller_id=0, callee_id=1, site_index=0, calls_per_invocation=2.0)
+
+    def test_self_edge_ok(self):
+        CallSite(caller_id=3, callee_id=3, site_index=0, calls_per_invocation=0.5)
+
+    def test_back_edge_rejected(self):
+        with pytest.raises(WorkloadError):
+            CallSite(caller_id=2, callee_id=1, site_index=0, calls_per_invocation=1.0)
+
+    def test_negative_calls_rejected(self):
+        with pytest.raises(WorkloadError):
+            CallSite(caller_id=0, callee_id=1, site_index=0, calls_per_invocation=-1.0)
+
+    def test_divergent_self_recursion_rejected(self):
+        with pytest.raises(WorkloadError):
+            CallSite(caller_id=1, callee_id=1, site_index=0, calls_per_invocation=0.99)
+
+    def test_is_recursive_flag(self):
+        self_site = CallSite(caller_id=1, callee_id=1, site_index=0, calls_per_invocation=0.5)
+        fwd = CallSite(caller_id=0, callee_id=1, site_index=0, calls_per_invocation=1.0)
+        assert self_site.is_recursive and not fwd.is_recursive
+
+
+class TestProgramValidation:
+    def test_dense_method_ids_required(self):
+        methods = [MethodInfo(method_id=1, name="m", body=make_body(10.0))]
+        with pytest.raises(WorkloadError):
+            Program(name="p", methods=methods, call_sites=[], entry_id=0)
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(WorkloadError):
+            Program(name="p", methods=[], call_sites=[], entry_id=0)
+
+    def test_entry_out_of_range_rejected(self):
+        methods = [MethodInfo(method_id=0, name="m", body=make_body(10.0))]
+        with pytest.raises(WorkloadError):
+            Program(name="p", methods=methods, call_sites=[], entry_id=5)
+
+    def test_site_referencing_unknown_method_rejected(self):
+        with pytest.raises(WorkloadError):
+            make_program([10.0, 10.0], [(0, 5, 1.0)])
+
+    def test_duplicate_site_index_rejected(self):
+        methods = [
+            MethodInfo(method_id=0, name="a", body=make_body(20.0, n_invokes=2)),
+            MethodInfo(method_id=1, name="b", body=make_body(10.0)),
+        ]
+        sites = [
+            CallSite(caller_id=0, callee_id=1, site_index=0, calls_per_invocation=1.0),
+            CallSite(caller_id=0, callee_id=1, site_index=0, calls_per_invocation=2.0),
+        ]
+        with pytest.raises(WorkloadError):
+            Program(name="p", methods=methods, call_sites=sites, entry_id=0)
+
+    def test_total_self_rate_across_sites_bounded(self):
+        methods = [
+            MethodInfo(method_id=0, name="a", body=make_body(20.0, n_invokes=1)),
+            MethodInfo(method_id=1, name="b", body=make_body(20.0, n_invokes=2)),
+        ]
+        sites = [
+            CallSite(caller_id=0, callee_id=1, site_index=0, calls_per_invocation=1.0),
+            CallSite(caller_id=1, callee_id=1, site_index=0, calls_per_invocation=0.6),
+            CallSite(caller_id=1, callee_id=1, site_index=1, calls_per_invocation=0.6),
+        ]
+        with pytest.raises(WorkloadError):
+            Program(name="p", methods=methods, call_sites=sites, entry_id=0)
+
+
+class TestStructureQueries:
+    def test_sites_grouped_by_caller(self, diamond):
+        assert len(diamond.sites_of(0)) == 2
+        assert len(diamond.sites_of(3)) == 0
+
+    def test_reachable_from_entry(self, diamond):
+        assert diamond.reachable_methods() == frozenset({0, 1, 2, 3})
+
+    def test_unreachable_methods_excluded(self):
+        program = make_program([20.0, 10.0, 10.0], [(0, 1, 1.0)])
+        assert program.reachable_methods() == frozenset({0, 1})
+
+    def test_total_estimated_size(self, diamond):
+        total = sum(m.estimated_size for m in diamond.methods)
+        assert diamond.total_estimated_size == pytest.approx(total)
+
+    def test_to_dot_contains_reachable_nodes_and_edges(self, diamond):
+        dot = diamond.to_dot()
+        assert dot.startswith("digraph")
+        assert "m0 -> m1" in dot
+        assert "m2 -> m3" in dot
+
+
+class TestBaselineInvocations:
+    def test_entry_counted_once(self, diamond):
+        counts = diamond.baseline_invocations()
+        assert counts[0] == 1.0
+
+    def test_diamond_counts_sum_incoming(self, diamond):
+        # entry->1 (1.0), entry->2 (3.0); 1->3 (2.0), 2->3 (5.0)
+        counts = diamond.baseline_invocations()
+        assert counts[1] == pytest.approx(1.0)
+        assert counts[2] == pytest.approx(3.0)
+        assert counts[3] == pytest.approx(1.0 * 2.0 + 3.0 * 5.0)
+
+    def test_chain_counts_multiply(self):
+        program = make_program(
+            [20.0, 15.0, 15.0], [(0, 1, 2.0), (1, 2, 3.0)]
+        )
+        counts = program.baseline_invocations()
+        assert counts[2] == pytest.approx(6.0)
+
+    def test_self_recursion_geometric_closed_form(self):
+        program = make_program(
+            [20.0, 15.0], [(0, 1, 1.0), (1, 1, 0.5)]
+        )
+        counts = program.baseline_invocations()
+        assert counts[1] == pytest.approx(1.0 / (1.0 - 0.5))
+
+    def test_unreachable_method_has_zero_count(self):
+        program = make_program([20.0, 10.0, 10.0], [(0, 1, 1.0)])
+        counts = program.baseline_invocations()
+        assert counts[2] == 0.0
+
+    def test_result_cached_and_immutable(self, diamond):
+        counts = diamond.baseline_invocations()
+        assert counts is diamond.baseline_invocations()
+        with pytest.raises(ValueError):
+            counts[0] = 5.0

@@ -1,0 +1,100 @@
+"""Tests for code-space accounting and the I-cache pressure model."""
+
+import numpy as np
+import pytest
+
+from repro.arch import PENTIUM4
+from repro.jvm.codecache import CodeCache, hot_code_size, pressure_factor
+from repro.jvm.costmodel import DEFAULT_COST_MODEL
+
+
+class TestPressureFactor:
+    def test_no_pressure_below_capacity(self):
+        assert pressure_factor(900.0, 1000.0, 0.5) == 1.0
+        assert pressure_factor(1000.0, 1000.0, 0.5) == 1.0
+
+    def test_pressure_above_capacity(self):
+        assert pressure_factor(2000.0, 1000.0, 0.5) > 1.0
+
+    def test_zero_penalty_disables_model(self):
+        assert pressure_factor(10_000.0, 1000.0, 0.0) == 1.0
+
+    def test_monotone_in_hot_size(self):
+        values = [pressure_factor(s, 1000.0, 0.5) for s in np.linspace(500, 20000, 40)]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+    def test_saturates_below_one_plus_penalty(self):
+        assert pressure_factor(1e12, 1000.0, 0.5) < 1.5
+
+    def test_continuous_at_capacity(self):
+        just_over = pressure_factor(1000.0001, 1000.0, 0.5)
+        assert just_over == pytest.approx(1.0, abs=1e-6)
+
+
+class TestHotCodeSize:
+    def test_zero_times_give_zero(self):
+        sizes = np.array([100.0, 200.0])
+        times = np.zeros(2)
+        assert hot_code_size(sizes, times, 0.002) == 0.0
+
+    def test_dominant_method_counts_fully(self):
+        sizes = np.array([100.0, 200.0])
+        times = np.array([1.0, 0.0])
+        assert hot_code_size(sizes, times, 0.002) == pytest.approx(100.0)
+
+    def test_cold_method_counts_proportionally(self):
+        sizes = np.array([100.0, 1000.0])
+        times = np.array([0.999, 0.001])
+        hot = hot_code_size(sizes, times, 0.002)
+        # cold method at half the full-share threshold contributes half
+        assert hot == pytest.approx(100.0 + 1000.0 * 0.5)
+
+    def test_bounded_by_total_code(self):
+        rng = np.random.default_rng(0)
+        sizes = rng.uniform(10, 500, size=50)
+        times = rng.uniform(0, 1, size=50)
+        assert hot_code_size(sizes, times, 0.002) <= sizes.sum() + 1e-9
+
+
+class TestCodeCache:
+    def _cache(self):
+        return CodeCache(PENTIUM4, DEFAULT_COST_MODEL)
+
+    def test_install_and_totals(self):
+        cache = self._cache()
+        cache.install(0, 100.0)
+        cache.install(3, 50.0)
+        assert cache.total_code_size == pytest.approx(150.0)
+        assert cache.method_count == 2
+        assert cache.installed_size(3) == 50.0
+        assert cache.installed_size(1) == 0.0
+
+    def test_reinstall_replaces(self):
+        cache = self._cache()
+        cache.install(0, 100.0)
+        cache.install(0, 250.0)
+        assert cache.total_code_size == pytest.approx(250.0)
+        assert cache.method_count == 1
+
+    def test_sizes_array_dense(self):
+        cache = self._cache()
+        cache.install(2, 40.0)
+        arr = cache.sizes_array(4)
+        assert list(arr) == [0.0, 0.0, 40.0, 0.0]
+
+    def test_execution_factor_small_program_unpressured(self):
+        cache = self._cache()
+        cache.install(0, 100.0)
+        times = np.array([1.0])
+        factor, hot = cache.execution_factor(times)
+        assert factor == 1.0
+        assert hot == pytest.approx(100.0)
+
+    def test_execution_factor_pressured_when_hot_exceeds_capacity(self):
+        cache = self._cache()
+        times = np.ones(10)
+        for mid in range(10):
+            cache.install(mid, PENTIUM4.icache_capacity / 5.0)
+        factor, hot = cache.execution_factor(times)
+        assert hot == pytest.approx(2 * PENTIUM4.icache_capacity)
+        assert factor > 1.0

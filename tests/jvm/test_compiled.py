@@ -1,0 +1,47 @@
+"""Tests for the CompiledMethod record invariants."""
+
+import pytest
+
+from repro.errors import CompilationError
+from repro.jvm.compiled import CompiledMethod
+
+
+def _valid(**overrides):
+    kwargs = dict(
+        method_id=0,
+        opt_level=2,
+        code_size=100.0,
+        compile_cycles=1000.0,
+        cycles_per_invocation=50.0,
+        residual_forward=((1, 2.0),),
+        residual_self_rate=0.0,
+        inline_count=3,
+    )
+    kwargs.update(overrides)
+    return CompiledMethod(**kwargs)
+
+
+class TestValidation:
+    def test_valid_record(self):
+        cm = _valid()
+        assert cm.code_size == 100.0
+
+    def test_nonpositive_code_size_rejected(self):
+        with pytest.raises(CompilationError):
+            _valid(code_size=0.0)
+
+    def test_negative_compile_cycles_rejected(self):
+        with pytest.raises(CompilationError):
+            _valid(compile_cycles=-1.0)
+
+    def test_negative_invocation_cycles_rejected(self):
+        with pytest.raises(CompilationError):
+            _valid(cycles_per_invocation=-1.0)
+
+    @pytest.mark.parametrize("rate", [1.0, 1.5, -0.1])
+    def test_self_rate_outside_unit_interval_rejected(self, rate):
+        with pytest.raises(CompilationError):
+            _valid(residual_self_rate=rate)
+
+    def test_self_rate_just_below_one_ok(self):
+        assert _valid(residual_self_rate=0.99).residual_self_rate == 0.99

@@ -1,0 +1,145 @@
+"""Tests for the baseline and optimizing compilers' cost models."""
+
+import pytest
+
+from helpers import make_program
+
+from repro.arch import PENTIUM4, POWERPC_G4
+from repro.errors import CompilationError
+from repro.jvm.baseline_compiler import BaselineCompiler
+from repro.jvm.costmodel import DEFAULT_COST_MODEL
+from repro.jvm.inlining import (
+    JIKES_DEFAULT_PARAMETERS,
+    NO_INLINING,
+    InliningParameters,
+    build_inline_plan,
+)
+from repro.jvm.opt_compiler import OptimizingCompiler
+
+
+@pytest.fixture
+def baseline():
+    return BaselineCompiler(PENTIUM4, DEFAULT_COST_MODEL)
+
+
+@pytest.fixture
+def optimizer():
+    return OptimizingCompiler(PENTIUM4, DEFAULT_COST_MODEL)
+
+
+class TestBaselineCompiler:
+    def test_no_inlining_ever(self, baseline, diamond):
+        version = baseline.compile(diamond, 0)
+        assert version.inline_count == 0
+        assert version.opt_level == 0
+
+    def test_all_sites_residual(self, baseline, diamond):
+        version = baseline.compile(diamond, 0)
+        residual = dict(version.residual_forward)
+        assert residual == {1: 1.0, 2: 3.0}
+
+    def test_code_bloat_applied(self, baseline, diamond):
+        version = baseline.compile(diamond, 3)
+        expected = diamond.sizes[3] * DEFAULT_COST_MODEL.baseline_code_bloat
+        assert version.code_size == pytest.approx(expected)
+
+    def test_compile_linear_in_size(self, baseline):
+        small = make_program([20.0], [])
+        large = make_program([200.0], [])
+        c_small = baseline.compile(small, 0).compile_cycles
+        c_large = baseline.compile(large, 0).compile_cycles
+        assert c_large / c_small == pytest.approx(
+            large.sizes[0] / small.sizes[0], rel=0.05
+        )
+
+    def test_self_rate_recorded(self, baseline):
+        program = make_program([20.0, 15.0], [(0, 1, 1.0), (1, 1, 0.4)])
+        version = baseline.compile(program, 1)
+        assert version.residual_self_rate == pytest.approx(0.4)
+
+    def test_invocation_cost_includes_call_overhead(self, baseline, diamond):
+        leaf = baseline.compile(diamond, 3)
+        caller = baseline.compile(diamond, 0)
+        # caller does less body work but pays for 4 dynamic calls
+        per_call = baseline.effective_call_cost()
+        assert caller.cycles_per_invocation >= 4.0 * per_call
+
+
+class TestOptimizingCompiler:
+    def test_level_zero_rejected(self, optimizer, diamond):
+        with pytest.raises(CompilationError):
+            optimizer.compile(diamond, 0, JIKES_DEFAULT_PARAMETERS, level=0)
+
+    def test_defaults_to_max_level(self, optimizer, diamond):
+        version = optimizer.compile(diamond, 0, JIKES_DEFAULT_PARAMETERS)
+        assert version.opt_level == PENTIUM4.max_opt_level
+
+    def test_optimized_code_faster_than_baseline(self, baseline, optimizer, diamond):
+        base = baseline.compile(diamond, 3)
+        opt = optimizer.compile(diamond, 3, NO_INLINING)
+        assert opt.cycles_per_invocation < base.cycles_per_invocation
+
+    def test_optimizing_compile_much_slower_than_baseline(
+        self, baseline, optimizer, diamond
+    ):
+        base = baseline.compile(diamond, 3)
+        opt = optimizer.compile(diamond, 3, NO_INLINING)
+        assert opt.compile_cycles > 10 * base.compile_cycles
+
+    def test_inlining_grows_code_and_compile_time(self, optimizer):
+        program = make_program([30.0, 15.0], [(0, 1, 2.0)])
+        without = optimizer.compile(program, 0, NO_INLINING)
+        with_inl = optimizer.compile(program, 0, JIKES_DEFAULT_PARAMETERS)
+        assert with_inl.inline_count == 1
+        assert with_inl.code_size > without.code_size
+        assert with_inl.compile_cycles > without.compile_cycles
+
+    def test_inlining_removes_call_overhead(self, optimizer):
+        program = make_program([30.0, 15.0], [(0, 1, 2.0)])
+        without = optimizer.compile(program, 0, NO_INLINING)
+        with_inl = optimizer.compile(program, 0, JIKES_DEFAULT_PARAMETERS)
+        # inlined version absorbs callee work but saves 2 calls of
+        # overhead plus the inline optimization bonus
+        absorbed = 2.0 * program.work[1] * PENTIUM4.speed_factor(2)
+        saved_calls = 2.0 * optimizer.effective_call_cost()
+        assert with_inl.cycles_per_invocation < (
+            without.cycles_per_invocation + absorbed
+        )
+        assert with_inl.residual_forward == ()
+
+    def test_compile_superlinear_in_expanded_size(self, optimizer):
+        c1 = optimizer.compile_cycles_for_size(100.0, 2)
+        c2 = optimizer.compile_cycles_for_size(1000.0, 2)
+        assert c2 / c1 > 10.0  # more than linear
+
+    def test_plan_reuse_matches_internal_build(self, optimizer, diamond):
+        plan = build_inline_plan(diamond, 0, JIKES_DEFAULT_PARAMETERS)
+        a = optimizer.compile(diamond, 0, JIKES_DEFAULT_PARAMETERS, plan=plan)
+        b = optimizer.compile(diamond, 0, JIKES_DEFAULT_PARAMETERS)
+        assert a == b
+
+    def test_mismatched_plan_rejected(self, optimizer, diamond):
+        plan = build_inline_plan(diamond, 1, JIKES_DEFAULT_PARAMETERS)
+        with pytest.raises(CompilationError):
+            optimizer.compile(diamond, 0, JIKES_DEFAULT_PARAMETERS, plan=plan)
+
+    def test_residual_rates_merge_per_callee(self, optimizer):
+        # two sites to the same big callee merge into one residual edge
+        program = make_program(
+            [40.0, 50.0], [(0, 1, 2.0), (0, 1, 3.0)]
+        )
+        version = optimizer.compile(program, 0, JIKES_DEFAULT_PARAMETERS)
+        assert version.residual_forward == ((1, pytest.approx(5.0)),)
+
+    def test_ppc_app_cycle_factor_inflates_work(self, diamond):
+        x86 = OptimizingCompiler(PENTIUM4, DEFAULT_COST_MODEL)
+        ppc = OptimizingCompiler(POWERPC_G4, DEFAULT_COST_MODEL)
+        vx = x86.compile(diamond, 3, NO_INLINING)
+        vp = ppc.compile(diamond, 3, NO_INLINING)
+        ratio = vp.cycles_per_invocation / vx.cycles_per_invocation
+        expected = (
+            POWERPC_G4.app_cycle_factor
+            * POWERPC_G4.speed_factor(2)
+            / (PENTIUM4.app_cycle_factor * PENTIUM4.speed_factor(2))
+        )
+        assert ratio == pytest.approx(expected, rel=0.01)

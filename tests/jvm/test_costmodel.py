@@ -1,0 +1,63 @@
+"""Tests for the cost-model constants."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.jvm.costmodel import DEFAULT_COST_MODEL, CostModel
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("work_cycle_scale", 0.0),
+            ("inline_opt_bonus", 1.0),
+            ("inline_opt_bonus", -0.1),
+            ("inline_bonus_decay", 0.0),
+            ("inline_bonus_decay", 1.5),
+            ("call_mispredict_weight", -1.0),
+            ("compile_superlinear_scale", 0.0),
+            ("baseline_code_bloat", 0.9),
+            ("opt_code_density", 0.0),
+            ("adaptive_mix_fraction", 1.5),
+            ("sampling_overhead", -0.1),
+            ("hot_share_at_full", 0.0),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ConfigurationError):
+            CostModel(**{field: value})
+
+    def test_default_is_valid(self):
+        assert isinstance(DEFAULT_COST_MODEL, CostModel)
+
+
+class TestInlineBonus:
+    def test_full_bonus_at_depth_one(self):
+        cm = CostModel(inline_opt_bonus=0.2, inline_bonus_decay=0.5)
+        assert cm.inline_bonus_at_depth(1) == pytest.approx(0.2)
+
+    def test_decay_with_depth(self):
+        cm = CostModel(inline_opt_bonus=0.2, inline_bonus_decay=0.5)
+        assert cm.inline_bonus_at_depth(2) == pytest.approx(0.1)
+        assert cm.inline_bonus_at_depth(3) == pytest.approx(0.05)
+
+    def test_monotone_nonincreasing(self):
+        cm = DEFAULT_COST_MODEL
+        bonuses = [cm.inline_bonus_at_depth(d) for d in range(1, 20)]
+        assert all(a >= b for a, b in zip(bonuses, bonuses[1:]))
+
+    def test_bonus_bounded_below_one(self):
+        cm = DEFAULT_COST_MODEL
+        assert all(0 <= cm.inline_bonus_at_depth(d) < 1 for d in range(1, 30))
+
+
+class TestScaled:
+    def test_scaled_overrides_field(self):
+        cm = DEFAULT_COST_MODEL.scaled(sampling_overhead=0.05)
+        assert cm.sampling_overhead == 0.05
+        assert DEFAULT_COST_MODEL.sampling_overhead != 0.05
+
+    def test_scaled_validates(self):
+        with pytest.raises(ConfigurationError):
+            DEFAULT_COST_MODEL.scaled(inline_opt_bonus=2.0)

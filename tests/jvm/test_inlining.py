@@ -1,0 +1,229 @@
+"""Tests for the Figure 3/4 heuristics and inline-plan construction.
+
+The decision tables here transcribe the paper's pseudo-code case by
+case; if any test in TestFigure3/TestFigure4 fails, the reproduction no
+longer implements the published heuristic.
+"""
+
+import pytest
+
+from helpers import make_program
+
+from repro.errors import ConfigurationError
+from repro.jvm.inlining import (
+    HARD_DEPTH_LIMIT,
+    InlineDecision,
+    InliningParameters,
+    JIKES_DEFAULT_PARAMETERS,
+    NO_INLINING,
+    build_inline_plan,
+    hot_callsite_heuristic,
+    optimizing_heuristic,
+)
+from repro.jvm.methods import CALL_SEQUENCE_SIZE
+
+PARAMS = InliningParameters(
+    callee_max_size=23,
+    always_inline_size=11,
+    max_inline_depth=5,
+    caller_max_size=2048,
+    hot_callee_max_size=135,
+)
+
+
+class TestInliningParameters:
+    def test_tuple_roundtrip(self):
+        assert InliningParameters.from_sequence(PARAMS.as_tuple()) == PARAMS
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            InliningParameters.from_sequence([1, 2, 3])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            InliningParameters(-1, 1, 1, 1, 1)
+
+    def test_non_int_rejected(self):
+        with pytest.raises(ConfigurationError):
+            InliningParameters(1.5, 1, 1, 1, 1)
+
+    def test_jikes_defaults_are_table4_column(self):
+        assert JIKES_DEFAULT_PARAMETERS.as_tuple() == (23, 11, 5, 2048, 135)
+
+    def test_str_mentions_all_values(self):
+        text = str(PARAMS)
+        for value in PARAMS.as_tuple():
+            assert str(value) in text
+
+
+class TestFigure3:
+    """The optimizing heuristic's four ordered tests."""
+
+    def test_big_callee_rejected_first(self):
+        decision = optimizing_heuristic(24, 1, 10, PARAMS)
+        assert decision is InlineDecision.NO_CALLEE_TOO_BIG
+
+    def test_tiny_callee_always_inlined(self):
+        decision = optimizing_heuristic(10, 99, 99999, PARAMS)
+        assert decision is InlineDecision.YES_ALWAYS
+
+    def test_always_inline_is_strict_less_than(self):
+        # "calleeSize < ALWAYS_INLINE_SIZE": exactly 11 is NOT always
+        decision = optimizing_heuristic(11, 1, 10, PARAMS)
+        assert decision is InlineDecision.YES_PASSED_ALL
+
+    def test_callee_max_is_strict_greater_than(self):
+        # "calleeSize > CALLEE_MAX_SIZE": exactly 23 passes the test
+        decision = optimizing_heuristic(23, 1, 10, PARAMS)
+        assert decision is InlineDecision.YES_PASSED_ALL
+
+    def test_depth_cap(self):
+        assert (
+            optimizing_heuristic(15, 6, 10, PARAMS) is InlineDecision.NO_TOO_DEEP
+        )
+        assert optimizing_heuristic(15, 5, 10, PARAMS).inline
+
+    def test_caller_cap(self):
+        assert (
+            optimizing_heuristic(15, 1, 2049, PARAMS)
+            is InlineDecision.NO_CALLER_TOO_BIG
+        )
+        assert optimizing_heuristic(15, 1, 2048, PARAMS).inline
+
+    def test_mid_size_passes_all(self):
+        assert (
+            optimizing_heuristic(15, 3, 500, PARAMS)
+            is InlineDecision.YES_PASSED_ALL
+        )
+
+    def test_order_callee_max_screens_before_always(self):
+        """If CALLEE_MAX < ALWAYS_INLINE, the size screen wins (test
+        order of Figure 3)."""
+        inverted = InliningParameters(5, 15, 5, 2048, 135)
+        assert (
+            optimizing_heuristic(10, 1, 10, inverted)
+            is InlineDecision.NO_CALLEE_TOO_BIG
+        )
+
+    def test_always_inline_bypasses_depth_and_caller(self):
+        decision = optimizing_heuristic(5, 100, 100000, PARAMS)
+        assert decision is InlineDecision.YES_ALWAYS
+
+    def test_no_inlining_parameters_reject_everything(self):
+        for size in (1, 5, 10, 50):
+            assert not optimizing_heuristic(size, 1, 1, NO_INLINING).inline
+
+
+class TestFigure4:
+    def test_small_hot_callee_inlined(self):
+        assert hot_callsite_heuristic(135, PARAMS) is InlineDecision.YES_HOT
+
+    def test_big_hot_callee_rejected(self):
+        assert (
+            hot_callsite_heuristic(136, PARAMS)
+            is InlineDecision.NO_HOT_CALLEE_TOO_BIG
+        )
+
+    def test_hot_test_ignores_other_caps(self):
+        # a 100-instruction callee fails Figure 3 outright but passes
+        # Figure 4 under the defaults
+        assert not optimizing_heuristic(100, 1, 10, PARAMS).inline
+        assert hot_callsite_heuristic(100, PARAMS).inline
+
+
+class TestInlinePlan:
+    def test_no_inlining_plan_keeps_all_calls_residual(self, diamond):
+        plan = build_inline_plan(diamond, 0, NO_INLINING)
+        assert plan.inline_count == 0
+        assert plan.expanded_size == pytest.approx(diamond.sizes[0])
+        assert plan.residual_call_rate == pytest.approx(1.0 + 3.0)
+
+    def test_inlined_body_grows_caller(self):
+        program = make_program([30.0, 9.0], [(0, 1, 2.0)])
+        plan = build_inline_plan(program, 0, PARAMS)
+        assert plan.inline_count == 1
+        expected = program.sizes[0] + program.sizes[1] - CALL_SEQUENCE_SIZE
+        assert plan.expanded_size == pytest.approx(expected)
+        assert plan.residual == ()
+
+    def test_nested_inlining_tracks_depth_and_rate(self):
+        program = make_program([30.0, 9.0, 9.0], [(0, 1, 2.0), (1, 2, 3.0)])
+        plan = build_inline_plan(program, 0, PARAMS)
+        assert plan.inline_count == 2
+        by_callee = {b.callee_id: b for b in plan.inlined}
+        assert by_callee[1].depth == 1 and by_callee[1].rate == pytest.approx(2.0)
+        assert by_callee[2].depth == 2 and by_callee[2].rate == pytest.approx(6.0)
+
+    def test_rejected_nested_site_becomes_residual_of_root(self):
+        # callee inlined, but its big child is not: the child call now
+        # issues from the root's code at the combined rate
+        program = make_program([30.0, 9.0, 50.0], [(0, 1, 2.0), (1, 2, 3.0)])
+        plan = build_inline_plan(program, 0, PARAMS)
+        assert plan.inline_count == 1
+        assert len(plan.residual) == 1
+        residual = plan.residual[0]
+        assert residual.callee_id == 2
+        assert residual.rate == pytest.approx(6.0)
+
+    def test_caller_size_grows_during_expansion(self):
+        """Later sites see the caller already expanded by earlier
+        inlining — the cap can bind midway."""
+        sizes = [30.0] + [20.0] * 10
+        edges = [(0, i, 1.0) for i in range(1, 11)]
+        program = make_program(sizes, edges)
+        tight = InliningParameters(23, 1, 5, 60, 135)
+        plan = build_inline_plan(program, 0, tight)
+        # 30 + k*(20-4) <= 60 while deciding: inlines while current
+        # size <= 60, i.e. first 2-3 sites only
+        assert 0 < plan.inline_count < 10
+        reasons = [d for _, d in plan.decisions] if plan.decisions else []
+        assert plan.residual  # later sites rejected
+
+    def test_decisions_recorded_when_asked(self, diamond):
+        plan = build_inline_plan(diamond, 0, PARAMS, record_decisions=True)
+        assert len(plan.decisions) >= 2
+        assert all(isinstance(d, InlineDecision) for _, d in plan.decisions)
+
+    def test_decisions_empty_by_default(self, diamond):
+        assert build_inline_plan(diamond, 0, PARAMS).decisions == ()
+
+    def test_self_recursive_always_inline_terminates(self):
+        program = make_program([20.0, 8.0], [(0, 1, 1.0), (1, 1, 0.5)])
+        plan = build_inline_plan(program, 1, PARAMS)
+        # the tiny self body is always-inlined until the hard guard
+        assert plan.inline_count <= HARD_DEPTH_LIMIT
+        assert plan.inline_count >= HARD_DEPTH_LIMIT - 2
+        # residual self call survives at geometric rate
+        assert any(r.callee_id == 1 for r in plan.residual)
+
+    def test_hard_depth_limit_above_tuning_range(self):
+        assert HARD_DEPTH_LIMIT > 15  # Table 1 MAX_INLINE_DEPTH upper bound
+
+    def test_hot_site_uses_figure4_at_depth_one(self):
+        program = make_program([30.0, 100.0], [(0, 1, 2.0)])
+        hot = frozenset({(0, 0)})
+        cold_plan = build_inline_plan(program, 0, PARAMS, hot_sites=hot)
+        assert cold_plan.inline_count == 0  # hot sites ignored without flag
+        hot_plan = build_inline_plan(
+            program, 0, PARAMS, hot_sites=hot, use_hot_heuristic=True
+        )
+        assert hot_plan.inline_count == 1
+
+    def test_hot_heuristic_not_applied_to_nested_sites(self):
+        # 0 -> 1 (hot, size 100, inlined by Fig4); 1 -> 2 (also flagged
+        # hot, size 100) must be judged by Figure 3 at depth 2 -> rejected
+        program = make_program([30.0, 100.0, 100.0], [(0, 1, 2.0), (1, 2, 3.0)])
+        hot = frozenset({(0, 0), (1, 0)})
+        plan = build_inline_plan(
+            program, 0, PARAMS, hot_sites=hot, use_hot_heuristic=True
+        )
+        assert plan.inline_count == 1
+        assert plan.residual[0].callee_id == 2
+
+    def test_plan_records_residual_hotness(self):
+        program = make_program([30.0, 500.0], [(0, 1, 2.0)])
+        hot = frozenset({(0, 0)})
+        plan = build_inline_plan(
+            program, 0, PARAMS, hot_sites=hot, use_hot_heuristic=True
+        )
+        assert plan.residual[0].hot is True

@@ -1,0 +1,81 @@
+"""Tests for the paper's §5 measurement protocol."""
+
+import pytest
+
+from helpers import diamond_program
+
+from repro.arch import PENTIUM4
+from repro.errors import ConfigurationError
+from repro.jvm.inlining import JIKES_DEFAULT_PARAMETERS
+from repro.jvm.measurement import measure_benchmark
+from repro.jvm.runtime import VirtualMachine
+from repro.jvm.scenario import OPTIMIZING
+
+
+@pytest.fixture
+def vm():
+    return VirtualMachine(PENTIUM4, OPTIMIZING)
+
+
+class TestDeterministic:
+    def test_matches_report_without_noise(self, vm, diamond):
+        m = measure_benchmark(vm, diamond, JIKES_DEFAULT_PARAMETERS)
+        assert m.total_seconds == m.report.total_seconds
+        assert m.running_seconds == m.report.running_seconds
+        assert m.iterations == 2
+
+    def test_iteration_count(self, vm, diamond):
+        m = measure_benchmark(vm, diamond, JIKES_DEFAULT_PARAMETERS, iterations=5)
+        assert m.iterations == 5
+        assert len(m.iteration_seconds) == 4
+
+    def test_too_few_iterations_rejected(self, vm, diamond):
+        with pytest.raises(ConfigurationError):
+            measure_benchmark(vm, diamond, JIKES_DEFAULT_PARAMETERS, iterations=1)
+
+    def test_negative_noise_rejected(self, vm, diamond):
+        with pytest.raises(ConfigurationError):
+            measure_benchmark(
+                vm, diamond, JIKES_DEFAULT_PARAMETERS, noise_sd=-0.1
+            )
+
+
+class TestNoisy:
+    def test_running_is_best_of_remaining(self, vm, diamond):
+        m = measure_benchmark(
+            vm, diamond, JIKES_DEFAULT_PARAMETERS, iterations=6, noise_sd=0.05
+        )
+        assert m.running_seconds == min(m.iteration_seconds)
+
+    def test_noise_is_deterministic_per_seed(self, vm, diamond):
+        a = measure_benchmark(
+            vm, diamond, JIKES_DEFAULT_PARAMETERS, iterations=4, noise_sd=0.05, seed=1
+        )
+        b = measure_benchmark(
+            vm, diamond, JIKES_DEFAULT_PARAMETERS, iterations=4, noise_sd=0.05, seed=1
+        )
+        assert a.iteration_seconds == b.iteration_seconds
+        c = measure_benchmark(
+            vm, diamond, JIKES_DEFAULT_PARAMETERS, iterations=4, noise_sd=0.05, seed=2
+        )
+        assert a.iteration_seconds != c.iteration_seconds
+
+    def test_more_iterations_tighten_running_estimate(self, vm, diamond):
+        """The reason the paper takes best-of-remaining: more samples
+        can only lower (never raise) the reported running time."""
+        few = measure_benchmark(
+            vm, diamond, JIKES_DEFAULT_PARAMETERS, iterations=3, noise_sd=0.1, seed=0
+        )
+        many = measure_benchmark(
+            vm, diamond, JIKES_DEFAULT_PARAMETERS, iterations=10, noise_sd=0.1, seed=0
+        )
+        # the first two noisy draws are shared (same stream), so the
+        # 10-iteration minimum is <= the 3-iteration minimum
+        assert many.running_seconds <= few.running_seconds
+
+    def test_noise_centered_near_truth(self, vm, diamond):
+        m = measure_benchmark(
+            vm, diamond, JIKES_DEFAULT_PARAMETERS, iterations=50, noise_sd=0.02, seed=3
+        )
+        mean = sum(m.iteration_seconds) / len(m.iteration_seconds)
+        assert mean == pytest.approx(m.report.running_seconds, rel=0.03)

@@ -1,0 +1,58 @@
+"""Tests for method metadata and size estimation."""
+
+import pytest
+
+from helpers import make_body
+
+from repro.errors import WorkloadError
+from repro.jvm.bytecode import EXPANSION, InstructionKind, InstructionMix, MethodBody
+from repro.jvm.methods import MethodInfo, estimate_machine_size
+
+
+class TestEstimateMachineSize:
+    def test_weighted_sum(self):
+        mix = InstructionMix.from_mapping(
+            {InstructionKind.ARITH: 10, InstructionKind.MEMORY: 5}
+        )
+        body = MethodBody(mix=mix)
+        expected = 10 * EXPANSION[InstructionKind.ARITH] + 5 * EXPANSION[
+            InstructionKind.MEMORY
+        ]
+        assert estimate_machine_size(body) == pytest.approx(expected)
+
+    def test_static_only_ignores_loop_weight(self):
+        mix = InstructionMix.from_mapping({InstructionKind.ARITH: 10})
+        a = MethodBody(mix=mix, loop_weight=1.0)
+        b = MethodBody(mix=mix, loop_weight=100.0)
+        assert estimate_machine_size(a) == estimate_machine_size(b)
+
+    def test_helper_hits_target_size(self):
+        for target in (8.0, 15.0, 23.0, 50.0, 200.0):
+            body = make_body(target)
+            assert estimate_machine_size(body) == pytest.approx(target, abs=1.3)
+
+    def test_helper_with_invokes(self):
+        body = make_body(40.0, n_invokes=3)
+        assert body.invoke_count == 3
+        assert estimate_machine_size(body) == pytest.approx(40.0, abs=1.3)
+
+
+class TestMethodInfo:
+    def test_estimated_size_cached_on_construction(self):
+        body = make_body(30.0)
+        info = MethodInfo(method_id=0, name="A.m", body=body)
+        assert info.estimated_size == pytest.approx(estimate_machine_size(body))
+
+    def test_bytecode_size_and_work_delegate_to_body(self):
+        body = make_body(30.0, loop_weight=2.0)
+        info = MethodInfo(method_id=1, name="A.n", body=body)
+        assert info.bytecode_size == body.bytecode_size
+        assert info.work_units == pytest.approx(body.work_units)
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(WorkloadError):
+            MethodInfo(method_id=-1, name="A.m", body=make_body(10.0))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(WorkloadError):
+            MethodInfo(method_id=0, name="", body=make_body(10.0))

@@ -1,0 +1,159 @@
+"""Cross-cutting physics checks of the cost model.
+
+Each test perturbs one model constant and asserts the direction of the
+effect on the simulated times — the causal arrows DESIGN.md claims the
+reproduction rests on.  If any of these break, the GA may still run,
+but the trade-off structure it optimizes would no longer be the
+paper's.
+"""
+
+import pytest
+
+from helpers import make_program
+
+from repro.arch import PENTIUM4
+from repro.jvm.costmodel import DEFAULT_COST_MODEL
+from repro.jvm.inlining import JIKES_DEFAULT_PARAMETERS, NO_INLINING
+from repro.jvm.runtime import VirtualMachine
+from repro.jvm.scenario import ADAPTIVE, OPTIMIZING
+
+
+@pytest.fixture
+def program():
+    # three-layer program with a hot middle and inlinable leaves
+    return make_program(
+        sizes=[30.0, 20.0, 18.0, 9.0, 9.0],
+        edges=[(0, 1, 1.0), (0, 2, 2.0), (1, 3, 10.0), (2, 4, 8.0), (1, 4, 3.0)],
+        loops=[1.0, 50_000.0, 40_000.0, 300.0, 200.0],
+        name="physics",
+    )
+
+
+class TestCallOverheadArrow:
+    def test_higher_call_cost_slows_uninlined_code(self, program):
+        cheap = PENTIUM4.scaled(call_overhead_cycles=5.0)
+        dear = PENTIUM4.scaled(call_overhead_cycles=50.0)
+        run_cheap = VirtualMachine(cheap, OPTIMIZING).run(program, NO_INLINING)
+        run_dear = VirtualMachine(dear, OPTIMIZING).run(program, NO_INLINING)
+        assert run_dear.running_cycles > run_cheap.running_cycles
+
+    def test_higher_call_cost_raises_inlining_benefit(self, program):
+        """The more a call costs, the more inlining saves — why the
+        deep-pipeline P4 favors aggressive inlining."""
+
+        def benefit(machine):
+            vm = VirtualMachine(machine, OPTIMIZING)
+            return (
+                vm.run(program, NO_INLINING).running_cycles
+                - vm.run(program, JIKES_DEFAULT_PARAMETERS).running_cycles
+            )
+
+        cheap = PENTIUM4.scaled(call_overhead_cycles=5.0)
+        dear = PENTIUM4.scaled(call_overhead_cycles=50.0)
+        assert benefit(dear) > benefit(cheap)
+
+
+class TestCompileCostArrow:
+    def test_higher_compile_rate_raises_total_not_running(self, program):
+        slow_compiler = PENTIUM4.scaled(
+            compile_cycles_per_instruction={0: 60.0, 1: 6_000.0, 2: 100_000.0}
+        )
+        vm_fast = VirtualMachine(PENTIUM4, OPTIMIZING)
+        vm_slow = VirtualMachine(slow_compiler, OPTIMIZING)
+        fast = vm_fast.run(program, JIKES_DEFAULT_PARAMETERS)
+        slow = vm_slow.run(program, JIKES_DEFAULT_PARAMETERS)
+        assert slow.compile_cycles > fast.compile_cycles
+        assert slow.running_cycles == pytest.approx(fast.running_cycles)
+
+    def test_superlinear_scale_penalizes_big_methods(self, program):
+        gentle = DEFAULT_COST_MODEL.scaled(compile_superlinear_scale=1e9)
+        harsh = DEFAULT_COST_MODEL.scaled(compile_superlinear_scale=100.0)
+        vm_gentle = VirtualMachine(PENTIUM4, OPTIMIZING, gentle)
+        vm_harsh = VirtualMachine(PENTIUM4, OPTIMIZING, harsh)
+        # inlining grows methods, so the harsh model punishes it more
+        delta_gentle = (
+            vm_gentle.run(program, JIKES_DEFAULT_PARAMETERS).compile_cycles
+            / vm_gentle.run(program, NO_INLINING).compile_cycles
+        )
+        delta_harsh = (
+            vm_harsh.run(program, JIKES_DEFAULT_PARAMETERS).compile_cycles
+            / vm_harsh.run(program, NO_INLINING).compile_cycles
+        )
+        assert delta_harsh > delta_gentle
+
+
+class TestInlineBonusArrow:
+    def test_bonus_speeds_up_inlined_code_only(self, program):
+        no_bonus = DEFAULT_COST_MODEL.scaled(inline_opt_bonus=0.0)
+        big_bonus = DEFAULT_COST_MODEL.scaled(inline_opt_bonus=0.4)
+        vm_none = VirtualMachine(PENTIUM4, OPTIMIZING, no_bonus)
+        vm_big = VirtualMachine(PENTIUM4, OPTIMIZING, big_bonus)
+        # without inlining the bonus is irrelevant
+        assert vm_none.run(program, NO_INLINING).running_cycles == pytest.approx(
+            vm_big.run(program, NO_INLINING).running_cycles
+        )
+        # with inlining it reduces running time
+        assert (
+            vm_big.run(program, JIKES_DEFAULT_PARAMETERS).running_cycles
+            < vm_none.run(program, JIKES_DEFAULT_PARAMETERS).running_cycles
+        )
+
+
+class TestICacheArrow:
+    def test_tiny_cache_slows_execution(self, program):
+        tiny_cache = PENTIUM4.scaled(icache_capacity=50.0, icache_miss_penalty=1.0)
+        roomy = PENTIUM4
+        pressured = VirtualMachine(tiny_cache, OPTIMIZING).run(
+            program, JIKES_DEFAULT_PARAMETERS
+        )
+        relaxed = VirtualMachine(roomy, OPTIMIZING).run(
+            program, JIKES_DEFAULT_PARAMETERS
+        )
+        assert pressured.icache_factor > 1.0
+        assert relaxed.icache_factor == 1.0
+        assert pressured.running_cycles > relaxed.running_cycles
+
+    def test_zero_penalty_neutralizes_cache(self, program):
+        quiet = PENTIUM4.scaled(icache_capacity=50.0, icache_miss_penalty=0.0)
+        vm = VirtualMachine(quiet, OPTIMIZING)
+        assert vm.run(program, JIKES_DEFAULT_PARAMETERS).icache_factor == 1.0
+
+
+class TestAdaptiveArrows:
+    def test_larger_warmup_fraction_raises_total(self, program):
+        short = DEFAULT_COST_MODEL.scaled(adaptive_mix_fraction=0.1)
+        long = DEFAULT_COST_MODEL.scaled(adaptive_mix_fraction=0.6)
+        a = VirtualMachine(PENTIUM4, ADAPTIVE, short).run(
+            program, JIKES_DEFAULT_PARAMETERS
+        )
+        b = VirtualMachine(PENTIUM4, ADAPTIVE, long).run(
+            program, JIKES_DEFAULT_PARAMETERS
+        )
+        assert b.total_cycles > a.total_cycles
+        assert b.running_cycles == pytest.approx(a.running_cycles)
+
+    def test_sampling_overhead_only_hits_first_iteration(self, program):
+        free = DEFAULT_COST_MODEL.scaled(sampling_overhead=0.0)
+        costly = DEFAULT_COST_MODEL.scaled(sampling_overhead=0.10)
+        a = VirtualMachine(PENTIUM4, ADAPTIVE, free).run(
+            program, JIKES_DEFAULT_PARAMETERS
+        )
+        b = VirtualMachine(PENTIUM4, ADAPTIVE, costly).run(
+            program, JIKES_DEFAULT_PARAMETERS
+        )
+        assert b.first_iteration_exec_cycles > a.first_iteration_exec_cycles
+        assert b.running_cycles == pytest.approx(a.running_cycles)
+
+
+class TestOptLevelOne:
+    def test_scenario_with_level_one_compiler(self, program):
+        level1 = OPTIMIZING.scaled(opt_level=1)
+        report = VirtualMachine(PENTIUM4, level1).run(
+            program, JIKES_DEFAULT_PARAMETERS
+        )
+        full = VirtualMachine(PENTIUM4, OPTIMIZING).run(
+            program, JIKES_DEFAULT_PARAMETERS
+        )
+        # O1 compiles faster but produces slower code
+        assert report.compile_cycles < full.compile_cycles
+        assert report.running_cycles > full.running_cycles

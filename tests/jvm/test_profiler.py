@@ -1,0 +1,75 @@
+"""Tests for the sampling profiler."""
+
+import numpy as np
+import pytest
+
+from helpers import make_program
+
+from repro.arch import PENTIUM4
+from repro.jvm.baseline_compiler import BaselineCompiler
+from repro.jvm.costmodel import DEFAULT_COST_MODEL
+from repro.jvm.profiler import profile_baseline
+
+
+def _profile(program):
+    compiler = BaselineCompiler(PENTIUM4, DEFAULT_COST_MODEL)
+    counts = program.baseline_invocations()
+    versions = {
+        mid: compiler.compile(program, mid)
+        for mid in sorted(program.reachable_methods())
+        if counts[mid] > 0
+    }
+    return profile_baseline(program, versions)
+
+
+class TestProfileBaseline:
+    def test_total_time_is_sum_of_method_times(self, diamond):
+        profile = _profile(diamond)
+        assert profile.total_time == pytest.approx(profile.method_times.sum())
+
+    def test_method_time_is_count_times_cost(self, diamond):
+        profile = _profile(diamond)
+        counts = diamond.baseline_invocations()
+        compiler = BaselineCompiler(PENTIUM4, DEFAULT_COST_MODEL)
+        leaf = compiler.compile(diamond, 3)
+        assert profile.method_times[3] == pytest.approx(
+            counts[3] * leaf.cycles_per_invocation
+        )
+
+    def test_edge_calls_match_propagation(self, diamond):
+        profile = _profile(diamond)
+        counts = diamond.baseline_invocations()
+        # edge 2 -> 3 executes counts[2] * 5 times
+        assert profile.edge_calls[(2, 0)] == pytest.approx(counts[2] * 5.0)
+
+    def test_time_share_sums_to_one(self, diamond):
+        profile = _profile(diamond)
+        shares = [profile.time_share(m) for m in range(len(diamond))]
+        assert sum(shares) == pytest.approx(1.0)
+
+    def test_hot_methods_sorted_hottest_first(self, diamond):
+        profile = _profile(diamond)
+        hot = profile.hot_methods(0.0001)
+        times = [profile.method_times[m] for m in hot]
+        assert times == sorted(times, reverse=True)
+
+    def test_hot_methods_threshold_filters(self, diamond):
+        profile = _profile(diamond)
+        strict = profile.hot_methods(0.9)
+        loose = profile.hot_methods(0.0001)
+        assert set(strict) <= set(loose)
+
+    def test_hot_sites_threshold(self, diamond):
+        profile = _profile(diamond)
+        all_sites = profile.hot_sites(1e-9)
+        assert (2, 0) in all_sites  # the dominant edge
+        only_top = profile.hot_sites(0.5)
+        assert only_top <= all_sites
+        assert len(only_top) <= len(all_sites)
+
+    def test_empty_profile_degenerates_gracefully(self):
+        program = make_program([10.0], [])
+        compiler = BaselineCompiler(PENTIUM4, DEFAULT_COST_MODEL)
+        profile = profile_baseline(program, {0: compiler.compile(program, 0)})
+        assert profile.hot_sites(0.01) == frozenset()
+        assert profile.total_calls == 0.0

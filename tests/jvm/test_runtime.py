@@ -1,0 +1,140 @@
+"""Tests for the virtual machine driver and execution reports."""
+
+import numpy as np
+import pytest
+
+from helpers import make_program
+
+from repro.arch import PENTIUM4
+from repro.errors import SimulationError
+from repro.jvm.baseline_compiler import BaselineCompiler
+from repro.jvm.costmodel import DEFAULT_COST_MODEL
+from repro.jvm.inlining import JIKES_DEFAULT_PARAMETERS, NO_INLINING
+from repro.jvm.runtime import VirtualMachine, propagate_invocations
+from repro.jvm.scenario import ADAPTIVE, OPTIMIZING
+
+
+@pytest.fixture
+def vm_opt():
+    return VirtualMachine(PENTIUM4, OPTIMIZING)
+
+
+@pytest.fixture
+def vm_adaptive():
+    return VirtualMachine(PENTIUM4, ADAPTIVE)
+
+
+class TestPropagation:
+    def test_matches_baseline_propagation_without_inlining(self, diamond):
+        compiler = BaselineCompiler(PENTIUM4, DEFAULT_COST_MODEL)
+        versions = {
+            mid: compiler.compile(diamond, mid)
+            for mid in sorted(diamond.reachable_methods())
+        }
+        counts = propagate_invocations(diamond, versions)
+        assert np.allclose(counts, diamond.baseline_invocations())
+
+    def test_missing_version_for_invoked_method_raises(self, diamond):
+        compiler = BaselineCompiler(PENTIUM4, DEFAULT_COST_MODEL)
+        versions = {0: compiler.compile(diamond, 0)}
+        with pytest.raises(SimulationError):
+            propagate_invocations(diamond, versions)
+
+    def test_inlined_callee_not_invoked(self, vm_opt):
+        program = make_program([30.0, 9.0], [(0, 1, 2.0)])
+        report = vm_opt.run(program, JIKES_DEFAULT_PARAMETERS)
+        # callee fully absorbed: only the root method is compiled
+        assert report.methods_compiled_opt == 1
+
+
+class TestOptimizingRun:
+    def test_accounting_identity(self, vm_opt, diamond):
+        report = vm_opt.run(diamond, JIKES_DEFAULT_PARAMETERS)
+        assert report.total_cycles == pytest.approx(
+            report.compile_cycles + report.first_iteration_exec_cycles
+        )
+
+    def test_first_iteration_equals_running_under_opt(self, vm_opt, diamond):
+        report = vm_opt.run(diamond, JIKES_DEFAULT_PARAMETERS)
+        assert report.first_iteration_exec_cycles == pytest.approx(
+            report.running_cycles
+        )
+
+    def test_inlining_reduces_running_time(self, vm_opt, diamond):
+        fast = vm_opt.run(diamond, JIKES_DEFAULT_PARAMETERS)
+        slow = vm_opt.run(diamond, NO_INLINING)
+        assert fast.running_cycles < slow.running_cycles
+
+    def test_inlining_increases_compile_time(self, vm_opt, diamond):
+        with_inl = vm_opt.run(diamond, JIKES_DEFAULT_PARAMETERS)
+        without = vm_opt.run(diamond, NO_INLINING)
+        assert with_inl.compile_cycles >= without.compile_cycles * 0.5
+        assert with_inl.inline_sites > without.inline_sites
+
+    def test_seconds_conversions(self, vm_opt, diamond):
+        report = vm_opt.run(diamond, JIKES_DEFAULT_PARAMETERS)
+        clock = PENTIUM4.clock_ghz * 1e9
+        assert report.running_seconds == pytest.approx(report.running_cycles / clock)
+        assert report.total_seconds == pytest.approx(report.total_cycles / clock)
+        assert report.compile_seconds == pytest.approx(report.compile_cycles / clock)
+
+    def test_report_metadata(self, vm_opt, diamond):
+        report = vm_opt.run(diamond, JIKES_DEFAULT_PARAMETERS)
+        assert report.benchmark == diamond.name
+        assert report.scenario == "Opt"
+        assert report.params == JIKES_DEFAULT_PARAMETERS
+        assert report.methods_compiled_baseline == 0
+
+    def test_summary_renders(self, vm_opt, diamond):
+        report = vm_opt.run(diamond, JIKES_DEFAULT_PARAMETERS)
+        text = report.summary()
+        assert diamond.name in text and "run=" in text
+
+    def test_determinism(self, vm_opt, diamond):
+        a = vm_opt.run(diamond, JIKES_DEFAULT_PARAMETERS)
+        b = vm_opt.run(diamond, JIKES_DEFAULT_PARAMETERS)
+        assert a.running_cycles == b.running_cycles
+        assert a.total_cycles == b.total_cycles
+
+
+class TestAdaptiveRun:
+    def _hot_program(self):
+        return make_program(
+            sizes=[25.0, 30.0, 12.0],
+            edges=[(0, 1, 1.0), (1, 2, 50.0)],
+            loops=[1.0, 40_000.0, 120.0],
+            name="hotprog",
+        )
+
+    def test_total_includes_warmup_and_sampling(self, vm_adaptive):
+        program = self._hot_program()
+        report = vm_adaptive.run(program, JIKES_DEFAULT_PARAMETERS)
+        # first iteration must cost at least the steady running time
+        # (warm-up runs slower baseline code plus sampling overhead)
+        assert report.first_iteration_exec_cycles > report.running_cycles
+
+    def test_baseline_and_opt_counts_reported(self, vm_adaptive):
+        program = self._hot_program()
+        report = vm_adaptive.run(program, JIKES_DEFAULT_PARAMETERS)
+        assert report.methods_compiled_baseline == 3
+        assert 1 <= report.methods_compiled_opt <= 3
+
+    def test_adaptive_compile_far_cheaper_than_opt(self, vm_adaptive, vm_opt):
+        program = self._hot_program()
+        adaptive = vm_adaptive.run(program, JIKES_DEFAULT_PARAMETERS)
+        full_opt = vm_opt.run(program, JIKES_DEFAULT_PARAMETERS)
+        assert adaptive.compile_cycles < full_opt.compile_cycles
+
+    def test_adaptive_running_slower_or_equal_to_full_opt(self, vm_adaptive, vm_opt):
+        program = self._hot_program()
+        adaptive = vm_adaptive.run(program, JIKES_DEFAULT_PARAMETERS)
+        full_opt = vm_opt.run(program, JIKES_DEFAULT_PARAMETERS)
+        # full Opt compiles everything; adaptive leaves cold code at
+        # baseline, so steady-state running can only be slower or equal
+        assert adaptive.running_cycles >= full_opt.running_cycles * 0.99
+
+    def test_inlining_helps_adaptive_running(self, vm_adaptive):
+        program = self._hot_program()
+        fast = vm_adaptive.run(program, JIKES_DEFAULT_PARAMETERS)
+        slow = vm_adaptive.run(program, NO_INLINING)
+        assert fast.running_cycles <= slow.running_cycles

@@ -1,0 +1,64 @@
+"""Tests for compilation-scenario configuration."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.jvm.scenario import (
+    ADAPTIVE,
+    OPTIMIZING,
+    CompilationScenario,
+    ScenarioMode,
+    get_scenario,
+)
+
+
+class TestBuiltins:
+    def test_adaptive_flags(self):
+        assert ADAPTIVE.is_adaptive
+        assert ADAPTIVE.uses_hot_callsite_heuristic
+
+    def test_optimizing_flags(self):
+        assert not OPTIMIZING.is_adaptive
+        assert not OPTIMIZING.uses_hot_callsite_heuristic
+
+    def test_lookup_aliases(self):
+        assert get_scenario("adapt") is ADAPTIVE
+        assert get_scenario("ADAPTIVE") is ADAPTIVE
+        assert get_scenario("Opt") is OPTIMIZING
+        assert get_scenario("optimizing") is OPTIMIZING
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_scenario("interpreted")
+
+
+class TestValidation:
+    def test_opt_level_below_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CompilationScenario(name="x", mode=ScenarioMode.OPTIMIZING, opt_level=0)
+
+    @pytest.mark.parametrize("share", [0.0, 1.0])
+    def test_hot_method_share_bounds(self, share):
+        with pytest.raises(ConfigurationError):
+            CompilationScenario(
+                name="x", mode=ScenarioMode.ADAPTIVE, hot_method_share=share
+            )
+
+    @pytest.mark.parametrize("share", [0.0, 1.0])
+    def test_hot_edge_share_bounds(self, share):
+        with pytest.raises(ConfigurationError):
+            CompilationScenario(
+                name="x", mode=ScenarioMode.ADAPTIVE, hot_edge_share=share
+            )
+
+    def test_future_factor_positive(self):
+        with pytest.raises(ConfigurationError):
+            CompilationScenario(
+                name="x", mode=ScenarioMode.ADAPTIVE, future_factor=0.0
+            )
+
+    def test_scaled_copy(self):
+        variant = ADAPTIVE.scaled(hot_method_share=0.1)
+        assert variant.hot_method_share == 0.1
+        assert ADAPTIVE.hot_method_share != 0.1
+        assert variant.mode is ScenarioMode.ADAPTIVE

@@ -1,0 +1,91 @@
+"""Property-based tests for GA operators: bounds and structure are
+preserved under arbitrary inputs."""
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro.ga.crossover import OnePointCrossover, TwoPointCrossover, UniformCrossover
+from repro.ga.individual import IntVectorSpace
+from repro.ga.mutation import CreepMutation, RandomResetMutation
+from repro.rng import rng_for
+
+
+@st.composite
+def space_and_genomes(draw, n_genomes=2):
+    dims = draw(st.integers(1, 8))
+    lows = draw(st.lists(st.integers(-50, 50), min_size=dims, max_size=dims))
+    spans = draw(st.lists(st.integers(0, 100), min_size=dims, max_size=dims))
+    highs = [lo + span for lo, span in zip(lows, spans)]
+    space = IntVectorSpace(lows, highs)
+    genomes = []
+    for _ in range(n_genomes):
+        genome = tuple(
+            draw(st.integers(lo, hi)) for lo, hi in zip(space.lows, space.highs)
+        )
+        genomes.append(genome)
+    seed = draw(st.integers(0, 2**31 - 1))
+    return space, genomes, rng_for("prop-ga", seed)
+
+
+class TestCrossoverProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(data=space_and_genomes())
+    def test_one_point_children_stay_in_bounds(self, data):
+        space, (a, b), rng = data
+        for child in OnePointCrossover().cross(a, b, rng):
+            assert space.contains(child)
+
+    @settings(max_examples=80, deadline=None)
+    @given(data=space_and_genomes())
+    def test_two_point_children_stay_in_bounds(self, data):
+        space, (a, b), rng = data
+        for child in TwoPointCrossover().cross(a, b, rng):
+            assert space.contains(child)
+
+    @settings(max_examples=80, deadline=None)
+    @given(data=space_and_genomes())
+    def test_uniform_children_stay_in_bounds(self, data):
+        space, (a, b), rng = data
+        for child in UniformCrossover().cross(a, b, rng):
+            assert space.contains(child)
+
+    @settings(max_examples=80, deadline=None)
+    @given(data=space_and_genomes())
+    def test_gene_multiset_preserved_positionally(self, data):
+        """At each locus, the two children hold exactly the two parent
+        genes (possibly swapped) — for every operator."""
+        space, (a, b), rng = data
+        for operator in (OnePointCrossover(), TwoPointCrossover(), UniformCrossover()):
+            c1, c2 = operator.cross(a, b, rng)
+            for x, y, p, q in zip(c1, c2, a, b):
+                assert sorted((x, y)) == sorted((p, q))
+
+
+class TestMutationProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(data=space_and_genomes(n_genomes=1), prob=st.floats(0.0, 1.0))
+    def test_reset_stays_in_bounds(self, data, prob):
+        space, (genome,), rng = data
+        mutated = RandomResetMutation(gene_prob=prob).mutate(genome, space, rng)
+        assert space.contains(mutated)
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        data=space_and_genomes(n_genomes=1),
+        prob=st.floats(0.0, 1.0),
+        sigma=st.floats(0.01, 1.0),
+    )
+    def test_creep_stays_in_bounds(self, data, prob, sigma):
+        space, (genome,), rng = data
+        mutated = CreepMutation(gene_prob=prob, sigma_frac=sigma).mutate(
+            genome, space, rng
+        )
+        assert space.contains(mutated)
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=space_and_genomes(n_genomes=1))
+    def test_zero_probability_is_identity(self, data):
+        space, (genome,), rng = data
+        assert RandomResetMutation(gene_prob=0.0).mutate(genome, space, rng) == genome
+        assert CreepMutation(gene_prob=0.0).mutate(genome, space, rng) == genome

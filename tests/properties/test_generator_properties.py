@@ -1,0 +1,73 @@
+"""Property-based tests for the workload generator: every generated
+program satisfies the structural and calibration contracts."""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.workloads.generator import generate_program
+from repro.workloads.spec import (
+    CAL_CALL_COST_CYCLES,
+    CAL_OPT_SPEED,
+    BenchmarkSpec,
+)
+
+
+@st.composite
+def specs(draw):
+    return BenchmarkSpec(
+        name=f"gen{draw(st.integers(0, 10_000))}",
+        suite="prop",
+        description="generated",
+        n_methods=draw(st.integers(10, 120)),
+        n_layers=draw(st.integers(3, 9)),
+        size_median=draw(st.floats(10.0, 40.0)),
+        size_sigma=draw(st.floats(0.2, 1.0)),
+        fanout_mean=draw(st.floats(1.0, 4.5)),
+        leaf_fraction=draw(st.floats(0.0, 0.5)),
+        calls_median=draw(st.floats(0.5, 3.0)),
+        calls_sigma=draw(st.floats(0.2, 1.2)),
+        self_recursion_prob=draw(st.floats(0.0, 0.2)),
+        hot_fraction=draw(st.floats(0.03, 0.4)),
+        call_share=draw(st.floats(0.05, 0.6)),
+        running_seconds=draw(st.floats(0.01, 1.0)),
+        profile_flatness=draw(st.floats(0.4, 1.0)),
+    )
+
+
+class TestGeneratorContracts:
+    @settings(max_examples=25, deadline=None)
+    @given(spec=specs(), seed=st.integers(0, 100))
+    def test_structural_contract(self, spec, seed):
+        program = generate_program(spec, seed=seed)
+        assert len(program) == spec.n_methods
+        # forward/self edges only, all methods reachable and invoked
+        assert all(s.callee_id >= s.caller_id for s in program.call_sites)
+        assert program.reachable_methods() == frozenset(range(len(program)))
+        counts = program.baseline_invocations()
+        assert (counts > 0).all()
+        assert np.isfinite(counts).all()
+
+    @settings(max_examples=25, deadline=None)
+    @given(spec=specs(), seed=st.integers(0, 100))
+    def test_calibration_contract(self, spec, seed):
+        program = generate_program(spec, seed=seed)
+        counts = program.baseline_invocations()
+        calls = sum(
+            counts[s.caller_id] * s.calls_per_invocation for s in program.call_sites
+        )
+        call_cycles = calls * CAL_CALL_COST_CYCLES
+        work_cycles = float(np.dot(counts, program.work)) * CAL_OPT_SPEED
+        total = call_cycles + work_cycles
+        assert total == pytest.approx(spec.target_cycles, rel=0.08)
+        share = call_cycles / total
+        assert share == pytest.approx(spec.call_share, rel=0.08)
+
+    @settings(max_examples=15, deadline=None)
+    @given(spec=specs())
+    def test_seed_zero_reproducible(self, spec):
+        a = generate_program(spec, seed=0)
+        b = generate_program(spec, seed=0)
+        assert np.array_equal(a.sizes, b.sizes)
+        assert np.array_equal(a.work, b.work)

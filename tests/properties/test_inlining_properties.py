@@ -1,0 +1,147 @@
+"""Property-based tests for the heuristics and inline plans."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from helpers import make_program
+
+from repro.jvm.inlining import (
+    HARD_DEPTH_LIMIT,
+    InliningParameters,
+    build_inline_plan,
+    hot_callsite_heuristic,
+    optimizing_heuristic,
+)
+from repro.jvm.methods import CALL_SEQUENCE_SIZE
+
+params_strategy = st.builds(
+    InliningParameters,
+    callee_max_size=st.integers(0, 50),
+    always_inline_size=st.integers(0, 20),
+    max_inline_depth=st.integers(0, 15),
+    caller_max_size=st.integers(0, 4000),
+    hot_callee_max_size=st.integers(0, 400),
+)
+
+sizes_strategy = st.floats(min_value=1.0, max_value=500.0)
+
+
+class TestHeuristicProperties:
+    @given(size=sizes_strategy, depth=st.integers(0, 30), caller=sizes_strategy,
+           params=params_strategy)
+    def test_decision_total_function(self, size, depth, caller, params):
+        decision = optimizing_heuristic(size, depth, caller, params)
+        assert decision.inline in (True, False)
+
+    @given(size=sizes_strategy, depth=st.integers(0, 30), caller=sizes_strategy,
+           params=params_strategy)
+    def test_callee_above_max_never_inlined(self, size, depth, caller, params):
+        if size > params.callee_max_size:
+            assert not optimizing_heuristic(size, depth, caller, params).inline
+
+    @given(size=sizes_strategy, depth=st.integers(0, 30), caller=sizes_strategy,
+           params=params_strategy)
+    def test_tiny_callee_always_inlined(self, size, depth, caller, params):
+        if size <= params.callee_max_size and size < params.always_inline_size:
+            assert optimizing_heuristic(size, depth, caller, params).inline
+
+    @given(size=sizes_strategy, params=params_strategy)
+    def test_hot_heuristic_is_single_threshold(self, size, params):
+        decision = hot_callsite_heuristic(size, params)
+        assert decision.inline == (size <= params.hot_callee_max_size)
+
+    @given(size=sizes_strategy, depth=st.integers(0, 30), caller=sizes_strategy,
+           params=params_strategy)
+    def test_monotone_in_depth(self, size, depth, caller, params):
+        """Inlining at depth d+1 implies inlining at depth d (other
+        things equal)."""
+        deeper = optimizing_heuristic(size, depth + 1, caller, params)
+        if deeper.inline:
+            assert optimizing_heuristic(size, depth, caller, params).inline
+
+
+def _random_layered_program(draw_sizes, fanouts, calls):
+    """Deterministic layered program from drawn lists."""
+    n = len(draw_sizes)
+    edges = []
+    for caller in range(n - 1):
+        fanout = fanouts[caller % len(fanouts)]
+        for k in range(fanout):
+            callee = caller + 1 + (k % max(n - caller - 1, 1))
+            if callee < n:
+                edges.append((caller, callee, calls[(caller + k) % len(calls)]))
+    return make_program(draw_sizes, edges, name="prop")
+
+
+program_strategy = st.builds(
+    _random_layered_program,
+    draw_sizes=st.lists(st.floats(8.0, 120.0), min_size=2, max_size=14),
+    fanouts=st.lists(st.integers(0, 3), min_size=1, max_size=4),
+    calls=st.lists(st.floats(0.1, 20.0), min_size=1, max_size=4),
+)
+
+
+class TestPlanProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(program=program_strategy, params=params_strategy)
+    def test_expanded_size_at_least_root(self, program, params):
+        plan = build_inline_plan(program, program.entry_id, params)
+        assert plan.expanded_size >= program.sizes[program.entry_id] - 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(program=program_strategy, params=params_strategy)
+    def test_expanded_size_accounts_every_inlined_body(self, program, params):
+        plan = build_inline_plan(program, program.entry_id, params)
+        expected = program.sizes[program.entry_id] + sum(
+            max(program.sizes[b.callee_id] - CALL_SEQUENCE_SIZE, 1.0)
+            for b in plan.inlined
+        )
+        assert plan.expanded_size == pytest_approx(expected)
+
+    @settings(max_examples=60, deadline=None)
+    @given(program=program_strategy, params=params_strategy)
+    def test_depths_bounded_by_hard_limit(self, program, params):
+        plan = build_inline_plan(program, program.entry_id, params)
+        assert all(1 <= b.depth <= HARD_DEPTH_LIMIT for b in plan.inlined)
+
+    @settings(max_examples=60, deadline=None)
+    @given(program=program_strategy, params=params_strategy)
+    def test_rates_positive_and_residual_forward(self, program, params):
+        plan = build_inline_plan(program, program.entry_id, params)
+        assert all(b.rate > 0 for b in plan.inlined)
+        assert all(r.rate > 0 for r in plan.residual)
+        assert all(r.callee_id >= program.entry_id for r in plan.residual)
+
+    @settings(max_examples=60, deadline=None)
+    @given(program=program_strategy, params=params_strategy)
+    def test_call_conservation(self, program, params):
+        """Every direct call of the root either stays residual or is
+        absorbed; rate mass is conserved at depth 1."""
+        plan = build_inline_plan(program, program.entry_id, params)
+        direct_rate = sum(
+            s.calls_per_invocation for s in program.sites_of(program.entry_id)
+        )
+        depth1_inlined = sum(b.rate for b in plan.inlined if b.depth == 1)
+        residual_from_depth1 = sum(
+            r.rate
+            for r in plan.residual
+            # residual calls at depth 1 are those whose rate equals a
+            # direct site's rate; we instead check total coverage:
+        )
+        assert depth1_inlined <= direct_rate + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(program=program_strategy)
+    def test_zero_params_keep_everything_residual(self, program):
+        from repro.jvm.inlining import NO_INLINING
+
+        plan = build_inline_plan(program, program.entry_id, NO_INLINING)
+        assert plan.inline_count == 0
+        direct = program.sites_of(program.entry_id)
+        assert len(plan.residual) == len(direct)
+
+
+def pytest_approx(value):
+    import pytest
+
+    return pytest.approx(value, rel=1e-9)

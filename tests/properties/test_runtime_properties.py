@@ -1,0 +1,84 @@
+"""Property-based tests for VM accounting invariants."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from helpers import make_program
+
+from repro.arch import PENTIUM4, POWERPC_G4
+from repro.jvm.inlining import InliningParameters
+from repro.jvm.runtime import VirtualMachine
+from repro.jvm.scenario import ADAPTIVE, OPTIMIZING
+
+params_strategy = st.builds(
+    InliningParameters,
+    callee_max_size=st.integers(0, 50),
+    always_inline_size=st.integers(0, 20),
+    max_inline_depth=st.integers(0, 15),
+    caller_max_size=st.integers(0, 4000),
+    hot_callee_max_size=st.integers(0, 400),
+)
+
+
+def _program(sizes, loops, calls):
+    n = len(sizes)
+    edges = []
+    for caller in range(n - 1):
+        edges.append((caller, caller + 1, calls[caller % len(calls)]))
+        if caller + 2 < n:
+            edges.append((caller, caller + 2, calls[(caller + 1) % len(calls)]))
+    return make_program(sizes, edges, loops=loops, name="prop")
+
+
+program_strategy = st.builds(
+    _program,
+    sizes=st.lists(st.floats(8.0, 150.0), min_size=2, max_size=10),
+    loops=st.lists(st.floats(0.5, 5000.0), min_size=10, max_size=10),
+    calls=st.lists(st.floats(0.1, 30.0), min_size=1, max_size=3),
+)
+
+
+class TestReportInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(program=program_strategy, params=params_strategy)
+    def test_opt_accounting(self, program, params):
+        report = VirtualMachine(PENTIUM4, OPTIMIZING).run(program, params)
+        assert report.running_cycles > 0
+        assert report.compile_cycles > 0
+        assert report.total_cycles >= report.running_cycles
+        assert report.total_cycles == pytest_approx(
+            report.compile_cycles + report.first_iteration_exec_cycles
+        )
+        assert report.icache_factor >= 1.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(program=program_strategy, params=params_strategy)
+    def test_adaptive_accounting(self, program, params):
+        report = VirtualMachine(PENTIUM4, ADAPTIVE).run(program, params)
+        assert report.running_cycles > 0
+        assert report.first_iteration_exec_cycles >= report.running_cycles * 0.99
+        assert report.methods_compiled_baseline >= 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(program=program_strategy, params=params_strategy)
+    def test_machines_order_only_by_clock_for_identical_cycles(self, program, params):
+        """Per-cycle accounting differs across machines, but both give
+        strictly positive, finite times."""
+        for machine in (PENTIUM4, POWERPC_G4):
+            report = VirtualMachine(machine, OPTIMIZING).run(program, params)
+            assert 0 < report.running_seconds < float("inf")
+            assert 0 < report.total_seconds < float("inf")
+
+    @settings(max_examples=30, deadline=None)
+    @given(program=program_strategy, params=params_strategy)
+    def test_determinism(self, program, params):
+        vm = VirtualMachine(PENTIUM4, OPTIMIZING)
+        a = vm.run(program, params)
+        b = vm.run(program, params)
+        assert a.total_cycles == b.total_cycles
+
+
+def pytest_approx(value):
+    import pytest
+
+    return pytest.approx(value, rel=1e-9)

@@ -1,0 +1,117 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "jess"])
+        assert args.benchmark == "jess"
+        assert args.machine == "pentium4"
+        assert args.scenario == "opt"
+        assert args.params == "default"
+
+    def test_figure_numbers_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "3"])  # no figure 3 data
+
+
+class TestRunCommand:
+    def test_run_prints_report(self, capsys):
+        assert main(["run", "compress"]) == 0
+        out = capsys.readouterr().out
+        assert "running" in out and "total" in out and "compress" in out
+
+    def test_run_no_inlining(self, capsys):
+        assert main(["run", "compress", "--params", "none"]) == 0
+        assert "CALLEE_MAX=0" in capsys.readouterr().out
+
+    def test_run_custom_params(self, capsys):
+        assert main(["run", "compress", "--params", "30,12,4,500,100"]) == 0
+        assert "CALLEE_MAX=30" in capsys.readouterr().out
+
+    def test_run_adaptive_scenario(self, capsys):
+        assert main(["run", "compress", "--scenario", "adapt"]) == 0
+        assert "Adapt" in capsys.readouterr().out
+
+    def test_unknown_benchmark_is_clean_error(self, capsys):
+        assert main(["run", "doom3"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_scenario_is_clean_error(self, capsys):
+        assert main(["run", "compress", "--scenario", "jit"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestListCommand:
+    def test_lists_everything(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for token in ("compress", "antlr", "pentium4", "powerpc-g4", "Opt:Tot"):
+            assert token in out
+
+
+class TestTuneCommand:
+    def test_tiny_tune_run(self, capsys):
+        code = main(
+            [
+                "tune",
+                "Opt:Tot",
+                "--generations",
+                "2",
+                "--population",
+                "6",
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tuned parameters" in out and "improvement" in out
+
+    def test_unknown_task_is_clean_error(self, capsys):
+        assert main(["tune", "Opt:Speed", "--quiet"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestFigureCommand:
+    def test_figure1(self, capsys):
+        assert main(["figure", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out and "average:" in out
+
+    def test_figure2(self, capsys):
+        assert main(["figure", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "best depth" in out
+
+
+class TestSweepCommand:
+    def test_sweep_small_subset(self, capsys):
+        code = main(["sweep", "--benchmarks", "compress", "--points", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "CALLEE_MAX_SIZE" in out and "spread" in out
+
+    def test_sweep_rejects_unknown_benchmark(self, capsys):
+        assert main(["sweep", "--benchmarks", "doom3"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestReportCommand:
+    def test_report_written(self, tmp_path, capsys, monkeypatch):
+        # shrink the GA budget by pre-populating the in-process cache
+        # is unnecessary: the report subcommand uses the default budget,
+        # so here we only verify wiring via a tiny direct call
+        from repro.experiments.report import generate_report
+        from repro.ga.engine import GAConfig
+
+        text = generate_report(ga_config=GAConfig(population_size=6, generations=2))
+        target = tmp_path / "EXP.md"
+        target.write_text(text)
+        assert target.read_text().startswith("# EXPERIMENTS")

@@ -1,0 +1,125 @@
+"""Tests for the synthetic program generator."""
+
+import numpy as np
+import pytest
+
+from repro.jvm.baseline_compiler import BaselineCompiler
+from repro.arch import PENTIUM4
+from repro.jvm.costmodel import DEFAULT_COST_MODEL
+from repro.workloads.generator import ProgramGenerator, generate_program
+from repro.workloads.spec import CAL_CALL_COST_CYCLES, CAL_OPT_SPEED
+
+
+class TestDeterminism:
+    def test_same_seed_same_program(self, tiny_spec):
+        a = generate_program(tiny_spec, seed=3)
+        b = generate_program(tiny_spec, seed=3)
+        assert len(a) == len(b)
+        assert np.array_equal(a.sizes, b.sizes)
+        assert np.array_equal(a.work, b.work)
+        assert [
+            (s.caller_id, s.callee_id, s.calls_per_invocation) for s in a.call_sites
+        ] == [(s.caller_id, s.callee_id, s.calls_per_invocation) for s in b.call_sites]
+
+    def test_different_seeds_differ(self, tiny_spec):
+        a = generate_program(tiny_spec, seed=1)
+        b = generate_program(tiny_spec, seed=2)
+        assert not np.array_equal(a.sizes, b.sizes)
+
+    def test_different_names_differ(self, tiny_spec):
+        other = tiny_spec.scaled(name="otherbench")
+        a = generate_program(tiny_spec, seed=1)
+        b = generate_program(other, seed=1)
+        assert not np.array_equal(a.sizes, b.sizes)
+
+
+class TestStructure:
+    def test_method_count_matches_spec(self, tiny_spec):
+        program = generate_program(tiny_spec)
+        assert len(program) == tiny_spec.n_methods
+
+    def test_all_methods_reachable(self, tiny_spec):
+        program = generate_program(tiny_spec)
+        assert program.reachable_methods() == frozenset(range(len(program)))
+
+    def test_all_methods_invoked(self, tiny_spec):
+        program = generate_program(tiny_spec)
+        counts = program.baseline_invocations()
+        assert (counts > 0).all()
+
+    def test_entry_is_method_zero(self, tiny_spec):
+        program = generate_program(tiny_spec)
+        assert program.entry_id == 0
+        assert program.methods[0].name.endswith(".main")
+
+    def test_edges_forward_or_self(self, tiny_spec):
+        program = generate_program(tiny_spec)
+        assert all(s.callee_id >= s.caller_id for s in program.call_sites)
+
+    def test_invoke_counts_match_sites(self, tiny_spec):
+        program = generate_program(tiny_spec)
+        for mid in range(len(program)):
+            assert program.method(mid).body.invoke_count == len(program.sites_of(mid))
+
+
+class TestCalibration:
+    def _measures(self, program):
+        counts = program.baseline_invocations()
+        calls = sum(
+            counts[s.caller_id] * s.calls_per_invocation for s in program.call_sites
+        )
+        call_cycles = calls * CAL_CALL_COST_CYCLES
+        work_cycles = float(np.dot(counts, program.work)) * CAL_OPT_SPEED
+        return call_cycles, work_cycles
+
+    def test_call_share_hits_target(self, tiny_spec):
+        program = generate_program(tiny_spec)
+        call_cycles, work_cycles = self._measures(program)
+        share = call_cycles / (call_cycles + work_cycles)
+        assert share == pytest.approx(tiny_spec.call_share, rel=0.05)
+
+    def test_total_cycles_hit_target(self, tiny_spec):
+        program = generate_program(tiny_spec)
+        call_cycles, work_cycles = self._measures(program)
+        assert call_cycles + work_cycles == pytest.approx(
+            tiny_spec.target_cycles, rel=0.05
+        )
+
+    def test_running_seconds_scales_linearly(self, tiny_spec):
+        short = generate_program(tiny_spec)
+        long_spec = tiny_spec.scaled(running_seconds=tiny_spec.running_seconds * 4)
+        long = generate_program(long_spec)
+        c_s, w_s = self._measures(short)
+        c_l, w_l = self._measures(long)
+        assert (c_l + w_l) / (c_s + w_s) == pytest.approx(4.0, rel=0.05)
+
+
+class TestProfileFlattening:
+    def _top_share(self, spec, seed=0):
+        program = generate_program(spec, seed=seed)
+        counts = program.baseline_invocations()
+        compiler = BaselineCompiler(PENTIUM4, DEFAULT_COST_MODEL)
+        times = np.array(
+            [
+                counts[mid] * compiler.compile(program, mid).cycles_per_invocation
+                for mid in range(len(program))
+            ]
+        )
+        return float(times.max() / times.sum())
+
+    def test_flatter_spec_spreads_time(self, tiny_spec):
+        concentrated = self._top_share(tiny_spec.scaled(profile_flatness=1.0))
+        flat = self._top_share(tiny_spec.scaled(profile_flatness=0.5))
+        assert flat < concentrated
+
+    def test_flattening_preserves_sizes(self, tiny_spec):
+        a = generate_program(tiny_spec.scaled(profile_flatness=1.0))
+        b = generate_program(tiny_spec.scaled(profile_flatness=0.5))
+        assert np.array_equal(a.sizes, b.sizes)
+
+    def test_flattening_preserves_call_structure(self, tiny_spec):
+        a = generate_program(tiny_spec.scaled(profile_flatness=1.0))
+        b = generate_program(tiny_spec.scaled(profile_flatness=0.5))
+        assert [(s.caller_id, s.callee_id) for s in a.call_sites] == [
+            (s.caller_id, s.callee_id) for s in b.call_sites
+        ]

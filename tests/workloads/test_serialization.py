@@ -1,0 +1,79 @@
+"""Tests for program JSON serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from helpers import diamond_program
+
+from repro.errors import WorkloadError
+from repro.workloads.generator import generate_program
+from repro.workloads.serialization import (
+    load_program,
+    program_from_dict,
+    program_to_dict,
+    save_program,
+)
+
+
+class TestRoundtrip:
+    def test_hand_built_program(self, diamond):
+        clone = program_from_dict(program_to_dict(diamond))
+        assert clone.name == diamond.name
+        assert len(clone) == len(diamond)
+        assert np.allclose(clone.sizes, diamond.sizes)
+        assert np.allclose(clone.work, diamond.work)
+        assert [
+            (s.caller_id, s.callee_id, s.site_index, s.calls_per_invocation)
+            for s in clone.call_sites
+        ] == [
+            (s.caller_id, s.callee_id, s.site_index, s.calls_per_invocation)
+            for s in diamond.call_sites
+        ]
+
+    def test_generated_program(self, tiny_spec):
+        program = generate_program(tiny_spec, seed=4)
+        clone = program_from_dict(program_to_dict(program))
+        assert np.allclose(clone.sizes, program.sizes)
+        assert np.allclose(
+            clone.baseline_invocations(), program.baseline_invocations()
+        )
+
+    def test_file_roundtrip(self, tmp_path, diamond):
+        path = str(tmp_path / "program.json")
+        save_program(diamond, path)
+        loaded = load_program(path)
+        assert loaded.name == diamond.name
+        assert np.allclose(loaded.sizes, diamond.sizes)
+
+    def test_dict_is_json_serializable(self, diamond):
+        json.dumps(program_to_dict(diamond))
+
+
+class TestFailureModes:
+    def test_wrong_version_rejected(self, diamond):
+        data = program_to_dict(diamond)
+        data["version"] = 99
+        with pytest.raises(WorkloadError):
+            program_from_dict(data)
+
+    def test_malformed_rejected(self):
+        with pytest.raises(WorkloadError):
+            program_from_dict({"version": 1, "methods": [{"bad": True}]})
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(WorkloadError):
+            load_program(str(tmp_path / "nope.json"))
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{oops")
+        with pytest.raises(WorkloadError):
+            load_program(str(path))
+
+    def test_unknown_instruction_kind_rejected(self, diamond):
+        data = program_to_dict(diamond)
+        data["methods"][0]["mix"] = {"teleport": 3}
+        with pytest.raises(WorkloadError):
+            program_from_dict(data)

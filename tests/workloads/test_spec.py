@@ -1,0 +1,117 @@
+"""Tests for benchmark specs and the suite definitions."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.dacapo import DACAPO_JBB_SPECS
+from repro.workloads.spec import (
+    CAL_CLOCK_GHZ,
+    BenchmarkSpec,
+    MixWeights,
+)
+from repro.workloads.specjvm98 import SPECJVM98_SPECS
+
+
+def _spec(**overrides):
+    kwargs = dict(
+        name="bench",
+        suite="test",
+        description="d",
+        n_methods=50,
+    )
+    kwargs.update(overrides)
+    return BenchmarkSpec(**kwargs)
+
+
+class TestMixWeights:
+    def test_defaults_valid(self):
+        weights = MixWeights().as_mapping()
+        assert all(w >= 0 for w in weights.values())
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MixWeights(move=-1.0)
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MixWeights(move=0, arith=0, memory=0, branch=0, alloc=0, ret=0)
+
+    def test_mapping_excludes_invoke(self):
+        from repro.jvm.bytecode import InstructionKind
+
+        assert InstructionKind.INVOKE not in MixWeights().as_mapping()
+
+
+class TestBenchmarkSpecValidation:
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("n_methods", 2),
+            ("n_layers", 1),
+            ("size_median", 0.0),
+            ("fanout_mean", -1.0),
+            ("leaf_fraction", 1.0),
+            ("calls_median", 0.0),
+            ("self_recursion_prob", 1.0),
+            ("hot_fraction", 0.0),
+            ("hot_call_boost", 0.5),
+            ("call_share", 0.0),
+            ("call_share", 1.0),
+            ("running_seconds", 0.0),
+            ("entry_fanout", 0),
+            ("profile_flatness", 0.0),
+            ("profile_flatness", 1.5),
+        ],
+    )
+    def test_invalid_field_rejected(self, field, value):
+        with pytest.raises(ConfigurationError):
+            _spec(**{field: value})
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _spec(name="")
+
+    def test_target_cycles_uses_calibration_clock(self):
+        spec = _spec(running_seconds=2.0)
+        assert spec.target_cycles == pytest.approx(2.0 * CAL_CLOCK_GHZ * 1e9)
+
+    def test_scaled_copy(self):
+        spec = _spec()
+        variant = spec.scaled(n_methods=99)
+        assert variant.n_methods == 99
+        assert spec.n_methods == 50
+
+
+class TestPublishedSuites:
+    def test_specjvm98_members(self):
+        names = [s.name for s in SPECJVM98_SPECS]
+        assert names == [
+            "compress",
+            "jess",
+            "db",
+            "javac",
+            "mpegaudio",
+            "raytrace",
+            "jack",
+        ]
+
+    def test_dacapo_members(self):
+        names = [s.name for s in DACAPO_JBB_SPECS]
+        assert names == ["antlr", "fop", "jython", "pmd", "ps", "ipsixql", "pseudojbb"]
+
+    def test_test_suite_is_bigger_code(self):
+        spec_volume = sum(s.n_methods for s in SPECJVM98_SPECS)
+        dacapo_volume = sum(s.n_methods for s in DACAPO_JBB_SPECS)
+        assert dacapo_volume > spec_volume
+
+    def test_dacapo_profiles_flatter_than_spec(self):
+        spec_flat = min(s.profile_flatness for s in SPECJVM98_SPECS)
+        dacapo_flat = max(
+            s.profile_flatness for s in DACAPO_JBB_SPECS if s.name != "ps"
+        )
+        assert dacapo_flat <= spec_flat + 0.15
+
+    def test_compress_is_concentrated_kernel(self):
+        compress = next(s for s in SPECJVM98_SPECS if s.name == "compress")
+        assert compress.profile_flatness == 1.0
+        assert compress.call_share < 0.15

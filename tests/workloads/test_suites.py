@@ -1,0 +1,70 @@
+"""Tests for the suite registry and program caching."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.suites import (
+    DACAPO_JBB,
+    SPECJVM98,
+    BenchmarkSuite,
+    available_suites,
+    get_benchmark,
+    get_suite,
+)
+
+
+class TestRegistry:
+    def test_available_suites(self):
+        assert available_suites() == ["SPECjvm98", "DaCapo+JBB"]
+
+    def test_get_suite_aliases(self):
+        assert get_suite("specjvm98") is SPECJVM98
+        assert get_suite("SPECJVM98") is SPECJVM98
+        assert get_suite("dacapo") is DACAPO_JBB
+        assert get_suite("DaCapo+JBB") is DACAPO_JBB
+
+    def test_unknown_suite_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_suite("spec2006")
+
+    def test_get_benchmark_searches_both_suites(self):
+        assert get_benchmark("compress").name == "compress"
+        assert get_benchmark("antlr").name == "antlr"
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_benchmark("doom3")
+
+
+class TestBenchmarkSuite:
+    def test_len_and_iteration(self):
+        assert len(SPECJVM98) == 7
+        assert [s.name for s in SPECJVM98] == list(SPECJVM98.benchmark_names)
+
+    def test_spec_lookup(self):
+        assert SPECJVM98.spec("jess").name == "jess"
+        with pytest.raises(ConfigurationError):
+            SPECJVM98.spec("antlr")
+
+    def test_program_caching_within_seed(self):
+        a = SPECJVM98.program("compress", seed=0)
+        b = SPECJVM98.program("compress", seed=0)
+        assert a is b  # same cached object
+
+    def test_programs_differ_across_seeds(self):
+        a = SPECJVM98.program("compress", seed=0)
+        b = SPECJVM98.program("compress", seed=1)
+        assert a is not b
+
+    def test_programs_returns_all_members_in_order(self):
+        programs = SPECJVM98.programs()
+        assert [p.name for p in programs] == list(SPECJVM98.benchmark_names)
+
+    def test_empty_suite_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BenchmarkSuite(name="empty", specs=())
+
+    def test_duplicate_names_rejected(self):
+        spec = SPECJVM98.specs[0]
+        with pytest.raises(ConfigurationError):
+            BenchmarkSuite(name="dup", specs=(spec, spec))

@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Calibration dashboard: prints the paper's shape targets vs measured.
+
+Development tool (not shipped in the package).  Run after changing the
+cost model, architecture constants or workload specs:
+
+    python tools/calibrate.py [--tune] [--seeds N]
+
+Without --tune only the cheap, GA-free checks run (Figures 1 and 2 and
+raw compile/run splits).  With --tune, the standard tuning tasks run
+too (minutes) and the Table 5 shape targets are checked.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+os.environ.setdefault("REPRO_NO_DISK_CACHE", "1")
+
+from repro.arch import PENTIUM4, POWERPC_G4
+from repro.experiments.figures import figure1, figure2
+from repro.experiments.runner import run_suite
+from repro.jvm.inlining import JIKES_DEFAULT_PARAMETERS, NO_INLINING
+from repro.jvm.scenario import ADAPTIVE, OPTIMIZING
+from repro.workloads.suites import DACAPO_JBB, SPECJVM98
+
+
+def check(name, value, lo, hi):
+    ok = lo <= value <= hi
+    flag = "OK  " if ok else "FAIL"
+    print(f"  [{flag}] {name:<52} {value:8.3f}  target [{lo}, {hi}]")
+    return ok
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--tune", action="store_true")
+    args = parser.parse_args()
+    failures = 0
+
+    print("=== raw splits (default heuristic, x86) ===")
+    for suite in (SPECJVM98, DACAPO_JBB):
+        progs = suite.programs()
+        res_opt = run_suite(progs, PENTIUM4, OPTIMIZING, JIKES_DEFAULT_PARAMETERS)
+        res_no = run_suite(progs, PENTIUM4, OPTIMIZING, NO_INLINING)
+        for r, rn in zip(res_opt.reports, res_no.reports):
+            print(
+                f"  {r.benchmark:<10} Opt: run {r.running_seconds:6.2f}s "
+                f"compile {r.compile_seconds:6.2f}s "
+                f"(no-inl compile {rn.compile_seconds:5.2f}s) "
+                f"compile_share {r.compile_seconds / r.total_seconds:5.2f} "
+                f"icache {r.icache_factor:5.3f} hot {r.hot_code_size:8.0f}"
+            )
+
+    print("\n=== Figure 1 (SPEC, x86): default vs no-inlining ===")
+    f1 = figure1()
+    opt, adapt = f1["Opt"], f1["Adapt"]
+    failures += not check("Opt avg running ratio", opt.avg_running_ratio, 0.70, 0.82)
+    failures += not check("Opt avg total ratio", opt.avg_total_ratio, 0.95, 1.10)
+    n_degrade = sum(1 for t in opt.total_ratios if t > 1.08)
+    failures += not check("Opt #benchmarks total degraded >8%", n_degrade, 2, 4)
+    failures += not check("Adapt avg running ratio", adapt.avg_running_ratio, 0.68, 0.84)
+    failures += not check("Adapt avg total ratio", adapt.avg_total_ratio, 0.84, 0.97)
+
+    print("\n=== Figure 2 (depth sweeps) ===")
+    f2 = figure2()
+    for bench in ("compress", "jess"):
+        for scen in ("Opt", "Adapt"):
+            sweep = f2[bench][scen]
+            spread = max(sweep.total_seconds) / min(sweep.total_seconds) - 1
+            print(
+                f"  {bench:<9} {scen:<6} best_depth={sweep.best_depth:2d} "
+                f"spread={spread * 100:5.1f}%  "
+                + " ".join(f"{t:.2f}" for t in sweep.total_seconds)
+            )
+    failures += not check(
+        "jess Opt best depth", f2["jess"]["Opt"].best_depth, 0, 1
+    )
+    failures += not check(
+        "compress Adapt best depth", f2["compress"]["Adapt"].best_depth, 1, 10
+    )
+    comp_opt = f2["compress"]["Opt"]
+    spread = max(comp_opt.total_seconds) / min(comp_opt.total_seconds) - 1
+    failures += not check("compress Opt depth spread >2%", spread, 0.02, 10)
+
+    if args.tune:
+        from repro.experiments.tables import table5
+        from repro.experiments.tuning import clear_tuning_cache
+
+        clear_tuning_cache()
+        print("\n=== Table 5 (tuned vs default) ===")
+        rows = table5()
+        targets = {
+            # scenario: (spec_run, spec_tot, dac_run, dac_tot) center ranges
+            "Adapt": ((0.00, 0.12), (0.00, 0.10), (-0.06, 0.08), (0.10, 0.40)),
+            "Opt:Bal": ((0.00, 0.10), (0.08, 0.25), (-0.05, 0.10), (0.15, 0.35)),
+            "Opt:Tot": ((-0.04, 0.08), (0.10, 0.25), (-0.12, 0.04), (0.25, 0.48)),
+            "Adapt (PPC)": ((0.00, 0.12), (-0.02, 0.06), (-0.06, 0.05), (0.02, 0.15)),
+            "Opt:Bal (PPC)": ((-0.03, 0.06), (0.02, 0.12), (-0.02, 0.09), (0.03, 0.18)),
+        }
+        for row in rows:
+            print(
+                f"  {row.scenario:<14} SPEC run {row.spec_running_reduction:+.1%} "
+                f"tot {row.spec_total_reduction:+.1%} | DaCapo run "
+                f"{row.dacapo_running_reduction:+.1%} tot {row.dacapo_total_reduction:+.1%}"
+            )
+            t = targets[row.scenario]
+            failures += not check(f"{row.scenario} SPEC running", row.spec_running_reduction, *t[0])
+            failures += not check(f"{row.scenario} SPEC total", row.spec_total_reduction, *t[1])
+            failures += not check(f"{row.scenario} DaCapo running", row.dacapo_running_reduction, *t[2])
+            failures += not check(f"{row.scenario} DaCapo total", row.dacapo_total_reduction, *t[3])
+
+    print(f"\n{failures} target(s) missed")
+    return 0 if failures == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,33 @@
+#!/usr/bin/env python
+"""Regenerate EXPERIMENTS.md (thin wrapper around
+:func:`repro.experiments.report.generate_report`).
+
+    python tools/run_experiments.py [--output EXPERIMENTS.md]
+
+Reuses the ``.repro_cache/`` tuning cache when present, so running this
+after ``pytest benchmarks/`` costs only the deterministic evaluations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.report import generate_report
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--output", default="EXPERIMENTS.md")
+    parser.add_argument("--workload-seed", type=int, default=0)
+    args = parser.parse_args()
+
+    text = generate_report(workload_seed=args.workload_seed, progress=print)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    print(f"wrote {args.output} ({len(text)} bytes)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
