@@ -78,6 +78,7 @@ class TunedHeuristic:
     generations_run: int
     evaluations: int
     wall_seconds: float
+    store_hits: int = 0
     history: Tuple[GenerationStats, ...] = field(repr=False, default=())
 
     @property
@@ -102,6 +103,7 @@ class TunedHeuristic:
                 "generations_run": self.generations_run,
                 "evaluations": self.evaluations,
                 "wall_seconds": self.wall_seconds,
+                "store_hits": self.store_hits,
             }
         )
 
@@ -120,6 +122,7 @@ class TunedHeuristic:
             generations_run=int(data["generations_run"]),
             evaluations=int(data["evaluations"]),
             wall_seconds=float(data["wall_seconds"]),
+            store_hits=int(data.get("store_hits", 0)),
         )
 
 
@@ -132,11 +135,16 @@ class InliningTuner:
         space: Optional[ParameterSpace] = None,
         cost_model: CostModel = DEFAULT_COST_MODEL,
         evaluator_factory=None,
+        store_path: Optional[str] = None,
     ) -> None:
         self.ga_config = ga_config
         self.space = space or TABLE1_SPACE
         self.cost_model = cost_model
         self._evaluator_factory = evaluator_factory or HeuristicEvaluator
+        #: when set, genome fitnesses persist to this JSONL file, keyed
+        #: by the evaluation context; an identical re-run (same task,
+        #: programs, space, cost model) re-simulates nothing.
+        self.store_path = store_path
 
     # ------------------------------------------------------------------
     def tune(
@@ -157,14 +165,20 @@ class InliningTuner:
         config = self.ga_config.scaled(
             seed=task.seed, rng_key=f"tuner:{task.name}"
         )
-        engine = GAEngine(self.space.to_ga_space(), config)
+        store = self._open_store(task, training_programs)
+        engine = GAEngine(self.space.to_ga_space(), config, store=store)
 
         start = time.perf_counter()
-        result = engine.run(
-            evaluator,
-            on_generation=on_generation,
-            initial_genomes=[self.space.encode(JIKES_DEFAULT_PARAMETERS)],
-        )
+        try:
+            result = engine.run(
+                evaluator,
+                on_generation=on_generation,
+                initial_genomes=[self.space.encode(JIKES_DEFAULT_PARAMETERS)],
+            )
+        finally:
+            store_hits = store.hits if store is not None else 0
+            if store is not None:
+                store.close()
         wall = time.perf_counter() - start
 
         return TunedHeuristic(
@@ -178,8 +192,25 @@ class InliningTuner:
             generations_run=result.generations_run,
             evaluations=result.evaluations,
             wall_seconds=wall,
+            store_hits=store_hits,
             history=result.history,
         )
+
+    def _open_store(self, task: TuningTask, programs: Sequence[Program]):
+        """Open the persistent evaluation store for *task*, if enabled."""
+        if self.store_path is None:
+            return None
+        from repro.perf.store import EvaluationStore, evaluation_context_key
+
+        context = evaluation_context_key(
+            task.machine,
+            task.scenario,
+            task.metric,
+            self.cost_model,
+            self.space,
+            programs,
+        )
+        return EvaluationStore(self.store_path, context=context)
 
     def tune_per_program(
         self,

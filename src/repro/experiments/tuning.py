@@ -10,6 +10,12 @@ results are cached twice:
   everything that determines the result (task, seeds, GA budget), so a
   recalibration invalidates stale entries.  Set ``REPRO_NO_DISK_CACHE=1``
   to disable.
+
+Tuning runs additionally share a persistent genome->fitness store
+(``.repro_cache/evaluations.jsonl``, see ``docs/PERFORMANCE.md``): even
+when the GA must run (e.g. a changed budget invalidates the result
+cache), genomes already simulated under the same evaluation context are
+recalled instead of re-simulated.
 """
 
 from __future__ import annotations
@@ -85,8 +91,20 @@ def clear_tuning_cache(disk: bool = False) -> None:
         root = _cache_dir()
         if root is not None:
             for entry in os.listdir(root):
-                if entry.endswith(".json"):
+                if entry.endswith(".json") or entry == _STORE_FILENAME:
                     os.remove(os.path.join(root, entry))
+
+
+#: shared genome->fitness store; entries are context-keyed, so every
+#: task/seed combination can safely share the one file.
+_STORE_FILENAME = "evaluations.jsonl"
+
+
+def _store_path() -> Optional[str]:
+    root = _cache_dir()
+    if root is None:
+        return None
+    return os.path.join(root, _STORE_FILENAME)
 
 
 def tuned_heuristic(
@@ -103,7 +121,7 @@ def tuned_heuristic(
     task = get_task(task_name)
     if seed != task.seed:
         task = _with_seed(task, seed)
-    tuner = InliningTuner(ga_config)
+    tuner = InliningTuner(ga_config, store_path=_store_path())
     tuned = tuner.tune(task, SPECJVM98.programs(seed=workload_seed))
     _store(key, tuned)
     return tuned
@@ -124,7 +142,7 @@ def tuned_for_program(
     task = get_task(task_name)
     if seed != task.seed:
         task = _with_seed(task, seed)
-    tuner = InliningTuner(ga_config)
+    tuner = InliningTuner(ga_config, store_path=_store_path())
     tuned = tuner.tune_per_program(task, get_benchmark(benchmark, seed=workload_seed))
     _store(key, tuned)
     return tuned

@@ -102,10 +102,12 @@ class GAEngine:
         space: IntVectorSpace,
         config: Optional[GAConfig] = None,
         evaluator=None,
+        store=None,
     ) -> None:
         self.space = space
         self.config = config or GAConfig()
         self.evaluator = evaluator or SerialEvaluator()
+        self.store = store
 
     # ------------------------------------------------------------------
     def run(
@@ -123,7 +125,7 @@ class GAEngine:
         """
         cfg = self.config
         rng = rng_for(cfg.rng_key, cfg.seed)
-        cache = FitnessCache(fitness_fn)
+        cache = FitnessCache(fitness_fn, store=self.store)
 
         population = self._initial_population(rng, initial_genomes)
         self._evaluate(population, cache)
@@ -190,15 +192,19 @@ class GAEngine:
         """Fill in fitnesses, batching distinct uncached genomes.
 
         ``cache.misses`` counts genomes truly evaluated; every other
-        assignment (revisited genomes, same-generation duplicates) is a
-        hit.
+        assignment (revisited genomes, same-generation duplicates,
+        persistent-store recalls) is a hit.  Genome tuples from
+        :class:`Individual` are already canonical, so the cache's
+        ``_key`` fast path applies throughout.
         """
         pending: List[Genome] = []
         seen = set()
         for ind in population:
             if cache.peek(ind.genome) is None and ind.genome not in seen:
-                pending.append(ind.genome)
                 seen.add(ind.genome)
+                if cache.recall(ind.genome) is not None:
+                    continue  # served from the persistent store
+                pending.append(ind.genome)
         if pending:
             values = self.evaluator.map(cache.function, pending)
             if len(values) != len(pending):

@@ -7,13 +7,21 @@ releases little to gain); the multiprocess evaluator exists for
 expensive fitness functions (e.g. measuring a real VM, as the paper
 did) and follows the guide rule of communicating only picklable,
 coarse-grained work units.
+
+Workers can be seeded with a read-only snapshot of a persistent
+:class:`repro.perf.store.EvaluationStore`: the snapshot dict is shipped
+once through the pool initializer (not per task), and workers answer
+known genomes from it without simulating.  Workers never write to the
+store — results flow back to the coordinating process, which records
+them (single-writer discipline keeps the JSONL append-only file
+consistent without locking).
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import GAError
 
@@ -21,6 +29,29 @@ __all__ = ["SerialEvaluator", "MultiprocessEvaluator"]
 
 Genome = Tuple[int, ...]
 FitnessFn = Callable[[Genome], float]
+
+# Per-worker read-only snapshot, installed by _init_worker.  Module
+# global because pool initializers cannot return state any other way.
+_WORKER_SNAPSHOT: Dict[Genome, float] = {}
+
+
+def _init_worker(snapshot: Dict[Genome, float]) -> None:
+    """Pool initializer: install the evaluation-store snapshot."""
+    global _WORKER_SNAPSHOT
+    _WORKER_SNAPSHOT = snapshot
+
+
+class _SnapshotFitness:
+    """Picklable wrapper answering known genomes from the snapshot."""
+
+    def __init__(self, function: FitnessFn) -> None:
+        self.function = function
+
+    def __call__(self, genome: Genome) -> float:
+        value = _WORKER_SNAPSHOT.get(tuple(genome))
+        if value is not None:
+            return value
+        return self.function(genome)
 
 
 class SerialEvaluator:
@@ -42,33 +73,75 @@ class MultiprocessEvaluator:
     clear error from the pickle layer.  The pool is created lazily and
     reused across generations; call :meth:`close` (or use as a context
     manager) when done.
+
+    ``chunksize=None`` (the default) picks
+    ``max(1, len(genomes) // (4 * processes))`` per batch — large enough
+    to amortize pickling, small enough to keep all workers busy on the
+    tail.  ``store`` attaches a read-only snapshot of a persistent
+    evaluation store, shipped to workers once at pool creation.
     """
 
-    def __init__(self, processes: Optional[int] = None, chunksize: int = 1) -> None:
+    def __init__(
+        self,
+        processes: Optional[int] = None,
+        chunksize: Optional[int] = None,
+        store=None,
+    ) -> None:
         if processes is not None and processes < 1:
             raise GAError(f"processes must be >= 1, got {processes}")
-        if chunksize < 1:
+        if chunksize is not None and chunksize < 1:
             raise GAError(f"chunksize must be >= 1, got {chunksize}")
         self.processes = processes or max(1, (os.cpu_count() or 2) - 1)
         self.chunksize = chunksize
+        self.store = store
         self._pool: Optional[multiprocessing.pool.Pool] = None
 
     def _ensure_pool(self) -> multiprocessing.pool.Pool:
         if self._pool is None:
-            self._pool = multiprocessing.get_context("spawn").Pool(self.processes)
+            ctx = multiprocessing.get_context("spawn")
+            if self.store is not None:
+                self._pool = ctx.Pool(
+                    self.processes,
+                    initializer=_init_worker,
+                    initargs=(self.store.snapshot(),),
+                )
+            else:
+                self._pool = ctx.Pool(self.processes)
         return self._pool
+
+    def _chunksize_for(self, n_genomes: int) -> int:
+        if self.chunksize is not None:
+            return self.chunksize
+        return max(1, n_genomes // (4 * self.processes))
 
     def map(self, function: FitnessFn, genomes: Sequence[Genome]) -> List[float]:
         """Apply *function* to every genome in parallel, order-preserving."""
         if not genomes:
             return []
         pool = self._ensure_pool()
-        return [float(v) for v in pool.map(function, genomes, chunksize=self.chunksize)]
+        if self.store is not None:
+            function = _SnapshotFitness(function)
+        try:
+            values = pool.map(function, genomes, chunksize=self._chunksize_for(len(genomes)))
+        except Exception:
+            # A worker raised (or died): the pool may hold queued tasks
+            # and half-finished state — terminate rather than close so
+            # the next map() starts from a clean pool.
+            self.terminate()
+            raise
+        return [float(v) for v in values]
 
     def close(self) -> None:
-        """Shut the pool down."""
+        """Shut the pool down gracefully (waits for queued work)."""
         if self._pool is not None:
             self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def terminate(self) -> None:
+        """Kill the pool immediately, discarding queued work."""
+        if self._pool is not None:
+            self._pool.terminate()
             self._pool.join()
             self._pool = None
 

@@ -35,7 +35,7 @@ from repro.jvm.opt_compiler import OptimizingCompiler
 from repro.jvm.profiler import ExecutionProfile, profile_baseline
 from repro.jvm.scenario import CompilationScenario
 
-__all__ = ["AdaptiveResult", "AdaptiveOptimizationSystem"]
+__all__ = ["AdaptiveResult", "PromotionPlan", "AdaptiveOptimizationSystem"]
 
 
 @dataclass(frozen=True)
@@ -67,6 +67,40 @@ class AdaptiveResult:
     compile_cycles: float
     profile: ExecutionProfile
     hot_sites: FrozenSet[Tuple[int, int]]
+
+
+@dataclass(frozen=True)
+class PromotionPlan:
+    """The parameter-independent skeleton of an adaptive episode.
+
+    Everything the AOS does *before* the tuned heuristic acts — baseline
+    compilation, profiling, hot-site detection and the cost/benefit
+    level choice — depends only on the program and machine, never on the
+    inlining parameters (the controller estimates compile cost from the
+    pre-inlining method size).  The evaluation accelerator computes this
+    once per program and replays it for every genome.
+
+    Attributes
+    ----------
+    baseline_versions:
+        Baseline code for every invoked method, in invocation-index
+        order.
+    baseline_compile_cycles:
+        Total baseline compilation cost (accumulated in that order).
+    profile:
+        The baseline profile driving all promotion decisions.
+    hot_sites:
+        Profiler-hot call sites (Figure 4 candidates).
+    promotions:
+        ``(method_id, level)`` pairs in the controller's recompilation
+        order (hottest first).
+    """
+
+    baseline_versions: Mapping[int, CompiledMethod]
+    baseline_compile_cycles: float
+    profile: ExecutionProfile
+    hot_sites: FrozenSet[Tuple[int, int]]
+    promotions: Tuple[Tuple[int, int], ...]
 
 
 class AdaptiveOptimizationSystem:
@@ -121,8 +155,14 @@ class AdaptiveOptimizationSystem:
                 best_level = level
         return best_level
 
-    def run(self, program: Program, params: InliningParameters) -> AdaptiveResult:
-        """Execute the full adaptive episode for *program* under *params*."""
+    def plan_promotions(self, program: Program) -> PromotionPlan:
+        """Run the parameter-independent part of the adaptive episode.
+
+        Baseline compilation, the profile, hot-site detection and the
+        level choices are all fixed per (program, machine, scenario);
+        only the optimizing recompiles of the chosen methods depend on
+        the tuned parameters.
+        """
         counts = program.baseline_invocations()
         invoked = sorted(
             mid for mid in program.reachable_methods() if counts[mid] > 0.0
@@ -138,28 +178,45 @@ class AdaptiveOptimizationSystem:
         profile = profile_baseline(program, baseline_versions)
         hot_sites = profile.hot_sites(self.scenario.hot_edge_share)
 
-        promoted: Dict[int, int] = {}
-        final_versions: Dict[int, CompiledMethod] = dict(baseline_versions)
+        promotions: List[Tuple[int, int]] = []
         for mid in profile.hot_methods(self.scenario.hot_method_share):
             level = self.choose_level(program, mid, profile)
             if level >= 1:
-                version = self.optimizer.compile(
-                    program,
-                    mid,
-                    params,
-                    level=level,
-                    hot_sites=hot_sites,
-                    use_hot_heuristic=self.scenario.uses_hot_callsite_heuristic,
-                )
-                final_versions[mid] = version
-                promoted[mid] = level
-                compile_cycles += version.compile_cycles
+                promotions.append((mid, level))
+
+        return PromotionPlan(
+            baseline_versions=baseline_versions,
+            baseline_compile_cycles=compile_cycles,
+            profile=profile,
+            hot_sites=hot_sites,
+            promotions=tuple(promotions),
+        )
+
+    def run(self, program: Program, params: InliningParameters) -> AdaptiveResult:
+        """Execute the full adaptive episode for *program* under *params*."""
+        plan = self.plan_promotions(program)
+        compile_cycles = plan.baseline_compile_cycles
+
+        promoted: Dict[int, int] = {}
+        final_versions: Dict[int, CompiledMethod] = dict(plan.baseline_versions)
+        for mid, level in plan.promotions:
+            version = self.optimizer.compile(
+                program,
+                mid,
+                params,
+                level=level,
+                hot_sites=plan.hot_sites,
+                use_hot_heuristic=self.scenario.uses_hot_callsite_heuristic,
+            )
+            final_versions[mid] = version
+            promoted[mid] = level
+            compile_cycles += version.compile_cycles
 
         return AdaptiveResult(
             final_versions=final_versions,
-            baseline_versions=baseline_versions,
+            baseline_versions=plan.baseline_versions,
             promoted=promoted,
             compile_cycles=compile_cycles,
-            profile=profile,
-            hot_sites=hot_sites,
+            profile=plan.profile,
+            hot_sites=plan.hot_sites,
         )

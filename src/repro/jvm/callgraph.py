@@ -138,6 +138,7 @@ class Program:
 
         self._reachable: Optional[frozenset] = None
         self._base_counts: Optional[np.ndarray] = None
+        self._fingerprint: Optional[str] = None
 
     # ------------------------------------------------------------------
     # structure queries
@@ -204,6 +205,35 @@ class Program:
             self._base_counts = counts
             self._base_counts.flags.writeable = False
         return self._base_counts
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the program structure.
+
+        Covers everything the simulator's numbers depend on: method
+        sizes and work units, the entry point, and every call site with
+        its weight.  Two programs with equal fingerprints produce equal
+        :class:`~repro.jvm.runtime.ExecutionReport` numbers under any
+        parameters, which is what makes the fingerprint a safe component
+        of persistent evaluation-store context keys.
+        """
+        if self._fingerprint is None:
+            import hashlib
+
+            digest = hashlib.blake2b(digest_size=16)
+            digest.update(self.name.encode("utf-8"))
+            digest.update(str(self.entry_id).encode("ascii"))
+            for method in self.methods:
+                digest.update(
+                    f"|m{method.method_id}:{method.estimated_size!r}:"
+                    f"{method.work_units!r}:{method.bytecode_size}".encode("ascii")
+                )
+            for site in self.call_sites:
+                digest.update(
+                    f"|s{site.caller_id}:{site.site_index}:{site.callee_id}:"
+                    f"{site.calls_per_invocation!r}".encode("ascii")
+                )
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     # ------------------------------------------------------------------
     # export / debugging

@@ -28,6 +28,7 @@ runaway expansion without interfering with tuning.
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
@@ -45,6 +46,8 @@ __all__ = [
     "InlinedBody",
     "ResidualCall",
     "InlinePlan",
+    "ParamRegion",
+    "ParamRegionBuilder",
     "build_inline_plan",
     "HARD_DEPTH_LIMIT",
 ]
@@ -179,6 +182,107 @@ def hot_callsite_heuristic(
     return InlineDecision.YES_HOT
 
 
+#: unbounded upper limit for region bounds (any parameter value fits)
+_REGION_UNBOUNDED = (1 << 62)
+
+
+@dataclass(frozen=True)
+class ParamRegion:
+    """An axis-aligned box in the 5-dimensional parameter space.
+
+    The box produced by one plan expansion is the set of parameter
+    vectors for which *every* threshold comparison the expansion
+    evaluated has the same outcome — and therefore (the expansion being
+    deterministic) the set of vectors that yield the *identical* inline
+    plan.  Bounds are inclusive on both sides, in the genome order of
+    :meth:`InliningParameters.as_tuple`.
+    """
+
+    lo: Tuple[int, int, int, int, int]
+    hi: Tuple[int, int, int, int, int]
+
+    def contains(self, values: Sequence[int]) -> bool:
+        """True when the parameter vector lies inside the box."""
+        return all(l <= v <= h for l, v, h in zip(self.lo, values, self.hi))
+
+
+class ParamRegionBuilder:
+    """Accumulates the parameter-space invariants of one plan expansion.
+
+    Every heuristic test is a comparison of an observed float quantity
+    (callee size, depth, current caller size) against one of the five
+    integer parameters.  Each executed comparison constrains the
+    parameter to a half-line; intersecting all constraints yields the
+    :class:`ParamRegion` on which the recorded plan is valid.  Because
+    the parameters are integers, ``x > p`` and ``x < p`` convert to
+    exact inclusive integer bounds via floor/ceil.
+    """
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self) -> None:
+        self.lo = [0, 0, 0, 0, 0]
+        self.hi = [_REGION_UNBOUNDED] * 5
+
+    def note_value_gt(self, index: int, value: float, outcome: bool) -> None:
+        """Record a ``value > param`` test with its observed *outcome*."""
+        if outcome:  # param < value  =>  param <= ceil(value) - 1
+            bound = math.ceil(value) - 1
+            if bound < self.hi[index]:
+                self.hi[index] = bound
+        else:  # param >= value  =>  param >= ceil(value)
+            bound = math.ceil(value)
+            if bound > self.lo[index]:
+                self.lo[index] = bound
+
+    def note_value_lt(self, index: int, value: float, outcome: bool) -> None:
+        """Record a ``value < param`` test with its observed *outcome*."""
+        if outcome:  # param > value  =>  param >= floor(value) + 1
+            bound = math.floor(value) + 1
+            if bound > self.lo[index]:
+                self.lo[index] = bound
+        else:  # param <= value  =>  param <= floor(value)
+            bound = math.floor(value)
+            if bound < self.hi[index]:
+                self.hi[index] = bound
+
+    def record_optimizing(
+        self,
+        decision: InlineDecision,
+        callee_size: float,
+        depth: int,
+        caller_size: float,
+    ) -> None:
+        """Record the comparisons Figure 3 executed to reach *decision*.
+
+        The heuristic short-circuits, so only the tests on the taken
+        path constrain the region — exactly what keeps regions wide.
+        """
+        if decision is InlineDecision.NO_CALLEE_TOO_BIG:
+            self.note_value_gt(0, callee_size, True)
+            return
+        self.note_value_gt(0, callee_size, False)
+        if decision is InlineDecision.YES_ALWAYS:
+            self.note_value_lt(1, callee_size, True)
+            return
+        self.note_value_lt(1, callee_size, False)
+        if decision is InlineDecision.NO_TOO_DEEP:
+            self.note_value_gt(2, depth, True)
+            return
+        self.note_value_gt(2, depth, False)
+        self.note_value_gt(3, caller_size, decision is InlineDecision.NO_CALLER_TOO_BIG)
+
+    def record_hot(self, decision: InlineDecision, callee_size: float) -> None:
+        """Record the single Figure 4 comparison."""
+        self.note_value_gt(
+            4, callee_size, decision is InlineDecision.NO_HOT_CALLEE_TOO_BIG
+        )
+
+    def freeze(self) -> ParamRegion:
+        """Snapshot the accumulated constraints as an immutable region."""
+        return ParamRegion(lo=tuple(self.lo), hi=tuple(self.hi))
+
+
 @dataclass(frozen=True)
 class InlinedBody:
     """A callee body merged into the root method by the plan.
@@ -248,6 +352,7 @@ def build_inline_plan(
     hot_sites: Optional[FrozenSet[Tuple[int, int]]] = None,
     use_hot_heuristic: bool = False,
     record_decisions: bool = False,
+    region: Optional[ParamRegionBuilder] = None,
 ) -> InlinePlan:
     """Expand *root_id* under *params*, mirroring the opt compiler.
 
@@ -268,6 +373,10 @@ def build_inline_plan(
     record_decisions:
         Keep a per-site decision trace (for tests and explanations);
         off by default in the hot tuning loop.
+    region:
+        Optional :class:`ParamRegionBuilder` accumulating the parameter
+        bounds within which this exact plan is reproduced (the plan
+        memoization tier of :mod:`repro.perf` relies on it).
     """
     sizes = program.sizes
     hot = hot_sites if (use_hot_heuristic and hot_sites) else frozenset()
@@ -297,14 +406,19 @@ def build_inline_plan(
         rate = multiplier * site.calls_per_invocation
 
         if depth > HARD_DEPTH_LIMIT:
+            # implementation guard, no parameter involved: unconstrained
             decision = InlineDecision.NO_TOO_DEEP
         elif depth == 1 and (site.caller_id, site.site_index) in hot:
             # Figure 4 applies to the hot call sites of the method being
             # recompiled; sites exposed by inlining (depth >= 2) are
             # ordinary compile-time decisions and use Figure 3.
             decision = hot_callsite_heuristic(callee_size, params)
+            if region is not None:
+                region.record_hot(decision, callee_size)
         else:
             decision = optimizing_heuristic(callee_size, depth, expanded_size, params)
+            if region is not None:
+                region.record_optimizing(decision, callee_size, depth, expanded_size)
 
         if record_decisions:
             decisions.append((callee_id, decision))

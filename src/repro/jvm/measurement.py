@@ -79,12 +79,21 @@ def measure_benchmark(
     report = vm.run(program, params)
 
     if noise_sd > 0.0:
-        rng = rng_for(
-            f"measure:{program.name}:{params.as_tuple()}:{vm.machine.name}", seed
-        )
-        total = report.total_seconds * math.exp(float(rng.normal(0.0, noise_sd)))
+        # Stream layout: one substream per measured quantity, derived
+        # from a common configuration key —
+        #   "<base>:total"  first (compile-inclusive) iteration's noise
+        #   "<base>:iters"  steady-state iterations, drawn in order
+        # Independent substreams mean the total-time draw cannot shift
+        # the per-iteration jitter (and vice versa): adding iterations
+        # or ignoring the total reproduces the exact same draws, which
+        # keeps best-of-remaining comparisons across iteration counts
+        # prefix-stable.
+        base = f"measure:{program.name}:{params.as_tuple()}:{vm.machine.name}"
+        total_rng = rng_for(f"{base}:total", seed)
+        iter_rng = rng_for(f"{base}:iters", seed)
+        total = report.total_seconds * math.exp(float(total_rng.normal(0.0, noise_sd)))
         runs = tuple(
-            report.running_seconds * math.exp(float(rng.normal(0.0, noise_sd)))
+            report.running_seconds * math.exp(float(iter_rng.normal(0.0, noise_sd)))
             for _ in range(iterations - 1)
         )
     else:

@@ -26,7 +26,13 @@ from repro.errors import CompilationError
 from repro.jvm.callgraph import Program
 from repro.jvm.compiled import CompiledMethod
 from repro.jvm.costmodel import CostModel
-from repro.jvm.inlining import InliningParameters, InlinePlan, build_inline_plan
+from repro.jvm.inlining import (
+    InliningParameters,
+    InlinePlan,
+    ParamRegion,
+    ParamRegionBuilder,
+    build_inline_plan,
+)
 
 __all__ = ["OptimizingCompiler"]
 
@@ -137,3 +143,31 @@ class OptimizingCompiler:
             residual_self_rate=self_rate,
             inline_count=plan.inline_count,
         )
+
+    def compile_traced(
+        self,
+        program: Program,
+        method_id: int,
+        params: InliningParameters,
+        level: int,
+        hot_sites: Optional[FrozenSet[Tuple[int, int]]] = None,
+        use_hot_heuristic: bool = False,
+    ) -> Tuple[CompiledMethod, ParamRegion]:
+        """Compile *method_id* and return the parameter region of the plan.
+
+        Identical numbers to :meth:`compile`; additionally records which
+        threshold comparisons fired during plan expansion, so the caller
+        can reuse the returned :class:`CompiledMethod` verbatim for any
+        parameter vector inside the region (the plan-memoization tier).
+        """
+        builder = ParamRegionBuilder()
+        plan = build_inline_plan(
+            program,
+            method_id,
+            params,
+            hot_sites=hot_sites,
+            use_hot_heuristic=use_hot_heuristic,
+            region=builder,
+        )
+        version = self.compile(program, method_id, params, level=level, plan=plan)
+        return version, builder.freeze()

@@ -128,25 +128,73 @@ class ExecutionReport:
 
 
 class VirtualMachine:
-    """Runs programs under a compilation scenario on a machine model."""
+    """Runs programs under a compilation scenario on a machine model.
+
+    ``memoize=True`` (the default) routes :meth:`run` through the
+    :mod:`repro.perf` evaluation accelerator: compiled methods are
+    cached per parameter region and whole reports are memoized by plan
+    signature, with bitwise-identical results.  ``memoize=False`` keeps
+    the original per-method implementation, retained as the reference
+    for equivalence tests and benchmarks (:meth:`run_reference` always
+    uses it).
+    """
 
     def __init__(
         self,
         machine: MachineModel,
         scenario: CompilationScenario,
         cost_model: CostModel = DEFAULT_COST_MODEL,
+        memoize: bool = True,
     ) -> None:
         self.machine = machine
         self.scenario = scenario
         self.cost_model = cost_model
         self._optimizer = OptimizingCompiler(machine, cost_model)
         self._aos = AdaptiveOptimizationSystem(machine, scenario, cost_model)
+        if memoize:
+            from repro.perf.engine import EvaluationAccelerator
+
+            self._accelerator = EvaluationAccelerator(self)
+        else:
+            self._accelerator = None
+
+    @property
+    def perf_stats(self):
+        """Accelerator counters, or None when memoization is off."""
+        if self._accelerator is None:
+            return None
+        return self._accelerator.stats
 
     def run(self, program: Program, params: InliningParameters) -> ExecutionReport:
         """Run *program* with the heuristic fixed to *params*."""
+        if self._accelerator is not None:
+            return self._accelerator.run(program, params)
+        return self.run_reference(program, params)
+
+    def run_reference(
+        self, program: Program, params: InliningParameters
+    ) -> ExecutionReport:
+        """The seed implementation, bypassing every cache."""
         if self.scenario.is_adaptive:
             return self._run_adaptive(program, params)
         return self._run_optimizing(program, params)
+
+    def __getstate__(self):
+        # Accelerator caches are rebuilt on the other side of a pickle
+        # (multiprocess workers): ship only whether one was enabled.
+        state = self.__dict__.copy()
+        state["_accelerator"] = self._accelerator is not None
+        return state
+
+    def __setstate__(self, state):
+        memoized = state.pop("_accelerator")
+        self.__dict__.update(state)
+        if memoized:
+            from repro.perf.engine import EvaluationAccelerator
+
+            self._accelerator = EvaluationAccelerator(self)
+        else:
+            self._accelerator = None
 
     # ------------------------------------------------------------------
     def _run_optimizing(

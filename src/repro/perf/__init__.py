@@ -1,0 +1,41 @@
+"""Evaluation-acceleration subsystem.
+
+The GA's dominant cost is fitness evaluation: every genome means
+re-running every training benchmark through the simulated VM, and the
+seed implementation recompiled every reachable method with a fresh
+recursive inline-plan expansion each time.  This package removes that
+cost with three cooperating tiers (see ``docs/PERFORMANCE.md``):
+
+1. **Plan-signature memoization** (:mod:`repro.perf.plancache`) —
+   compiled methods are cached per *parameter region*: the axis-aligned
+   box of parameter vectors for which the plan expansion's threshold
+   comparisons all resolve the same way.  Genomes that cross no decision
+   boundary share compilation work across the population and across
+   generations.
+2. **Vectorized run accounting** (:mod:`repro.perf.engine`) — per-method
+   Python loops of the seed runtime are replaced with NumPy operations
+   over a column store of cached method versions, and whole
+   :class:`~repro.jvm.runtime.ExecutionReport` objects are memoized by
+   the program-level plan signature.
+3. **Persistent evaluation store** (:mod:`repro.perf.store`) — an
+   on-disk genome -> fitness store keyed by an evaluation-context
+   fingerprint, shared by the fitness cache, multiprocess workers,
+   checkpoint resume and the benchmark scripts, so no configuration is
+   ever simulated twice across process restarts.
+
+All tiers are bitwise-exact: the accelerated paths reproduce the seed
+implementation's floating-point results to the last bit (enforced by
+``tests/perf/test_equivalence.py``).
+"""
+
+from repro.perf.engine import AcceleratorStats, EvaluationAccelerator
+from repro.perf.plancache import MethodPlanCache
+from repro.perf.store import EvaluationStore, evaluation_context_key
+
+__all__ = [
+    "AcceleratorStats",
+    "EvaluationAccelerator",
+    "MethodPlanCache",
+    "EvaluationStore",
+    "evaluation_context_key",
+]

@@ -1,0 +1,437 @@
+"""The accelerated evaluation engine.
+
+:class:`EvaluationAccelerator` replaces the per-genome hot path of
+:class:`repro.jvm.runtime.VirtualMachine` with three layers of reuse:
+
+* **method level** — compiled versions are served from a
+  :class:`~repro.perf.plancache.MethodPlanCache`; a genome only pays for
+  plan expansion + compilation of methods whose parameter region has
+  never been visited;
+* **program level** — the tuple of per-method cache entries (the *plan
+  signature*) keys a memo of whole :class:`ExecutionReport` objects: two
+  genomes that cross no decision boundary anywhere in the program reuse
+  the entire run, across the population and across generations;
+* **scenario level** — under *Adapt*, everything up to the optimizing
+  recompiles (baseline compilation, profiling, hot-site detection,
+  promotion-level choice) is parameter-independent and computed once per
+  program.
+
+On a signature miss, run accounting (invocation propagation, compile
+cycle totals, code-cache install, per-method time fill) is done with
+NumPy gathers over the cache's column arrays instead of per-method
+Python loops.
+
+Bitwise exactness is a hard requirement here: the accounting reproduces
+the *seed* implementation's floating-point results to the last bit, so
+reductions deliberately mirror the reference's accumulation order —
+sequential left-to-right Python sums where the reference accumulated in
+a loop (NumPy's pairwise ``ndarray.sum`` would round differently), and
+NumPy elementwise operations only where the reference performed
+independent scalar operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.jvm.callgraph import Program
+from repro.jvm.codecache import hot_code_size, pressure_factor
+from repro.jvm.compiled import CompiledMethod
+from repro.jvm.inlining import InliningParameters
+from repro.perf.fastcompile import TracedCompiler
+from repro.perf.plancache import MethodPlanCache
+
+__all__ = ["AcceleratorStats", "EvaluationAccelerator"]
+
+
+@dataclass
+class AcceleratorStats:
+    """Counters describing how much work the accelerator avoided."""
+
+    runs: int = 0
+    report_hits: int = 0
+    report_misses: int = 0
+    method_lookups: int = 0
+    method_builds: int = 0
+    adaptive_skeletons: int = 0
+
+    @property
+    def method_hits(self) -> int:
+        """Method versions served from the plan cache."""
+        return self.method_lookups - self.method_builds
+
+    @property
+    def report_hit_rate(self) -> float:
+        """Fraction of runs answered entirely from the report memo."""
+        if self.runs == 0:
+            return 0.0
+        return self.report_hits / self.runs
+
+    @property
+    def method_hit_rate(self) -> float:
+        """Fraction of method resolutions that avoided a compile."""
+        if self.method_lookups == 0:
+            return 0.0
+        return self.method_hits / self.method_lookups
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view (benchmark output, logging)."""
+        return {
+            "runs": self.runs,
+            "report_hits": self.report_hits,
+            "report_misses": self.report_misses,
+            "report_hit_rate": self.report_hit_rate,
+            "method_lookups": self.method_lookups,
+            "method_builds": self.method_builds,
+            "method_hits": self.method_hits,
+            "method_hit_rate": self.method_hit_rate,
+            "adaptive_skeletons": self.adaptive_skeletons,
+        }
+
+
+class _ProgramState:
+    """Per-program caches owned by one accelerator."""
+
+    __slots__ = (
+        "program",
+        "reachable",
+        "reachable_list",
+        "cache",
+        "reports",
+        "traced",
+        "skeleton",
+        "invoked",
+        "invoked_pos",
+        "baseline_cpi",
+        "baseline_sizes",
+        "baseline_inline",
+        "baseline_info",
+        "promotion_level",
+    )
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.reachable = np.array(sorted(program.reachable_methods()), dtype=np.int64)
+        self.reachable_list: List[int] = self.reachable.tolist()
+        self.cache = MethodPlanCache(len(program))
+        self.reports: Dict[Tuple[int, ...], object] = {}
+        self.traced: Optional[TracedCompiler] = None  # built on first miss
+        # adaptive-only fields, filled lazily by _ensure_skeleton
+        self.skeleton = None
+        self.invoked: Optional[np.ndarray] = None
+        self.invoked_pos: Optional[Dict[int, int]] = None
+        self.baseline_cpi: Optional[np.ndarray] = None
+        self.baseline_sizes: Optional[np.ndarray] = None
+        self.baseline_inline: Optional[np.ndarray] = None
+        self.baseline_info: Optional[
+            Dict[int, Tuple[float, List[int], List[float]]]
+        ] = None
+        self.promotion_level: Optional[Dict[int, int]] = None
+
+
+class EvaluationAccelerator:
+    """Memoizing, vectorized drop-in for the VM's run loop."""
+
+    def __init__(self, vm) -> None:
+        self.vm = vm
+        self.stats = AcceleratorStats()
+        self._states: Dict[int, _ProgramState] = {}
+
+    # ------------------------------------------------------------------
+    def _state_for(self, program: Program) -> _ProgramState:
+        state = self._states.get(id(program))
+        if state is None or state.program is not program:
+            state = _ProgramState(program)
+            self._states[id(program)] = state
+        return state
+
+    def clear(self) -> None:
+        """Drop all cached state (programs, plans, reports)."""
+        self._states.clear()
+
+    def _traced(self, state: _ProgramState) -> TracedCompiler:
+        traced = state.traced
+        if traced is None:
+            traced = TracedCompiler(state.program, self.vm.machine, self.vm.cost_model)
+            state.traced = traced
+        return traced
+
+    # ------------------------------------------------------------------
+    def run(self, program: Program, params: InliningParameters):
+        """Accelerated equivalent of :meth:`VirtualMachine.run`."""
+        self.stats.runs += 1
+        if self.vm.scenario.is_adaptive:
+            return self._run_adaptive(program, params)
+        return self._run_optimizing(program, params)
+
+    # ------------------------------------------------------------------
+    # Opt scenario
+    # ------------------------------------------------------------------
+    def _run_optimizing(self, program: Program, params: InliningParameters):
+        from repro.jvm.runtime import ExecutionReport
+
+        vm = self.vm
+        state = self._state_for(program)
+        cache = state.cache
+        values = params.as_tuple()
+
+        resolved = cache.match(values).tolist()
+        reachable = state.reachable_list
+        self.stats.method_lookups += len(reachable)
+        level = vm.scenario.opt_level
+        traced = self._traced(state)
+        builds = 0
+        for mid in reachable:
+            if resolved[mid] >= 0:
+                continue
+            version, region = traced.compile(mid, values, level)
+            resolved[mid] = cache.add(mid, region, version)
+            builds += 1
+        self.stats.method_builds += builds
+
+        signature = tuple(resolved[mid] for mid in reachable)
+        memo = state.reports.get(signature)
+        if memo is not None:
+            self.stats.report_hits += 1
+            return replace(memo, params=params)
+        self.stats.report_misses += 1
+
+        counts = self._propagate(program, cache, resolved)
+        invoked = np.flatnonzero(counts > 0.0)
+        inv_entries = [resolved[mid] for mid in invoked.tolist()]
+
+        # sequential left-to-right sum: bitwise-equal to the seed loop
+        compile_cycles = sum(cache.compile_cycles_of(inv_entries), 0.0)
+        inline_sites = cache.inline_counts_of(inv_entries)
+        n_opt = len(invoked)
+
+        code_sizes = cache.code_sizes_of(inv_entries)
+        times = np.zeros(len(program), dtype=np.float64)
+        times[invoked] = counts[invoked] * cache.cycles_per_invocation_of(inv_entries)
+
+        sizes_dense = np.zeros(len(program), dtype=np.float64)
+        sizes_dense[invoked] = code_sizes
+        hot = hot_code_size(sizes_dense, times, vm.cost_model.hot_share_at_full)
+        factor = pressure_factor(
+            hot, vm.machine.icache_capacity, vm.machine.icache_miss_penalty
+        )
+        running = float(times.sum()) * factor
+        installed = float(sum(code_sizes.tolist()))
+
+        report = ExecutionReport(
+            benchmark=program.name,
+            scenario=vm.scenario.name,
+            machine=vm.machine,
+            params=params,
+            running_cycles=running,
+            compile_cycles=compile_cycles,
+            first_iteration_exec_cycles=running,
+            icache_factor=factor,
+            hot_code_size=hot,
+            installed_code_size=installed,
+            methods_compiled_baseline=0,
+            methods_compiled_opt=n_opt,
+            inline_sites=inline_sites,
+        )
+        state.reports[signature] = report
+        return report
+
+    def _propagate(
+        self, program: Program, cache: MethodPlanCache, resolved: List[int]
+    ) -> np.ndarray:
+        """Mirror of :func:`repro.jvm.runtime.propagate_invocations`.
+
+        Bitwise-identical: each method's count is divided by the same
+        geometric factor and each residual edge adds the same single
+        product in the same order.  Accumulation runs on a plain Python
+        list — the loop is scalar and data-dependent, where boxed
+        ``np.float64`` arithmetic costs more than it saves.
+        """
+        counts: List[float] = [0.0] * len(program)
+        counts[program.entry_id] = 1.0
+        self_rates = cache._self_rate
+        all_edges = cache._edges
+        for mid, c in enumerate(counts):
+            if c <= 0.0:
+                continue
+            entry = resolved[mid]
+            if entry < 0:
+                raise SimulationError(
+                    f"method {mid} of {program.name!r} is invoked but has no compiled version"
+                )
+            self_rate = self_rates[entry]
+            if self_rate > 0.0:
+                c = c / (1.0 - self_rate)
+                counts[mid] = c
+            callees, rates = all_edges[entry]
+            for callee, rate in zip(callees, rates):
+                counts[callee] += c * rate
+        return np.array(counts, dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    # Adapt scenario
+    # ------------------------------------------------------------------
+    def _ensure_skeleton(self, state: _ProgramState) -> None:
+        if state.skeleton is not None:
+            return
+        skeleton = self.vm._aos.plan_promotions(state.program)
+        state.skeleton = skeleton
+        self.stats.adaptive_skeletons += 1
+
+        invoked = np.array(sorted(skeleton.baseline_versions), dtype=np.int64)
+        state.invoked = invoked
+        state.invoked_pos = {int(mid): i for i, mid in enumerate(invoked)}
+        versions = [skeleton.baseline_versions[int(mid)] for mid in invoked]
+        state.baseline_cpi = np.array(
+            [v.cycles_per_invocation for v in versions], dtype=np.float64
+        )
+        state.baseline_sizes = np.array(
+            [v.code_size for v in versions], dtype=np.float64
+        )
+        state.baseline_inline = np.array(
+            [v.inline_count for v in versions], dtype=np.int64
+        )
+        state.baseline_info = {
+            int(mid): _residual_info(v) for mid, v in zip(invoked, versions)
+        }
+        state.promotion_level = dict(skeleton.promotions)
+
+    def _run_adaptive(self, program: Program, params: InliningParameters):
+        from repro.jvm.runtime import ExecutionReport
+
+        vm = self.vm
+        state = self._state_for(program)
+        self._ensure_skeleton(state)
+        skeleton = state.skeleton
+        cache = state.cache
+        values = params.as_tuple()
+
+        resolved = cache.match(values).tolist()
+        self.stats.method_lookups += len(skeleton.promotions)
+        use_hot = vm.scenario.uses_hot_callsite_heuristic
+        traced = self._traced(state)
+        for mid, level in skeleton.promotions:
+            if resolved[mid] >= 0:
+                continue
+            version, region = traced.compile(
+                mid,
+                values,
+                level,
+                hot_sites=skeleton.hot_sites,
+                use_hot_heuristic=use_hot,
+            )
+            resolved[mid] = cache.add(mid, region, version)
+            self.stats.method_builds += 1
+
+        signature = tuple(resolved[mid] for mid, _ in skeleton.promotions)
+        memo = state.reports.get(signature)
+        if memo is not None:
+            self.stats.report_hits += 1
+            return replace(memo, params=params)
+        self.stats.report_misses += 1
+
+        promoted_entries = {mid: resolved[mid] for mid, _ in skeleton.promotions}
+        counts = self._propagate_adaptive(program, state, promoted_entries)
+
+        # final-version columns: baseline values overwritten at promoted
+        # positions, in the reference's final_versions iteration order
+        cpi = state.baseline_cpi.copy()
+        sizes_col = state.baseline_sizes.copy()
+        inline_col = state.baseline_inline.copy()
+        for mid, entry in promoted_entries.items():
+            pos = state.invoked_pos[mid]
+            version = cache.version(entry)
+            cpi[pos] = version.cycles_per_invocation
+            sizes_col[pos] = version.code_size
+            inline_col[pos] = version.inline_count
+
+        invoked = state.invoked
+        live = counts[invoked] > 0.0
+        live_mids = invoked[live]
+        times = np.zeros(len(program), dtype=np.float64)
+        times[live_mids] = counts[live_mids] * cpi[live]
+        sizes_dense = np.zeros(len(program), dtype=np.float64)
+        sizes_dense[live_mids] = sizes_col[live]
+        inline_sites = int(inline_col[live].sum())
+
+        hot = hot_code_size(sizes_dense, times, vm.cost_model.hot_share_at_full)
+        factor = pressure_factor(
+            hot, vm.machine.icache_capacity, vm.machine.icache_miss_penalty
+        )
+        running_raw = float(times.sum())
+        running = running_raw * factor
+        installed = float(sum(sizes_col[live].tolist()))
+
+        compile_cycles = skeleton.baseline_compile_cycles
+        for mid, _ in skeleton.promotions:
+            compile_cycles += cache.version(promoted_entries[mid]).compile_cycles
+
+        warmup = vm.cost_model.adaptive_mix_fraction
+        baseline_running = skeleton.profile.total_time
+        first_iter = warmup * baseline_running + (1.0 - warmup) * running
+        first_iter *= 1.0 + vm.cost_model.sampling_overhead
+
+        report = ExecutionReport(
+            benchmark=program.name,
+            scenario=vm.scenario.name,
+            machine=vm.machine,
+            params=params,
+            running_cycles=running,
+            compile_cycles=compile_cycles,
+            first_iteration_exec_cycles=first_iter,
+            icache_factor=factor,
+            hot_code_size=hot,
+            installed_code_size=installed,
+            methods_compiled_baseline=len(skeleton.baseline_versions),
+            methods_compiled_opt=len(skeleton.promotions),
+            inline_sites=inline_sites,
+        )
+        state.reports[signature] = report
+        return report
+
+    def _propagate_adaptive(
+        self,
+        program: Program,
+        state: _ProgramState,
+        promoted_entries: Dict[int, int],
+    ) -> np.ndarray:
+        cache = state.cache
+        baseline_info = state.baseline_info
+        counts: List[float] = [0.0] * len(program)
+        counts[program.entry_id] = 1.0
+        for mid, c in enumerate(counts):
+            if c <= 0.0:
+                continue
+            entry = promoted_entries.get(mid)
+            if entry is not None:
+                self_rate = cache.self_rate(entry)
+                callees, rates = cache.edges(entry)
+            else:
+                info = baseline_info.get(mid)
+                if info is None:
+                    raise SimulationError(
+                        f"method {mid} of {program.name!r} is invoked but has no compiled version"
+                    )
+                self_rate, callees, rates = info
+            if self_rate > 0.0:
+                c = c / (1.0 - self_rate)
+                counts[mid] = c
+            # baseline code keeps one residual edge per call *site*, so
+            # a caller may list the same callee more than once; the
+            # sequential loop accumulates duplicates in edge order
+            # exactly like the reference
+            for callee, rate in zip(callees, rates):
+                counts[callee] += c * rate
+        return np.array(counts, dtype=np.float64)
+
+
+def _residual_info(
+    version: CompiledMethod,
+) -> Tuple[float, List[int], List[float]]:
+    callees = [c for c, _ in version.residual_forward]
+    rates = [r for _, r in version.residual_forward]
+    return version.residual_self_rate, callees, rates

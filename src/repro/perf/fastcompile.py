@@ -1,0 +1,270 @@
+"""Fused traced compilation for the evaluation accelerator.
+
+:meth:`OptimizingCompiler.compile_traced` is readable but slow: plan
+expansion allocates an :class:`~repro.jvm.inlining.InlinedBody` or
+:class:`~repro.jvm.inlining.ResidualCall` per site, dispatches an
+:class:`~repro.jvm.inlining.InlineDecision` enum per decision, and the
+region builder adds two method calls per comparison — all per cache
+miss, on exactly the large methods whose narrow parameter regions miss
+most often.
+
+:class:`TracedCompiler` fuses expansion, region tracking and
+compilation into one loop over precomputed per-program tables (callee
+sizes and work as Python floats, reversed site rows, the inline bonus
+by depth).  **Bitwise identity is the contract**: every floating-point
+operation happens in the same order with the same operands as the
+reference path — expansion accumulates ``expanded_size`` site by site,
+absorbed work accumulates in inlined-body order, residual rates in
+residual order, and the final cycle expression reproduces
+:meth:`OptimizingCompiler.compile` token for token.  The equivalence
+suite (``tests/perf/``) enforces this against ``run_reference`` and
+``compile_traced``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.jvm.callgraph import Program
+from repro.jvm.compiled import CompiledMethod
+from repro.jvm.inlining import HARD_DEPTH_LIMIT, ParamRegion, _REGION_UNBOUNDED
+from repro.jvm.methods import CALL_SEQUENCE_SIZE
+
+__all__ = ["TracedCompiler"]
+
+_EMPTY_KEY = frozenset()
+
+
+class TracedCompiler:
+    """Per-program fused (compile + region trace) engine.
+
+    One instance serves one :class:`Program` under one machine model and
+    cost model; per-level constants are derived lazily.
+    """
+
+    def __init__(self, program: Program, machine, cost_model) -> None:
+        self.program = program
+        self.machine = machine
+        self.cost_model = cost_model
+        # Python-float mirrors of the numpy columns: scalar reads from a
+        # list are several times cheaper than ndarray item access, and
+        # float(np.float64(x)) == x exactly.
+        self._sizes: List[float] = [float(s) for s in program.sizes]
+        self._work: List[float] = [float(w) for w in program.work]
+        # integer comparison tables: for integer p, ``size > p`` iff
+        # ``ceil(size) > p`` and ``size < p`` iff ``floor(size) < p``,
+        # so the cascade runs on int compares and the region bounds come
+        # straight from these tables instead of per-site ceil/floor
+        self._ceil_sizes: List[int] = [math.ceil(s) for s in self._sizes]
+        self._floor_sizes: List[int] = [math.floor(s) for s in self._sizes]
+        # per-callee expansion growth: max(size - call sequence, 1.0),
+        # the same float value the per-site expression produces
+        self._growth: List[float] = [
+            g if (g := s - CALL_SEQUENCE_SIZE) > 1.0 else 1.0 for s in self._sizes
+        ]
+        self._work_units: List[float] = [
+            float(program.method(mid).work_units) for mid in range(len(program))
+        ]
+        # site rows per method in source order: (callee_id,
+        # calls_per_invocation, (caller_id, site_index)); the compile
+        # loop walks them with suspended frames in the same depth-first
+        # preorder as build_inline_plan's explicit stack
+        self._site_rows: List[Tuple[Tuple[int, float, Tuple[int, int]], ...]] = [
+            tuple(
+                (site.callee_id, float(site.calls_per_invocation),
+                 (site.caller_id, site.site_index))
+                for site in program.sites_of(mid)
+            )
+            for mid in range(len(program))
+        ]
+        # (1 - inline bonus) by depth; sites deeper than HARD_DEPTH_LIMIT
+        # are never inlined, so the table is provably large enough
+        self._bonus_factor: List[float] = [
+            1.0 - cost_model.inline_bonus_at_depth(d)
+            for d in range(HARD_DEPTH_LIMIT + 2)
+        ]
+        self._call_cost = (
+            machine.call_overhead_cycles
+            + cost_model.call_mispredict_weight * machine.branch_misprediction_cycles
+        )
+        self._per_level: Dict[int, Tuple[float, float]] = {}
+
+    def _level_consts(self, level: int) -> Tuple[float, float]:
+        consts = self._per_level.get(level)
+        if consts is None:
+            consts = (
+                self.machine.compile_rate(level),
+                self.machine.speed_factor(level),
+            )
+            self._per_level[level] = consts
+        return consts
+
+    # ------------------------------------------------------------------
+    def compile(
+        self,
+        method_id: int,
+        values: Tuple[int, int, int, int, int],
+        level: int,
+        hot_sites: Optional[FrozenSet[Tuple[int, int]]] = None,
+        use_hot_heuristic: bool = False,
+    ) -> Tuple[CompiledMethod, ParamRegion]:
+        """Bitwise equivalent of ``OptimizingCompiler.compile_traced``."""
+        sizes = self._sizes
+        work = self._work
+        site_rows = self._site_rows
+        bonus_factor = self._bonus_factor
+        ceil_sizes = self._ceil_sizes
+        floor_sizes = self._floor_sizes
+        growth = self._growth
+        depth_limit = HARD_DEPTH_LIMIT
+        p0, p1, p2, p3, p4 = values
+        hot = hot_sites if (use_hot_heuristic and hot_sites) else _EMPTY_KEY
+        has_hot = bool(hot)
+
+        lo0 = lo1 = lo2 = lo4 = 0
+        hi0 = hi1 = hi2 = hi4 = _REGION_UNBOUNDED
+        # deferred p3 bounds: ceil is monotonic, so the tightest bounds
+        # come from the extreme ``expanded`` values seen at p3 tests —
+        # max over failed tests (lower bound), min over passed tests
+        # (upper bound) — converted to integers once at the end
+        lo3_expanded = -1.0
+        hi3_expanded = math.inf
+
+        expanded = sizes[method_id]
+        absorbed = 0.0
+        n_inlined = 0
+        call_rate = 0.0
+        self_rate = 0.0
+        forward: Dict[int, float] = {}
+
+        # depth-first preorder over the inline tree with suspended
+        # frames: on descent the current (depth, mult, rows, cursor) is
+        # pushed and the callee's sites take over — one tuple per
+        # descent instead of one per site
+        stack: List[Tuple[int, float, Tuple, int, int]] = []
+        pop = stack.pop
+        append = stack.append
+        depth = 1
+        mult = 1.0
+        rows = site_rows[method_id]
+        i = 0
+        n = len(rows)
+        while True:
+            if i == n:
+                if not stack:
+                    break
+                depth, mult, rows, i, n = pop()
+                continue
+            callee, per_invocation, key = rows[i]
+            i += 1
+            csc = ceil_sizes[callee]
+            rate = mult * per_invocation
+
+            # the decision cascade mirrors Figures 3/4 with the region
+            # constraint folded into each taken branch; size-vs-param
+            # compares run on the integer ceil/floor tables
+            if depth > depth_limit:
+                inline = False  # implementation guard: unconstrained
+            elif has_hot and depth == 1 and key in hot:
+                if csc > p4:  # size > p4
+                    bound = csc - 1
+                    if bound < hi4:
+                        hi4 = bound
+                    inline = False
+                else:
+                    if csc > lo4:
+                        lo4 = csc
+                    inline = True
+            elif csc > p0:  # size > p0
+                bound = csc - 1
+                if bound < hi0:
+                    hi0 = bound
+                inline = False
+            else:
+                if csc > lo0:
+                    lo0 = csc
+                csf = floor_sizes[callee]
+                if csf < p1:  # size < p1
+                    bound = csf + 1
+                    if bound > lo1:
+                        lo1 = bound
+                    inline = True
+                else:
+                    if csf < hi1:
+                        hi1 = csf
+                    if depth > p2:
+                        bound = depth - 1
+                        if bound < hi2:
+                            hi2 = bound
+                        inline = False
+                    else:
+                        if depth > lo2:
+                            lo2 = depth
+                        if expanded > p3:
+                            if expanded < hi3_expanded:
+                                hi3_expanded = expanded
+                            inline = False
+                        else:
+                            if expanded > lo3_expanded:
+                                lo3_expanded = expanded
+                            inline = True
+
+            if inline:
+                absorbed += rate * work[callee] * bonus_factor[depth]
+                n_inlined += 1
+                expanded += growth[callee]
+                child_rows = site_rows[callee]
+                if child_rows:
+                    append((depth, mult, rows, i, n))
+                    depth += 1
+                    mult = rate
+                    rows = child_rows
+                    i = 0
+                    n = len(rows)
+            else:
+                call_rate += rate
+                if callee == method_id:
+                    self_rate += rate
+                else:
+                    forward[callee] = forward.get(callee, 0.0) + rate
+
+        lo3 = math.ceil(lo3_expanded) if lo3_expanded >= 0.0 else 0
+        hi3 = (
+            math.ceil(hi3_expanded) - 1
+            if hi3_expanded != math.inf
+            else _REGION_UNBOUNDED
+        )
+
+        cm = self.cost_model
+        machine = self.machine
+        compile_rate, speed = self._level_consts(level)
+        code_size = expanded * cm.opt_code_density
+        superlinear = 1.0 + expanded / cm.compile_superlinear_scale
+        compile_cycles = compile_rate * expanded * superlinear
+        cycles = (
+            (self._work_units[method_id] + absorbed)
+            * speed
+            * cm.work_cycle_scale
+            * machine.app_cycle_factor
+            + call_rate * self._call_cost
+        )
+
+        version = CompiledMethod(
+            method_id=method_id,
+            opt_level=level,
+            code_size=code_size,
+            compile_cycles=compile_cycles,
+            cycles_per_invocation=cycles,
+            residual_forward=(
+                tuple(sorted(forward.items()))
+                if len(forward) > 1
+                else tuple(forward.items())
+            ),
+            residual_self_rate=self_rate,
+            inline_count=n_inlined,
+        )
+        region = ParamRegion(
+            lo=(lo0, lo1, lo2, lo3, lo4), hi=(hi0, hi1, hi2, hi3, hi4)
+        )
+        return version, region

@@ -1,0 +1,155 @@
+"""Region-keyed cache of compiled method versions.
+
+One :class:`MethodPlanCache` holds, for a single (program, compilation
+context) pair, every distinct compiled version the optimizing compiler
+has produced so far, each tagged with the :class:`ParamRegion` of
+parameter vectors that reproduce it (see
+:class:`repro.jvm.inlining.ParamRegionBuilder`).
+
+Regions from distinct plan expansions are provably disjoint: the
+expansion is deterministic, so if a parameter vector satisfied every
+comparison constraint of two recorded traces, both traces would be *the*
+trace for that vector and hence equal.  A lookup therefore matches at
+most one entry per method, which lets the cache answer "which cached
+version serves each method under these parameters?" for the whole
+program with a single vectorized bound check over all entries.
+
+Besides the :class:`~repro.jvm.compiled.CompiledMethod` objects, the
+cache maintains *column arrays* of the per-version scalars the runtime
+accounting needs (compile cycles, code size, cycles/invocation, inline
+count, residual self-rate) plus per-entry residual-edge arrays, so the
+accelerated runtime can do its accounting with NumPy gathers instead of
+attribute chasing.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.jvm.compiled import CompiledMethod
+from repro.jvm.inlining import ParamRegion
+
+__all__ = ["MethodPlanCache"]
+
+
+class MethodPlanCache:
+    """Program-wide store of region-tagged compiled method versions."""
+
+    _INITIAL_CAPACITY = 256
+
+    def __init__(self, n_methods: int) -> None:
+        self.n_methods = n_methods
+        self._versions: List[CompiledMethod] = []
+        self._regions: List[ParamRegion] = []
+        # column arrays, parallel to the entry list
+        self._compile_cycles: List[float] = []
+        self._code_size: List[float] = []
+        self._cycles_per_invocation: List[float] = []
+        self._inline_count: List[int] = []
+        self._self_rate: List[float] = []
+        # residual forward edges per entry: (callee_ids, rates), kept as
+        # Python lists — the propagation loop consumes them scalar by
+        # scalar, where list indexing beats ndarray item access
+        self._edges: List[Tuple[List[int], List[float]]] = []
+        # dense matcher arrays, written row-by-row at insert time with
+        # capacity doubling so match() never rebuilds them from scratch
+        cap = self._INITIAL_CAPACITY
+        self._LO = np.zeros((cap, 5), dtype=np.int64)
+        self._HI = np.zeros((cap, 5), dtype=np.int64)
+        self._ENTRY_METHOD = np.zeros(cap, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._versions)
+
+    def version(self, entry: int) -> CompiledMethod:
+        """The compiled method stored at *entry*."""
+        return self._versions[entry]
+
+    def region(self, entry: int) -> ParamRegion:
+        """The validity region of *entry*."""
+        return self._regions[entry]
+
+    def add(self, method_id: int, region: ParamRegion, version: CompiledMethod) -> int:
+        """Insert a version with its region; returns the new entry id."""
+        entry = len(self._versions)
+        if entry == len(self._ENTRY_METHOD):
+            grow = 2 * entry
+            self._LO = np.vstack([self._LO, np.zeros((entry, 5), np.int64)])
+            self._HI = np.vstack([self._HI, np.zeros((entry, 5), np.int64)])
+            self._ENTRY_METHOD = np.concatenate(
+                [self._ENTRY_METHOD, np.zeros(entry, np.int64)]
+            )
+            assert len(self._ENTRY_METHOD) == grow
+        self._LO[entry] = region.lo
+        self._HI[entry] = region.hi
+        self._ENTRY_METHOD[entry] = method_id
+        self._versions.append(version)
+        self._regions.append(region)
+        self._compile_cycles.append(version.compile_cycles)
+        self._code_size.append(version.code_size)
+        self._cycles_per_invocation.append(version.cycles_per_invocation)
+        self._inline_count.append(version.inline_count)
+        self._self_rate.append(version.residual_self_rate)
+        self._edges.append(
+            (
+                [c for c, _ in version.residual_forward],
+                [r for _, r in version.residual_forward],
+            )
+        )
+        return entry
+
+    # ------------------------------------------------------------------
+    def match(self, values: Tuple[int, ...]) -> np.ndarray:
+        """Resolve every method's cache entry for a parameter vector.
+
+        Returns an array of length ``n_methods``: the matching entry id
+        per method, or -1 where no cached version covers *values*.  One
+        ``(entries, 5)`` bound check resolves the whole program.
+        """
+        resolved = np.full(self.n_methods, -1, dtype=np.int64)
+        n = len(self._versions)
+        if not n:
+            return resolved
+        lo = self._LO[:n]
+        hi = self._HI[:n]
+        p = np.asarray(values, dtype=np.int64)
+        mask = ((lo <= p) & (p <= hi)).all(axis=1)
+        hits = np.flatnonzero(mask)
+        # regions of one method are disjoint, so each method gets at
+        # most one hit; later entries would simply overwrite equals
+        resolved[self._ENTRY_METHOD[:n][hits]] = hits
+        return resolved
+
+    # ------------------------------------------------------------------
+    # column access for the vectorized accounting
+    # ------------------------------------------------------------------
+    def compile_cycles_of(self, entries: np.ndarray) -> List[float]:
+        """Compile-cycle column values for *entries* (Python floats)."""
+        cc = self._compile_cycles
+        return [cc[e] for e in entries]
+
+    def code_sizes_of(self, entries: np.ndarray) -> np.ndarray:
+        """Code-size column values for *entries*."""
+        cs = self._code_size
+        return np.array([cs[e] for e in entries], dtype=np.float64)
+
+    def cycles_per_invocation_of(self, entries: np.ndarray) -> np.ndarray:
+        """Cycles-per-invocation column values for *entries*."""
+        cpi = self._cycles_per_invocation
+        return np.array([cpi[e] for e in entries], dtype=np.float64)
+
+    def inline_counts_of(self, entries: np.ndarray) -> int:
+        """Total inline sites across *entries* (exact integer sum)."""
+        ic = self._inline_count
+        return sum(ic[e] for e in entries)
+
+    def self_rate(self, entry: int) -> float:
+        """Residual self-recursion rate of one entry."""
+        return self._self_rate[entry]
+
+    def edges(self, entry: int) -> Tuple[List[int], List[float]]:
+        """Residual forward edges ``(callee_ids, rates)`` of one entry."""
+        return self._edges[entry]

@@ -1,0 +1,197 @@
+"""Persistent evaluation store.
+
+An append-only JSONL file mapping (evaluation context, genome) to the
+fitness that a full simulation of that genome produced, plus optional
+per-benchmark detail.  The *context* is a fingerprint of everything that
+determines the number — machine model, scenario, metric, cost model,
+parameter space and the training programs' content hashes — so a store
+file can be shared between tuning runs, multiprocess workers (as a
+read-only snapshot), checkpoint resume and the benchmark scripts without
+ever serving a stale value.
+
+Layout: one JSON object per line, ``{"ctx": ..., "genome": [...],
+"fitness": ..., "per": {...}?}``.  Appends are atomic at line
+granularity; a truncated trailing line (crash mid-write) is skipped on
+load.  To wipe the store, delete the file; to inspect it, read the JSONL
+directly or use :meth:`EvaluationStore.describe`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.errors import GAError
+from repro.rng import stable_hash
+
+__all__ = ["EvaluationStore", "evaluation_context_key"]
+
+Genome = Tuple[int, ...]
+
+
+def evaluation_context_key(
+    machine,
+    scenario,
+    metric,
+    cost_model,
+    space,
+    programs,
+) -> str:
+    """Fingerprint of one evaluation context.
+
+    Any change to the machine model, scenario, optimization goal, cost
+    model, search space or training-program content yields a different
+    key, which silently invalidates the persisted entries (they stay in
+    the file but are never served).
+    """
+    import repro
+
+    parts = [
+        repro.__version__,
+        repr(machine),
+        repr(scenario),
+        getattr(metric, "value", repr(metric)),
+        repr(cost_model),
+        ",".join(
+            f"{name}:{spec.low}-{spec.high}"
+            for name, spec in zip(space.names, space.specs)
+        ),
+    ]
+    parts.extend(program.fingerprint() for program in programs)
+    return f"{stable_hash('|'.join(parts)):016x}"
+
+
+class EvaluationStore:
+    """On-disk genome -> fitness store for one evaluation context."""
+
+    def __init__(self, path: str, context: str = "default") -> None:
+        self.path = path
+        self.context = context
+        self.hits = 0
+        self.misses = 0
+        self._entries: Dict[Genome, float] = {}
+        self._extras: Dict[Genome, dict] = {}
+        self._handle = None
+        self._load()
+
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    context = record["ctx"]
+                    genome = tuple(int(g) for g in record["genome"])
+                    fitness = float(record["fitness"])
+                except (ValueError, TypeError, KeyError):
+                    continue  # truncated or foreign line: skip
+                if context != self.context:
+                    continue
+                self._entries[genome] = fitness
+                extras = record.get("per")
+                if extras:
+                    self._extras[genome] = extras
+
+    # ------------------------------------------------------------------
+    def get(self, genome: Sequence[int]) -> Optional[float]:
+        """Persisted fitness of *genome* in this context, or None."""
+        key = genome if type(genome) is tuple else tuple(int(g) for g in genome)
+        value = self._entries.get(key)
+        if value is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return value
+
+    def __contains__(self, genome: Sequence[int]) -> bool:
+        key = genome if type(genome) is tuple else tuple(int(g) for g in genome)
+        return key in self._entries
+
+    def record(
+        self,
+        genome: Sequence[int],
+        fitness: float,
+        per_benchmark: Optional[dict] = None,
+    ) -> None:
+        """Persist one evaluation (no-op if already stored unchanged)."""
+        key = tuple(int(g) for g in genome)
+        fitness = float(fitness)
+        if fitness != fitness or fitness in (float("inf"), float("-inf")):
+            raise GAError(f"non-finite fitness {fitness!r} for genome {list(key)}")
+        if self._entries.get(key) == fitness:
+            return
+        self._entries[key] = fitness
+        if per_benchmark:
+            self._extras[key] = dict(per_benchmark)
+        record = {"ctx": self.context, "genome": list(key), "fitness": fitness}
+        if per_benchmark:
+            record["per"] = dict(per_benchmark)
+        if self._handle is None:
+            directory = os.path.dirname(self.path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            needs_newline = False
+            if os.path.exists(self.path) and os.path.getsize(self.path) > 0:
+                with open(self.path, "rb") as tail:
+                    tail.seek(-1, os.SEEK_END)
+                    needs_newline = tail.read(1) != b"\n"
+            self._handle = open(self.path, "a", encoding="utf-8")
+            if needs_newline:
+                # a crash mid-append left a truncated line; start fresh
+                # so the next record is not glued onto the garbage
+                self._handle.write("\n")
+        self._handle.write(json.dumps(record) + "\n")
+        self._handle.flush()
+
+    def per_benchmark(self, genome: Sequence[int]) -> Optional[dict]:
+        """Stored per-benchmark detail for *genome*, if any."""
+        key = genome if type(genome) is tuple else tuple(int(g) for g in genome)
+        return self._extras.get(key)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[Genome, float]:
+        """Immutable-by-convention copy for worker initializers."""
+        return dict(self._entries)
+
+    @property
+    def size(self) -> int:
+        """Number of persisted genomes in this context."""
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the store."""
+        total = self.hits + self.misses
+        if total == 0:
+            return 0.0
+        return self.hits / total
+
+    def describe(self) -> str:
+        """One-line summary (inspection helper)."""
+        return (
+            f"EvaluationStore({self.path!r}, context={self.context!r}, "
+            f"entries={self.size}, hits={self.hits}, misses={self.misses})"
+        )
+
+    def close(self) -> None:
+        """Release the append handle (entries stay loaded)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "EvaluationStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_handle"] = None  # file handles don't pickle; reopen lazily
+        return state

@@ -1,0 +1,119 @@
+"""Bitwise equivalence of the accelerated engine against the reference.
+
+The accelerator's contract is exact reproduction: every
+:class:`~repro.jvm.runtime.ExecutionReport` field must equal the seed
+implementation's value bit for bit — not approximately — across genomes,
+scenarios and architectures.  ``run_reference`` is the retained seed
+path, so each case runs both and compares field by field.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import PENTIUM4, POWERPC_G4
+from repro.jvm.inlining import JIKES_DEFAULT_PARAMETERS, InliningParameters
+from repro.jvm.runtime import VirtualMachine
+from repro.jvm.scenario import ADAPTIVE, OPTIMIZING
+from repro.workloads.suites import SPECJVM98
+
+REPORT_FIELDS = [
+    "running_cycles",
+    "compile_cycles",
+    "first_iteration_exec_cycles",
+    "icache_factor",
+    "hot_code_size",
+    "installed_code_size",
+    "methods_compiled_baseline",
+    "methods_compiled_opt",
+    "inline_sites",
+]
+
+# A grid that crosses decision boundaries: the defaults, both space
+# corners, mid-space points, and a +/-1 pair straddling a threshold.
+GENOME_GRID = [
+    JIKES_DEFAULT_PARAMETERS.as_tuple(),
+    (1, 1, 1, 1, 1),
+    (50, 20, 15, 4000, 400),
+    (10, 5, 3, 500, 100),
+    (23, 11, 5, 1900, 135),
+    (24, 11, 5, 1900, 135),
+]
+
+
+@pytest.fixture(scope="module")
+def programs():
+    # two real SPECjvm98 programs keep the grid fast but representative
+    return SPECJVM98.programs(seed=0)[:2]
+
+
+def assert_reports_identical(ref, fast):
+    for field in REPORT_FIELDS:
+        assert getattr(ref, field) == getattr(fast, field), field
+
+
+@pytest.mark.parametrize("machine", [PENTIUM4, POWERPC_G4], ids=lambda m: m.name)
+@pytest.mark.parametrize("scenario", [OPTIMIZING, ADAPTIVE], ids=lambda s: s.name)
+def test_accelerated_reports_bitwise_equal(machine, scenario, programs):
+    ref_vm = VirtualMachine(machine, scenario, memoize=False)
+    fast_vm = VirtualMachine(machine, scenario, memoize=True)
+    for genome in GENOME_GRID:
+        params = InliningParameters(*genome)
+        for program in programs:
+            ref = ref_vm.run(program, params)
+            fast = fast_vm.run(program, params)
+            assert_reports_identical(ref, fast)
+
+
+def test_memoized_report_carries_callers_params(programs):
+    """A report-memo hit must still echo the caller's params object."""
+    vm = VirtualMachine(PENTIUM4, OPTIMIZING, memoize=True)
+    program = programs[0]
+    a = InliningParameters(*JIKES_DEFAULT_PARAMETERS.as_tuple())
+    vm.run(program, a)
+    again = vm.run(program, a)
+    assert again.params is a
+
+
+def test_repeat_runs_hit_report_memo(programs):
+    vm = VirtualMachine(PENTIUM4, ADAPTIVE, memoize=True)
+    program = programs[0]
+    vm.run(program, JIKES_DEFAULT_PARAMETERS)
+    misses = vm.perf_stats.report_misses
+    vm.run(program, JIKES_DEFAULT_PARAMETERS)
+    assert vm.perf_stats.report_hits >= 1
+    assert vm.perf_stats.report_misses == misses
+
+
+def test_neighbouring_genomes_share_method_versions(programs):
+    """Genomes that cross no decision boundary for a method reuse its
+    compiled version instead of re-expanding the plan."""
+    vm = VirtualMachine(PENTIUM4, OPTIMIZING, memoize=True)
+    program = programs[0]
+    vm.run(program, InliningParameters(23, 11, 5, 1900, 135))
+    builds = vm.perf_stats.method_builds
+    vm.run(program, InliningParameters(23, 11, 5, 1901, 135))
+    # a one-step move in caller_max_size re-resolves every method but
+    # rebuilds only those whose plan actually changed
+    assert vm.perf_stats.method_builds - builds < len(program.reachable_methods())
+    assert vm.perf_stats.method_hits > 0
+
+
+def test_run_reference_bypasses_caches(programs):
+    vm = VirtualMachine(PENTIUM4, OPTIMIZING, memoize=True)
+    program = programs[0]
+    runs_before = vm.perf_stats.runs
+    vm.run_reference(program, JIKES_DEFAULT_PARAMETERS)
+    assert vm.perf_stats.runs == runs_before
+
+
+def test_vm_survives_pickle_roundtrip(programs):
+    import pickle
+
+    vm = VirtualMachine(PENTIUM4, ADAPTIVE, memoize=True)
+    program = programs[0]
+    before = vm.run(program, JIKES_DEFAULT_PARAMETERS)
+    clone = pickle.loads(pickle.dumps(vm))
+    assert clone.perf_stats is not None  # accelerator rebuilt
+    after = clone.run(program, JIKES_DEFAULT_PARAMETERS)
+    assert_reports_identical(before, after)

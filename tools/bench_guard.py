@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Evaluation-throughput regression guard.
+
+Runs the ``benchmarks/bench_evaluation_speed.py`` measurement (one
+50-genome generation over SPECjvm98 through the reference VM and the
+``repro.perf`` accelerator), writes the results to
+``benchmarks/BENCH_evaluation.json``, and fails when throughput
+regresses more than 20% against the committed baseline
+``benchmarks/BENCH_evaluation_baseline.json``.
+
+The guarded figure is the **speedup ratio** (accelerated over reference
+evals/sec), not absolute evals/sec: the ratio is a property of the code
+paths and survives CI hosts of different speeds, while absolute
+throughput numbers only compare within one machine.  Absolute numbers
+are still recorded in the JSON for local inspection.
+
+Exit status: 0 when the guard passes, 1 on regression, bitwise
+mismatch, or a speedup below the 5x acceptance floor.
+
+Usage::
+
+    python tools/bench_guard.py              # guard against baseline
+    python tools/bench_guard.py --rebaseline # rewrite the baseline file
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_DIR = os.path.join(REPO_ROOT, "benchmarks")
+RESULT_PATH = os.path.join(BENCH_DIR, "BENCH_evaluation.json")
+BASELINE_PATH = os.path.join(BENCH_DIR, "BENCH_evaluation_baseline.json")
+
+#: largest tolerated relative drop in the speedup ratio
+MAX_REGRESSION = 0.20
+#: hard acceptance floor, independent of the baseline
+MIN_SPEEDUP = 5.0
+
+
+def _measure() -> dict:
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    sys.path.insert(0, BENCH_DIR)
+    from bench_evaluation_speed import run_evaluation_speed
+
+    return run_evaluation_speed()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--rebaseline",
+        action="store_true",
+        help="overwrite the committed baseline with this run's results",
+    )
+    args = parser.parse_args(argv)
+
+    result = _measure()
+    with open(RESULT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {os.path.relpath(RESULT_PATH, REPO_ROOT)}")
+    print(
+        "speedup {speedup:.2f}x   accelerated {accelerated_evals_per_sec:.1f} "
+        "evals/s   reference {reference_evals_per_sec:.1f} evals/s".format(**result)
+    )
+
+    failures = []
+    if result["mismatched_fields"]:
+        failures.append(
+            f"{result['mismatched_fields']} ExecutionReport fields diverged "
+            "from the reference path"
+        )
+    if result["speedup"] < MIN_SPEEDUP:
+        failures.append(
+            f"speedup {result['speedup']:.2f}x is below the {MIN_SPEEDUP:.0f}x floor"
+        )
+
+    if args.rebaseline:
+        baseline = {
+            "speedup": result["speedup"],
+            "accelerated_evals_per_sec": result["accelerated_evals_per_sec"],
+            "reference_evals_per_sec": result["reference_evals_per_sec"],
+            "accelerator_stats": result["accelerator_stats"],
+        }
+        with open(BASELINE_PATH, "w", encoding="utf-8") as handle:
+            json.dump(baseline, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"rebaselined {os.path.relpath(BASELINE_PATH, REPO_ROOT)}")
+    elif not os.path.exists(BASELINE_PATH):
+        failures.append(
+            f"no baseline at {BASELINE_PATH}; run with --rebaseline to create one"
+        )
+    else:
+        with open(BASELINE_PATH, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        floor = baseline["speedup"] * (1.0 - MAX_REGRESSION)
+        print(
+            f"baseline speedup {baseline['speedup']:.2f}x   "
+            f"regression floor {floor:.2f}x"
+        )
+        if result["speedup"] < floor:
+            failures.append(
+                f"speedup {result['speedup']:.2f}x regressed more than "
+                f"{MAX_REGRESSION:.0%} below the baseline "
+                f"{baseline['speedup']:.2f}x"
+            )
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("bench guard passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
