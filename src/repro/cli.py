@@ -2,11 +2,12 @@
 
 Subcommands
 -----------
-``run``     run one benchmark under a scenario/machine/heuristic
-``tune``    run the GA tuner for a standard task
-``figure``  regenerate a paper figure (1, 2, 5-10) as ASCII charts
-``table``   regenerate a paper table (4 or 5)
-``list``    show available benchmarks, machines, scenarios and tasks
+``run``      run one benchmark under a scenario/machine/heuristic
+``tune``     run the GA tuner for a standard task
+``campaign`` tune the arch x scenario x metric grid concurrently
+``figure``   regenerate a paper figure (1, 2, 5-10) as ASCII charts
+``table``    regenerate a paper table (4 or 5)
+``list``     show available benchmarks, machines, scenarios and tasks
 """
 
 from __future__ import annotations
@@ -54,6 +55,38 @@ def build_parser() -> argparse.ArgumentParser:
     p_tune.add_argument("--population", type=int, default=DEFAULT_GA_CONFIG.population_size)
     p_tune.add_argument("--seed", type=int, default=0)
     p_tune.add_argument("--quiet", action="store_true")
+
+    p_camp = sub.add_parser(
+        "campaign",
+        help="tune the machine x scenario x metric grid concurrently, "
+        "sharing one evaluation store",
+    )
+    p_camp.add_argument(
+        "--machines",
+        default="pentium4,powerpc-g4",
+        help="comma-separated machine names",
+    )
+    p_camp.add_argument(
+        "--scenarios", default="adapt,opt", help="comma-separated scenario names"
+    )
+    p_camp.add_argument(
+        "--metrics", default="balance", help="comma-separated metric names"
+    )
+    p_camp.add_argument("--generations", type=int, default=DEFAULT_GA_CONFIG.generations)
+    p_camp.add_argument("--population", type=int, default=DEFAULT_GA_CONFIG.population_size)
+    p_camp.add_argument("--seed", type=int, default=0)
+    p_camp.add_argument(
+        "--processes", type=int, default=None, help="pool size (default: one per task)"
+    )
+    p_camp.add_argument(
+        "--serial", action="store_true", help="run tasks in-process, in order"
+    )
+    p_camp.add_argument(
+        "--store",
+        default=None,
+        help="shared evaluation-store JSONL path "
+        "(default: .repro_cache/evaluations.jsonl)",
+    )
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")
     p_fig.add_argument("number", type=int, choices=(1, 2, 5, 6, 7, 8, 9, 10))
@@ -135,6 +168,52 @@ def _cmd_tune(args) -> int:
     print(
         f"search           : {tuned.generations_run} generations, "
         f"{tuned.evaluations} evaluations, {tuned.wall_seconds:.1f}s"
+    )
+    return 0
+
+
+def _cmd_campaign(args) -> int:
+    from repro.experiments.campaign import grid_tasks, run_campaign
+    from repro.experiments.tuning import _store_path
+
+    config = DEFAULT_GA_CONFIG.scaled(
+        generations=args.generations,
+        population_size=args.population,
+        seed=args.seed,
+    )
+    tasks = grid_tasks(
+        machines=[m.strip() for m in args.machines.split(",") if m.strip()],
+        scenarios=[s.strip() for s in args.scenarios.split(",") if s.strip()],
+        metrics=[m.strip() for m in args.metrics.split(",") if m.strip()],
+        seed=args.seed,
+    )
+    store = args.store if args.store is not None else _store_path()
+    print(f"campaign: {len(tasks)} tasks, store={store or 'none'}")
+    result = run_campaign(
+        tasks,
+        ga_config=config,
+        store_path=store,
+        processes=args.processes,
+        serial=args.serial,
+        progress=lambda msg: print(f"  {msg}"),
+    )
+    print(f"{'task':<24} {'fitness':>10} {'improve':>8} {'evals':>6} {'recalls':>8}")
+    for r in result.results:
+        print(
+            f"{r.task_name:<24} {r.tuned.fitness:>10.5g} "
+            f"{r.tuned.improvement:>+8.1%} {r.tuned.evaluations:>6} "
+            f"{r.tuned.store_hits:>8}"
+        )
+    totals = result.accelerator_totals()
+    print(
+        f"campaign : {result.wall_seconds:.1f}s on {result.processes} "
+        f"process(es); {result.total_evaluations} simulations, "
+        f"{result.total_new_records} new store records"
+    )
+    print(
+        f"accel    : report hit rate {totals['report_hit_rate']:.1%}, "
+        f"method hit rate {totals['method_hit_rate']:.1%}, "
+        f"batch dedup rate {totals['batch_dedup_rate']:.1%}"
     )
     return 0
 
@@ -273,6 +352,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {
         "run": _cmd_run,
         "tune": _cmd_tune,
+        "campaign": _cmd_campaign,
         "figure": _cmd_figure,
         "table": _cmd_table,
         "sweep": _cmd_sweep,

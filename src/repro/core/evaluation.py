@@ -53,6 +53,7 @@ class HeuristicEvaluator:
             program.name: self.vm.run(program, default_params)
             for program in self.programs
         }
+        self._batch_runner = None  # built lazily by evaluate_batch
 
     # ------------------------------------------------------------------
     def run_all(self, params: InliningParameters) -> List[ExecutionReport]:
@@ -73,13 +74,62 @@ class HeuristicEvaluator:
         """GA-facing fitness function."""
         return self.fitness_of_params(self.space.decode(genome))
 
+    # ------------------------------------------------------------------
+    def _can_batch(self) -> bool:
+        """Whether the generation-batched path computes this instance's
+        exact fitness.
+
+        Subclasses that override the per-genome path (e.g.
+        ``NoisyEvaluator``) automatically fall back to it — the batch
+        layer reproduces :meth:`fitness_of_params` only as defined
+        here.
+        """
+        cls = type(self)
+        return (
+            cls.fitness_of_params is HeuristicEvaluator.fitness_of_params
+            and cls.__call__ is HeuristicEvaluator.__call__
+            and getattr(self.vm, "_accelerator", None) is not None
+        )
+
+    def evaluate_batch(self, genomes: Sequence[Sequence[int]]) -> List[float]:
+        """Fitness of every genome, batched across the generation.
+
+        Bitwise-identical to ``[self(g) for g in genomes]`` but
+        evaluated through :class:`repro.perf.batch.GenerationBatchEvaluator`:
+        the whole generation resolves against the plan cache in one
+        broadcast match, genomes sharing a plan signature share one
+        simulation, and the residual accounting runs as matrices.
+        """
+        if not genomes:
+            return []
+        if not self._can_batch():
+            return [float(self(genome)) for genome in genomes]
+        runner = self._batch_runner
+        if runner is None:
+            from repro.perf.batch import GenerationBatchEvaluator
+
+            runner = self._batch_runner = GenerationBatchEvaluator(self.vm)
+        params_list = [self.space.decode(genome) for genome in genomes]
+        rows = runner.run_generation(self.programs, params_list, attach_params=False)
+        fitnesses: List[float] = []
+        for row in rows:
+            values = [
+                perf_value(self.metric, report, self.default_reports[report.benchmark])
+                for report in row
+            ]
+            fitnesses.append(geometric_mean(values))
+        return fitnesses
+
     @property
     def default_fitness(self) -> float:
         """Fitness of the compiler's default heuristic (for reference)."""
         return self.fitness_of_params(self.default_params)
 
     def __getstate__(self):
-        return self.__dict__
+        state = self.__dict__.copy()
+        state["_batch_runner"] = None  # holds live caches; rebuilt lazily
+        return state
 
     def __setstate__(self, state):
         self.__dict__.update(state)
+        self.__dict__.setdefault("_batch_runner", None)

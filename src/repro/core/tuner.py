@@ -136,6 +136,7 @@ class InliningTuner:
         cost_model: CostModel = DEFAULT_COST_MODEL,
         evaluator_factory=None,
         store_path: Optional[str] = None,
+        store_readonly: bool = False,
     ) -> None:
         self.ga_config = ga_config
         self.space = space or TABLE1_SPACE
@@ -145,6 +146,14 @@ class InliningTuner:
         #: by the evaluation context; an identical re-run (same task,
         #: programs, space, cost model) re-simulates nothing.
         self.store_path = store_path
+        #: open the store in buffered read-only mode (campaign workers:
+        #: new records accumulate on :attr:`last_store` for the
+        #: coordinating process to collect — single-writer discipline).
+        self.store_readonly = store_readonly
+        #: the store used by the most recent :meth:`tune` call (closed),
+        #: and that run's accelerator counters — campaign bookkeeping.
+        self.last_store = None
+        self.last_accelerator_stats: Optional[Dict[str, float]] = None
 
     # ------------------------------------------------------------------
     def tune(
@@ -179,6 +188,12 @@ class InliningTuner:
             store_hits = store.hits if store is not None else 0
             if store is not None:
                 store.close()
+            self.last_store = store
+            accelerator = getattr(evaluator, "vm", None)
+            accelerator = getattr(accelerator, "_accelerator", None)
+            self.last_accelerator_stats = (
+                accelerator.stats.as_dict() if accelerator is not None else None
+            )
         wall = time.perf_counter() - start
 
         return TunedHeuristic(
@@ -210,7 +225,9 @@ class InliningTuner:
             self.space,
             programs,
         )
-        return EvaluationStore(self.store_path, context=context)
+        return EvaluationStore(
+            self.store_path, context=context, readonly=self.store_readonly
+        )
 
     def tune_per_program(
         self,

@@ -15,6 +15,12 @@ from repro.experiments.runner import (
     compare_suites,
 )
 from repro.experiments.tuning import tuned_heuristic, clear_tuning_cache
+from repro.experiments.campaign import (
+    CampaignResult,
+    CampaignTaskResult,
+    grid_tasks,
+    run_campaign,
+)
 from repro.experiments import extensions, figures, tables
 from repro.experiments.formatting import format_comparison, format_bar_chart, format_table
 
@@ -26,6 +32,10 @@ __all__ = [
     "compare_suites",
     "tuned_heuristic",
     "clear_tuning_cache",
+    "CampaignResult",
+    "CampaignTaskResult",
+    "grid_tasks",
+    "run_campaign",
     "extensions",
     "figures",
     "tables",

@@ -1,0 +1,222 @@
+"""Parallel multi-campaign tuning: the arch x scenario x metric grid.
+
+A *campaign* runs several tuning tasks — the cross product of target
+machines, compilation scenarios and optimization metrics — against one
+shared persistent :class:`~repro.perf.store.EvaluationStore`.  Tasks
+are independent (their evaluation contexts never overlap, so no genome
+fitness can cross-pollute between grid cells) and run concurrently in a
+process pool.
+
+Single-writer discipline: workers open the store in buffered read-only
+mode (:class:`EvaluationStore` ``readonly=True``), answer already
+persisted genomes from it, and return their newly simulated records to
+the coordinating process, which is the only one that ever appends to
+the JSONL file.  A re-run of the same campaign therefore answers every
+genome from the store — zero new simulations.
+
+Each task also reports its accelerator counters (report-memo, method
+cache and batch-dedup hit rates), which
+:class:`CampaignResult.accelerator_totals` aggregates for the campaign.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.arch import get_machine
+from repro.core.metrics import Metric
+from repro.core.tuner import DEFAULT_GA_CONFIG, InliningTuner, TunedHeuristic, TuningTask
+from repro.errors import ConfigurationError
+from repro.ga.engine import GAConfig
+from repro.jvm.scenario import get_scenario
+from repro.perf.engine import STAT_COUNTERS, AcceleratorStats
+from repro.perf.store import EvaluationStore
+
+__all__ = [
+    "grid_tasks",
+    "run_campaign",
+    "CampaignTaskResult",
+    "CampaignResult",
+]
+
+#: the default campaign grid: both architectures, both scenarios,
+#: tuned for the paper's primary goal (balance).
+DEFAULT_MACHINES = ("pentium4", "powerpc-g4")
+DEFAULT_SCENARIOS = ("adapt", "opt")
+DEFAULT_METRICS = ("balance",)
+
+
+def grid_tasks(
+    machines: Sequence[str] = DEFAULT_MACHINES,
+    scenarios: Sequence[str] = DEFAULT_SCENARIOS,
+    metrics: Sequence[str] = DEFAULT_METRICS,
+    seed: int = 0,
+) -> List[TuningTask]:
+    """The cross product of the grid axes as tuning tasks."""
+    if not machines or not scenarios or not metrics:
+        raise ConfigurationError("every campaign grid axis needs at least one value")
+    tasks: List[TuningTask] = []
+    for machine_name in machines:
+        machine = get_machine(machine_name)
+        for scenario_name in scenarios:
+            scenario = get_scenario(scenario_name)
+            for metric_name in metrics:
+                metric = Metric.parse(metric_name)
+                tasks.append(
+                    TuningTask(
+                        name=f"{scenario.name}:{metric.value}@{machine.name}",
+                        scenario=scenario,
+                        machine=machine,
+                        metric=metric,
+                        seed=seed,
+                    )
+                )
+    return tasks
+
+
+@dataclass(frozen=True)
+class CampaignTaskResult:
+    """Outcome of one grid cell."""
+
+    task_name: str
+    tuned: TunedHeuristic
+    #: evaluation-context key of the cell's store partition
+    context: Optional[str]
+    #: records this task simulated and the coordinator persisted
+    new_records: int
+    #: the task's accelerator counters (None if the evaluator ran
+    #: without memoization)
+    accelerator_stats: Optional[Dict[str, float]]
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Outcome of a whole campaign."""
+
+    results: Tuple[CampaignTaskResult, ...]
+    wall_seconds: float
+    processes: int
+
+    @property
+    def total_evaluations(self) -> int:
+        """Genomes actually simulated across all tasks."""
+        return sum(r.tuned.evaluations for r in self.results)
+
+    @property
+    def total_new_records(self) -> int:
+        """Records appended to the shared store by this campaign."""
+        return sum(r.new_records for r in self.results)
+
+    def accelerator_totals(self) -> Dict[str, float]:
+        """Campaign-wide accelerator counters and hit rates."""
+        total = AcceleratorStats()
+        for result in self.results:
+            stats = result.accelerator_stats
+            if not stats:
+                continue
+            total.add(
+                AcceleratorStats(
+                    **{name: int(stats.get(name, 0)) for name in STAT_COUNTERS}
+                )
+            )
+        return total.as_dict()
+
+
+def _run_campaign_task(payload) -> Tuple:
+    """Tune one grid cell (module-level: runs in pool workers).
+
+    The worker's store is read-only; newly simulated records come back
+    with the result for the coordinator to persist.
+    """
+    task, ga_config, store_path, workload_seed = payload
+    from repro.workloads.suites import SPECJVM98
+
+    programs = SPECJVM98.programs(seed=workload_seed)
+    tuner = InliningTuner(
+        ga_config, store_path=store_path, store_readonly=True
+    )
+    tuned = tuner.tune(task, programs)
+    store = tuner.last_store
+    pending = store.drain_pending() if store is not None else []
+    context = store.context if store is not None else None
+    return task.name, tuned, context, pending, tuner.last_accelerator_stats
+
+
+def run_campaign(
+    tasks: Optional[Sequence[TuningTask]] = None,
+    ga_config: GAConfig = DEFAULT_GA_CONFIG,
+    store_path: Optional[str] = None,
+    workload_seed: int = 0,
+    processes: Optional[int] = None,
+    serial: bool = False,
+    progress=None,
+) -> CampaignResult:
+    """Run every task of the campaign, concurrently by default.
+
+    *store_path* names the shared JSONL evaluation store (no store when
+    None — every run then simulates from scratch).  *processes* caps
+    the pool size (default: one per task, bounded by the CPU count);
+    ``serial=True`` runs the tasks in-process, in order — same
+    single-writer protocol, no pool.  *progress* (optional callable)
+    receives one status line per finished task.
+    """
+    say = progress or (lambda _msg: None)
+    if tasks is None:
+        tasks = grid_tasks()
+    tasks = list(tasks)
+    if not tasks:
+        raise ConfigurationError("campaign needs at least one task")
+    names = [t.name for t in tasks]
+    if len(set(names)) != len(names):
+        raise ConfigurationError(f"duplicate task names in campaign: {names}")
+
+    payloads = [(task, ga_config, store_path, workload_seed) for task in tasks]
+    start = time.perf_counter()
+
+    if serial or len(tasks) == 1:
+        n_processes = 1
+        raw = []
+        for payload in payloads:
+            raw.append(_run_campaign_task(payload))
+            say(f"{raw[-1][0]}: done")
+    else:
+        from concurrent.futures import ProcessPoolExecutor
+
+        if processes is not None:
+            n_processes = max(1, min(processes, len(tasks)))
+        else:
+            n_processes = min(len(tasks), max(1, os.cpu_count() or 1))
+        ctx = multiprocessing.get_context("spawn")
+        with ProcessPoolExecutor(max_workers=n_processes, mp_context=ctx) as pool:
+            futures = [pool.submit(_run_campaign_task, p) for p in payloads]
+            raw = []
+            for future, task in zip(futures, tasks):
+                raw.append(future.result())
+                say(f"{task.name}: done")
+
+    # single writer: only the coordinator ever appends to the store
+    results: List[CampaignTaskResult] = []
+    for task_name, tuned, context, pending, accel_stats in raw:
+        if store_path is not None and context is not None and pending:
+            with EvaluationStore(store_path, context=context) as writer:
+                for genome, fitness, per_benchmark in pending:
+                    writer.record(genome, fitness, per_benchmark)
+        results.append(
+            CampaignTaskResult(
+                task_name=task_name,
+                tuned=tuned,
+                context=context,
+                new_records=len(pending),
+                accelerator_stats=accel_stats,
+            )
+        )
+
+    return CampaignResult(
+        results=tuple(results),
+        wall_seconds=time.perf_counter() - start,
+        processes=n_processes,
+    )

@@ -31,7 +31,7 @@ from repro.ga.operators_extra import (
     ArithmeticCrossover,
     BoundaryMutation,
 )
-from repro.ga.parallel import SerialEvaluator, MultiprocessEvaluator
+from repro.ga.parallel import SerialEvaluator, BatchEvaluator, MultiprocessEvaluator
 from repro.ga.checkpoint import save_checkpoint, load_checkpoint
 
 __all__ = [
@@ -59,6 +59,7 @@ __all__ = [
     "ArithmeticCrossover",
     "BoundaryMutation",
     "SerialEvaluator",
+    "BatchEvaluator",
     "MultiprocessEvaluator",
     "save_checkpoint",
     "load_checkpoint",

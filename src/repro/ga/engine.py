@@ -21,7 +21,7 @@ from repro.ga.crossover import CrossoverOperator, TwoPointCrossover
 from repro.ga.fitness import FitnessCache
 from repro.ga.individual import Individual, IntVectorSpace
 from repro.ga.mutation import CreepMutation, MutationOperator
-from repro.ga.parallel import SerialEvaluator
+from repro.ga.parallel import BatchEvaluator
 from repro.ga.selection import SelectionOperator, TournamentSelection
 from repro.ga.statistics import GenerationStats
 from repro.rng import rng_for
@@ -106,7 +106,10 @@ class GAEngine:
     ) -> None:
         self.space = space
         self.config = config or GAConfig()
-        self.evaluator = evaluator or SerialEvaluator()
+        # BatchEvaluator degrades to the serial loop for fitness
+        # functions without an evaluate_batch hook, so it is a safe
+        # universal default.
+        self.evaluator = evaluator or BatchEvaluator()
         self.store = store
 
     # ------------------------------------------------------------------

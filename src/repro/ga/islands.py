@@ -56,11 +56,27 @@ class IslandConfig:
 
 
 class IslandGAEngine:
-    """Ring-topology island GA sharing one fitness cache."""
+    """Ring-topology island GA sharing one fitness cache.
 
-    def __init__(self, space: IntVectorSpace, config: Optional[IslandConfig] = None):
+    ``evaluator`` and ``store`` mirror :class:`~repro.ga.engine.GAEngine`:
+    all islands share one batch evaluator (defaulting to the
+    generation-batched path) and one persistent
+    :class:`~repro.perf.store.EvaluationStore`, so evaluations recalled
+    by any island are free for every other island and survive process
+    restarts.
+    """
+
+    def __init__(
+        self,
+        space: IntVectorSpace,
+        config: Optional[IslandConfig] = None,
+        evaluator=None,
+        store=None,
+    ):
         self.space = space
         self.config = config or IslandConfig()
+        self.evaluator = evaluator
+        self.store = store
 
     def run(
         self,
@@ -71,13 +87,17 @@ class IslandGAEngine:
         from repro.ga.engine import GAEngine  # avoid import cycle at module load
 
         cfg = self.config
-        cache = FitnessCache(fitness_fn)
+        cache = FitnessCache(fitness_fn, store=self.store)
         rngs = [
             rng_for(f"{cfg.base.rng_key}:island{i}", cfg.base.seed)
             for i in range(cfg.islands)
         ]
-        # borrow the single-population engine's breeding internals
-        workers = [GAEngine(self.space, cfg.base) for _ in range(cfg.islands)]
+        # borrow the single-population engine's breeding internals; all
+        # islands share the evaluator (and through the cache, the store)
+        workers = [
+            GAEngine(self.space, cfg.base, evaluator=self.evaluator)
+            for _ in range(cfg.islands)
+        ]
 
         populations: List[List[Individual]] = []
         for i, (worker, rng) in enumerate(zip(workers, rngs)):

@@ -1,31 +1,36 @@
-"""Batch evaluators: serial and multiprocess.
+"""Batch evaluators: serial, generation-batched and multiprocess.
 
 The GA engine hands an evaluator the batch of *distinct, uncached*
-genomes of each generation.  The default serial evaluator is right for
-the simulator (a single evaluation is tens of milliseconds and NumPy
-releases little to gain); the multiprocess evaluator exists for
-expensive fitness functions (e.g. measuring a real VM, as the paper
-did) and follows the guide rule of communicating only picklable,
-coarse-grained work units.
+genomes of each generation.  :class:`BatchEvaluator` (the engine's
+default) forwards the whole batch to the fitness function's
+``evaluate_batch`` when it offers one — for
+:class:`repro.core.evaluation.HeuristicEvaluator` that enters the
+generation-batched accelerator path (cross-genome dedup + matrix
+accounting, see :mod:`repro.perf.batch`) — and otherwise degrades to
+the serial loop.  The multiprocess evaluator exists for expensive
+fitness functions (e.g. measuring a real VM, as the paper did) and
+follows the guide rule of communicating only picklable, coarse-grained
+work units.
 
 Workers can be seeded with a read-only snapshot of a persistent
-:class:`repro.perf.store.EvaluationStore`: the snapshot dict is shipped
-once through the pool initializer (not per task), and workers answer
-known genomes from it without simulating.  Workers never write to the
-store — results flow back to the coordinating process, which records
-them (single-writer discipline keeps the JSONL append-only file
-consistent without locking).
+:class:`repro.perf.store.EvaluationStore`: the base snapshot is shipped
+once through the pool initializer (not per task), and every later
+``map`` call ships only the entries recorded since pool creation, so
+workers never answer from a stale view across generations.  Workers
+never write to the store — results flow back to the coordinating
+process, which records them (single-writer discipline keeps the JSONL
+append-only file consistent without locking).
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import GAError
 
-__all__ = ["SerialEvaluator", "MultiprocessEvaluator"]
+__all__ = ["SerialEvaluator", "BatchEvaluator", "MultiprocessEvaluator"]
 
 Genome = Tuple[int, ...]
 FitnessFn = Callable[[Genome], float]
@@ -42,12 +47,24 @@ def _init_worker(snapshot: Dict[Genome, float]) -> None:
 
 
 class _SnapshotFitness:
-    """Picklable wrapper answering known genomes from the snapshot."""
+    """Picklable wrapper answering known genomes from the snapshot.
 
-    def __init__(self, function: FitnessFn) -> None:
+    ``delta`` carries the store entries recorded since the pool's base
+    snapshot was shipped; each unpickled copy merges it into the
+    worker's snapshot before the first lookup (idempotent — re-merging
+    the same keys overwrites equal values), so every worker that
+    receives work in a generation sees everything the coordinator has
+    recorded so far.
+    """
+
+    def __init__(self, function: FitnessFn, delta: Optional[Dict[Genome, float]] = None) -> None:
         self.function = function
+        self.delta = delta or {}
 
     def __call__(self, genome: Genome) -> float:
+        if self.delta:
+            _WORKER_SNAPSHOT.update(self.delta)
+            self.delta = {}
         value = _WORKER_SNAPSHOT.get(tuple(genome))
         if value is not None:
             return value
@@ -59,6 +76,29 @@ class SerialEvaluator:
 
     def map(self, function: FitnessFn, genomes: Sequence[Genome]) -> List[float]:
         """Apply *function* to every genome, preserving order."""
+        return [float(function(g)) for g in genomes]
+
+    def close(self) -> None:
+        """No resources to release."""
+
+
+class BatchEvaluator:
+    """Forward whole generations to the fitness function when it can
+    take them.
+
+    A fitness function exposing ``evaluate_batch(genomes) -> values``
+    receives the generation's distinct uncached genomes in one call —
+    the accelerated evaluator dedups them by plan signature and
+    accounts the remainder as matrices.  Functions without the hook
+    (plain callables, custom objects) are evaluated serially, so this
+    evaluator is a drop-in default.
+    """
+
+    def map(self, function: FitnessFn, genomes: Sequence[Genome]) -> List[float]:
+        """Apply *function* to every genome, preserving order."""
+        batch = getattr(function, "evaluate_batch", None)
+        if batch is not None:
+            return [float(v) for v in batch(list(genomes))]
         return [float(function(g)) for g in genomes]
 
     def close(self) -> None:
@@ -78,7 +118,10 @@ class MultiprocessEvaluator:
     ``max(1, len(genomes) // (4 * processes))`` per batch — large enough
     to amortize pickling, small enough to keep all workers busy on the
     tail.  ``store`` attaches a read-only snapshot of a persistent
-    evaluation store, shipped to workers once at pool creation.
+    evaluation store: the base snapshot ships once at pool creation,
+    and each ``map`` ships the entries recorded since then as a delta
+    (see :class:`_SnapshotFitness`), keeping workers current across
+    generations.
     """
 
     def __init__(
@@ -95,19 +138,33 @@ class MultiprocessEvaluator:
         self.chunksize = chunksize
         self.store = store
         self._pool: Optional[multiprocessing.pool.Pool] = None
+        # keys in the base snapshot shipped at pool creation; entries
+        # recorded after that travel as per-map deltas
+        self._shipped: Set[Genome] = set()
 
     def _ensure_pool(self) -> multiprocessing.pool.Pool:
         if self._pool is None:
             ctx = multiprocessing.get_context("spawn")
             if self.store is not None:
+                snapshot = self.store.snapshot()
+                self._shipped = set(snapshot)
                 self._pool = ctx.Pool(
                     self.processes,
                     initializer=_init_worker,
-                    initargs=(self.store.snapshot(),),
+                    initargs=(snapshot,),
                 )
             else:
                 self._pool = ctx.Pool(self.processes)
         return self._pool
+
+    def _snapshot_delta(self) -> Dict[Genome, float]:
+        """Store entries recorded since the pool's base snapshot.
+
+        Cumulative on purpose: a worker that received no task in some
+        generation still catches up fully the next time it gets one.
+        """
+        snapshot = self.store.snapshot()
+        return {k: v for k, v in snapshot.items() if k not in self._shipped}
 
     def _chunksize_for(self, n_genomes: int) -> int:
         if self.chunksize is not None:
@@ -120,7 +177,7 @@ class MultiprocessEvaluator:
             return []
         pool = self._ensure_pool()
         if self.store is not None:
-            function = _SnapshotFitness(function)
+            function = _SnapshotFitness(function, self._snapshot_delta())
         try:
             values = pool.map(function, genomes, chunksize=self._chunksize_for(len(genomes)))
         except Exception:

@@ -22,20 +22,28 @@ cost with three cooperating tiers (see ``docs/PERFORMANCE.md``):
    fingerprint, shared by the fitness cache, multiprocess workers,
    checkpoint resume and the benchmark scripts, so no configuration is
    ever simulated twice across process restarts.
+4. **Generation batching** (:mod:`repro.perf.batch`) — whole GA
+   generations resolve against the region cache in one broadcast match,
+   deduplicate by plan signature across genomes before any simulation,
+   and account the residual representatives as (genomes x methods)
+   matrices.
 
 All tiers are bitwise-exact: the accelerated paths reproduce the seed
 implementation's floating-point results to the last bit (enforced by
 ``tests/perf/test_equivalence.py``).
 """
 
-from repro.perf.engine import AcceleratorStats, EvaluationAccelerator
+from repro.perf.batch import GenerationBatchEvaluator
+from repro.perf.engine import AcceleratorStats, EvaluationAccelerator, aggregate_stats
 from repro.perf.plancache import MethodPlanCache
 from repro.perf.store import EvaluationStore, evaluation_context_key
 
 __all__ = [
     "AcceleratorStats",
     "EvaluationAccelerator",
+    "GenerationBatchEvaluator",
     "MethodPlanCache",
     "EvaluationStore",
     "evaluation_context_key",
+    "aggregate_stats",
 ]

@@ -1,0 +1,326 @@
+"""Generation-batched evaluation: cross-genome dedup + matrix accounting.
+
+The GA hands the fitness layer a whole generation of genomes at once,
+and :class:`~repro.perf.engine.EvaluationAccelerator` already resolves
+each genome to a *plan signature* — the tuple of region-cache entries
+serving each method.  This module exploits the batch dimension on top
+of that:
+
+* **batched resolution** — one broadcast bound check
+  (:meth:`~repro.perf.plancache.MethodPlanCache.match_many`) resolves
+  the entire generation against every cached region at once, instead of
+  one vectorized lookup per genome;
+* **cross-genome dedup** — the resolved entry rows are partitioned by
+  signature (``np.unique`` over the key columns); exactly one
+  representative per equivalence class is simulated, and its
+  :class:`~repro.jvm.runtime.ExecutionReport` fans out to the rest of
+  the class bitwise-identically (``AcceleratorStats.batch_dedup_hits``
+  counts the fan-outs);
+* **matrix accounting** — the residual representatives of the *Opt*
+  scenario are accounted together as ``(representatives, methods)``
+  NumPy matrices: column gathers, the times/sizes fill, the cumulative
+  compile-cycle and installed-size reductions and the I-cache pressure
+  factors all run across the batch dimension.  Reductions that the
+  reference accumulates sequentially use ``cumsum`` (also strictly
+  sequential) over dense rows, so every float result stays bitwise
+  equal to the serial memoized path.  *Adapt* representatives reuse the
+  accelerator's shared per-signature accounting
+  (:meth:`EvaluationAccelerator._account_adaptive`) — its baseline
+  overwrite step is signature-shaped, not batch-shaped.
+
+The batch layer shares the accelerator's caches and report memo, so
+serial ``vm.run`` calls and batched generations see (and populate) the
+same state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.jvm.callgraph import Program
+from repro.jvm.inlining import InliningParameters
+
+__all__ = ["GenerationBatchEvaluator"]
+
+
+class GenerationBatchEvaluator:
+    """Evaluates whole generations of genomes through a memoizing VM.
+
+    One instance wraps one :class:`~repro.jvm.runtime.VirtualMachine`
+    created with ``memoize=True`` (the default).  The central entry
+    point is :meth:`run_generation`, whose reports are bitwise
+    identical, field by field, to running every (genome, program) pair
+    through ``vm.run`` serially.
+    """
+
+    def __init__(self, vm) -> None:
+        accelerator = getattr(vm, "_accelerator", None)
+        if accelerator is None:
+            raise SimulationError(
+                "generation batching requires a memoizing VirtualMachine "
+                "(construct it with memoize=True)"
+            )
+        self.vm = vm
+        self.accelerator = accelerator
+
+    # ------------------------------------------------------------------
+    def run_generation(
+        self,
+        programs: Sequence[Program],
+        params_list: Sequence[InliningParameters],
+        attach_params: bool = True,
+    ) -> List[List[object]]:
+        """Run every genome over every program, batched per program.
+
+        Returns genome-major nested lists: ``result[g][p]`` is the
+        report of ``params_list[g]`` on ``programs[p]``.  With
+        ``attach_params=False`` the per-genome ``dataclasses.replace``
+        that stamps each report with its caller's params is skipped —
+        deduplicated genomes then share one report object whose
+        ``params`` field belongs to the class representative.  All
+        other fields are unaffected; the fitness pipeline uses this
+        mode because no metric reads ``params``.
+        """
+        reports: List[List[object]] = [[None] * len(programs) for _ in params_list]
+        if not params_list:
+            return reports
+        self.accelerator.stats.batch_generations += 1
+        values_matrix = np.array(
+            [params.as_tuple() for params in params_list], dtype=np.int64
+        )
+        for j, program in enumerate(programs):
+            self._run_program(program, params_list, values_matrix, reports, j, attach_params)
+        return reports
+
+    # ------------------------------------------------------------------
+    def _run_program(
+        self,
+        program: Program,
+        params_list: Sequence[InliningParameters],
+        values_matrix: np.ndarray,
+        out: List[List[object]],
+        column: int,
+        attach_params: bool,
+    ) -> None:
+        acc = self.accelerator
+        stats = acc.stats
+        state = acc._state_for(program)
+        adaptive = self.vm.scenario.is_adaptive
+        if adaptive:
+            acc._ensure_skeleton(state)
+            key_mids = [mid for mid, _ in state.skeleton.promotions]
+        else:
+            key_mids = state.reachable_list
+
+        n_genomes = len(params_list)
+        stats.runs += n_genomes
+        stats.method_lookups += n_genomes * len(key_mids)
+
+        resolved = self._resolve_batch(state, params_list, values_matrix, key_mids, adaptive)
+
+        # partition the generation by plan signature over the key
+        # columns; row bytes key the grouping (cheaper than a lexsort),
+        # insertion order makes the first genome each class's
+        # representative — exactly the serial evaluation order
+        key_cols = np.ascontiguousarray(resolved[:, key_mids] if key_mids else resolved[:, :0])
+        groups: Dict[bytes, List[int]] = {}
+        for g in range(n_genomes):
+            groups.setdefault(key_cols[g].tobytes(), []).append(g)
+
+        # serve memoized signatures, collect the residual representatives
+        class_reports: List[object] = []
+        miss_reps: List[int] = []
+        miss_slots: List[int] = []
+        miss_signatures: List[Tuple[int, ...]] = []
+        for slot, members in enumerate(groups.values()):
+            rep = members[0]
+            signature = tuple(key_cols[rep].tolist())
+            memo = state.reports.get(signature)
+            if memo is not None:
+                stats.report_hits += len(members)
+                class_reports.append(memo)
+            else:
+                stats.report_misses += 1
+                stats.batch_dedup_hits += len(members) - 1
+                miss_reps.append(rep)
+                miss_slots.append(slot)
+                miss_signatures.append(signature)
+                class_reports.append(None)
+
+        if miss_reps:
+            rep_rows = resolved[miss_reps]
+            rep_params = [params_list[rep] for rep in miss_reps]
+            if adaptive:
+                fresh = [
+                    acc._account_adaptive(
+                        state,
+                        {mid: int(row[mid]) for mid, _ in state.skeleton.promotions},
+                        params,
+                    )
+                    for row, params in zip(rep_rows, rep_params)
+                ]
+            else:
+                fresh = self._account_opt_batch(state, rep_rows, rep_params)
+            for slot, signature, report in zip(miss_slots, miss_signatures, fresh):
+                state.reports[signature] = report
+                class_reports[slot] = report
+
+        for slot, members in enumerate(groups.values()):
+            report = class_reports[slot]
+            if attach_params:
+                for g in members:
+                    out[g][column] = replace(report, params=params_list[g])
+            else:
+                for g in members:
+                    out[g][column] = report
+
+    # ------------------------------------------------------------------
+    def _resolve_batch(
+        self,
+        state,
+        params_list: Sequence[InliningParameters],
+        values_matrix: np.ndarray,
+        key_mids: Sequence[int],
+        adaptive: bool,
+    ) -> np.ndarray:
+        """Resolve all genomes to entry rows, compiling what's missing.
+
+        The broadcast match covers everything already cached; genomes
+        with unresolved methods are then visited in population order —
+        a compile triggered by an earlier genome can cover a later one,
+        so each such genome re-matches against the by-then-current
+        cache before compiling the remainder (exactly the serial
+        ordering).
+        """
+        acc = self.accelerator
+        cache = state.cache
+        resolved = cache.match_many(values_matrix)
+        if not key_mids:
+            return resolved
+        missing_rows = np.flatnonzero((resolved[:, key_mids] < 0).any(axis=1))
+        if not len(missing_rows):
+            return resolved
+
+        traced = acc._traced(state)
+        if adaptive:
+            skeleton = state.skeleton
+            use_hot = self.vm.scenario.uses_hot_callsite_heuristic
+        else:
+            level = self.vm.scenario.opt_level
+        builds = 0
+        for g in missing_rows.tolist():
+            values = params_list[g].as_tuple()
+            row = cache.match(values)
+            if adaptive:
+                for mid, promo_level in skeleton.promotions:
+                    if row[mid] >= 0:
+                        continue
+                    version, region = traced.compile(
+                        mid,
+                        values,
+                        promo_level,
+                        hot_sites=skeleton.hot_sites,
+                        use_hot_heuristic=use_hot,
+                    )
+                    row[mid] = cache.add(mid, region, version)
+                    builds += 1
+            else:
+                for mid in key_mids:
+                    if row[mid] >= 0:
+                        continue
+                    version, region = traced.compile(mid, values, level)
+                    row[mid] = cache.add(mid, region, version)
+                    builds += 1
+            resolved[g] = row
+        acc.stats.method_builds += builds
+        return resolved
+
+    # ------------------------------------------------------------------
+    def _account_opt_batch(
+        self,
+        state,
+        rep_rows: np.ndarray,
+        rep_params: Sequence[InliningParameters],
+    ) -> List[object]:
+        """Matrix accounting of the Opt scenario's miss representatives.
+
+        Mirrors :meth:`EvaluationAccelerator._run_optimizing`'s
+        accounting with the representative dimension vectorized.
+        Bitwise notes: the data-dependent invocation propagation stays
+        the scalar reference loop per row; elementwise matrix ops are
+        per-element identical to the serial scalars; the sequential
+        left-to-right Python sums of the reference become ``cumsum``
+        over dense rows (strictly sequential, and the interleaved 0.0
+        entries of never-invoked methods are exact no-ops on the
+        positive partial sums); full-row ``sum``/``dot`` reductions run
+        on contiguous row views, the same call the serial path makes.
+        """
+        from repro.jvm.runtime import ExecutionReport
+
+        acc = self.accelerator
+        vm = self.vm
+        program = state.program
+        cache = state.cache
+        n_methods = len(program)
+        n_reps = len(rep_rows)
+        cc_col, size_col, cpi_col, inline_col = cache.column_arrays()
+
+        counts = np.empty((n_reps, n_methods), dtype=np.float64)
+        for r in range(n_reps):
+            counts[r] = acc._propagate(program, cache, rep_rows[r].tolist())
+        invoked = counts > 0.0
+        entries = np.maximum(rep_rows, 0)
+
+        times = np.where(invoked, counts * cpi_col[entries], 0.0)
+        sizes_dense = np.where(invoked, size_col[entries], 0.0)
+        compile_cycles = np.where(invoked, cc_col[entries], 0.0).cumsum(axis=1)[:, -1]
+        installed = sizes_dense.cumsum(axis=1)[:, -1]
+        inline_sites = np.where(invoked, inline_col[entries], 0).sum(axis=1)
+        n_opt = invoked.sum(axis=1)
+
+        hot_share = vm.cost_model.hot_share_at_full
+        capacity = vm.machine.icache_capacity
+        penalty = vm.machine.icache_miss_penalty
+        totals = np.empty(n_reps, dtype=np.float64)
+        hots = np.empty(n_reps, dtype=np.float64)
+        for r in range(n_reps):
+            row_times = times[r]
+            total = float(row_times.sum())
+            totals[r] = total
+            if total <= 0.0:
+                hots[r] = 0.0
+                continue
+            weights = np.minimum((row_times / total) / hot_share, 1.0)
+            hots[r] = float(np.dot(sizes_dense[r], weights))
+        factors = np.ones(n_reps, dtype=np.float64)
+        if penalty != 0.0:
+            over = np.flatnonzero(hots > capacity)
+            if len(over):
+                overflow = hots[over] / capacity - 1.0
+                factors[over] = 1.0 + penalty * overflow / (1.0 + overflow)
+        running = totals * factors
+
+        reports = []
+        for r in range(n_reps):
+            reports.append(
+                ExecutionReport(
+                    benchmark=program.name,
+                    scenario=vm.scenario.name,
+                    machine=vm.machine,
+                    params=rep_params[r],
+                    running_cycles=float(running[r]),
+                    compile_cycles=float(compile_cycles[r]),
+                    first_iteration_exec_cycles=float(running[r]),
+                    icache_factor=float(factors[r]),
+                    hot_code_size=float(hots[r]),
+                    installed_code_size=float(installed[r]),
+                    methods_compiled_baseline=0,
+                    methods_compiled_opt=int(n_opt[r]),
+                    inline_sites=int(inline_sites[r]),
+                )
+            )
+        return reports

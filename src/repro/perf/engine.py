@@ -32,6 +32,7 @@ independent scalar operations.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
@@ -45,7 +46,20 @@ from repro.jvm.inlining import InliningParameters
 from repro.perf.fastcompile import TracedCompiler
 from repro.perf.plancache import MethodPlanCache
 
-__all__ = ["AcceleratorStats", "EvaluationAccelerator"]
+__all__ = ["AcceleratorStats", "EvaluationAccelerator", "aggregate_stats"]
+
+#: raw counter fields of AcceleratorStats, used by aggregation and the
+#: campaign runner's per-task deltas
+STAT_COUNTERS = (
+    "runs",
+    "report_hits",
+    "report_misses",
+    "method_lookups",
+    "method_builds",
+    "adaptive_skeletons",
+    "batch_generations",
+    "batch_dedup_hits",
+)
 
 
 @dataclass
@@ -58,6 +72,10 @@ class AcceleratorStats:
     method_lookups: int = 0
     method_builds: int = 0
     adaptive_skeletons: int = 0
+    #: generation batches evaluated through repro.perf.batch
+    batch_generations: int = 0
+    #: (genome, program) runs served by an in-batch representative
+    batch_dedup_hits: int = 0
 
     @property
     def method_hits(self) -> int:
@@ -78,6 +96,13 @@ class AcceleratorStats:
             return 0.0
         return self.method_hits / self.method_lookups
 
+    @property
+    def batch_dedup_rate(self) -> float:
+        """Fraction of runs answered by an in-batch representative."""
+        if self.runs == 0:
+            return 0.0
+        return self.batch_dedup_hits / self.runs
+
     def as_dict(self) -> Dict[str, float]:
         """Plain-dict view (benchmark output, logging)."""
         return {
@@ -90,7 +115,32 @@ class AcceleratorStats:
             "method_hits": self.method_hits,
             "method_hit_rate": self.method_hit_rate,
             "adaptive_skeletons": self.adaptive_skeletons,
+            "batch_generations": self.batch_generations,
+            "batch_dedup_hits": self.batch_dedup_hits,
+            "batch_dedup_rate": self.batch_dedup_rate,
         }
+
+    def add(self, other: "AcceleratorStats") -> None:
+        """Accumulate *other*'s raw counters into this instance."""
+        for name in STAT_COUNTERS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+
+#: live accelerators of this process, for campaign/report-level stats
+_LIVE_ACCELERATORS: "weakref.WeakSet[EvaluationAccelerator]" = weakref.WeakSet()
+
+
+def aggregate_stats() -> AcceleratorStats:
+    """Summed counters of every accelerator alive in this process.
+
+    The campaign runner snapshots this before and after each task to
+    attribute hit rates per task; the experiment report prints the
+    process-wide totals.
+    """
+    total = AcceleratorStats()
+    for accelerator in list(_LIVE_ACCELERATORS):
+        total.add(accelerator.stats)
+    return total
 
 
 class _ProgramState:
@@ -140,6 +190,7 @@ class EvaluationAccelerator:
         self.vm = vm
         self.stats = AcceleratorStats()
         self._states: Dict[int, _ProgramState] = {}
+        _LIVE_ACCELERATORS.add(self)
 
     # ------------------------------------------------------------------
     def _state_for(self, program: Program) -> _ProgramState:
@@ -301,8 +352,6 @@ class EvaluationAccelerator:
         state.promotion_level = dict(skeleton.promotions)
 
     def _run_adaptive(self, program: Program, params: InliningParameters):
-        from repro.jvm.runtime import ExecutionReport
-
         vm = self.vm
         state = self._state_for(program)
         self._ensure_skeleton(state)
@@ -335,6 +384,28 @@ class EvaluationAccelerator:
         self.stats.report_misses += 1
 
         promoted_entries = {mid: resolved[mid] for mid, _ in skeleton.promotions}
+        report = self._account_adaptive(state, promoted_entries, params)
+        state.reports[signature] = report
+        return report
+
+    def _account_adaptive(
+        self,
+        state: _ProgramState,
+        promoted_entries: Dict[int, int],
+        params: InliningParameters,
+    ):
+        """Adaptive-run accounting for one resolved plan signature.
+
+        Shared by the serial run path and the generation-batch layer
+        (:mod:`repro.perf.batch`), which calls it once per deduplicated
+        signature.
+        """
+        from repro.jvm.runtime import ExecutionReport
+
+        vm = self.vm
+        program = state.program
+        skeleton = state.skeleton
+        cache = state.cache
         counts = self._propagate_adaptive(program, state, promoted_entries)
 
         # final-version columns: baseline values overwritten at promoted
@@ -375,7 +446,7 @@ class EvaluationAccelerator:
         first_iter = warmup * baseline_running + (1.0 - warmup) * running
         first_iter *= 1.0 + vm.cost_model.sampling_overhead
 
-        report = ExecutionReport(
+        return ExecutionReport(
             benchmark=program.name,
             scenario=vm.scenario.name,
             machine=vm.machine,
@@ -390,8 +461,6 @@ class EvaluationAccelerator:
             methods_compiled_opt=len(skeleton.promotions),
             inline_sites=inline_sites,
         )
-        state.reports[signature] = report
-        return report
 
     def _propagate_adaptive(
         self,

@@ -24,7 +24,7 @@ attribute chasing.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -59,6 +59,9 @@ class MethodPlanCache:
         self._LO = np.zeros((cap, 5), dtype=np.int64)
         self._HI = np.zeros((cap, 5), dtype=np.int64)
         self._ENTRY_METHOD = np.zeros(cap, dtype=np.int64)
+        # ndarray views of the scalar columns, rebuilt lazily when the
+        # entry count changes (the batch accounting gathers from these)
+        self._column_cache: Optional[Tuple[np.ndarray, ...]] = None
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -123,9 +126,62 @@ class MethodPlanCache:
         resolved[self._ENTRY_METHOD[:n][hits]] = hits
         return resolved
 
+    def match_many(self, values_matrix: np.ndarray) -> np.ndarray:
+        """Resolve every method's entry for a whole batch of genomes.
+
+        ``values_matrix`` is ``(n_genomes, 5)``; returns an
+        ``(n_genomes, n_methods)`` array of entry ids (-1 where no
+        cached version covers that genome's vector).
+
+        The bound checks run per dimension over the *distinct* values
+        of that gene across the batch: GA generations repeat gene
+        values heavily (elites, crossover offspring share parent
+        genes), so each dimension compares ``k_d x entries`` values
+        with ``k_d`` typically far below the genome count, and the
+        per-genome combine is a cheap boolean AND.  The result is
+        identical to stacking ``n_genomes`` calls to :meth:`match`.
+        """
+        p = np.asarray(values_matrix, dtype=np.int64)
+        resolved = np.full((len(p), self.n_methods), -1, dtype=np.int64)
+        n = len(self._versions)
+        if not n or not len(p):
+            return resolved
+        lo = self._LO[:n]
+        hi = self._HI[:n]
+        mask: Optional[np.ndarray] = None
+        for d in range(p.shape[1]):
+            values, inverse = np.unique(p[:, d], return_inverse=True)
+            dim_hit = (lo[:, d] <= values[:, None]) & (values[:, None] <= hi[:, d])
+            expanded = dim_hit[inverse]  # (genomes, entries)
+            mask = expanded if mask is None else (mask & expanded)
+        g_idx, hits = np.nonzero(mask)
+        resolved[g_idx, self._ENTRY_METHOD[:n][hits]] = hits
+        return resolved
+
     # ------------------------------------------------------------------
     # column access for the vectorized accounting
     # ------------------------------------------------------------------
+    def column_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """``(compile_cycles, code_size, cycles_per_invocation,
+        inline_count)`` as ndarray columns over all entries.
+
+        The batch accounting gathers from these with fancy indexing;
+        the float conversions are exact (the columns hold Python floats
+        produced by the compilers).  Rebuilt only when entries were
+        added since the last call.
+        """
+        cols = self._column_cache
+        n = len(self._versions)
+        if cols is None or len(cols[0]) != n:
+            cols = (
+                np.array(self._compile_cycles, dtype=np.float64),
+                np.array(self._code_size, dtype=np.float64),
+                np.array(self._cycles_per_invocation, dtype=np.float64),
+                np.array(self._inline_count, dtype=np.int64),
+            )
+            self._column_cache = cols
+        return cols
+
     def compile_cycles_of(self, entries: np.ndarray) -> List[float]:
         """Compile-cycle column values for *entries* (Python floats)."""
         cc = self._compile_cycles

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import GAError
 from repro.rng import stable_hash
@@ -63,15 +63,25 @@ def evaluation_context_key(
 
 
 class EvaluationStore:
-    """On-disk genome -> fitness store for one evaluation context."""
+    """On-disk genome -> fitness store for one evaluation context.
 
-    def __init__(self, path: str, context: str = "default") -> None:
+    ``readonly=True`` turns the store into a buffered reader for worker
+    processes under single-writer discipline: lookups serve the on-disk
+    entries as usual, but :meth:`record` never touches the file —
+    records accumulate in memory (and serve same-process lookups) until
+    the coordinating process collects them with :meth:`drain_pending`
+    and replays them into its own writable store.
+    """
+
+    def __init__(self, path: str, context: str = "default", readonly: bool = False) -> None:
         self.path = path
         self.context = context
+        self.readonly = readonly
         self.hits = 0
         self.misses = 0
         self._entries: Dict[Genome, float] = {}
         self._extras: Dict[Genome, dict] = {}
+        self._pending: List[Tuple[Genome, float, Optional[dict]]] = []
         self._handle = None
         self._load()
 
@@ -129,6 +139,9 @@ class EvaluationStore:
         self._entries[key] = fitness
         if per_benchmark:
             self._extras[key] = dict(per_benchmark)
+        if self.readonly:
+            self._pending.append((key, fitness, dict(per_benchmark) if per_benchmark else None))
+            return
         record = {"ctx": self.context, "genome": list(key), "fitness": fitness}
         if per_benchmark:
             record["per"] = dict(per_benchmark)
@@ -155,6 +168,16 @@ class EvaluationStore:
         return self._extras.get(key)
 
     # ------------------------------------------------------------------
+    def drain_pending(self) -> List[Tuple[Genome, float, Optional[dict]]]:
+        """Take (and clear) the records buffered in readonly mode.
+
+        Each item is ``(genome, fitness, per_benchmark_or_None)``,
+        ready for :meth:`record` on the coordinator's writable store.
+        """
+        pending = self._pending
+        self._pending = []
+        return pending
+
     def snapshot(self) -> Dict[Genome, float]:
         """Immutable-by-convention copy for worker initializers."""
         return dict(self._entries)

@@ -1,0 +1,120 @@
+"""Tests for the parallel multi-campaign runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.campaign import (
+    CampaignResult,
+    grid_tasks,
+    run_campaign,
+)
+from repro.ga.engine import GAConfig
+
+TINY_GA = GAConfig(population_size=6, generations=2, seed=0)
+
+
+class TestGridTasks:
+    def test_default_grid(self):
+        tasks = grid_tasks()
+        assert len(tasks) == 4  # 2 machines x 2 scenarios x 1 metric
+        names = [t.name for t in tasks]
+        assert len(set(names)) == len(names)
+        assert "Opt:balance@pentium4" in names
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ConfigurationError):
+            grid_tasks(machines=[])
+        with pytest.raises(ConfigurationError):
+            grid_tasks(metrics=[])
+
+    def test_unknown_names_rejected(self):
+        with pytest.raises(Exception):
+            grid_tasks(machines=["itanium"])
+
+
+class TestRunCampaign:
+    def test_rejects_empty_and_duplicate_tasks(self):
+        with pytest.raises(ConfigurationError):
+            run_campaign(tasks=[], ga_config=TINY_GA)
+        tasks = grid_tasks(machines=["pentium4"], scenarios=["opt"])
+        with pytest.raises(ConfigurationError):
+            run_campaign(tasks=tasks + tasks, ga_config=TINY_GA)
+
+    def test_serial_campaign_shares_one_store(self, tmp_path):
+        store_path = str(tmp_path / "evals.jsonl")
+        tasks = grid_tasks(machines=["pentium4"], scenarios=["adapt", "opt"])
+        lines = []
+        result = run_campaign(
+            tasks,
+            ga_config=TINY_GA,
+            store_path=store_path,
+            serial=True,
+            progress=lines.append,
+        )
+        assert isinstance(result, CampaignResult)
+        assert result.processes == 1
+        assert [r.task_name for r in result.results] == [t.name for t in tasks]
+        assert result.total_evaluations > 0
+        # single-writer: every simulated genome was persisted by the
+        # coordinator
+        assert result.total_new_records == result.total_evaluations
+        assert len(lines) == len(tasks)
+
+    def test_second_run_answers_entirely_from_store(self, tmp_path):
+        store_path = str(tmp_path / "evals.jsonl")
+        tasks = grid_tasks(machines=["pentium4"], scenarios=["adapt", "opt"])
+        first = run_campaign(
+            tasks, ga_config=TINY_GA, store_path=store_path, serial=True
+        )
+        second = run_campaign(
+            tasks, ga_config=TINY_GA, store_path=store_path, serial=True
+        )
+        assert second.total_evaluations == 0
+        assert second.total_new_records == 0
+        for a, b in zip(first.results, second.results):
+            assert b.tuned.fitness == a.tuned.fitness
+            assert b.tuned.params == a.tuned.params
+
+    def test_without_store_every_run_simulates(self):
+        tasks = grid_tasks(machines=["pentium4"], scenarios=["opt"])
+        result = run_campaign(tasks, ga_config=TINY_GA, store_path=None)
+        assert result.total_evaluations > 0
+        assert result.total_new_records == 0
+        assert result.results[0].context is None
+
+    def test_accelerator_totals_aggregated(self, tmp_path):
+        tasks = grid_tasks(machines=["pentium4"], scenarios=["opt"])
+        result = run_campaign(
+            tasks,
+            ga_config=TINY_GA,
+            store_path=str(tmp_path / "evals.jsonl"),
+            serial=True,
+        )
+        totals = result.accelerator_totals()
+        assert totals["runs"] > 0
+        assert 0.0 <= totals["report_hit_rate"] <= 1.0
+        assert "batch_dedup_rate" in totals
+
+    @pytest.mark.slow
+    def test_parallel_matches_serial(self, tmp_path):
+        tasks = grid_tasks(machines=["pentium4"], scenarios=["adapt", "opt"])
+        serial = run_campaign(
+            tasks,
+            ga_config=TINY_GA,
+            store_path=str(tmp_path / "serial.jsonl"),
+            serial=True,
+        )
+        parallel = run_campaign(
+            tasks,
+            ga_config=TINY_GA,
+            store_path=str(tmp_path / "parallel.jsonl"),
+            processes=2,
+        )
+        assert parallel.processes == 2
+        for a, b in zip(serial.results, parallel.results):
+            assert b.task_name == a.task_name
+            assert b.tuned.fitness == a.tuned.fitness
+            assert b.tuned.params == a.tuned.params
+            assert b.new_records == a.new_records

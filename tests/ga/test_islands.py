@@ -6,6 +6,8 @@ from repro.errors import GAError
 from repro.ga.engine import GAConfig
 from repro.ga.individual import IntVectorSpace
 from repro.ga.islands import IslandConfig, IslandGAEngine
+from repro.ga.parallel import BatchEvaluator
+from repro.perf.store import EvaluationStore
 
 
 def sphere(genome):
@@ -88,6 +90,36 @@ class TestIslandRun:
         )
         assert result.stopped_early
         assert result.generations_run < 300
+
+    def test_store_and_batched_evaluator_parity(self, space, tmp_path):
+        """Sharing a persistent store and the batched evaluator must not
+        change the search trajectory."""
+        config = IslandConfig(
+            base=GAConfig(population_size=8, generations=6, seed=2), islands=2
+        )
+        plain = IslandGAEngine(space, config).run(sphere)
+        store = EvaluationStore(str(tmp_path / "evals.jsonl"))
+        shared = IslandGAEngine(
+            space, config, evaluator=BatchEvaluator(), store=store
+        ).run(sphere)
+        assert shared.best_genome == plain.best_genome
+        assert shared.best_fitness == plain.best_fitness
+        assert shared.history == plain.history
+
+    def test_second_run_answers_from_store(self, space, tmp_path):
+        config = IslandConfig(
+            base=GAConfig(population_size=8, generations=4, seed=7), islands=2
+        )
+        path = str(tmp_path / "evals.jsonl")
+        first = IslandGAEngine(
+            space, config, store=EvaluationStore(path)
+        ).run(sphere)
+        assert first.evaluations > 0
+        second = IslandGAEngine(
+            space, config, store=EvaluationStore(path)
+        ).run(sphere)
+        assert second.evaluations == 0
+        assert second.best_fitness == first.best_fitness
 
     def test_migration_spreads_good_genomes(self, space):
         """After migration, the champion genome appears on more than

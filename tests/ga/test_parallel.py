@@ -3,11 +3,37 @@
 import pytest
 
 from repro.errors import GAError
-from repro.ga.parallel import MultiprocessEvaluator, SerialEvaluator
+from repro.ga.parallel import BatchEvaluator, MultiprocessEvaluator, SerialEvaluator
+from repro.perf.store import EvaluationStore
 
 
 def square_sum(genome):
     return float(sum(g * g for g in genome))
+
+
+def raise_on_three(genome):
+    if genome[0] == 3:
+        raise RuntimeError("injected worker failure")
+    return 0.0
+
+
+def fail_if_called(genome):
+    raise AssertionError(f"worker simulated {genome} instead of answering "
+                         "from the snapshot")
+
+
+class _BatchCapable:
+    """Fitness callable with the evaluate_batch hook."""
+
+    def __init__(self):
+        self.batch_calls = 0
+
+    def __call__(self, genome):
+        return square_sum(genome)
+
+    def evaluate_batch(self, genomes):
+        self.batch_calls += 1
+        return [square_sum(g) for g in genomes]
 
 
 class TestSerialEvaluator:
@@ -23,6 +49,25 @@ class TestSerialEvaluator:
         SerialEvaluator().close()
 
 
+class TestBatchEvaluator:
+    def test_forwards_whole_batch_to_hook(self):
+        function = _BatchCapable()
+        genomes = [(1,), (2,), (3,)]
+        assert BatchEvaluator().map(function, genomes) == [1.0, 4.0, 9.0]
+        assert function.batch_calls == 1
+
+    def test_degrades_to_serial_without_hook(self):
+        genomes = [(1,), (2,), (3,)]
+        assert BatchEvaluator().map(square_sum, genomes) == [1.0, 4.0, 9.0]
+
+    def test_empty_batch(self):
+        assert BatchEvaluator().map(_BatchCapable(), []) == []
+        assert BatchEvaluator().map(square_sum, []) == []
+
+    def test_close_is_noop(self):
+        BatchEvaluator().close()
+
+
 class TestMultiprocessEvaluator:
     def test_invalid_config(self):
         with pytest.raises(GAError):
@@ -34,6 +79,18 @@ class TestMultiprocessEvaluator:
         evaluator = MultiprocessEvaluator(processes=1)
         assert evaluator.map(square_sum, []) == []
         assert evaluator._pool is None  # pool created lazily
+
+    def test_default_chunksize_never_zero(self):
+        evaluator = MultiprocessEvaluator(processes=4)
+        # fewer genomes than workers: chunks of one, not zero
+        assert evaluator._chunksize_for(3) == 1
+        assert evaluator._chunksize_for(0) == 1
+        assert evaluator._chunksize_for(160) == 10
+
+    def test_explicit_chunksize_honored(self):
+        evaluator = MultiprocessEvaluator(processes=4, chunksize=7)
+        assert evaluator._chunksize_for(3) == 7
+        assert evaluator._chunksize_for(1000) == 7
 
     @pytest.mark.slow
     def test_parallel_map_matches_serial(self):
@@ -50,3 +107,26 @@ class TestMultiprocessEvaluator:
             pool = evaluator._pool
             evaluator.map(square_sum, [(2,)])
             assert evaluator._pool is pool
+
+    @pytest.mark.slow
+    def test_worker_error_terminates_pool(self):
+        """A raising worker propagates and leaves no stale pool behind."""
+        evaluator = MultiprocessEvaluator(processes=2)
+        with pytest.raises(RuntimeError, match="injected"):
+            evaluator.map(raise_on_three, [(1,), (3,)])
+        assert evaluator._pool is None
+        # the evaluator stays usable: the next map builds a fresh pool
+        assert evaluator.map(square_sum, [(2,)]) == [4.0]
+        evaluator.close()
+
+    @pytest.mark.slow
+    def test_snapshot_delta_reaches_existing_pool(self, tmp_path):
+        """Entries recorded after pool creation still reach workers."""
+        store = EvaluationStore(str(tmp_path / "evals.jsonl"))
+        store.record((1, 2), 5.0)
+        with MultiprocessEvaluator(processes=1, store=store) as evaluator:
+            # base snapshot, shipped at pool creation
+            assert evaluator.map(fail_if_called, [(1, 2)]) == [5.0]
+            # recorded into a live pool: ships as a per-map delta
+            store.record((3, 4), 7.0)
+            assert evaluator.map(fail_if_called, [(3, 4)]) == [7.0]

@@ -1,0 +1,132 @@
+"""Generation-batched evaluation: bitwise equivalence and dedup.
+
+The batch layer's contract mirrors the accelerator's: running a whole
+bred generation through
+:class:`repro.perf.batch.GenerationBatchEvaluator` must reproduce the
+serial memoized path (``vm.run`` per genome per program) bit for bit,
+while simulating each distinct plan signature only once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch import PENTIUM4
+from repro.core.evaluation import HeuristicEvaluator
+from repro.core.metrics import Metric
+from repro.errors import SimulationError
+from repro.jvm.inlining import JIKES_DEFAULT_PARAMETERS, InliningParameters
+from repro.jvm.runtime import VirtualMachine
+from repro.jvm.scenario import ADAPTIVE, OPTIMIZING
+from repro.perf.batch import GenerationBatchEvaluator
+from repro.workloads.suites import SPECJVM98
+
+from tests.perf.test_equivalence import REPORT_FIELDS, assert_reports_identical
+
+PARENTS = [
+    JIKES_DEFAULT_PARAMETERS.as_tuple(),
+    (1, 1, 1, 1, 1),
+    (50, 20, 15, 4000, 400),
+    (23, 11, 5, 1900, 135),
+]
+
+
+def bred_generation(n=24, seed=3):
+    """A GA-like generation: parents plus crossover offspring.
+
+    Four parents crossed pairwise produce heavy gene repetition and
+    outright duplicate genomes — the population shape the dedup layer
+    exists for.
+    """
+    rng = np.random.default_rng(seed)
+    genomes = list(PARENTS)
+    while len(genomes) < n:
+        a, b = rng.integers(0, len(PARENTS), size=2)
+        cut = int(rng.integers(1, 5))
+        genomes.append(PARENTS[a][:cut] + PARENTS[b][cut:])
+    return genomes[:n]
+
+
+@pytest.fixture(scope="module")
+def programs():
+    return SPECJVM98.programs(seed=0)[:2]
+
+
+@pytest.fixture(scope="module")
+def generation():
+    return [InliningParameters(*genome) for genome in bred_generation()]
+
+
+class TestRunGeneration:
+    @pytest.mark.parametrize("scenario", [OPTIMIZING, ADAPTIVE], ids=lambda s: s.name)
+    def test_bitwise_equal_to_serial_memoized(self, scenario, programs, generation):
+        serial_vm = VirtualMachine(PENTIUM4, scenario, memoize=True)
+        batch_vm = VirtualMachine(PENTIUM4, scenario, memoize=True)
+        rows = GenerationBatchEvaluator(batch_vm).run_generation(programs, generation)
+        for g, params in enumerate(generation):
+            for p, program in enumerate(programs):
+                serial = serial_vm.run(program, params)
+                assert_reports_identical(serial, rows[g][p])
+                # attach_params=True stamps the caller's params object
+                assert rows[g][p].params is params
+
+    def test_dedup_counts_fanned_out_genomes(self, programs, generation):
+        vm = VirtualMachine(PENTIUM4, OPTIMIZING, memoize=True)
+        GenerationBatchEvaluator(vm).run_generation(programs, generation)
+        stats = vm.perf_stats
+        assert stats.batch_generations == 1
+        assert stats.batch_dedup_hits > 0
+        # every genome is accounted exactly once per program: either a
+        # memo hit, a fresh simulation, or a dedup fan-out
+        total = stats.report_hits + stats.report_misses + stats.batch_dedup_hits
+        assert total == len(generation) * len(programs)
+
+    def test_memo_shared_with_serial_path(self, programs, generation):
+        """Serial runs populate the memo the batch path answers from."""
+        vm = VirtualMachine(PENTIUM4, OPTIMIZING, memoize=True)
+        for params in generation:
+            for program in programs:
+                vm.run(program, params)
+        misses_before = vm.perf_stats.report_misses
+        GenerationBatchEvaluator(vm).run_generation(programs, generation)
+        assert vm.perf_stats.report_misses == misses_before
+
+    def test_empty_generation(self, programs):
+        vm = VirtualMachine(PENTIUM4, OPTIMIZING, memoize=True)
+        assert GenerationBatchEvaluator(vm).run_generation(programs, []) == []
+
+    def test_attach_params_false_shares_class_reports(self, programs):
+        """Duplicate genomes share one unstamped report object."""
+        vm = VirtualMachine(PENTIUM4, OPTIMIZING, memoize=True)
+        twins = [InliningParameters(*PARENTS[0]), InliningParameters(*PARENTS[0])]
+        rows = GenerationBatchEvaluator(vm).run_generation(
+            programs, twins, attach_params=False
+        )
+        for p in range(len(programs)):
+            assert rows[0][p] is rows[1][p]
+
+    def test_requires_memoizing_vm(self):
+        with pytest.raises(SimulationError):
+            GenerationBatchEvaluator(VirtualMachine(PENTIUM4, OPTIMIZING, memoize=False))
+
+
+class TestEvaluatorBatchFitness:
+    def test_evaluate_batch_matches_serial_call(self, programs):
+        genomes = bred_generation(n=12)
+        serial = HeuristicEvaluator(programs, PENTIUM4, OPTIMIZING, Metric.BALANCE)
+        batched = HeuristicEvaluator(programs, PENTIUM4, OPTIMIZING, Metric.BALANCE)
+        assert batched.evaluate_batch(genomes) == [serial(g) for g in genomes]
+
+    def test_empty_batch(self, programs):
+        evaluator = HeuristicEvaluator(programs, PENTIUM4, OPTIMIZING, Metric.TOTAL)
+        assert evaluator.evaluate_batch([]) == []
+
+    def test_noisy_subclass_falls_back_to_serial(self, programs):
+        from repro.experiments.extensions import NoisyEvaluator
+
+        evaluator = NoisyEvaluator(programs, PENTIUM4, OPTIMIZING, Metric.RUNNING)
+        assert not evaluator._can_batch()
+        values = evaluator.evaluate_batch(bred_generation(n=3))
+        assert len(values) == 3
+        assert all(isinstance(v, float) for v in values)

@@ -79,6 +79,44 @@ class TestTuneCommand:
         assert "error:" in capsys.readouterr().err
 
 
+class TestCampaignCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.machines == "pentium4,powerpc-g4"
+        assert args.scenarios == "adapt,opt"
+        assert args.metrics == "balance"
+        assert args.processes is None
+        assert not args.serial
+
+    def test_tiny_serial_campaign(self, capsys, tmp_path):
+        code = main(
+            [
+                "campaign",
+                "--machines",
+                "pentium4",
+                "--scenarios",
+                "opt",
+                "--generations",
+                "2",
+                "--population",
+                "6",
+                "--serial",
+                "--store",
+                str(tmp_path / "evals.jsonl"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "campaign: 1 tasks" in out
+        assert "Opt:balance@pentium4" in out
+        assert "new store records" in out
+        assert "report hit rate" in out
+
+    def test_unknown_machine_is_clean_error(self, capsys):
+        assert main(["campaign", "--machines", "itanium", "--serial"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
 class TestFigureCommand:
     def test_figure1(self, capsys):
         assert main(["figure", "1"]) == 0

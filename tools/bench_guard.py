@@ -1,26 +1,34 @@
 #!/usr/bin/env python
 """Evaluation-throughput regression guard.
 
-Runs the ``benchmarks/bench_evaluation_speed.py`` measurement (one
-50-genome generation over SPECjvm98 through the reference VM and the
-``repro.perf`` accelerator), writes the results to
-``benchmarks/BENCH_evaluation.json``, and fails when throughput
-regresses more than 20% against the committed baseline
-``benchmarks/BENCH_evaluation_baseline.json``.
+Runs the repository's headless speed measurements and fails when a
+guarded speedup ratio regresses more than 20% against its committed
+baseline:
 
-The guarded figure is the **speedup ratio** (accelerated over reference
-evals/sec), not absolute evals/sec: the ratio is a property of the code
-paths and survives CI hosts of different speeds, while absolute
-throughput numbers only compare within one machine.  Absolute numbers
-are still recorded in the JSON for local inspection.
+* ``benchmarks/bench_evaluation_speed.py`` — one 50-genome generation
+  over SPECjvm98 through the reference VM vs the ``repro.perf``
+  accelerator.  Results in ``benchmarks/BENCH_evaluation.json``,
+  baseline in ``benchmarks/BENCH_evaluation_baseline.json``, 5x
+  acceptance floor.
+* ``benchmarks/bench_batch_eval.py`` — the same generation through the
+  memoized serial path vs generation-batched evaluation
+  (``repro.perf.batch``), steady state.  Results in
+  ``benchmarks/BENCH_batch.json``, baseline in
+  ``benchmarks/BENCH_batch_baseline.json``, 2x acceptance floor.
 
-Exit status: 0 when the guard passes, 1 on regression, bitwise
-mismatch, or a speedup below the 5x acceptance floor.
+The guarded figure is always the **speedup ratio**, not absolute
+evals/sec: the ratio is a property of the code paths and survives CI
+hosts of different speeds, while absolute throughput numbers only
+compare within one machine.  Absolute numbers are still recorded in
+the JSON for local inspection.
+
+Exit status: 0 when every guard passes, 1 on regression, bitwise
+mismatch, or a speedup below an acceptance floor.
 
 Usage::
 
-    python tools/bench_guard.py              # guard against baseline
-    python tools/bench_guard.py --rebaseline # rewrite the baseline file
+    python tools/bench_guard.py              # guard against baselines
+    python tools/bench_guard.py --rebaseline # rewrite both baseline files
 """
 
 from __future__ import annotations
@@ -32,21 +40,97 @@ import sys
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 BENCH_DIR = os.path.join(REPO_ROOT, "benchmarks")
-RESULT_PATH = os.path.join(BENCH_DIR, "BENCH_evaluation.json")
-BASELINE_PATH = os.path.join(BENCH_DIR, "BENCH_evaluation_baseline.json")
 
-#: largest tolerated relative drop in the speedup ratio
+#: largest tolerated relative drop in a speedup ratio
 MAX_REGRESSION = 0.20
-#: hard acceptance floor, independent of the baseline
-MIN_SPEEDUP = 5.0
+
+#: the guarded measurements: (label, module, runner attr, result file,
+#: baseline file, acceptance floor)
+GUARDS = (
+    (
+        "evaluation",
+        "bench_evaluation_speed",
+        "run_evaluation_speed",
+        "BENCH_evaluation.json",
+        "BENCH_evaluation_baseline.json",
+        5.0,
+    ),
+    (
+        "batch",
+        "bench_batch_eval",
+        "run_batch_eval",
+        "BENCH_batch.json",
+        "BENCH_batch_baseline.json",
+        2.0,
+    ),
+)
 
 
-def _measure() -> dict:
-    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
-    sys.path.insert(0, BENCH_DIR)
-    from bench_evaluation_speed import run_evaluation_speed
+def _measure(module_name: str, runner_name: str) -> dict:
+    if os.path.join(REPO_ROOT, "src") not in sys.path:
+        sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    if BENCH_DIR not in sys.path:
+        sys.path.insert(0, BENCH_DIR)
+    module = __import__(module_name)
+    return getattr(module, runner_name)()
 
-    return run_evaluation_speed()
+
+def _guard_one(label, module_name, runner_name, result_file, baseline_file, floor, rebaseline):
+    """Run one measurement and return its list of failure strings."""
+    result_path = os.path.join(BENCH_DIR, result_file)
+    baseline_path = os.path.join(BENCH_DIR, baseline_file)
+
+    result = _measure(module_name, runner_name)
+    with open(result_path, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"[{label}] wrote {os.path.relpath(result_path, REPO_ROOT)}")
+    print(f"[{label}] speedup {result['speedup']:.2f}x")
+
+    failures = []
+    if result["mismatched_fields"]:
+        failures.append(
+            f"[{label}] {result['mismatched_fields']} ExecutionReport fields "
+            "diverged between the compared paths"
+        )
+    if result["speedup"] < floor:
+        failures.append(
+            f"[{label}] speedup {result['speedup']:.2f}x is below the "
+            f"{floor:.0f}x floor"
+        )
+
+    if rebaseline:
+        baseline = {
+            "speedup": result["speedup"],
+            "accelerator_stats": result["accelerator_stats"],
+        }
+        for key in result:
+            if key.endswith("_evals_per_sec"):
+                baseline[key] = result[key]
+        with open(baseline_path, "w", encoding="utf-8") as handle:
+            json.dump(baseline, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"[{label}] rebaselined {os.path.relpath(baseline_path, REPO_ROOT)}")
+    elif not os.path.exists(baseline_path):
+        failures.append(
+            f"[{label}] no baseline at {baseline_path}; "
+            "run with --rebaseline to create one"
+        )
+    else:
+        with open(baseline_path, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        floor_ratio = baseline["speedup"] * (1.0 - MAX_REGRESSION)
+        print(
+            f"[{label}] baseline speedup {baseline['speedup']:.2f}x   "
+            f"regression floor {floor_ratio:.2f}x"
+        )
+        if result["speedup"] < floor_ratio:
+            failures.append(
+                f"[{label}] speedup {result['speedup']:.2f}x regressed more "
+                f"than {MAX_REGRESSION:.0%} below the baseline "
+                f"{baseline['speedup']:.2f}x"
+            )
+    return failures
 
 
 def main(argv=None) -> int:
@@ -54,60 +138,26 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--rebaseline",
         action="store_true",
-        help="overwrite the committed baseline with this run's results",
+        help="overwrite the committed baselines with this run's results",
+    )
+    parser.add_argument(
+        "--only",
+        choices=[g[0] for g in GUARDS],
+        default=None,
+        help="run a single guard instead of all of them",
     )
     args = parser.parse_args(argv)
 
-    result = _measure()
-    with open(RESULT_PATH, "w", encoding="utf-8") as handle:
-        json.dump(result, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    print(f"wrote {os.path.relpath(RESULT_PATH, REPO_ROOT)}")
-    print(
-        "speedup {speedup:.2f}x   accelerated {accelerated_evals_per_sec:.1f} "
-        "evals/s   reference {reference_evals_per_sec:.1f} evals/s".format(**result)
-    )
-
     failures = []
-    if result["mismatched_fields"]:
-        failures.append(
-            f"{result['mismatched_fields']} ExecutionReport fields diverged "
-            "from the reference path"
-        )
-    if result["speedup"] < MIN_SPEEDUP:
-        failures.append(
-            f"speedup {result['speedup']:.2f}x is below the {MIN_SPEEDUP:.0f}x floor"
-        )
-
-    if args.rebaseline:
-        baseline = {
-            "speedup": result["speedup"],
-            "accelerated_evals_per_sec": result["accelerated_evals_per_sec"],
-            "reference_evals_per_sec": result["reference_evals_per_sec"],
-            "accelerator_stats": result["accelerator_stats"],
-        }
-        with open(BASELINE_PATH, "w", encoding="utf-8") as handle:
-            json.dump(baseline, handle, indent=2, sort_keys=True)
-            handle.write("\n")
-        print(f"rebaselined {os.path.relpath(BASELINE_PATH, REPO_ROOT)}")
-    elif not os.path.exists(BASELINE_PATH):
-        failures.append(
-            f"no baseline at {BASELINE_PATH}; run with --rebaseline to create one"
-        )
-    else:
-        with open(BASELINE_PATH, "r", encoding="utf-8") as handle:
-            baseline = json.load(handle)
-        floor = baseline["speedup"] * (1.0 - MAX_REGRESSION)
-        print(
-            f"baseline speedup {baseline['speedup']:.2f}x   "
-            f"regression floor {floor:.2f}x"
-        )
-        if result["speedup"] < floor:
-            failures.append(
-                f"speedup {result['speedup']:.2f}x regressed more than "
-                f"{MAX_REGRESSION:.0%} below the baseline "
-                f"{baseline['speedup']:.2f}x"
+    for label, module_name, runner_name, result_file, baseline_file, floor in GUARDS:
+        if args.only is not None and label != args.only:
+            continue
+        failures.extend(
+            _guard_one(
+                label, module_name, runner_name,
+                result_file, baseline_file, floor, args.rebaseline,
             )
+        )
 
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
