@@ -61,10 +61,16 @@ class HeuristicEvaluator:
         return [self.vm.run(program, params) for program in self.programs]
 
     def fitness_of_params(self, params: InliningParameters) -> float:
-        """Geometric-mean Perf of *params* over the training programs."""
+        """Geometric-mean Perf of *params* over the training programs.
+
+        Runs with ``attach_params=False``: report-memo hits return the
+        shared memoized report instead of a per-genome dataclass copy —
+        no metric reads ``report.params``, and converged populations
+        hit the memo for nearly every genome.
+        """
         values = []
         for program in self.programs:
-            report = self.vm.run(program, params)
+            report = self.vm.run(program, params, attach_params=False)
             values.append(
                 perf_value(self.metric, report, self.default_reports[program.name])
             )

@@ -102,6 +102,22 @@ class PromotionPlan:
     hot_sites: FrozenSet[Tuple[int, int]]
     promotions: Tuple[Tuple[int, int], ...]
 
+    @property
+    def promoted_method_ids(self) -> Tuple[int, ...]:
+        """The promoted methods as a column, in recompilation order.
+
+        The adaptive batch kernel keys plan signatures and entry
+        matrices on exactly this column; it is the ``promotions`` pairs
+        with the levels projected away.
+        """
+        return tuple(mid for mid, _ in self.promotions)
+
+    @property
+    def promotion_levels(self) -> Tuple[int, ...]:
+        """The chosen optimization levels, parallel to
+        :attr:`promoted_method_ids`."""
+        return tuple(level for _, level in self.promotions)
+
 
 class AdaptiveOptimizationSystem:
     """Drives baseline compilation, profiling and hot-method promotion."""

@@ -165,10 +165,33 @@ class VirtualMachine:
             return None
         return self._accelerator.stats
 
-    def run(self, program: Program, params: InliningParameters) -> ExecutionReport:
-        """Run *program* with the heuristic fixed to *params*."""
+    def clear_report_memo(self) -> None:
+        """Drop the accelerator's per-signature report memos only.
+
+        Plan caches and adaptive skeletons stay warm; the next run of
+        each signature redoes its accounting.  The steady-state
+        benchmarks use this between rounds.  No-op without memoization.
+        """
         if self._accelerator is not None:
-            return self._accelerator.run(program, params)
+            self._accelerator.clear_report_memo()
+
+    def run(
+        self,
+        program: Program,
+        params: InliningParameters,
+        attach_params: bool = True,
+    ) -> ExecutionReport:
+        """Run *program* with the heuristic fixed to *params*.
+
+        ``attach_params=False`` lets a memoizing VM answer a report-memo
+        hit with the shared memoized report object instead of a copy
+        stamped with the caller's *params* — every other field is
+        unaffected.  The fitness layer uses this (no metric reads
+        ``params``); callers that inspect ``report.params`` should keep
+        the default.  Without memoization the flag is a no-op.
+        """
+        if self._accelerator is not None:
+            return self._accelerator.run(program, params, attach_params)
         return self.run_reference(program, params)
 
     def run_reference(

@@ -27,23 +27,33 @@ cost with three cooperating tiers (see ``docs/PERFORMANCE.md``):
    deduplicate by plan signature across genomes before any simulation,
    and account the residual representatives as (genomes x methods)
    matrices.
+5. **Adaptive batch kernel** (:mod:`repro.perf.adaptivekernel`) — under
+   *Adapt*, the unresolved representatives of a generation become
+   columns of one (methods x representatives) matrix propagation, the
+   final-version accounting runs as matrix expressions over the
+   representative dimension, and cold promoted methods are compiled
+   once per distinct parameter region with the traced plan fanned out
+   to every genome the region covers.
 
 All tiers are bitwise-exact: the accelerated paths reproduce the seed
 implementation's floating-point results to the last bit (enforced by
 ``tests/perf/test_equivalence.py``).
 """
 
-from repro.perf.batch import GenerationBatchEvaluator
+from repro.perf.adaptivekernel import AdaptiveBatchKernel
+from repro.perf.batch import GenerationBatchEvaluator, batched_cache_pressure
 from repro.perf.engine import AcceleratorStats, EvaluationAccelerator, aggregate_stats
 from repro.perf.plancache import MethodPlanCache
 from repro.perf.store import EvaluationStore, evaluation_context_key
 
 __all__ = [
     "AcceleratorStats",
+    "AdaptiveBatchKernel",
     "EvaluationAccelerator",
     "GenerationBatchEvaluator",
     "MethodPlanCache",
     "EvaluationStore",
     "evaluation_context_key",
     "aggregate_stats",
+    "batched_cache_pressure",
 ]

@@ -23,10 +23,12 @@ of that:
   factors all run across the batch dimension.  Reductions that the
   reference accumulates sequentially use ``cumsum`` (also strictly
   sequential) over dense rows, so every float result stays bitwise
-  equal to the serial memoized path.  *Adapt* representatives reuse the
-  accelerator's shared per-signature accounting
-  (:meth:`EvaluationAccelerator._account_adaptive`) — its baseline
-  overwrite step is signature-shaped, not batch-shaped.
+  equal to the serial memoized path.  *Adapt* representatives go
+  through :class:`repro.perf.adaptivekernel.AdaptiveBatchKernel`, which
+  stacks them as columns of one matrix propagation and batches the
+  final-version accounting and the cold-path compilation the same way
+  (``use_adaptive_kernel=False`` falls back to the accelerator's
+  per-signature :meth:`EvaluationAccelerator._account_adaptive`).
 
 The batch layer shares the accelerator's caches and report memo, so
 serial ``vm.run`` calls and batched generations see (and populate) the
@@ -44,7 +46,48 @@ from repro.errors import SimulationError
 from repro.jvm.callgraph import Program
 from repro.jvm.inlining import InliningParameters
 
-__all__ = ["GenerationBatchEvaluator"]
+__all__ = ["GenerationBatchEvaluator", "batched_cache_pressure"]
+
+
+def batched_cache_pressure(
+    times: np.ndarray,
+    sizes_dense: np.ndarray,
+    cost_model,
+    machine,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Row-wise code-cache pressure for a batch of accounted runs.
+
+    *times* and *sizes_dense* are ``(representatives, methods)``;
+    returns ``(totals, hots, factors)`` — per row the raw running-cycle
+    total, the hot code size and the I-cache pressure factor, each
+    bitwise equal to :func:`repro.jvm.codecache.hot_code_size` /
+    :func:`~repro.jvm.codecache.pressure_factor` on that row alone
+    (row views of a C-contiguous matrix sum exactly like the serial
+    1-D arrays).  Shared by the Opt batch accounting and the adaptive
+    kernel.
+    """
+    n_reps = len(times)
+    hot_share = cost_model.hot_share_at_full
+    capacity = machine.icache_capacity
+    penalty = machine.icache_miss_penalty
+    totals = np.empty(n_reps, dtype=np.float64)
+    hots = np.empty(n_reps, dtype=np.float64)
+    for r in range(n_reps):
+        row_times = times[r]
+        total = float(row_times.sum())
+        totals[r] = total
+        if total <= 0.0:
+            hots[r] = 0.0
+            continue
+        weights = np.minimum((row_times / total) / hot_share, 1.0)
+        hots[r] = float(np.dot(sizes_dense[r], weights))
+    factors = np.ones(n_reps, dtype=np.float64)
+    if penalty != 0.0:
+        over = np.flatnonzero(hots > capacity)
+        if len(over):
+            overflow = hots[over] / capacity - 1.0
+            factors[over] = 1.0 + penalty * overflow / (1.0 + overflow)
+    return totals, hots, factors
 
 
 class GenerationBatchEvaluator:
@@ -57,7 +100,7 @@ class GenerationBatchEvaluator:
     through ``vm.run`` serially.
     """
 
-    def __init__(self, vm) -> None:
+    def __init__(self, vm, use_adaptive_kernel: bool = True) -> None:
         accelerator = getattr(vm, "_accelerator", None)
         if accelerator is None:
             raise SimulationError(
@@ -66,6 +109,11 @@ class GenerationBatchEvaluator:
             )
         self.vm = vm
         self.accelerator = accelerator
+        self._kernel = None
+        if use_adaptive_kernel and vm.scenario.is_adaptive:
+            from repro.perf.adaptivekernel import AdaptiveBatchKernel
+
+            self._kernel = AdaptiveBatchKernel(vm, accelerator)
 
     # ------------------------------------------------------------------
     def run_generation(
@@ -112,7 +160,7 @@ class GenerationBatchEvaluator:
         adaptive = self.vm.scenario.is_adaptive
         if adaptive:
             acc._ensure_skeleton(state)
-            key_mids = [mid for mid, _ in state.skeleton.promotions]
+            key_mids = state.key_mids
         else:
             key_mids = state.reachable_list
 
@@ -155,14 +203,17 @@ class GenerationBatchEvaluator:
             rep_rows = resolved[miss_reps]
             rep_params = [params_list[rep] for rep in miss_reps]
             if adaptive:
-                fresh = [
-                    acc._account_adaptive(
-                        state,
-                        {mid: int(row[mid]) for mid, _ in state.skeleton.promotions},
-                        params,
-                    )
-                    for row, params in zip(rep_rows, rep_params)
-                ]
+                if self._kernel is not None and len(miss_reps) > 1:
+                    fresh = self._kernel.account(state, rep_rows, rep_params)
+                else:
+                    fresh = [
+                        acc._account_adaptive(
+                            state,
+                            {mid: int(row[mid]) for mid in state.key_mids},
+                            params,
+                        )
+                        for row, params in zip(rep_rows, rep_params)
+                    ]
             else:
                 fresh = self._account_opt_batch(state, rep_rows, rep_params)
             for slot, signature, report in zip(miss_slots, miss_signatures, fresh):
@@ -203,6 +254,14 @@ class GenerationBatchEvaluator:
             return resolved
         missing_rows = np.flatnonzero((resolved[:, key_mids] < 0).any(axis=1))
         if not len(missing_rows):
+            return resolved
+
+        if adaptive and self._kernel is not None:
+            # grouped cold path: one traced plan per distinct region,
+            # fanned out to every genome the region covers
+            self._kernel.resolve_missing(
+                state, params_list, values_matrix, resolved, missing_rows
+            )
             return resolved
 
         traced = acc._traced(state)
@@ -282,26 +341,9 @@ class GenerationBatchEvaluator:
         inline_sites = np.where(invoked, inline_col[entries], 0).sum(axis=1)
         n_opt = invoked.sum(axis=1)
 
-        hot_share = vm.cost_model.hot_share_at_full
-        capacity = vm.machine.icache_capacity
-        penalty = vm.machine.icache_miss_penalty
-        totals = np.empty(n_reps, dtype=np.float64)
-        hots = np.empty(n_reps, dtype=np.float64)
-        for r in range(n_reps):
-            row_times = times[r]
-            total = float(row_times.sum())
-            totals[r] = total
-            if total <= 0.0:
-                hots[r] = 0.0
-                continue
-            weights = np.minimum((row_times / total) / hot_share, 1.0)
-            hots[r] = float(np.dot(sizes_dense[r], weights))
-        factors = np.ones(n_reps, dtype=np.float64)
-        if penalty != 0.0:
-            over = np.flatnonzero(hots > capacity)
-            if len(over):
-                overflow = hots[over] / capacity - 1.0
-                factors[over] = 1.0 + penalty * overflow / (1.0 + overflow)
+        totals, hots, factors = batched_cache_pressure(
+            times, sizes_dense, vm.cost_model, vm.machine
+        )
         running = totals * factors
 
         reports = []

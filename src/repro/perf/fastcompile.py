@@ -26,14 +26,32 @@ from __future__ import annotations
 import math
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
+import numpy as np
+
 from repro.jvm.callgraph import Program
 from repro.jvm.compiled import CompiledMethod
 from repro.jvm.inlining import HARD_DEPTH_LIMIT, ParamRegion, _REGION_UNBOUNDED
 from repro.jvm.methods import CALL_SEQUENCE_SIZE
 
-__all__ = ["TracedCompiler"]
+__all__ = ["TracedCompiler", "region_covers"]
 
 _EMPTY_KEY = frozenset()
+
+
+def region_covers(region: ParamRegion, values_matrix: np.ndarray) -> np.ndarray:
+    """Which rows of ``(n, 5)`` *values_matrix* fall inside *region*.
+
+    The region's bounds come straight from the compile loop's integer
+    comparison tables, so one broadcast bound check decides, for a whole
+    batch of parameter vectors at once, which of them reproduce the
+    traced plan.  The grouped cold-compilation path uses this to fan a
+    freshly compiled version out to every pending genome it covers
+    instead of re-expanding the plan per genome.
+    """
+    lo = np.asarray(region.lo, dtype=np.int64)
+    hi = np.asarray(region.hi, dtype=np.int64)
+    p = np.asarray(values_matrix, dtype=np.int64)
+    return ((lo <= p) & (p <= hi)).all(axis=1)
 
 
 class TracedCompiler:

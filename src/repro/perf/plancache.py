@@ -24,7 +24,7 @@ attribute chasing.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -62,6 +62,18 @@ class MethodPlanCache:
         # ndarray views of the scalar columns, rebuilt lazily when the
         # entry count changes (the batch accounting gathers from these)
         self._column_cache: Optional[Tuple[np.ndarray, ...]] = None
+        # restricted-match row table: (method-id key, entry count at
+        # build, entry rows of those methods, position of each row's
+        # method within the key); rebuilt when entries were added
+        self._method_rows_cache: Optional[
+            Tuple[Tuple[int, ...], int, np.ndarray, np.ndarray]
+        ] = None
+        self._self_rate_cache: Optional[np.ndarray] = None
+        # per-entry residual edges as ndarray pairs, plus the per-entry
+        # edge count column — built lazily for the adaptive matrix
+        # kernel's flattened row scatters
+        self._edge_array_cache: dict = {}
+        self._edge_count_cache: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -124,6 +136,54 @@ class MethodPlanCache:
         # regions of one method are disjoint, so each method gets at
         # most one hit; later entries would simply overwrite equals
         resolved[self._ENTRY_METHOD[:n][hits]] = hits
+        return resolved
+
+    def _method_rows(
+        self, key: Tuple[int, ...]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Entry rows of the methods in *key*, with key positions.
+
+        Returns ``(rows, rows_pos)``: the entry ids whose method is in
+        *key* and, parallel to them, each entry's method's index within
+        *key*.  Cached until the entry count changes.
+        """
+        n = len(self._versions)
+        cached = self._method_rows_cache
+        if cached is not None and cached[0] == key and cached[1] == n:
+            return cached[2], cached[3]
+        mids = np.asarray(key, dtype=np.int64)
+        pos_lookup = np.full(self.n_methods, -1, dtype=np.int64)
+        pos_lookup[mids] = np.arange(len(mids), dtype=np.int64)
+        entry_methods = self._ENTRY_METHOD[:n]
+        pos = pos_lookup[entry_methods]
+        rows = np.flatnonzero(pos >= 0)
+        rows_pos = pos[rows]
+        self._method_rows_cache = (key, n, rows, rows_pos)
+        return rows, rows_pos
+
+    def match_methods(
+        self, values: Tuple[int, ...], method_ids: Sequence[int]
+    ) -> np.ndarray:
+        """Resolve only *method_ids* for a parameter vector.
+
+        Returns an array parallel to *method_ids*: the matching entry id
+        per listed method, or -1 where no cached version covers
+        *values*.  The bound check is restricted to entries of the
+        listed methods and the result array is key-sized, so adaptive
+        runs — which only ever read the promoted methods — avoid the
+        whole-program resolve-and-copy of :meth:`match`.
+        """
+        key = tuple(method_ids)
+        resolved = np.full(len(key), -1, dtype=np.int64)
+        if not len(self._versions) or not key:
+            return resolved
+        rows, rows_pos = self._method_rows(key)
+        if not len(rows):
+            return resolved
+        p = np.asarray(values, dtype=np.int64)
+        mask = ((self._LO[rows] <= p) & (p <= self._HI[rows])).all(axis=1)
+        hits = np.flatnonzero(mask)
+        resolved[rows_pos[hits]] = rows[hits]
         return resolved
 
     def match_many(self, values_matrix: np.ndarray) -> np.ndarray:
@@ -206,6 +266,49 @@ class MethodPlanCache:
         """Residual self-recursion rate of one entry."""
         return self._self_rate[entry]
 
+    def self_rate_column(self) -> np.ndarray:
+        """Residual self-rate as an ndarray column over all entries.
+
+        Rebuilt only when entries were added since the last call; the
+        adaptive matrix kernel gathers per-group scalars from it.
+        """
+        col = self._self_rate_cache
+        n = len(self._versions)
+        if col is None or len(col) != n:
+            col = np.array(self._self_rate, dtype=np.float64)
+            self._self_rate_cache = col
+        return col
+
     def edges(self, entry: int) -> Tuple[List[int], List[float]]:
         """Residual forward edges ``(callee_ids, rates)`` of one entry."""
         return self._edges[entry]
+
+    def edge_arrays(self, entry: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Residual forward edges of one entry as an ndarray pair.
+
+        ``(callee_ids int64, rates float64)`` in edge order, cached per
+        entry: the adaptive matrix kernel concatenates these across a
+        promoted row's columns to apply every edge contribution with a
+        single scatter.  The float conversion is exact.
+        """
+        cached = self._edge_array_cache.get(entry)
+        if cached is None:
+            callees, rates = self._edges[entry]
+            cached = (
+                np.array(callees, dtype=np.int64),
+                np.array(rates, dtype=np.float64),
+            )
+            self._edge_array_cache[entry] = cached
+        return cached
+
+    def edge_count_column(self) -> np.ndarray:
+        """Residual-edge count per entry, as an int64 column.
+
+        Rebuilt only when entries were added since the last call.
+        """
+        col = self._edge_count_cache
+        n = len(self._versions)
+        if col is None or len(col) != n:
+            col = np.array([len(e[0]) for e in self._edges], dtype=np.int64)
+            self._edge_count_cache = col
+        return col

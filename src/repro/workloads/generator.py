@@ -93,8 +93,17 @@ class ProgramGenerator:
         bodies = self._flatten_profile(bodies, sites)
 
         alpha, beta = self._calibration_factors(bodies, sites)
+        # the entry executes exactly once, so beta cannot reach its body
+        # work through invocation counts — scale its loop weight
+        # directly, keeping every cycle term proportional to beta and
+        # the calibration exact even when the entry's work is a visible
+        # share of one iteration (tiny, low-fanout graphs)
         bodies = [
-            MethodBody(mix=b.mix, loop_weight=b.loop_weight * alpha) for b in bodies
+            MethodBody(
+                mix=b.mix,
+                loop_weight=b.loop_weight * alpha * (beta if mid == 0 else 1.0),
+            )
+            for mid, b in enumerate(bodies)
         ]
         for site in sites:
             if site.caller == 0:
@@ -393,9 +402,8 @@ class ProgramGenerator:
         work_target = np.maximum(reshaped - call_time, 0.05 * reshaped)
         multipliers = np.ones_like(times)
         adjustable = live & (work_time > 0)
-        # the entry driver stays cold: its invocation count (exactly 1)
-        # is not rescaled by the entry-call calibration, so giving it
-        # weight would break the running-time target
+        # the entry driver stays cold: it is the once-invoked harness
+        # loop, not part of the benchmark's profile shape
         adjustable[0] = False
         multipliers[adjustable] = np.clip(
             work_target[adjustable] / work_time[adjustable], 1e-6, 1e12
@@ -414,10 +422,10 @@ class ProgramGenerator:
         cycles of one uncalibrated iteration, scaling all loop weights
         by ``alpha = C (1-s) / (s W)`` makes call overhead exactly the
         spec's ``call_share`` ``s``; the total is then ``C / s``, and
-        scaling the entry's outgoing call counts by
-        ``beta = target / (C / s)`` scales every invocation count —
-        hence both C and W — to hit the spec's running-time target
-        without disturbing the share.
+        scaling the entry's outgoing call counts (plus the entry's own
+        loop weight, which invocation counts cannot reach) by
+        ``beta = target / (C / s)`` scales every cycle term to hit the
+        spec's running-time target without disturbing the share.
         """
         spec = self.spec
         draft = self._draft_program(bodies, sites)

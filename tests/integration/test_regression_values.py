@@ -24,28 +24,28 @@ from repro.workloads.suites import DACAPO_JBB, SPECJVM98
 #: total_cycles, inline_sites) captured from the calibrated model
 GOLDEN = {
     ("compress", "pentium4", "Opt", "default"): (
-        21288309284.783295,
-        21384402893.41966,
+        21288309970.54826,
+        21384403579.184624,
         148,
     ),
     ("jess", "pentium4", "Opt", "none"): (
-        5600000064.966505,
-        5899599876.784687,
+        5599999999.999999,
+        5899599811.818181,
         0,
     ),
     ("javac", "pentium4", "Adapt", "default"): (
-        4314287054.191284,
-        6456690052.775823,
+        4314287011.228984,
+        6456690009.383898,
         766,
     ),
     ("antlr", "pentium4", "Opt", "default"): (
-        1372871174.1578705,
-        8191828146.430568,
+        1372871045.1564507,
+        8191828017.429148,
         9418,
     ),
     ("ipsixql", "powerpc-g4", "Adapt", "default"): (
-        3016423872.6258974,
-        3990245762.5753107,
+        3016423665.211137,
+        3990245574.3415375,
         2664,
     ),
 }

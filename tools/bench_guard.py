@@ -15,6 +15,12 @@ baseline:
   (``repro.perf.batch``), steady state.  Results in
   ``benchmarks/BENCH_batch.json``, baseline in
   ``benchmarks/BENCH_batch_baseline.json``, 2x acceptance floor.
+* ``benchmarks/bench_adaptive_batch.py`` — the same generation under
+  *Adapt* through the serial-adaptive batched path vs the vectorized
+  adaptive kernel (``repro.perf.adaptivekernel``), steady-state
+  accounting with warm plan caches.  Results in
+  ``benchmarks/BENCH_adaptive.json``, baseline in
+  ``benchmarks/BENCH_adaptive_baseline.json``, 2x acceptance floor.
 
 The guarded figure is always the **speedup ratio**, not absolute
 evals/sec: the ratio is a property of the code paths and survives CI
@@ -61,6 +67,14 @@ GUARDS = (
         "run_batch_eval",
         "BENCH_batch.json",
         "BENCH_batch_baseline.json",
+        2.0,
+    ),
+    (
+        "adaptive",
+        "bench_adaptive_batch",
+        "run_adaptive_batch",
+        "BENCH_adaptive.json",
+        "BENCH_adaptive_baseline.json",
         2.0,
     ),
 )
