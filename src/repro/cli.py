@@ -85,7 +85,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--store",
         default=None,
         help="shared evaluation-store JSONL path "
-        "(default: .repro_cache/evaluations.jsonl)",
+        "(default: .repro_cache/evaluations.jsonl, or "
+        "<dir>/evaluations.jsonl with --dir)",
+    )
+    p_camp.add_argument(
+        "--dir",
+        dest="campaign_dir",
+        default=None,
+        help="campaign directory: records completed cells in a "
+        "crash-safe manifest and checkpoints GA state every generation",
+    )
+    p_camp.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume the campaign in --dir: skip completed cells, "
+        "restart interrupted ones from their last GA generation",
+    )
+    p_camp.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        help="attempt budget per grid cell (default 3)",
+    )
+    p_camp.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        help="per-cell wall-clock budget in seconds (default: none)",
     )
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")
@@ -175,6 +201,7 @@ def _cmd_tune(args) -> int:
 def _cmd_campaign(args) -> int:
     from repro.experiments.campaign import grid_tasks, run_campaign
     from repro.experiments.tuning import _store_path
+    from repro.resilience import RetryPolicy
 
     config = DEFAULT_GA_CONFIG.scaled(
         generations=args.generations,
@@ -187,8 +214,17 @@ def _cmd_campaign(args) -> int:
         metrics=[m.strip() for m in args.metrics.split(",") if m.strip()],
         seed=args.seed,
     )
-    store = args.store if args.store is not None else _store_path()
-    print(f"campaign: {len(tasks)} tasks, store={store or 'none'}")
+    if args.store is not None:
+        store = args.store
+    elif args.campaign_dir is not None:
+        store = None  # the campaign directory supplies its default store
+    else:
+        store = _store_path()
+    policy = RetryPolicy(
+        max_attempts=args.retries, timeout=args.task_timeout, seed=args.seed
+    )
+    where = f"dir={args.campaign_dir}" if args.campaign_dir else f"store={store or 'none'}"
+    print(f"campaign: {len(tasks)} tasks, {where}")
     result = run_campaign(
         tasks,
         ga_config=config,
@@ -196,14 +232,24 @@ def _cmd_campaign(args) -> int:
         processes=args.processes,
         serial=args.serial,
         progress=lambda msg: print(f"  {msg}"),
+        campaign_dir=args.campaign_dir,
+        resume=args.resume,
+        retry_policy=policy,
     )
-    print(f"{'task':<24} {'fitness':>10} {'improve':>8} {'evals':>6} {'recalls':>8}")
+    print(
+        f"{'task':<24} {'status':>7} {'fitness':>10} {'improve':>8} "
+        f"{'evals':>6} {'recalls':>8}"
+    )
     for r in result.results:
-        print(
-            f"{r.task_name:<24} {r.tuned.fitness:>10.5g} "
-            f"{r.tuned.improvement:>+8.1%} {r.tuned.evaluations:>6} "
-            f"{r.tuned.store_hits:>8}"
-        )
+        status = "PASS" if r.ok else "FAIL"
+        if r.tuned is not None:
+            print(
+                f"{r.task_name:<24} {status:>7} {r.tuned.fitness:>10.5g} "
+                f"{r.tuned.improvement:>+8.1%} {r.tuned.evaluations:>6} "
+                f"{r.tuned.store_hits:>8}"
+            )
+        else:
+            print(f"{r.task_name:<24} {status:>7} {'-':>10} {'-':>8} {'-':>6} {'-':>8}")
     totals = result.accelerator_totals()
     print(
         f"campaign : {result.wall_seconds:.1f}s on {result.processes} "
@@ -215,6 +261,15 @@ def _cmd_campaign(args) -> int:
         f"method hit rate {totals['method_hit_rate']:.1%}, "
         f"batch dedup rate {totals['batch_dedup_rate']:.1%}"
     )
+    if not result.ok:
+        for failure in result.failures:
+            print(f"failure  : {failure}", file=sys.stderr)
+        print(
+            f"error: {len(result.failed_tasks)} of {len(result.results)} "
+            f"cell(s) failed: {', '.join(result.failed_tasks)}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

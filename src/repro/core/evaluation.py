@@ -10,6 +10,7 @@ deterministic.
 
 from __future__ import annotations
 
+import logging
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.arch.base import MachineModel
@@ -23,6 +24,8 @@ from repro.jvm.runtime import ExecutionReport, VirtualMachine
 from repro.jvm.scenario import CompilationScenario
 
 __all__ = ["HeuristicEvaluator"]
+
+_log = logging.getLogger("repro.core.evaluation")
 
 
 class HeuristicEvaluator:
@@ -116,7 +119,27 @@ class HeuristicEvaluator:
 
             runner = self._batch_runner = GenerationBatchEvaluator(self.vm)
         params_list = [self.space.decode(genome) for genome in genomes]
-        rows = runner.run_generation(self.programs, params_list, attach_params=False)
+        try:
+            rows = runner.run_generation(
+                self.programs, params_list, attach_params=False
+            )
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception:
+            # The batch layer degrades internally per program; a failure
+            # escaping it means even the grouping stage broke — fall all
+            # the way back to the serial per-genome path, which produces
+            # the same fitnesses (and its own degradation events).
+            accelerator = getattr(self.vm, "_accelerator", None)
+            if accelerator is not None:
+                accelerator.stats.degraded_batches += 1
+            _log.warning(
+                "generation-batched evaluation failed; degrading %d "
+                "genome(s) to the serial path",
+                len(genomes),
+                exc_info=True,
+            )
+            return [float(self(genome)) for genome in genomes]
         fitnesses: List[float] = []
         for row in rows:
             values = [

@@ -17,6 +17,7 @@ space that contains the hand-tuned point.
 from __future__ import annotations
 
 import json
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple
@@ -161,8 +162,17 @@ class InliningTuner:
         task: TuningTask,
         training_programs: Sequence[Program],
         on_generation=None,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_every: int = 1,
     ) -> TunedHeuristic:
-        """Tune the heuristic for *task* over *training_programs*."""
+        """Tune the heuristic for *task* over *training_programs*.
+
+        ``checkpoint_path`` makes the run resumable: engine state is
+        persisted there atomically every ``checkpoint_every``
+        generations, and a run finding an existing checkpoint at that
+        path resumes from its last saved generation instead of starting
+        over (the campaign runner uses this for ``--resume``).
+        """
         evaluator = self._evaluator_factory(
             programs=training_programs,
             machine=task.machine,
@@ -177,12 +187,21 @@ class InliningTuner:
         store = self._open_store(task, training_programs)
         engine = GAEngine(self.space.to_ga_space(), config, store=store)
 
+        resume_from = None
+        if checkpoint_path is not None and os.path.exists(checkpoint_path):
+            from repro.ga.checkpoint import load_checkpoint
+
+            resume_from = load_checkpoint(checkpoint_path)
+
         start = time.perf_counter()
         try:
             result = engine.run(
                 evaluator,
                 on_generation=on_generation,
                 initial_genomes=[self.space.encode(JIKES_DEFAULT_PARAMETERS)],
+                checkpoint_path=checkpoint_path,
+                checkpoint_every=checkpoint_every,
+                resume_from=resume_from,
             )
         finally:
             store_hits = store.hits if store is not None else 0

@@ -16,6 +16,8 @@ __all__ = [
     "GAError",
     "TuningError",
     "CheckpointError",
+    "CampaignError",
+    "StoreCorruptionError",
 ]
 
 
@@ -51,3 +53,12 @@ class TuningError(ReproError):
 
 class CheckpointError(ReproError):
     """A GA checkpoint could not be written or restored."""
+
+
+class CampaignError(ReproError):
+    """A multi-task campaign could not be run, persisted or resumed."""
+
+
+class StoreCorruptionError(ReproError):
+    """The persistent evaluation store is damaged beyond the repairs
+    the loader performs automatically (torn trailing line)."""

@@ -17,24 +17,47 @@ genome from the store — zero new simulations.
 Each task also reports its accelerator counters (report-memo, method
 cache and batch-dedup hit rates), which
 :class:`CampaignResult.accelerator_totals` aggregates for the campaign.
+
+Fault tolerance: cells run under :func:`repro.resilience.run_supervised`
+(bounded retries with backoff, worker-death recovery with pool rebuild
+and resubmission, optional per-task timeouts).  A cell that exhausts
+its attempt budget is reported as a ``failed``
+:class:`CampaignTaskResult` alongside the cells that succeeded — a
+partial campaign returns its partial results plus structured
+:class:`~repro.resilience.FailureReport` entries instead of raising.
+With ``campaign_dir`` set, completed cells are recorded in a
+crash-safe :class:`~repro.resilience.CampaignManifest` as they finish
+and workers checkpoint their GA state every generation, so
+``resume=True`` (CLI: ``repro campaign --resume``) skips finished
+cells and restarts interrupted ones from their last generation.
 """
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import os
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.arch import get_machine
 from repro.core.metrics import Metric
 from repro.core.tuner import DEFAULT_GA_CONFIG, InliningTuner, TunedHeuristic, TuningTask
-from repro.errors import ConfigurationError
+from repro.errors import CampaignError, ConfigurationError
 from repro.ga.engine import GAConfig
 from repro.jvm.scenario import get_scenario
 from repro.perf.engine import STAT_COUNTERS, AcceleratorStats
 from repro.perf.store import EvaluationStore
+from repro.resilience import (
+    CampaignManifest,
+    FailureReport,
+    RetryPolicy,
+    campaign_fingerprint,
+    checkpoint_path_for,
+    run_supervised,
+    run_supervised_serial,
+)
 
 __all__ = [
     "grid_tasks",
@@ -83,7 +106,8 @@ class CampaignTaskResult:
     """Outcome of one grid cell."""
 
     task_name: str
-    tuned: TunedHeuristic
+    #: the tuned heuristic, or None when the cell failed
+    tuned: Optional[TunedHeuristic]
     #: evaluation-context key of the cell's store partition
     context: Optional[str]
     #: records this task simulated and the coordinator persisted
@@ -91,20 +115,49 @@ class CampaignTaskResult:
     #: the task's accelerator counters (None if the evaluator ran
     #: without memoization)
     accelerator_stats: Optional[Dict[str, float]]
+    #: "done" (ran to completion this run), "resumed" (answered by the
+    #: campaign manifest of a previous run) or "failed"
+    status: str = "done"
+    #: the final failure message for a failed cell
+    error: Optional[str] = None
+    #: attempts this run spent on the cell (0 when resumed)
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.status != "failed"
 
 
 @dataclass(frozen=True)
 class CampaignResult:
-    """Outcome of a whole campaign."""
+    """Outcome of a whole campaign (possibly partial on failures)."""
 
     results: Tuple[CampaignTaskResult, ...]
     wall_seconds: float
     processes: int
+    #: every failed attempt, in the order they happened; a task may
+    #: appear several times, the last entry fatal if its cell failed
+    failures: Tuple[FailureReport, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        """True when every grid cell completed."""
+        return all(r.ok for r in self.results)
+
+    @property
+    def failed_tasks(self) -> Tuple[str, ...]:
+        """Names of the cells that exhausted their attempt budget."""
+        return tuple(r.task_name for r in self.results if not r.ok)
 
     @property
     def total_evaluations(self) -> int:
-        """Genomes actually simulated across all tasks."""
-        return sum(r.tuned.evaluations for r in self.results)
+        """Genomes actually simulated by *this* run (resumed cells
+        simulated theirs in the run that completed them)."""
+        return sum(
+            r.tuned.evaluations
+            for r in self.results
+            if r.tuned is not None and r.status != "resumed"
+        )
 
     @property
     def total_new_records(self) -> int:
@@ -130,20 +183,46 @@ def _run_campaign_task(payload) -> Tuple:
     """Tune one grid cell (module-level: runs in pool workers).
 
     The worker's store is read-only; newly simulated records come back
-    with the result for the coordinator to persist.
+    with the result for the coordinator to persist.  With a checkpoint
+    path (campaign directory mode) the GA persists its state every
+    generation and resumes from an existing checkpoint, so a retried or
+    resumed cell re-simulates only what the store cannot answer.
     """
-    task, ga_config, store_path, workload_seed = payload
+    task, ga_config, store_path, workload_seed, checkpoint_path = payload
+    from repro.resilience.faults import get_fault_injector
     from repro.workloads.suites import SPECJVM98
+
+    injector = get_fault_injector()
+    if injector is not None:
+        # test-only supervision hooks: an installed fault plan can kill
+        # this worker (SIGKILL) or fail the cell with an exception; the
+        # supervisor must recover either way
+        injector.maybe_kill("worker-kill", key=task.name)
+        injector.maybe_raise("task-exception", key=task.name)
 
     programs = SPECJVM98.programs(seed=workload_seed)
     tuner = InliningTuner(
         ga_config, store_path=store_path, store_readonly=True
     )
-    tuned = tuner.tune(task, programs)
+    tuned = tuner.tune(task, programs, checkpoint_path=checkpoint_path)
     store = tuner.last_store
     pending = store.drain_pending() if store is not None else []
     context = store.context if store is not None else None
     return task.name, tuned, context, pending, tuner.last_accelerator_stats
+
+
+def _resumed_result(task_name: str, cell: dict) -> CampaignTaskResult:
+    """A completed cell of a previous run, reconstructed from the
+    manifest."""
+    return CampaignTaskResult(
+        task_name=task_name,
+        tuned=TunedHeuristic.from_json(json.dumps(cell["tuned"])),
+        context=cell.get("context"),
+        new_records=0,  # persisted by the run that completed the cell
+        accelerator_stats=cell.get("accelerator_stats"),
+        status="resumed",
+        attempts=0,
+    )
 
 
 def run_campaign(
@@ -154,6 +233,9 @@ def run_campaign(
     processes: Optional[int] = None,
     serial: bool = False,
     progress=None,
+    campaign_dir: Optional[str] = None,
+    resume: bool = False,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> CampaignResult:
     """Run every task of the campaign, concurrently by default.
 
@@ -163,6 +245,23 @@ def run_campaign(
     ``serial=True`` runs the tasks in-process, in order — same
     single-writer protocol, no pool.  *progress* (optional callable)
     receives one status line per finished task.
+
+    *campaign_dir* turns on crash-safe bookkeeping: a manifest records
+    each completed cell the moment the coordinator persisted it, and
+    every cell checkpoints its GA state there each generation.  If the
+    directory's manifest already exists it must match this campaign's
+    fingerprint (tasks, GA budget, seeds, version), and its completed
+    cells are skipped — ``resume=True`` additionally *requires* the
+    manifest to exist, catching a mistyped directory.  When
+    *store_path* is None a campaign directory supplies a default store
+    at ``<campaign_dir>/evaluations.jsonl``.
+
+    Cells run supervised under *retry_policy* (default
+    :class:`~repro.resilience.RetryPolicy`): worker deaths rebuild the
+    pool and resubmit, exceptions retry with backoff, and a cell that
+    exhausts its budget is returned as a failed result — the campaign
+    reports partial results plus structured failures instead of
+    raising.
     """
     say = progress or (lambda _msg: None)
     if tasks is None:
@@ -173,50 +272,143 @@ def run_campaign(
     names = [t.name for t in tasks]
     if len(set(names)) != len(names):
         raise ConfigurationError(f"duplicate task names in campaign: {names}")
+    policy = retry_policy or RetryPolicy()
 
-    payloads = [(task, ga_config, store_path, workload_seed) for task in tasks]
+    manifest: Optional[CampaignManifest] = None
+    if campaign_dir is not None:
+        if resume and not os.path.exists(os.path.join(campaign_dir, "manifest.json")):
+            raise CampaignError(
+                f"cannot resume: {campaign_dir!r} has no campaign manifest"
+            )
+        fingerprint = campaign_fingerprint(names, ga_config, workload_seed)
+        manifest = CampaignManifest.open_or_create(
+            campaign_dir, fingerprint, store_path
+        )
+        if store_path is None:
+            store_path = manifest.store_path or os.path.join(
+                campaign_dir, "evaluations.jsonl"
+            )
+            if manifest.store_path != store_path:
+                manifest.store_path = store_path
+                manifest.save()
+    elif resume:
+        raise ConfigurationError("resume=True requires campaign_dir")
+
+    resumed: Dict[str, CampaignTaskResult] = {}
+    todo: List[TuningTask] = []
+    for task in tasks:
+        if manifest is not None and manifest.is_done(task.name):
+            resumed[task.name] = _resumed_result(task.name, manifest.cell(task.name))
+            say(f"{task.name}: already done, skipped")
+        else:
+            todo.append(task)
+
+    payloads = [
+        (
+            task.name,
+            (
+                task,
+                ga_config,
+                store_path,
+                workload_seed,
+                checkpoint_path_for(campaign_dir, task.name)
+                if campaign_dir is not None
+                else None,
+            ),
+        )
+        for task in todo
+    ]
     start = time.perf_counter()
 
-    if serial or len(tasks) == 1:
-        n_processes = 1
-        raw = []
-        for payload in payloads:
-            raw.append(_run_campaign_task(payload))
-            say(f"{raw[-1][0]}: done")
-    else:
-        from concurrent.futures import ProcessPoolExecutor
+    finished: Dict[str, CampaignTaskResult] = {}
 
-        if processes is not None:
-            n_processes = max(1, min(processes, len(tasks)))
-        else:
-            n_processes = min(len(tasks), max(1, os.cpu_count() or 1))
-        ctx = multiprocessing.get_context("spawn")
-        with ProcessPoolExecutor(max_workers=n_processes, mp_context=ctx) as pool:
-            futures = [pool.submit(_run_campaign_task, p) for p in payloads]
-            raw = []
-            for future, task in zip(futures, tasks):
-                raw.append(future.result())
-                say(f"{task.name}: done")
-
-    # single writer: only the coordinator ever appends to the store
-    results: List[CampaignTaskResult] = []
-    for task_name, tuned, context, pending, accel_stats in raw:
+    def on_result(name: str, value: Tuple) -> None:
+        # Fires in the coordinator as each cell completes.  Persist the
+        # cell's new store records (single writer) and its manifest
+        # entry immediately: a crash later in the campaign then costs
+        # only the in-flight cells.
+        task_name, tuned, context, pending, accel_stats = value
         if store_path is not None and context is not None and pending:
             with EvaluationStore(store_path, context=context) as writer:
                 for genome, fitness, per_benchmark in pending:
                     writer.record(genome, fitness, per_benchmark)
-        results.append(
-            CampaignTaskResult(
-                task_name=task_name,
-                tuned=tuned,
-                context=context,
-                new_records=len(pending),
-                accelerator_stats=accel_stats,
-            )
+        finished[task_name] = CampaignTaskResult(
+            task_name=task_name,
+            tuned=tuned,
+            context=context,
+            new_records=len(pending),
+            accelerator_stats=accel_stats,
         )
+        if manifest is not None:
+            manifest.record_done(
+                task_name,
+                tuned.to_json(),
+                context,
+                len(pending),
+                accel_stats,
+                attempts=1,  # corrected below once failures are known
+            )
+        say(f"{task_name}: done")
+
+    if serial or len(todo) <= 1:
+        n_processes = 1
+        _, failures = run_supervised_serial(
+            payloads, _run_campaign_task, policy=policy, on_result=on_result
+        )
+    else:
+        if processes is not None:
+            n_processes = max(1, min(processes, len(todo)))
+        else:
+            n_processes = min(len(todo), max(1, os.cpu_count() or 1))
+        _, failures = run_supervised(
+            payloads,
+            _run_campaign_task,
+            policy=policy,
+            max_workers=n_processes,
+            mp_context=multiprocessing.get_context("spawn"),
+            on_result=on_result,
+        )
+
+    attempts_spent = {name: 1 for name in finished}
+    for failure in failures:
+        attempts_spent[failure.task_name] = (
+            attempts_spent.get(failure.task_name, 0) + 1
+        )
+
+    results: List[CampaignTaskResult] = []
+    for task in tasks:
+        name = task.name
+        if name in resumed:
+            results.append(resumed[name])
+        elif name in finished:
+            result = finished[name]
+            attempts = attempts_spent[name]
+            if attempts != result.attempts:
+                result = replace(result, attempts=attempts)
+                if manifest is not None:
+                    manifest.cells[name]["attempts"] = attempts
+                    manifest.save()
+            results.append(result)
+        else:
+            fatal = [f for f in failures if f.task_name == name]
+            message = str(fatal[-1]) if fatal else "task never completed"
+            say(f"{name}: FAILED ({message})")
+            results.append(
+                CampaignTaskResult(
+                    task_name=name,
+                    tuned=None,
+                    context=None,
+                    new_records=0,
+                    accelerator_stats=None,
+                    status="failed",
+                    error=message,
+                    attempts=attempts_spent.get(name, policy.max_attempts),
+                )
+            )
 
     return CampaignResult(
         results=tuple(results),
         wall_seconds=time.perf_counter() - start,
         processes=n_processes,
+        failures=tuple(failures),
     )

@@ -118,6 +118,9 @@ class GAEngine:
         fitness_fn: FitnessFn,
         on_generation: Optional[GenerationHook] = None,
         initial_genomes: Optional[Sequence[Sequence[int]]] = None,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_every: int = 1,
+        resume_from=None,
     ) -> GAResult:
         """Evolve and return the best individual.
 
@@ -125,25 +128,47 @@ class GAEngine:
         tuner uses it to inject the compiler's default heuristic so the
         GA result can never be worse than the default on the training
         fitness.
+
+        ``checkpoint_path`` persists the full engine state (population,
+        best, fitness cache, RNG state, early-stop counter) atomically
+        every ``checkpoint_every`` generations.  ``resume_from`` (a
+        :class:`~repro.ga.checkpoint.Checkpoint`) restores that state:
+        a resumed run continues the exact evolution the interrupted run
+        would have performed — identical breeding decisions, identical
+        final best — with every already-paid genome answered from the
+        restored cache (and the persistent store, when attached).
         """
         cfg = self.config
+        if checkpoint_every < 1:
+            raise GAError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
         rng = rng_for(cfg.rng_key, cfg.seed)
         cache = FitnessCache(fitness_fn, store=self.store)
 
-        population = self._initial_population(rng, initial_genomes)
-        self._evaluate(population, cache)
-
         history: List[GenerationStats] = []
-        best = min(population, key=lambda ind: ind.require_fitness()).copy()
-        stats = GenerationStats.from_population(0, population, cache.misses, cache.hits)
-        history.append(stats)
-        if on_generation is not None:
-            on_generation(stats)
+        if resume_from is not None:
+            population, best, stale, start_gen = self._restore(
+                resume_from, cache, rng
+            )
+        else:
+            population = self._initial_population(rng, initial_genomes)
+            self._evaluate(population, cache)
+            best = min(population, key=lambda ind: ind.require_fitness()).copy()
+            stale = 0
+            start_gen = 1
+            stats = GenerationStats.from_population(
+                0, population, cache.misses, cache.hits
+            )
+            history.append(stats)
+            if on_generation is not None:
+                on_generation(stats)
+            self._maybe_checkpoint(
+                checkpoint_path, checkpoint_every, 0, population, best, cache,
+                rng, stale,
+            )
 
-        stale = 0
         stopped_early = False
-        generations_run = 1
-        for gen in range(1, cfg.generations):
+        generations_run = max(1, start_gen)
+        for gen in range(start_gen, cfg.generations):
             population = self._breed(population, rng)
             self._evaluate(population, cache)
             generations_run += 1
@@ -161,6 +186,10 @@ class GAEngine:
             history.append(stats)
             if on_generation is not None:
                 on_generation(stats)
+            self._maybe_checkpoint(
+                checkpoint_path, checkpoint_every, gen, population, best, cache,
+                rng, stale,
+            )
 
             if cfg.early_stop_patience is not None and stale >= cfg.early_stop_patience:
                 stopped_early = True
@@ -173,6 +202,61 @@ class GAEngine:
             cache_hits=cache.hits,
             generations_run=generations_run,
             stopped_early=stopped_early,
+        )
+
+    # ------------------------------------------------------------------
+    def _restore(self, checkpoint, cache: FitnessCache, rng: np.random.Generator):
+        """Rebuild engine state from a :class:`Checkpoint`.
+
+        The checkpoint's cache entries are replayed into *cache* (and
+        written through to the persistent store when one is attached),
+        the saved population is re-hydrated, and — for format-v2
+        checkpoints — the RNG resumes its exact saved stream, making
+        the continuation bitwise-identical to an uninterrupted run.
+        v1 checkpoints lack the RNG state; the generator then restarts
+        its stream (best-effort resume, still deterministic).
+        """
+        checkpoint.restore_cache(cache)
+        population = [
+            Individual(self.space.clip(ind.genome), ind.fitness)
+            for ind in checkpoint.population
+        ]
+        if len(population) != self.config.population_size:
+            raise GAError(
+                f"checkpoint population size {len(population)} does not match "
+                f"configured population_size {self.config.population_size}"
+            )
+        self._evaluate(population, cache)
+        best = checkpoint.best.copy() if checkpoint.best is not None else None
+        if best is None or best.fitness is None:
+            best = min(population, key=lambda ind: ind.require_fitness()).copy()
+        if checkpoint.rng_state is not None:
+            rng.bit_generator.state = checkpoint.rng_state
+        return population, best, checkpoint.stale, checkpoint.generation + 1
+
+    def _maybe_checkpoint(
+        self,
+        path: Optional[str],
+        every: int,
+        generation: int,
+        population: List[Individual],
+        best: Individual,
+        cache: FitnessCache,
+        rng: np.random.Generator,
+        stale: int,
+    ) -> None:
+        if path is None or generation % every != 0:
+            return
+        from repro.ga.checkpoint import save_checkpoint
+
+        save_checkpoint(
+            path,
+            generation=generation,
+            population=population,
+            best=best,
+            cache=cache,
+            rng_state=rng.bit_generator.state,
+            stale=stale,
         )
 
     # ------------------------------------------------------------------

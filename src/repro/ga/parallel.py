@@ -26,6 +26,8 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import GAError
@@ -71,6 +73,25 @@ class _SnapshotFitness:
         return self.function(genome)
 
 
+def _eval_chunk(function: FitnessFn, genomes: Sequence[Genome]) -> List[float]:
+    """Worker-side chunk evaluation (module-level: must pickle).
+
+    Hosts the test-only fault-injection sites for worker supervision:
+    an installed plan can delay the chunk (``slow-task``) or SIGKILL
+    the worker mid-generation (``worker-kill``) — the coordinator must
+    then rebuild the pool and resubmit, with fitnesses identical to a
+    fault-free run.
+    """
+    from repro.resilience.faults import get_fault_injector
+
+    injector = get_fault_injector()
+    if injector is not None and genomes:
+        key = str(list(genomes[0]))
+        injector.maybe_delay("slow-task", key)
+        injector.maybe_kill("worker-kill", key)
+    return [function(genome) for genome in genomes]
+
+
 class SerialEvaluator:
     """Evaluate genomes one after another in-process."""
 
@@ -106,7 +127,7 @@ class BatchEvaluator:
 
 
 class MultiprocessEvaluator:
-    """Evaluate genomes across a process pool.
+    """Evaluate genomes across a supervised process pool.
 
     The fitness function must be picklable (a module-level function or a
     picklable callable object); lambdas and closures will fail with a
@@ -122,6 +143,17 @@ class MultiprocessEvaluator:
     and each ``map`` ships the entries recorded since then as a delta
     (see :class:`_SnapshotFitness`), keeping workers current across
     generations.
+
+    Worker death is survivable: when the pool breaks (a worker was
+    killed by the OOM killer, a segfault, an operator), :meth:`map`
+    rebuilds the pool — re-shipping a fresh store snapshot — and
+    resubmits exactly the chunks that had not completed, up to
+    ``max_rebuilds`` times per call.  Fitness evaluation is pure, so a
+    re-run chunk returns bitwise-identical values and the generation
+    completes as if the death never happened.  Ordinary exceptions
+    raised *by the fitness function* are not retried: they indicate a
+    bug, propagate to the caller, and tear the pool down so the next
+    ``map`` starts clean.
     """
 
     def __init__(
@@ -129,32 +161,41 @@ class MultiprocessEvaluator:
         processes: Optional[int] = None,
         chunksize: Optional[int] = None,
         store=None,
+        max_rebuilds: int = 2,
     ) -> None:
         if processes is not None and processes < 1:
             raise GAError(f"processes must be >= 1, got {processes}")
         if chunksize is not None and chunksize < 1:
             raise GAError(f"chunksize must be >= 1, got {chunksize}")
+        if max_rebuilds < 0:
+            raise GAError(f"max_rebuilds must be >= 0, got {max_rebuilds}")
         self.processes = processes or max(1, (os.cpu_count() or 2) - 1)
         self.chunksize = chunksize
         self.store = store
-        self._pool: Optional[multiprocessing.pool.Pool] = None
+        self.max_rebuilds = max_rebuilds
+        #: pool rebuilds forced by worker deaths over this evaluator's life
+        self.rebuilds = 0
+        self._pool: Optional[ProcessPoolExecutor] = None
         # keys in the base snapshot shipped at pool creation; entries
         # recorded after that travel as per-map deltas
         self._shipped: Set[Genome] = set()
 
-    def _ensure_pool(self) -> multiprocessing.pool.Pool:
+    def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
             ctx = multiprocessing.get_context("spawn")
             if self.store is not None:
                 snapshot = self.store.snapshot()
                 self._shipped = set(snapshot)
-                self._pool = ctx.Pool(
-                    self.processes,
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.processes,
+                    mp_context=ctx,
                     initializer=_init_worker,
                     initargs=(snapshot,),
                 )
             else:
-                self._pool = ctx.Pool(self.processes)
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.processes, mp_context=ctx
+                )
         return self._pool
 
     def _snapshot_delta(self) -> Dict[Genome, float]:
@@ -172,34 +213,77 @@ class MultiprocessEvaluator:
         return max(1, n_genomes // (4 * self.processes))
 
     def map(self, function: FitnessFn, genomes: Sequence[Genome]) -> List[float]:
-        """Apply *function* to every genome in parallel, order-preserving."""
+        """Apply *function* to every genome in parallel, order-preserving.
+
+        Survives worker deaths by rebuilding the pool and resubmitting
+        the unfinished chunks (see the class docstring); any other
+        exception from the fitness function propagates.
+        """
         if not genomes:
             return []
-        pool = self._ensure_pool()
-        if self.store is not None:
-            function = _SnapshotFitness(function, self._snapshot_delta())
-        try:
-            values = pool.map(function, genomes, chunksize=self._chunksize_for(len(genomes)))
-        except Exception:
-            # A worker raised (or died): the pool may hold queued tasks
-            # and half-finished state — terminate rather than close so
-            # the next map() starts from a clean pool.
-            self.terminate()
-            raise
-        return [float(v) for v in values]
+        chunksize = self._chunksize_for(len(genomes))
+        chunks: List[Sequence[Genome]] = [
+            genomes[i : i + chunksize] for i in range(0, len(genomes), chunksize)
+        ]
+        results: List[Optional[List[float]]] = [None] * len(chunks)
+        pending = list(range(len(chunks)))
+        rebuilds_left = self.max_rebuilds
+        while pending:
+            pool = self._ensure_pool()
+            call = function
+            if self.store is not None:
+                call = _SnapshotFitness(function, self._snapshot_delta())
+            futures: Dict[Future, int] = {}
+            try:
+                for index in pending:
+                    futures[pool.submit(_eval_chunk, call, chunks[index])] = index
+                for future, index in futures.items():
+                    results[index] = future.result()
+                pending = []
+            except BrokenProcessPool:
+                # a worker died: keep every finished chunk, rebuild the
+                # pool (fresh base snapshot) and resubmit the rest
+                self.terminate()
+
+                def _finished(future: Future) -> bool:
+                    return (
+                        future.done()
+                        and not future.cancelled()
+                        and future.exception() is None
+                    )
+
+                pending = [
+                    index for future, index in futures.items() if not _finished(future)
+                ]
+                for future, index in futures.items():
+                    if _finished(future):
+                        results[index] = future.result()
+                if rebuilds_left == 0:
+                    raise GAError(
+                        f"process pool broke {self.rebuilds + 1} time(s); "
+                        f"gave up after {self.max_rebuilds} rebuild(s) with "
+                        f"{len(pending)} chunk(s) unfinished"
+                    )
+                rebuilds_left -= 1
+                self.rebuilds += 1
+            except Exception:
+                # The fitness function raised: the pool may hold queued
+                # tasks and half-finished state — terminate rather than
+                # close so the next map() starts from a clean pool.
+                self.terminate()
+                raise
+        return [float(v) for row in results for v in row]
 
     def close(self) -> None:
         """Shut the pool down gracefully (waits for queued work)."""
         if self._pool is not None:
-            self._pool.close()
-            self._pool.join()
+            self._pool.shutdown(wait=True)
             self._pool = None
 
     def terminate(self) -> None:
-        """Kill the pool immediately, discarding queued work."""
+        """Drop the pool immediately, cancelling queued work."""
         if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
+            self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
 
     def __enter__(self) -> "MultiprocessEvaluator":

@@ -22,6 +22,7 @@ of each.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Dict, Mapping, Optional
 
@@ -39,6 +40,8 @@ from repro.jvm.opt_compiler import OptimizingCompiler
 from repro.jvm.scenario import CompilationScenario
 
 __all__ = ["ExecutionReport", "VirtualMachine", "propagate_invocations"]
+
+_log = logging.getLogger("repro.jvm.runtime")
 
 
 def propagate_invocations(
@@ -189,9 +192,27 @@ class VirtualMachine:
         unaffected.  The fitness layer uses this (no metric reads
         ``params``); callers that inspect ``report.params`` should keep
         the default.  Without memoization the flag is a no-op.
+
+        Graceful degradation: if the accelerated path raises, the run
+        falls back to :meth:`run_reference` (bitwise-identical results,
+        no caching) and counts a ``degraded_runs`` event — an
+        accelerator bug costs throughput, never correctness.  Errors
+        the reference raises too (a genuinely impossible simulation)
+        still propagate, from the reference path.
         """
         if self._accelerator is not None:
-            return self._accelerator.run(program, params, attach_params)
+            try:
+                return self._accelerator.run(program, params, attach_params)
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception:
+                self._accelerator.stats.degraded_runs += 1
+                _log.warning(
+                    "accelerated run of %s failed; degrading to run_reference",
+                    program.name,
+                    exc_info=True,
+                )
+                return self.run_reference(program, params)
         return self.run_reference(program, params)
 
     def run_reference(

@@ -37,6 +37,7 @@ same state.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -47,6 +48,15 @@ from repro.jvm.callgraph import Program
 from repro.jvm.inlining import InliningParameters
 
 __all__ = ["GenerationBatchEvaluator", "batched_cache_pressure"]
+
+_log = logging.getLogger("repro.perf.batch")
+
+
+def _fault_injector():
+    """The process-wide fault injector, or None (test-only hook)."""
+    from repro.resilience.faults import get_fault_injector
+
+    return get_fault_injector()
 
 
 def batched_cache_pressure(
@@ -202,20 +212,44 @@ class GenerationBatchEvaluator:
         if miss_reps:
             rep_rows = resolved[miss_reps]
             rep_params = [params_list[rep] for rep in miss_reps]
-            if adaptive:
-                if self._kernel is not None and len(miss_reps) > 1:
-                    fresh = self._kernel.account(state, rep_rows, rep_params)
+            try:
+                injector = _fault_injector()
+                if injector is not None:
+                    injector.maybe_raise("batch-kernel", key=program.name)
+                if adaptive:
+                    if self._kernel is not None and len(miss_reps) > 1:
+                        fresh = self._kernel.account(state, rep_rows, rep_params)
+                    else:
+                        fresh = [
+                            acc._account_adaptive(
+                                state,
+                                {mid: int(row[mid]) for mid in state.key_mids},
+                                params,
+                            )
+                            for row, params in zip(rep_rows, rep_params)
+                        ]
                 else:
-                    fresh = [
-                        acc._account_adaptive(
-                            state,
-                            {mid: int(row[mid]) for mid in state.key_mids},
-                            params,
-                        )
-                        for row, params in zip(rep_rows, rep_params)
-                    ]
-            else:
-                fresh = self._account_opt_batch(state, rep_rows, rep_params)
+                    fresh = self._account_opt_batch(state, rep_rows, rep_params)
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception:
+                # Graceful degradation: a batch/matrix-kernel failure
+                # costs throughput, never correctness — re-evaluate the
+                # representatives through the serial memoized path
+                # (which itself falls back to run_reference if the
+                # accelerator is at fault; see VirtualMachine.run).
+                stats.degraded_batches += 1
+                _log.warning(
+                    "batched accounting of %s failed; degrading %d "
+                    "representative(s) to the serial path",
+                    program.name,
+                    len(miss_reps),
+                    exc_info=True,
+                )
+                fresh = [
+                    self.vm.run(program, params_list[rep], attach_params=False)
+                    for rep in miss_reps
+                ]
             for slot, signature, report in zip(miss_slots, miss_signatures, fresh):
                 state.reports[signature] = report
                 class_reports[slot] = report

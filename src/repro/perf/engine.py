@@ -63,6 +63,8 @@ STAT_COUNTERS = (
     "adaptive_matrix_columns",
     "adaptive_grouped_compiles",
     "adaptive_group_covered",
+    "degraded_runs",
+    "degraded_batches",
 )
 
 
@@ -88,6 +90,12 @@ class AcceleratorStats:
     adaptive_grouped_compiles: int = 0
     #: pending genomes resolved by another genome's compile (region fan-outs)
     adaptive_group_covered: int = 0
+    #: accelerated runs that raised and fell back to ``run_reference``
+    degraded_runs: int = 0
+    #: generation batches that raised and fell back to the serial
+    #: memoized path (see docs/RESILIENCE.md: a kernel bug degrades
+    #: throughput, never correctness)
+    degraded_batches: int = 0
 
     @property
     def method_hits(self) -> int:
@@ -142,6 +150,8 @@ class AcceleratorStats:
             "adaptive_columns_per_propagation": self.adaptive_columns_per_propagation,
             "adaptive_grouped_compiles": self.adaptive_grouped_compiles,
             "adaptive_group_covered": self.adaptive_group_covered,
+            "degraded_runs": self.degraded_runs,
+            "degraded_batches": self.degraded_batches,
         }
 
     def add(self, other: "AcceleratorStats") -> None:

@@ -11,14 +11,30 @@ ever serving a stale value.
 
 Layout: one JSON object per line, ``{"ctx": ..., "genome": [...],
 "fitness": ..., "per": {...}?}``.  Appends are atomic at line
-granularity; a truncated trailing line (crash mid-write) is skipped on
-load.  To wipe the store, delete the file; to inspect it, read the JSONL
+granularity.
+
+Crash safety: a crash mid-append leaves a *torn* trailing line.  On
+load, a writable store truncates the file back to the last intact line
+and records the repair in :attr:`repair_log` (also emitted through the
+``repro.perf.store`` logger); a read-only store skips the torn bytes
+without touching the file.  Unparsable lines elsewhere in the file are
+foreign garbage — skipped and logged, never deleted.
+
+Durability: appends are buffered and flushed + ``fsync``'d every
+``flush_every`` records (default 64) and on :meth:`close`, trading at
+most ``flush_every - 1`` re-simulatable records after a hard crash for
+two orders of magnitude fewer ``fsync`` calls on the hot record path.
+Set ``flush_every=1`` for write-through durability (each record costs
+one flush+fsync), or raise it when genomes are cheap to re-simulate.
+
+To wipe the store, delete the file; to inspect it, read the JSONL
 directly or use :meth:`EvaluationStore.describe`.
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import os
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -28,6 +44,11 @@ from repro.rng import stable_hash
 __all__ = ["EvaluationStore", "evaluation_context_key"]
 
 Genome = Tuple[int, ...]
+
+_log = logging.getLogger("repro.perf.store")
+
+#: default number of buffered records between flush+fsync pairs
+DEFAULT_FLUSH_EVERY = 64
 
 
 def evaluation_context_key(
@@ -71,42 +92,99 @@ class EvaluationStore:
     records accumulate in memory (and serve same-process lookups) until
     the coordinating process collects them with :meth:`drain_pending`
     and replays them into its own writable store.
+
+    ``flush_every`` sets the durability/throughput trade-off described
+    in the module docstring.
     """
 
-    def __init__(self, path: str, context: str = "default", readonly: bool = False) -> None:
+    def __init__(
+        self,
+        path: str,
+        context: str = "default",
+        readonly: bool = False,
+        flush_every: int = DEFAULT_FLUSH_EVERY,
+    ) -> None:
+        if flush_every < 1:
+            raise GAError(f"flush_every must be >= 1, got {flush_every}")
         self.path = path
         self.context = context
         self.readonly = readonly
+        self.flush_every = flush_every
         self.hits = 0
         self.misses = 0
+        #: human-readable repair/skip events from the last load
+        self.repair_log: List[str] = []
         self._entries: Dict[Genome, float] = {}
         self._extras: Dict[Genome, dict] = {}
         self._pending: List[Tuple[Genome, float, Optional[dict]]] = []
         self._handle = None
+        self._unflushed = 0
         self._load()
 
     # ------------------------------------------------------------------
     def _load(self) -> None:
         if not os.path.exists(self.path):
             return
-        with open(self.path, "r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                    context = record["ctx"]
-                    genome = tuple(int(g) for g in record["genome"])
-                    fitness = float(record["fitness"])
-                except (ValueError, TypeError, KeyError):
-                    continue  # truncated or foreign line: skip
-                if context != self.context:
-                    continue
-                self._entries[genome] = fitness
-                extras = record.get("per")
-                if extras:
-                    self._extras[genome] = extras
+        with open(self.path, "rb") as handle:
+            data = handle.read()
+        pos = 0
+        size = len(data)
+        good_end = 0  # byte offset just past the last intact line
+        while pos < size:
+            newline = data.find(b"\n", pos)
+            if newline == -1:
+                raw, end, complete = data[pos:], size, False
+            else:
+                raw, end, complete = data[pos:newline], newline + 1, True
+            line_start = pos
+            pos = end
+            if not raw.strip():
+                good_end = end
+                continue
+            try:
+                record = json.loads(raw.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                if not complete or end == size:
+                    # torn trailing line: a crash mid-append
+                    self._repair_tear(line_start, len(raw), good_end)
+                else:
+                    self.repair_log.append(
+                        f"skipped unparsable line at byte {line_start} "
+                        f"({len(raw)} bytes)"
+                    )
+                    _log.warning(
+                        "evaluation store %s: %s", self.path, self.repair_log[-1]
+                    )
+                continue
+            good_end = end
+            try:
+                context = record["ctx"]
+                genome = tuple(int(g) for g in record["genome"])
+                fitness = float(record["fitness"])
+            except (ValueError, TypeError, KeyError):
+                continue  # foreign but intact line: leave it alone
+            if context != self.context:
+                continue
+            self._entries[genome] = fitness
+            extras = record.get("per")
+            if extras:
+                self._extras[genome] = extras
+
+    def _repair_tear(self, offset: int, length: int, good_end: int) -> None:
+        """Handle a torn trailing line found at *offset* during load."""
+        if self.readonly:
+            event = (
+                f"skipped torn trailing line at byte {offset} ({length} bytes); "
+                "read-only store leaves the file untouched"
+            )
+        else:
+            os.truncate(self.path, good_end)
+            event = (
+                f"truncated torn trailing line at byte {offset} "
+                f"({length} bytes dropped; crash mid-append)"
+            )
+        self.repair_log.append(event)
+        _log.warning("evaluation store %s: %s", self.path, event)
 
     # ------------------------------------------------------------------
     def get(self, genome: Sequence[int]) -> Optional[float]:
@@ -129,7 +207,11 @@ class EvaluationStore:
         fitness: float,
         per_benchmark: Optional[dict] = None,
     ) -> None:
-        """Persist one evaluation (no-op if already stored unchanged)."""
+        """Persist one evaluation (no-op if already stored unchanged).
+
+        Appends are buffered: see the class docstring for the
+        ``flush_every`` durability/throughput trade-off.
+        """
         key = tuple(int(g) for g in genome)
         fitness = float(fitness)
         if fitness != fitness or fitness in (float("inf"), float("-inf")):
@@ -159,8 +241,38 @@ class EvaluationStore:
                 # a crash mid-append left a truncated line; start fresh
                 # so the next record is not glued onto the garbage
                 self._handle.write("\n")
-        self._handle.write(json.dumps(record) + "\n")
-        self._handle.flush()
+        line = json.dumps(record) + "\n"
+        injector = self._fault_injector()
+        if injector is not None and injector.should_fire("torn-write", key=str(list(key))):
+            # simulate a crash mid-append: only a prefix of the line
+            # reaches the disk and the process's handle is gone.  The
+            # record survives in memory; the next append (or the next
+            # load) repairs the tear.
+            self._handle.write(line[: max(1, len(line) // 2)])
+            self._handle.flush()
+            self._handle.close()
+            self._handle = None
+            self._unflushed = 0
+            return
+        self._handle.write(line)
+        self._unflushed += 1
+        if self._unflushed >= self.flush_every:
+            self._flush_fsync()
+
+    @staticmethod
+    def _fault_injector():
+        """Installed fault injector, or None (the near-universal case)."""
+        try:
+            from repro.resilience.faults import get_fault_injector
+        except ImportError:  # pragma: no cover - resilience always ships
+            return None
+        return get_fault_injector()
+
+    def _flush_fsync(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+        self._unflushed = 0
 
     def per_benchmark(self, genome: Sequence[int]) -> Optional[dict]:
         """Stored per-benchmark detail for *genome*, if any."""
@@ -202,9 +314,16 @@ class EvaluationStore:
             f"entries={self.size}, hits={self.hits}, misses={self.misses})"
         )
 
-    def close(self) -> None:
-        """Release the append handle (entries stay loaded)."""
+    def flush(self) -> None:
+        """Force buffered appends to disk (flush + fsync) now."""
         if self._handle is not None:
+            self._flush_fsync()
+
+    def close(self) -> None:
+        """Flush + fsync buffered appends and release the handle
+        (entries stay loaded)."""
+        if self._handle is not None:
+            self._flush_fsync()
             self._handle.close()
             self._handle = None
 
@@ -217,4 +336,5 @@ class EvaluationStore:
     def __getstate__(self):
         state = self.__dict__.copy()
         state["_handle"] = None  # file handles don't pickle; reopen lazily
+        state["_unflushed"] = 0
         return state

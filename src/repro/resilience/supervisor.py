@@ -1,0 +1,350 @@
+"""Supervised task execution over a process pool.
+
+A days-long campaign must survive the failures that long runs actually
+hit: a worker process dying (``BrokenProcessPool``), a transient
+exception in one task, a task hanging.  :func:`run_supervised` wraps a
+``ProcessPoolExecutor`` with
+
+* **bounded retries** with exponential backoff and deterministic
+  jitter (seeded, so reruns sleep the same schedule);
+* **worker-death recovery**: when the pool breaks, every in-flight
+  task is accounted a ``worker-death`` attempt, the pool is rebuilt
+  from scratch, and tasks with attempts remaining are resubmitted;
+* **per-task timeouts**: a task that exceeds ``RetryPolicy.timeout``
+  is written off for that attempt; since a running future cannot be
+  cancelled, the pool is rebuilt to reclaim the stuck worker;
+* **structured failure accounting**: every failed attempt becomes a
+  :class:`FailureReport`; callers receive the results that succeeded
+  plus the full failure list instead of one opaque exception.
+
+Tasks must be idempotent and deterministic (the campaign's are: genome
+evaluation is pure and the store answer-or-simulate protocol makes
+re-execution free), because a retried task simply runs again.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.rng import stable_hash
+
+__all__ = ["RetryPolicy", "FailureReport", "run_supervised", "run_supervised_serial"]
+
+#: failure kinds recorded in FailureReport.kind
+KIND_EXCEPTION = "exception"
+KIND_WORKER_DEATH = "worker-death"
+KIND_TIMEOUT = "timeout"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry/backoff/timeout knobs for supervised execution.
+
+    ``max_attempts`` counts *attempts*, not retries: 3 means one
+    initial try plus up to two retries.  The backoff before attempt
+    ``n`` (n >= 2) is ``backoff_base * backoff_factor**(n - 2)``
+    clamped to ``backoff_max``, scaled by a deterministic jitter in
+    ``[1, 1 + jitter]`` derived from (seed, task, attempt) — reruns of
+    the same campaign sleep identically, and simultaneous retries of
+    different tasks de-synchronize.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.5
+    backoff_factor: float = 2.0
+    backoff_max: float = 30.0
+    jitter: float = 0.1
+    #: per-task wall-clock budget in seconds (None = no timeout)
+    timeout: Optional[float] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_base < 0 or self.backoff_max < 0 or self.jitter < 0:
+            raise ConfigurationError("backoff and jitter values must be >= 0")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ConfigurationError(f"timeout must be positive, got {self.timeout}")
+
+    def delay_before(self, task_name: str, attempt: int) -> float:
+        """Backoff before *attempt* (1-based) of *task_name*."""
+        if attempt <= 1 or self.backoff_base <= 0.0:
+            return 0.0
+        raw = self.backoff_base * self.backoff_factor ** (attempt - 2)
+        raw = min(raw, self.backoff_max)
+        unit = stable_hash(f"backoff|{self.seed}|{task_name}|{attempt}") / 2.0**64
+        return raw * (1.0 + self.jitter * unit)
+
+
+@dataclass(frozen=True)
+class FailureReport:
+    """One failed attempt of one task."""
+
+    task_name: str
+    attempt: int
+    kind: str  # "exception" | "worker-death" | "timeout"
+    error_type: str
+    message: str
+    elapsed: float
+    #: True when this failure exhausted the task's attempt budget
+    fatal: bool = False
+
+    def __str__(self) -> str:
+        tail = " [fatal]" if self.fatal else ""
+        return (
+            f"{self.task_name} attempt {self.attempt}: {self.kind} "
+            f"({self.error_type}: {self.message}) after {self.elapsed:.1f}s{tail}"
+        )
+
+
+@dataclass
+class _TaskState:
+    name: str
+    payload: object
+    attempts: int = 0
+    ready_at: float = 0.0
+    done: bool = False
+    failed: bool = False
+
+
+@dataclass
+class _InFlight:
+    state: _TaskState
+    started: float
+    timed_out: bool = False
+
+
+def run_supervised_serial(
+    payloads: Sequence[Tuple[str, object]],
+    fn: Callable,
+    policy: Optional[RetryPolicy] = None,
+    on_result: Optional[Callable[[str, object], None]] = None,
+) -> Tuple[Dict[str, object], List[FailureReport]]:
+    """In-process equivalent of :func:`run_supervised` (no pool).
+
+    Worker-death and timeout supervision do not apply; exceptions are
+    retried under the same policy.  A task raising ``KeyboardInterrupt``
+    or ``SystemExit`` propagates — operator aborts are not failures.
+    """
+    policy = policy or RetryPolicy()
+    results: Dict[str, object] = {}
+    failures: List[FailureReport] = []
+    for name, payload in payloads:
+        for attempt in range(1, policy.max_attempts + 1):
+            delay = policy.delay_before(name, attempt)
+            if delay > 0.0:
+                time.sleep(delay)
+            started = time.perf_counter()
+            try:
+                value = fn(payload)
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as exc:
+                failures.append(
+                    FailureReport(
+                        task_name=name,
+                        attempt=attempt,
+                        kind=KIND_EXCEPTION,
+                        error_type=type(exc).__name__,
+                        message=str(exc),
+                        elapsed=time.perf_counter() - started,
+                        fatal=attempt >= policy.max_attempts,
+                    )
+                )
+            else:
+                results[name] = value
+                if on_result is not None:
+                    on_result(name, value)
+                break
+    return results, failures
+
+
+def run_supervised(
+    payloads: Sequence[Tuple[str, object]],
+    fn: Callable,
+    policy: Optional[RetryPolicy] = None,
+    max_workers: int = 1,
+    mp_context=None,
+    on_result: Optional[Callable[[str, object], None]] = None,
+    poll_interval: float = 0.05,
+) -> Tuple[Dict[str, object], List[FailureReport]]:
+    """Run ``fn(payload)`` for every (name, payload), supervised.
+
+    Returns ``(results, failures)``: results maps task names to return
+    values for every task that eventually succeeded; failures records
+    every failed attempt (a task may appear several times, the last one
+    ``fatal`` if its budget ran out).  The function and payloads must
+    be picklable and idempotent.
+
+    ``on_result(name, value)`` fires in the coordinating process as
+    each task completes — the campaign uses it to persist results
+    incrementally, so a later crash costs only in-flight work.
+    """
+    policy = policy or RetryPolicy()
+    states = [_TaskState(name=name, payload=payload) for name, payload in payloads]
+    results: Dict[str, object] = {}
+    failures: List[FailureReport] = []
+    pool: Optional[ProcessPoolExecutor] = None
+    inflight: Dict[Future, _InFlight] = {}
+
+    def fail(entry_state: _TaskState, kind: str, error: str, message: str, elapsed: float) -> None:
+        fatal = entry_state.attempts >= policy.max_attempts
+        failures.append(
+            FailureReport(
+                task_name=entry_state.name,
+                attempt=entry_state.attempts,
+                kind=kind,
+                error_type=error,
+                message=message,
+                elapsed=elapsed,
+                fatal=fatal,
+            )
+        )
+        if fatal:
+            entry_state.failed = True
+        else:
+            entry_state.ready_at = time.monotonic() + policy.delay_before(
+                entry_state.name, entry_state.attempts + 1
+            )
+
+    def rebuild_pool() -> None:
+        nonlocal pool
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+        pool = None
+        inflight.clear()
+
+    try:
+        while True:
+            now = time.monotonic()
+            queued = [
+                s for s in states if not s.done and not s.failed
+                and not any(f.state is s for f in inflight.values())
+            ]
+            if not queued and not inflight:
+                break
+            submit_broken = False
+            for state in queued:
+                if state.ready_at > now:
+                    continue
+                if pool is None:
+                    pool = ProcessPoolExecutor(
+                        max_workers=max_workers, mp_context=mp_context
+                    )
+                state.attempts += 1
+                try:
+                    future = pool.submit(fn, state.payload)
+                except BrokenProcessPool:
+                    # the pool died between iterations; charge the tasks
+                    # that were on it and start over on a fresh pool
+                    fail(
+                        state,
+                        KIND_WORKER_DEATH,
+                        "BrokenProcessPool",
+                        "pool was broken at submission",
+                        0.0,
+                    )
+                    submit_broken = True
+                    break
+                inflight[future] = _InFlight(state=state, started=time.monotonic())
+            if submit_broken:
+                for future, entry in list(inflight.items()):
+                    fail(
+                        entry.state,
+                        KIND_WORKER_DEATH,
+                        "BrokenProcessPool",
+                        "pool broke while the task was in flight",
+                        time.monotonic() - entry.started,
+                    )
+                rebuild_pool()
+                continue
+
+            if not inflight:
+                # every runnable task is sleeping out its backoff
+                next_ready = min(
+                    (s.ready_at for s in queued), default=time.monotonic()
+                )
+                time.sleep(max(0.0, min(next_ready - time.monotonic(), 1.0)))
+                continue
+
+            done, _ = wait(
+                list(inflight), timeout=poll_interval, return_when=FIRST_COMPLETED
+            )
+
+            pool_broken = False
+            for future in done:
+                entry = inflight.pop(future)
+                elapsed = time.monotonic() - entry.started
+                try:
+                    value = future.result()
+                except BrokenProcessPool:
+                    pool_broken = True
+                    fail(
+                        entry.state,
+                        KIND_WORKER_DEATH,
+                        "BrokenProcessPool",
+                        "a worker process died while the task was in flight",
+                        elapsed,
+                    )
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except Exception as exc:
+                    fail(entry.state, KIND_EXCEPTION, type(exc).__name__, str(exc), elapsed)
+                else:
+                    if entry.timed_out:
+                        continue  # already written off by the timeout path
+                    entry.state.done = True
+                    results[entry.state.name] = value
+                    if on_result is not None:
+                        on_result(entry.state.name, value)
+
+            if pool_broken:
+                # the executor marks every other in-flight future broken
+                # too; account them all here and start a fresh pool
+                for future, entry in list(inflight.items()):
+                    fail(
+                        entry.state,
+                        KIND_WORKER_DEATH,
+                        "BrokenProcessPool",
+                        "pool broke while the task was in flight",
+                        time.monotonic() - entry.started,
+                    )
+                rebuild_pool()
+                continue
+
+            if policy.timeout is not None:
+                now = time.monotonic()
+                stuck = [
+                    (future, entry)
+                    for future, entry in inflight.items()
+                    if not entry.timed_out and now - entry.started > policy.timeout
+                ]
+                if stuck:
+                    for future, entry in stuck:
+                        fail(
+                            entry.state,
+                            KIND_TIMEOUT,
+                            "TimeoutError",
+                            f"task exceeded the {policy.timeout:.1f}s budget",
+                            now - entry.started,
+                        )
+                        entry.timed_out = True
+                    # a running future cannot be cancelled: tear the
+                    # pool down to reclaim the stuck workers.  Other
+                    # in-flight tasks are NOT charged an attempt — they
+                    # were healthy; they just resubmit on the new pool.
+                    for future, entry in list(inflight.items()):
+                        if not entry.timed_out:
+                            entry.state.attempts -= 1
+                    rebuild_pool()
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+    return results, failures

@@ -1,0 +1,17 @@
+"""Shared fixtures for the resilience suite.
+
+Fault plans are process-global (and exported through the environment
+for spawned workers), so every test starts and ends with a clean slate
+— a leaked plan would fire faults inside unrelated tests.
+"""
+
+import pytest
+
+from repro.resilience.faults import clear_fault_plan
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_plan():
+    clear_fault_plan()
+    yield
+    clear_fault_plan()

@@ -1,0 +1,141 @@
+"""Tests for atomic GA checkpoints and bitwise-exact resume."""
+
+import os
+
+import pytest
+
+from repro.errors import CheckpointError, GAError
+from repro.ga.checkpoint import load_checkpoint, save_checkpoint
+from repro.ga.engine import GAConfig, GAEngine
+from repro.ga.individual import Individual, IntVectorSpace
+
+SPACE = IntVectorSpace(lows=(0, 0, 0), highs=(20, 20, 20))
+CONFIG = GAConfig(population_size=8, generations=6, seed=3)
+
+
+def _fitness(genome):
+    return float(sum((g - 7) ** 2 for g in genome))
+
+
+class _Abort(Exception):
+    """Simulated hard abort mid-run."""
+
+
+class TestAtomicCheckpoint:
+    def test_failure_mid_serialize_leaves_no_partial_file(self, tmp_path):
+        path = str(tmp_path / "ckpt.json")
+        population = [Individual((1, 2, 3), fitness=1.0)]
+        with pytest.raises(CheckpointError):
+            save_checkpoint(
+                path, 0, population, None,
+                rng_state={"unserializable": object()},  # json.dump blows up
+            )
+        assert os.listdir(tmp_path) == []  # neither checkpoint nor temp file
+
+    def test_failure_preserves_previous_checkpoint(self, tmp_path):
+        path = str(tmp_path / "ckpt.json")
+        population = [Individual((1, 2, 3), fitness=1.0)]
+        save_checkpoint(path, 4, population, None)
+        with pytest.raises(CheckpointError):
+            save_checkpoint(
+                path, 5, population, None, rng_state={"bad": object()}
+            )
+        assert load_checkpoint(path).generation == 4  # old state intact
+
+    def test_rng_state_and_stale_round_trip(self, tmp_path):
+        from repro.rng import rng_for
+
+        path = str(tmp_path / "ckpt.json")
+        rng = rng_for("test", 1)
+        rng.random(10)  # advance the stream
+        state = rng.bit_generator.state
+        save_checkpoint(
+            path, 2, [Individual((1, 2, 3), fitness=1.0)], None,
+            rng_state=state, stale=3,
+        )
+        loaded = load_checkpoint(path)
+        assert loaded.rng_state == state
+        assert loaded.stale == 3
+
+
+class TestEngineResume:
+    def _interrupted_then_resumed(self, tmp_path, abort_after_gen):
+        """Run with checkpointing, hard-abort, resume; return the result."""
+        path = str(tmp_path / "ckpt.json")
+
+        def abort_hook(stats):
+            # fires after the checkpoint for abort_after_gen was written
+            if stats.generation > abort_after_gen:
+                raise _Abort()
+
+        engine = GAEngine(SPACE, CONFIG)
+        with pytest.raises(_Abort):
+            engine.run(_fitness, on_generation=abort_hook, checkpoint_path=path)
+
+        checkpoint = load_checkpoint(path)
+        assert checkpoint.generation == abort_after_gen
+        resumed_engine = GAEngine(SPACE, CONFIG)
+        return resumed_engine.run(
+            _fitness, checkpoint_path=path, resume_from=checkpoint
+        )
+
+    def test_resume_is_bitwise_identical_to_uninterrupted(self, tmp_path):
+        full = GAEngine(SPACE, CONFIG).run(_fitness)
+        resumed = self._interrupted_then_resumed(tmp_path, abort_after_gen=2)
+
+        assert resumed.best_genome == full.best_genome
+        assert resumed.best_fitness == full.best_fitness
+        assert resumed.generations_run == full.generations_run
+        # the post-resume generations replay the exact same evolution
+        tail = full.history[-len(resumed.history):]
+        for a, b in zip(tail, resumed.history):
+            assert (a.generation, a.best_fitness, a.best_genome) == (
+                b.generation, b.best_fitness, b.best_genome
+            )
+
+    def test_resume_skips_already_paid_genomes(self, tmp_path):
+        calls = []
+
+        def counting_fitness(genome):
+            calls.append(tuple(genome))
+            return _fitness(genome)
+
+        path = str(tmp_path / "ckpt.json")
+
+        def abort_hook(stats):
+            if stats.generation > 2:
+                raise _Abort()
+
+        with pytest.raises(_Abort):
+            GAEngine(SPACE, CONFIG).run(
+                counting_fitness, on_generation=abort_hook, checkpoint_path=path
+            )
+        calls.clear()
+
+        checkpoint = load_checkpoint(path)
+        recorded = set(checkpoint.cache_entries)
+        assert recorded  # the interrupted run did pay for genomes
+        GAEngine(SPACE, CONFIG).run(counting_fitness, resume_from=checkpoint)
+        # the restored cache answers every genome the checkpoint recorded
+        assert not (set(calls) & recorded)
+
+    def test_population_size_mismatch_rejected(self, tmp_path):
+        path = str(tmp_path / "ckpt.json")
+        save_checkpoint(
+            path, 1, [Individual((1, 2, 3), fitness=1.0)] * 4, None
+        )
+        engine = GAEngine(SPACE, CONFIG)  # population_size=8, checkpoint has 4
+        with pytest.raises(GAError, match="population size"):
+            engine.run(_fitness, resume_from=load_checkpoint(path))
+
+    def test_checkpoint_every_validation(self):
+        with pytest.raises(GAError):
+            GAEngine(SPACE, CONFIG).run(_fitness, checkpoint_every=0)
+
+    def test_checkpoint_every_skips_generations(self, tmp_path):
+        path = str(tmp_path / "ckpt.json")
+        config = GAConfig(population_size=6, generations=4, seed=0)
+        GAEngine(SPACE, config).run(
+            _fitness, checkpoint_path=path, checkpoint_every=2
+        )
+        assert load_checkpoint(path).generation == 2  # gens 0 and 2 saved

@@ -1,0 +1,104 @@
+"""Tests for graceful degradation of the accelerated evaluation paths."""
+
+import pytest
+
+from helpers import chain_program, diamond_program
+from repro.arch import get_machine
+from repro.core.evaluation import HeuristicEvaluator
+from repro.core.metrics import Metric
+from repro.core.parameters import TABLE1_SPACE
+from repro.jvm.inlining import JIKES_DEFAULT_PARAMETERS
+from repro.jvm.runtime import VirtualMachine
+from repro.jvm.scenario import get_scenario
+from repro.resilience.faults import FaultPlan, FaultSpec, install_fault_plan
+from repro.rng import rng_for
+
+
+def _some_genomes(n=6):
+    """Deterministic sample of Table 1 genomes, defaults included."""
+    space = TABLE1_SPACE.to_ga_space()
+    rng = rng_for("degradation-test", 0)
+    genomes = [TABLE1_SPACE.encode(JIKES_DEFAULT_PARAMETERS)]
+    while len(genomes) < n:
+        genomes.append(space.random_genome(rng))
+    return genomes
+
+
+def _evaluator(scenario="adapt"):
+    return HeuristicEvaluator(
+        programs=[diamond_program(), chain_program(length=5)],
+        machine=get_machine("pentium4"),
+        scenario=get_scenario(scenario),
+        metric=Metric.parse("balance"),
+    )
+
+
+class TestRuntimeFallback:
+    def test_accelerator_failure_degrades_to_reference(self, monkeypatch):
+        vm = VirtualMachine(get_machine("pentium4"), get_scenario("opt"))
+        program = diamond_program()
+        reference = vm.run_reference(program, JIKES_DEFAULT_PARAMETERS)
+
+        def boom(*_args, **_kwargs):
+            raise RuntimeError("accelerator bug")
+
+        monkeypatch.setattr(vm._accelerator, "run", boom)
+        report = vm.run(program, JIKES_DEFAULT_PARAMETERS)
+        assert report.running_cycles == reference.running_cycles
+        assert report.compile_cycles == reference.compile_cycles
+        assert report.total_cycles == reference.total_cycles
+        assert vm.perf_stats.degraded_runs == 1
+
+    def test_operator_aborts_propagate(self, monkeypatch):
+        vm = VirtualMachine(get_machine("pentium4"), get_scenario("opt"))
+
+        def interrupt(*_args, **_kwargs):
+            raise KeyboardInterrupt()
+
+        monkeypatch.setattr(vm._accelerator, "run", interrupt)
+        with pytest.raises(KeyboardInterrupt):
+            vm.run(diamond_program(), JIKES_DEFAULT_PARAMETERS)
+        assert vm.perf_stats.degraded_runs == 0
+
+    def test_degradation_counters_in_stats_dict(self):
+        vm = VirtualMachine(get_machine("pentium4"), get_scenario("opt"))
+        stats = vm.perf_stats.as_dict()
+        assert stats["degraded_runs"] == 0
+        assert stats["degraded_batches"] == 0
+
+
+class TestBatchDegradation:
+    def test_injected_kernel_fault_keeps_fitnesses_bitwise(self):
+        # "opt" gives every genome its own inlining plan, so the batched
+        # accounting genuinely runs (under "adapt" these tiny programs all
+        # share one plan signature and the kernel is never consulted).
+        genomes = _some_genomes()
+        baseline = _evaluator(scenario="opt")
+        expected = [float(baseline(g)) for g in genomes]
+
+        install_fault_plan(
+            FaultPlan(sites={"batch-kernel": FaultSpec(max_fires=1)}),
+            propagate=False,
+        )
+        faulted = _evaluator(scenario="opt")
+        values = faulted.evaluate_batch(genomes)
+        assert values == expected
+        assert faulted.vm.perf_stats.degraded_batches >= 1
+
+    def test_batch_layer_failure_degrades_to_serial(self, monkeypatch):
+        genomes = _some_genomes()
+        baseline = _evaluator(scenario="opt")
+        expected = [float(baseline(g)) for g in genomes]
+
+        from repro.perf import batch
+
+        def broken(*_args, **_kwargs):
+            raise RuntimeError("grouping stage broke")
+
+        monkeypatch.setattr(
+            batch.GenerationBatchEvaluator, "run_generation", broken
+        )
+        faulted = _evaluator(scenario="opt")
+        values = faulted.evaluate_batch(genomes)
+        assert values == expected
+        assert faulted.vm.perf_stats.degraded_batches == 1

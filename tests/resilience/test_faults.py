@@ -1,0 +1,139 @@
+"""Tests for the deterministic fault injector."""
+
+import json
+import os
+
+import pytest
+
+from repro.resilience import faults
+from repro.resilience.faults import (
+    PLAN_ENV_VAR,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    clear_fault_plan,
+    get_fault_injector,
+    install_fault_plan,
+)
+
+
+class TestPlanSerialization:
+    def test_round_trip(self):
+        plan = FaultPlan(
+            sites={
+                "task-exception": FaultSpec(probability=0.5, max_fires=3),
+                "slow-task": FaultSpec(keys=("a", "b"), delay=0.25),
+            },
+            seed=17,
+            marker_dir="/tmp/markers",
+        )
+        restored = FaultPlan.from_json(plan.to_json())
+        assert restored == plan
+
+    def test_json_is_plain(self):
+        plan = FaultPlan(sites={"torn-write": FaultSpec()}, seed=1)
+        payload = json.loads(plan.to_json())
+        assert payload["seed"] == 1
+        assert "torn-write" in payload["sites"]
+
+
+class TestShouldFire:
+    def test_unconfigured_site_never_fires(self):
+        injector = FaultInjector(FaultPlan())
+        assert not injector.should_fire("task-exception", "x")
+
+    def test_probability_one_fires_once_per_budget(self):
+        injector = FaultInjector(
+            FaultPlan(sites={"task-exception": FaultSpec(max_fires=2)})
+        )
+        fired = [injector.should_fire("task-exception", str(i)) for i in range(5)]
+        assert fired == [True, True, False, False, False]
+
+    def test_key_filter(self):
+        injector = FaultInjector(
+            FaultPlan(sites={"task-exception": FaultSpec(keys=("hit",), max_fires=None)})
+        )
+        assert not injector.should_fire("task-exception", "miss")
+        assert injector.should_fire("task-exception", "hit")
+
+    def test_fractional_probability_is_deterministic(self):
+        plan = FaultPlan(
+            sites={"task-exception": FaultSpec(probability=0.5, max_fires=None)},
+            seed=7,
+        )
+        first = [FaultInjector(plan).should_fire("task-exception", str(i)) for i in range(64)]
+        second = [FaultInjector(plan).should_fire("task-exception", str(i)) for i in range(64)]
+        assert first == second
+        assert any(first) and not all(first)  # actually fractional
+
+    def test_seed_changes_the_draw_pattern(self):
+        spec = FaultSpec(probability=0.5, max_fires=None)
+        a = FaultInjector(FaultPlan(sites={"s": spec}, seed=1))
+        b = FaultInjector(FaultPlan(sites={"s": spec}, seed=2))
+        keys = [str(i) for i in range(64)]
+        assert [a.should_fire("s", k) for k in keys] != [
+            b.should_fire("s", k) for k in keys
+        ]
+
+
+class TestMarkerDirBudget:
+    def test_budget_shared_across_injectors(self, tmp_path):
+        plan = FaultPlan(
+            sites={"worker-kill": FaultSpec(max_fires=1)},
+            marker_dir=str(tmp_path),
+        )
+        first = FaultInjector(plan)
+        second = FaultInjector(plan)  # models another process
+        assert first.should_fire("worker-kill", "a")
+        assert not second.should_fire("worker-kill", "b")
+        assert not first.should_fire("worker-kill", "c")
+        markers = os.listdir(tmp_path)
+        assert markers == ["worker-kill.0.fired"]
+
+
+class TestHelpers:
+    def test_maybe_raise(self):
+        injector = FaultInjector(FaultPlan(sites={"task-exception": FaultSpec()}))
+        with pytest.raises(InjectedFault) as err:
+            injector.maybe_raise("task-exception", "cell-3")
+        assert err.value.site == "task-exception"
+        assert "cell-3" in str(err.value)
+        # budget of 1 spent: the retry passes through
+        injector.maybe_raise("task-exception", "cell-3")
+
+    def test_injected_fault_is_not_a_repro_error(self):
+        from repro.errors import ReproError
+
+        assert not issubclass(InjectedFault, ReproError)
+
+
+class TestInstallation:
+    def test_install_and_clear(self):
+        assert get_fault_injector() is None
+        injector = install_fault_plan(FaultPlan(sites={"s": FaultSpec()}))
+        assert get_fault_injector() is injector
+        assert PLAN_ENV_VAR in os.environ
+        clear_fault_plan()
+        assert get_fault_injector() is None
+        assert PLAN_ENV_VAR not in os.environ
+
+    def test_install_without_propagation(self):
+        install_fault_plan(FaultPlan(), propagate=False)
+        assert PLAN_ENV_VAR not in os.environ
+
+    def test_env_pickup_models_a_spawned_worker(self, monkeypatch):
+        plan = FaultPlan(sites={"torn-write": FaultSpec()}, seed=5)
+        monkeypatch.setenv(PLAN_ENV_VAR, plan.to_json())
+        # a spawned worker starts with fresh module state
+        monkeypatch.setattr(faults, "_INJECTOR", None)
+        monkeypatch.setattr(faults, "_ENV_CHECKED", False)
+        injector = get_fault_injector()
+        assert injector is not None
+        assert injector.plan == plan
+
+    def test_garbage_env_is_ignored(self, monkeypatch):
+        monkeypatch.setenv(PLAN_ENV_VAR, "{not json")
+        monkeypatch.setattr(faults, "_INJECTOR", None)
+        monkeypatch.setattr(faults, "_ENV_CHECKED", False)
+        assert get_fault_injector() is None

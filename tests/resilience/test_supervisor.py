@@ -1,0 +1,194 @@
+"""Tests for supervised task execution (retries, worker death, timeouts)."""
+
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.resilience.supervisor import (
+    KIND_EXCEPTION,
+    KIND_TIMEOUT,
+    KIND_WORKER_DEATH,
+    FailureReport,
+    RetryPolicy,
+    run_supervised,
+    run_supervised_serial,
+)
+
+FAST = RetryPolicy(max_attempts=3, backoff_base=0.0)
+
+
+# ----------------------------------------------------------------------
+# module-level task bodies: pool workers must be able to pickle them
+# ----------------------------------------------------------------------
+def _double(payload):
+    return payload * 2
+
+
+def _fail_once_then_succeed(payload):
+    """Raises on the first attempt; a marker file makes retries pass."""
+    marker, value = payload
+    try:
+        fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return value
+    os.close(fd)
+    raise ValueError("transient failure")
+
+
+def _always_fail(_payload):
+    raise ValueError("permanent failure")
+
+
+def _kill_self_once(payload):
+    """SIGKILLs its worker on the first attempt; retries pass."""
+    marker, value = payload
+    try:
+        fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return value
+    os.close(fd)
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _sleep_forever(_payload):
+    time.sleep(60.0)
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_base=-1.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(timeout=0.0)
+
+    def test_first_attempt_has_no_delay(self):
+        assert RetryPolicy().delay_before("t", 1) == 0.0
+
+    def test_backoff_grows_and_clamps(self):
+        policy = RetryPolicy(
+            backoff_base=1.0, backoff_factor=4.0, backoff_max=8.0, jitter=0.0
+        )
+        assert policy.delay_before("t", 2) == 1.0
+        assert policy.delay_before("t", 3) == 4.0
+        assert policy.delay_before("t", 4) == 8.0  # clamped from 16
+        assert policy.delay_before("t", 5) == 8.0
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(backoff_base=1.0, backoff_factor=1.0, jitter=0.5, seed=3)
+        delays = {policy.delay_before("t", 2) for _ in range(5)}
+        assert len(delays) == 1  # same (seed, task, attempt) -> same delay
+        delay = delays.pop()
+        assert 1.0 <= delay <= 1.5
+        assert policy.delay_before("other", 2) != delay  # de-synchronized
+
+
+class TestSerialSupervision:
+    def test_all_succeed(self):
+        results, failures = run_supervised_serial(
+            [("a", 1), ("b", 2)], _double, policy=FAST
+        )
+        assert results == {"a": 2, "b": 4}
+        assert failures == []
+
+    def test_transient_failure_is_retried(self, tmp_path):
+        marker = str(tmp_path / "fired")
+        results, failures = run_supervised_serial(
+            [("flaky", (marker, 42))], _fail_once_then_succeed, policy=FAST
+        )
+        assert results == {"flaky": 42}
+        assert len(failures) == 1
+        assert failures[0].kind == KIND_EXCEPTION
+        assert failures[0].error_type == "ValueError"
+        assert not failures[0].fatal
+
+    def test_budget_exhaustion_is_fatal(self):
+        results, failures = run_supervised_serial(
+            [("doomed", None), ("fine", 5)],
+            lambda p: _always_fail(p) if p is None else _double(p),
+            policy=FAST,
+        )
+        assert "doomed" not in results
+        assert results == {"fine": 10}  # one bad task does not sink the rest
+        doomed = [f for f in failures if f.task_name == "doomed"]
+        assert len(doomed) == FAST.max_attempts
+        assert doomed[-1].fatal and not doomed[0].fatal
+
+    def test_on_result_fires_per_success(self):
+        seen = []
+        run_supervised_serial(
+            [("a", 1), ("b", 2)],
+            _double,
+            policy=FAST,
+            on_result=lambda name, value: seen.append((name, value)),
+        )
+        assert seen == [("a", 2), ("b", 4)]
+
+
+@pytest.mark.slow
+class TestPooledSupervision:
+    def test_all_succeed(self):
+        results, failures = run_supervised(
+            [(str(i), i) for i in range(6)],
+            _double,
+            policy=FAST,
+            max_workers=2,
+            mp_context=multiprocessing.get_context("spawn"),
+        )
+        assert results == {str(i): i * 2 for i in range(6)}
+        assert failures == []
+
+    def test_exception_is_retried_in_pool(self, tmp_path):
+        marker = str(tmp_path / "fired")
+        results, failures = run_supervised(
+            [("flaky", (marker, 7)), ("ok", (str(tmp_path / "pre-claimed"), 8))],
+            _fail_once_then_succeed,
+            policy=FAST,
+            max_workers=2,
+            mp_context=multiprocessing.get_context("spawn"),
+        )
+        assert results["flaky"] == 7
+        flaky = [f for f in failures if f.task_name == "flaky"]
+        assert flaky and flaky[0].kind == KIND_EXCEPTION
+
+    def test_worker_death_rebuilds_and_resubmits(self, tmp_path):
+        marker = str(tmp_path / "killed")
+        results, failures = run_supervised(
+            [("victim", (marker, 13))],
+            _kill_self_once,
+            policy=FAST,
+            max_workers=1,
+            mp_context=multiprocessing.get_context("spawn"),
+        )
+        assert results == {"victim": 13}
+        assert any(f.kind == KIND_WORKER_DEATH for f in failures)
+        assert not any(f.fatal for f in failures)
+
+    def test_timeout_is_fatal_with_one_attempt(self):
+        policy = RetryPolicy(max_attempts=1, backoff_base=0.0, timeout=0.5)
+        results, failures = run_supervised(
+            [("stuck", None)],
+            _sleep_forever,
+            policy=policy,
+            max_workers=1,
+            mp_context=multiprocessing.get_context("spawn"),
+        )
+        assert results == {}
+        assert len(failures) == 1
+        assert failures[0].kind == KIND_TIMEOUT
+        assert failures[0].fatal
+
+
+class TestFailureReport:
+    def test_str_mentions_the_essentials(self):
+        report = FailureReport(
+            task_name="cell", attempt=2, kind=KIND_EXCEPTION,
+            error_type="ValueError", message="boom", elapsed=1.5, fatal=True,
+        )
+        text = str(report)
+        assert "cell" in text and "ValueError" in text and "fatal" in text

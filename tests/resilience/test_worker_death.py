@@ -1,0 +1,50 @@
+"""Worker-death recovery in the multiprocess GA evaluator.
+
+The satellite requirement: SIGKILL one pool worker mid-generation and
+prove the generation still completes, with fitnesses identical to a
+serial evaluation.
+"""
+
+import pytest
+
+from repro.ga.parallel import MultiprocessEvaluator, SerialEvaluator
+from repro.resilience.faults import FaultPlan, FaultSpec, install_fault_plan
+
+pytestmark = pytest.mark.slow
+
+GENOMES = [(i, i + 1, i + 2) for i in range(8)]
+
+
+def _fitness(genome):
+    return float(sum(g * g for g in genome))
+
+
+class TestWorkerDeath:
+    def test_killed_worker_mid_generation_matches_serial(self, tmp_path):
+        expected = SerialEvaluator().map(_fitness, GENOMES)
+        install_fault_plan(
+            FaultPlan(
+                sites={"worker-kill": FaultSpec(max_fires=1)},
+                marker_dir=str(tmp_path / "markers"),
+            )
+        )
+        with MultiprocessEvaluator(processes=2) as evaluator:
+            values = evaluator.map(_fitness, GENOMES)
+            assert values == expected
+            assert evaluator.rebuilds == 1
+            # the pool stays usable for the next generation
+            assert evaluator.map(_fitness, GENOMES) == expected
+            assert evaluator.rebuilds == 1  # budget spent: no more kills
+
+    def test_repeated_deaths_exhaust_rebuild_budget(self, tmp_path):
+        from repro.errors import GAError
+
+        install_fault_plan(
+            FaultPlan(
+                sites={"worker-kill": FaultSpec(max_fires=None)},  # every chunk
+                marker_dir=None,
+            )
+        )
+        with MultiprocessEvaluator(processes=1, max_rebuilds=1) as evaluator:
+            with pytest.raises(GAError, match="gave up"):
+                evaluator.map(_fitness, GENOMES)
