@@ -5,6 +5,7 @@ Subcommands
 ``run``      run one benchmark under a scenario/machine/heuristic
 ``tune``     run the GA tuner for a standard task
 ``campaign`` tune the arch x scenario x metric grid concurrently
+``telemetry`` summarize a campaign's --telemetry directory
 ``figure``   regenerate a paper figure (1, 2, 5-10) as ASCII charts
 ``table``    regenerate a paper table (4 or 5)
 ``list``     show available benchmarks, machines, scenarios and tasks
@@ -13,6 +14,7 @@ Subcommands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional, Sequence
 
@@ -113,6 +115,25 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="per-cell wall-clock budget in seconds (default: none)",
     )
+    p_camp.add_argument(
+        "--telemetry",
+        dest="telemetry_dir",
+        default=None,
+        metavar="DIR",
+        help="write structured telemetry (JSONL events, metrics.prom) "
+        "to DIR; inspect with 'repro telemetry summarize DIR'",
+    )
+
+    p_tel = sub.add_parser(
+        "telemetry", help="inspect a campaign's telemetry directory"
+    )
+    tel_sub = p_tel.add_subparsers(dest="telemetry_command", required=True)
+    p_tel_sum = tel_sub.add_parser(
+        "summarize",
+        help="render per-cell convergence and the failure timeline "
+        "from a telemetry directory's JSONL events",
+    )
+    p_tel_sum.add_argument("directory", help="the --telemetry DIR of a campaign run")
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")
     p_fig.add_argument("number", type=int, choices=(1, 2, 5, 6, 7, 8, 9, 10))
@@ -235,6 +256,7 @@ def _cmd_campaign(args) -> int:
         campaign_dir=args.campaign_dir,
         resume=args.resume,
         retry_policy=policy,
+        telemetry_dir=args.telemetry_dir,
     )
     print(
         f"{'task':<24} {'status':>7} {'fitness':>10} {'improve':>8} "
@@ -270,6 +292,16 @@ def _cmd_campaign(args) -> int:
             file=sys.stderr,
         )
         return 1
+    return 0
+
+
+def _cmd_telemetry(args) -> int:
+    from repro.telemetry import summarize_directory
+
+    if not os.path.isdir(args.directory):
+        print(f"error: {args.directory!r} is not a directory", file=sys.stderr)
+        return 2
+    print(summarize_directory(args.directory), end="")
     return 0
 
 
@@ -408,6 +440,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "run": _cmd_run,
         "tune": _cmd_tune,
         "campaign": _cmd_campaign,
+        "telemetry": _cmd_telemetry,
         "figure": _cmd_figure,
         "table": _cmd_table,
         "sweep": _cmd_sweep,

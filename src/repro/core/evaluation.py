@@ -22,6 +22,7 @@ from repro.jvm.costmodel import DEFAULT_COST_MODEL, CostModel
 from repro.jvm.inlining import JIKES_DEFAULT_PARAMETERS, InliningParameters
 from repro.jvm.runtime import ExecutionReport, VirtualMachine
 from repro.jvm.scenario import CompilationScenario
+from repro.telemetry import emit as telemetry_emit
 
 __all__ = ["HeuristicEvaluator"]
 
@@ -125,7 +126,7 @@ class HeuristicEvaluator:
             )
         except (KeyboardInterrupt, SystemExit):
             raise
-        except Exception:
+        except Exception as exc:
             # The batch layer degrades internally per program; a failure
             # escaping it means even the grouping stage broke — fall all
             # the way back to the serial per-genome path, which produces
@@ -133,6 +134,11 @@ class HeuristicEvaluator:
             accelerator = getattr(self.vm, "_accelerator", None)
             if accelerator is not None:
                 accelerator.stats.degraded_batches += 1
+            telemetry_emit(
+                "perf.degraded_batch",
+                program="<generation>",
+                error=type(exc).__name__,
+            )
             _log.warning(
                 "generation-batched evaluation failed; degrading %d "
                 "genome(s) to the serial path",

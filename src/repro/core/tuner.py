@@ -203,6 +203,9 @@ class InliningTuner:
                 checkpoint_every=checkpoint_every,
                 resume_from=resume_from,
             )
+            # evaluate before the accelerator is retired below so its
+            # counters land in this run's stats snapshot
+            default_fitness = evaluator.default_fitness
         finally:
             store_hits = store.hits if store is not None else 0
             if store is not None:
@@ -213,6 +216,12 @@ class InliningTuner:
             self.last_accelerator_stats = (
                 accelerator.stats.as_dict() if accelerator is not None else None
             )
+            if accelerator is not None:
+                # this run's accelerator is done: fold its counters into
+                # the process totals and drop it from live aggregation,
+                # so per-task attribution never re-counts dead
+                # accelerators (see perf.engine.aggregate_stats)
+                accelerator.retire()
         wall = time.perf_counter() - start
 
         return TunedHeuristic(
@@ -222,7 +231,7 @@ class InliningTuner:
             metric=task.metric,
             params=self.space.decode(result.best_genome),
             fitness=result.best_fitness,
-            default_fitness=evaluator.default_fitness,
+            default_fitness=default_fitness,
             generations_run=result.generations_run,
             evaluations=result.evaluations,
             wall_seconds=wall,

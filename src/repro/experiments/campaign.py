@@ -58,6 +58,14 @@ from repro.resilience import (
     run_supervised,
     run_supervised_serial,
 )
+from repro.telemetry import (
+    configure as telemetry_configure,
+    emit as telemetry_emit,
+    get_session as telemetry_get_session,
+    scoped_context,
+    shutdown as telemetry_shutdown,
+    trace,
+)
 
 __all__ = [
     "grid_tasks",
@@ -201,14 +209,41 @@ def _run_campaign_task(payload) -> Tuple:
         injector.maybe_raise("task-exception", key=task.name)
 
     programs = SPECJVM98.programs(seed=workload_seed)
-    tuner = InliningTuner(
-        ga_config, store_path=store_path, store_readonly=True
-    )
-    tuned = tuner.tune(task, programs, checkpoint_path=checkpoint_path)
+    with scoped_context(cell=task.name):
+        with trace("campaign.cell", task=task.name):
+            tuner = InliningTuner(
+                ga_config, store_path=store_path, store_readonly=True
+            )
+            tuned = tuner.tune(task, programs, checkpoint_path=checkpoint_path)
     store = tuner.last_store
     pending = store.drain_pending() if store is not None else []
     context = store.context if store is not None else None
     return task.name, tuned, context, pending, tuner.last_accelerator_stats
+
+
+def _merge_pending(
+    store_path: str,
+    context: str,
+    pending: Sequence[Tuple[Tuple[int, ...], float, Optional[dict]]],
+) -> int:
+    """Persist a cell's drained records into the coordinator's store.
+
+    Records are deduped by genome key against the store (and within
+    *pending* itself) before being appended, and the count of genuinely
+    new records is returned.  The dedupe matters under supervision: a
+    cell retried after a timeout whose first attempt's result still
+    lands can hand the coordinator the same buffered records twice —
+    replaying them must not double-append lines or double-count
+    ``new_records``.
+    """
+    fresh = 0
+    with EvaluationStore(store_path, context=context) as writer:
+        for genome, fitness, per_benchmark in pending:
+            if genome in writer:
+                continue
+            writer.record(genome, fitness, per_benchmark)
+            fresh += 1
+    return fresh
 
 
 def _resumed_result(task_name: str, cell: dict) -> CampaignTaskResult:
@@ -236,6 +271,7 @@ def run_campaign(
     campaign_dir: Optional[str] = None,
     resume: bool = False,
     retry_policy: Optional[RetryPolicy] = None,
+    telemetry_dir: Optional[str] = None,
 ) -> CampaignResult:
     """Run every task of the campaign, concurrently by default.
 
@@ -262,7 +298,47 @@ def run_campaign(
     exhausts its budget is returned as a failed result — the campaign
     reports partial results plus structured failures instead of
     raising.
+
+    *telemetry_dir* (CLI: ``repro campaign --telemetry DIR``) turns on
+    the observability layer for the run: a telemetry session is
+    installed and propagated to the workers (structured JSONL events,
+    spans, metrics; see ``docs/OBSERVABILITY.md``), and the coordinator
+    writes a Prometheus text export plus a final metrics snapshot to
+    DIR before returning.  The session is owned by this call — it is
+    torn down (and the worker hand-off environment variable removed)
+    even when the campaign raises.  Telemetry never changes results —
+    the run is bitwise-identical to one without it.
     """
+    if telemetry_dir is not None:
+        telemetry_configure(telemetry_dir)
+        try:
+            return _run_campaign_impl(
+                tasks, ga_config, store_path, workload_seed, processes,
+                serial, progress, campaign_dir, resume, retry_policy,
+            )
+        finally:
+            session = telemetry_get_session()
+            if session is not None:
+                session.export_prometheus()
+            telemetry_shutdown()
+    return _run_campaign_impl(
+        tasks, ga_config, store_path, workload_seed, processes,
+        serial, progress, campaign_dir, resume, retry_policy,
+    )
+
+
+def _run_campaign_impl(
+    tasks: Optional[Sequence[TuningTask]],
+    ga_config: GAConfig,
+    store_path: Optional[str],
+    workload_seed: int,
+    processes: Optional[int],
+    serial: bool,
+    progress,
+    campaign_dir: Optional[str],
+    resume: bool,
+    retry_policy: Optional[RetryPolicy],
+) -> CampaignResult:
     say = progress or (lambda _msg: None)
     if tasks is None:
         tasks = grid_tasks()
@@ -324,19 +400,19 @@ def run_campaign(
 
     def on_result(name: str, value: Tuple) -> None:
         # Fires in the coordinator as each cell completes.  Persist the
-        # cell's new store records (single writer) and its manifest
-        # entry immediately: a crash later in the campaign then costs
-        # only the in-flight cells.
+        # cell's new store records (single writer, deduped against the
+        # store — see _merge_pending) and its manifest entry
+        # immediately: a crash later in the campaign then costs only
+        # the in-flight cells.
         task_name, tuned, context, pending, accel_stats = value
+        fresh = 0
         if store_path is not None and context is not None and pending:
-            with EvaluationStore(store_path, context=context) as writer:
-                for genome, fitness, per_benchmark in pending:
-                    writer.record(genome, fitness, per_benchmark)
+            fresh = _merge_pending(store_path, context, pending)
         finished[task_name] = CampaignTaskResult(
             task_name=task_name,
             tuned=tuned,
             context=context,
-            new_records=len(pending),
+            new_records=fresh,
             accelerator_stats=accel_stats,
         )
         if manifest is not None:
@@ -344,30 +420,54 @@ def run_campaign(
                 task_name,
                 tuned.to_json(),
                 context,
-                len(pending),
+                fresh,
                 accel_stats,
                 attempts=1,  # corrected below once failures are known
             )
+        session = telemetry_get_session()
+        if session is not None:
+            session.emit("campaign.cell_done", task=task_name, ok=True,
+                         new_records=fresh)
+            registry = session.registry
+            registry.counter("repro_cells_total", status="done").inc()
+            registry.counter("repro_store_records_total").inc(fresh)
+            if tuned is not None:
+                registry.counter("repro_ga_generations_total").inc(
+                    tuned.generations_run
+                )
+                registry.counter("repro_ga_evaluations_total").inc(
+                    tuned.evaluations
+                )
+            if accel_stats:
+                registry.absorb_counters(
+                    {
+                        counter: accel_stats.get(counter, 0)
+                        for counter in STAT_COUNTERS
+                    },
+                    prefix="repro_accel_",
+                )
         say(f"{task_name}: done")
 
-    if serial or len(todo) <= 1:
-        n_processes = 1
-        _, failures = run_supervised_serial(
-            payloads, _run_campaign_task, policy=policy, on_result=on_result
-        )
-    else:
-        if processes is not None:
-            n_processes = max(1, min(processes, len(todo)))
+    telemetry_emit("campaign.start", tasks=len(tasks))
+    with trace("campaign", tasks=len(todo)):
+        if serial or len(todo) <= 1:
+            n_processes = 1
+            _, failures = run_supervised_serial(
+                payloads, _run_campaign_task, policy=policy, on_result=on_result
+            )
         else:
-            n_processes = min(len(todo), max(1, os.cpu_count() or 1))
-        _, failures = run_supervised(
-            payloads,
-            _run_campaign_task,
-            policy=policy,
-            max_workers=n_processes,
-            mp_context=multiprocessing.get_context("spawn"),
-            on_result=on_result,
-        )
+            if processes is not None:
+                n_processes = max(1, min(processes, len(todo)))
+            else:
+                n_processes = min(len(todo), max(1, os.cpu_count() or 1))
+            _, failures = run_supervised(
+                payloads,
+                _run_campaign_task,
+                policy=policy,
+                max_workers=n_processes,
+                mp_context=multiprocessing.get_context("spawn"),
+                on_result=on_result,
+            )
 
     attempts_spent = {name: 1 for name in finished}
     for failure in failures:
@@ -393,6 +493,9 @@ def run_campaign(
             fatal = [f for f in failures if f.task_name == name]
             message = str(fatal[-1]) if fatal else "task never completed"
             say(f"{name}: FAILED ({message})")
+            telemetry_emit(
+                "campaign.cell_done", task=name, ok=False, new_records=0
+            )
             results.append(
                 CampaignTaskResult(
                     task_name=name,
@@ -405,6 +508,17 @@ def run_campaign(
                     attempts=attempts_spent.get(name, policy.max_attempts),
                 )
             )
+
+    session = telemetry_get_session()
+    if session is not None:
+        succeeded = sum(1 for r in results if r.ok)
+        failed = len(results) - succeeded
+        if failed:
+            session.registry.counter("repro_cells_total", status="failed").inc(
+                failed
+            )
+        session.emit("campaign.done", succeeded=succeeded, failed=failed)
+        session.emit("metrics.snapshot", metrics=session.registry.snapshot())
 
     return CampaignResult(
         results=tuple(results),

@@ -25,6 +25,7 @@ from repro.ga.parallel import BatchEvaluator
 from repro.ga.selection import SelectionOperator, TournamentSelection
 from repro.ga.statistics import GenerationStats
 from repro.rng import rng_for
+from repro.telemetry import trace
 
 __all__ = ["GAConfig", "GAResult", "GAEngine"]
 
@@ -150,14 +151,16 @@ class GAEngine:
                 resume_from, cache, rng
             )
         else:
-            population = self._initial_population(rng, initial_genomes)
-            self._evaluate(population, cache)
-            best = min(population, key=lambda ind: ind.require_fitness()).copy()
-            stale = 0
-            start_gen = 1
-            stats = GenerationStats.from_population(
-                0, population, cache.misses, cache.hits
-            )
+            with trace("ga.generation", gen=0) as span:
+                population = self._initial_population(rng, initial_genomes)
+                self._evaluate(population, cache)
+                best = min(population, key=lambda ind: ind.require_fitness()).copy()
+                stale = 0
+                start_gen = 1
+                stats = GenerationStats.from_population(
+                    0, population, cache.misses, cache.hits
+                )
+                self._note_span(span, stats, cache)
             history.append(stats)
             if on_generation is not None:
                 on_generation(stats)
@@ -169,20 +172,22 @@ class GAEngine:
         stopped_early = False
         generations_run = max(1, start_gen)
         for gen in range(start_gen, cfg.generations):
-            population = self._breed(population, rng)
-            self._evaluate(population, cache)
-            generations_run += 1
+            with trace("ga.generation", gen=gen) as span:
+                population = self._breed(population, rng)
+                self._evaluate(population, cache)
+                generations_run += 1
 
-            gen_best = min(population, key=lambda ind: ind.require_fitness())
-            if gen_best.require_fitness() < best.require_fitness():
-                best = gen_best.copy()
-                stale = 0
-            else:
-                stale += 1
+                gen_best = min(population, key=lambda ind: ind.require_fitness())
+                if gen_best.require_fitness() < best.require_fitness():
+                    best = gen_best.copy()
+                    stale = 0
+                else:
+                    stale += 1
 
-            stats = GenerationStats.from_population(
-                gen, population, cache.misses, cache.hits
-            )
+                stats = GenerationStats.from_population(
+                    gen, population, cache.misses, cache.hits
+                )
+                self._note_span(span, stats, cache)
             history.append(stats)
             if on_generation is not None:
                 on_generation(stats)
@@ -202,6 +207,17 @@ class GAEngine:
             cache_hits=cache.hits,
             generations_run=generations_run,
             stopped_early=stopped_early,
+        )
+
+    @staticmethod
+    def _note_span(span, stats: GenerationStats, cache: FitnessCache) -> None:
+        """Attach convergence fields to a ``ga.generation`` span."""
+        answered = cache.hits + cache.misses
+        span.note(
+            best=stats.best_fitness,
+            mean=stats.mean_fitness,
+            evaluations=stats.evaluations,
+            cache_hit_rate=(cache.hits / answered) if answered else 0.0,
         )
 
     # ------------------------------------------------------------------

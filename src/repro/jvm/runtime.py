@@ -38,6 +38,7 @@ from repro.jvm.costmodel import DEFAULT_COST_MODEL, CostModel
 from repro.jvm.inlining import InliningParameters
 from repro.jvm.opt_compiler import OptimizingCompiler
 from repro.jvm.scenario import CompilationScenario
+from repro.telemetry import emit as telemetry_emit
 
 __all__ = ["ExecutionReport", "VirtualMachine", "propagate_invocations"]
 
@@ -205,12 +206,17 @@ class VirtualMachine:
                 return self._accelerator.run(program, params, attach_params)
             except (KeyboardInterrupt, SystemExit):
                 raise
-            except Exception:
+            except Exception as exc:
                 self._accelerator.stats.degraded_runs += 1
                 _log.warning(
                     "accelerated run of %s failed; degrading to run_reference",
                     program.name,
                     exc_info=True,
+                )
+                telemetry_emit(
+                    "perf.degraded_run",
+                    error=type(exc).__name__,
+                    program=program.name,
                 )
                 return self.run_reference(program, params)
         return self.run_reference(program, params)

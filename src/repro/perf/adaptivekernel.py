@@ -55,6 +55,7 @@ import numpy as np
 from repro.errors import SimulationError
 from repro.jvm.inlining import InliningParameters
 from repro.perf.fastcompile import region_covers
+from repro.telemetry import trace
 
 __all__ = ["AdaptiveBatchKernel"]
 
@@ -222,6 +223,19 @@ class AdaptiveBatchKernel:
         where the interleaved zeros of never-invoked methods are exact
         no-ops on the non-negative partial sums.
         """
+        with trace(
+            "perf.adaptive.account",
+            program=state.program.name,
+            columns=len(rep_rows),
+        ):
+            return self._account(state, rep_rows, rep_params)
+
+    def _account(
+        self,
+        state,
+        rep_rows: np.ndarray,
+        rep_params: Sequence[InliningParameters],
+    ) -> List[object]:
         from repro.jvm.runtime import ExecutionReport
         from repro.perf.batch import batched_cache_pressure
 

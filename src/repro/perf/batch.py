@@ -46,6 +46,7 @@ import numpy as np
 from repro.errors import SimulationError
 from repro.jvm.callgraph import Program
 from repro.jvm.inlining import InliningParameters
+from repro.telemetry import emit as telemetry_emit, trace
 
 __all__ = ["GenerationBatchEvaluator", "batched_cache_pressure"]
 
@@ -146,12 +147,19 @@ class GenerationBatchEvaluator:
         reports: List[List[object]] = [[None] * len(programs) for _ in params_list]
         if not params_list:
             return reports
-        self.accelerator.stats.batch_generations += 1
-        values_matrix = np.array(
-            [params.as_tuple() for params in params_list], dtype=np.int64
-        )
-        for j, program in enumerate(programs):
-            self._run_program(program, params_list, values_matrix, reports, j, attach_params)
+        with trace(
+            "perf.batch.generation",
+            genomes=len(params_list),
+            programs=len(programs),
+        ):
+            self.accelerator.stats.batch_generations += 1
+            values_matrix = np.array(
+                [params.as_tuple() for params in params_list], dtype=np.int64
+            )
+            for j, program in enumerate(programs):
+                self._run_program(
+                    program, params_list, values_matrix, reports, j, attach_params
+                )
         return reports
 
     # ------------------------------------------------------------------
@@ -232,7 +240,7 @@ class GenerationBatchEvaluator:
                     fresh = self._account_opt_batch(state, rep_rows, rep_params)
             except (KeyboardInterrupt, SystemExit):
                 raise
-            except Exception:
+            except Exception as exc:
                 # Graceful degradation: a batch/matrix-kernel failure
                 # costs throughput, never correctness — re-evaluate the
                 # representatives through the serial memoized path
@@ -245,6 +253,11 @@ class GenerationBatchEvaluator:
                     program.name,
                     len(miss_reps),
                     exc_info=True,
+                )
+                telemetry_emit(
+                    "perf.degraded_batch",
+                    program=program.name,
+                    error=type(exc).__name__,
                 )
                 fresh = [
                     self.vm.run(program, params_list[rep], attach_params=False)

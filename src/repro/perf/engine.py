@@ -163,15 +163,33 @@ class AcceleratorStats:
 #: live accelerators of this process, for campaign/report-level stats
 _LIVE_ACCELERATORS: "weakref.WeakSet[EvaluationAccelerator]" = weakref.WeakSet()
 
+#: counters folded in from accelerators that were retired or collected;
+#: keeps process totals exact regardless of GC timing
+_RETIRED_TOTALS = AcceleratorStats()
 
-def aggregate_stats() -> AcceleratorStats:
-    """Summed counters of every accelerator alive in this process.
 
-    The campaign runner snapshots this before and after each task to
-    attribute hit rates per task; the experiment report prints the
-    process-wide totals.
+def _fold_retired(stats: AcceleratorStats) -> None:
+    _RETIRED_TOTALS.add(stats)
+
+
+def aggregate_stats(live_only: bool = False) -> AcceleratorStats:
+    """Summed counters of this process's accelerators.
+
+    The default covers the whole process history: live accelerators
+    plus the folded totals of every accelerator that was retired (or
+    garbage-collected — a ``weakref.finalize`` folds its counters at
+    collection time, so the sum does not depend on GC timing).  The
+    experiment report prints these totals.
+
+    ``live_only=True`` restricts the sum to accelerators still alive,
+    which is what per-task attribution wants: a campaign worker that
+    builds a fresh accelerator per cell must not re-count the counters
+    of previous cells' dead accelerators (call
+    :meth:`EvaluationAccelerator.retire` when a cell finishes).
     """
     total = AcceleratorStats()
+    if not live_only:
+        total.add(_RETIRED_TOTALS)
     for accelerator in list(_LIVE_ACCELERATORS):
         total.add(accelerator.stats)
     return total
@@ -231,6 +249,20 @@ class EvaluationAccelerator:
         self.stats = AcceleratorStats()
         self._states: Dict[int, _ProgramState] = {}
         _LIVE_ACCELERATORS.add(self)
+        # fold the counters into the retired totals when this
+        # accelerator is collected without an explicit retire()
+        self._stats_finalizer = weakref.finalize(self, _fold_retired, self.stats)
+
+    def retire(self) -> None:
+        """Fold this accelerator's counters into the retired totals now.
+
+        Idempotent.  After retiring, the accelerator no longer appears
+        in ``aggregate_stats(live_only=True)``; its history stays in
+        the default (process-total) aggregation exactly once.
+        """
+        if self._stats_finalizer.detach() is not None:
+            _fold_retired(self.stats)
+        _LIVE_ACCELERATORS.discard(self)
 
     # ------------------------------------------------------------------
     def _state_for(self, program: Program) -> _ProgramState:

@@ -40,6 +40,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import GAError
 from repro.rng import stable_hash
+from repro.telemetry import emit as telemetry_emit
 
 __all__ = ["EvaluationStore", "evaluation_context_key"]
 
@@ -155,6 +156,12 @@ class EvaluationStore:
                     _log.warning(
                         "evaluation store %s: %s", self.path, self.repair_log[-1]
                     )
+                    telemetry_emit(
+                        "store.repair",
+                        action="skipped-unparsable-line",
+                        offset=line_start,
+                        bytes=len(raw),
+                    )
                 continue
             good_end = end
             try:
@@ -173,18 +180,23 @@ class EvaluationStore:
     def _repair_tear(self, offset: int, length: int, good_end: int) -> None:
         """Handle a torn trailing line found at *offset* during load."""
         if self.readonly:
+            action = "skipped-torn-line"
             event = (
                 f"skipped torn trailing line at byte {offset} ({length} bytes); "
                 "read-only store leaves the file untouched"
             )
         else:
             os.truncate(self.path, good_end)
+            action = "truncated-torn-line"
             event = (
                 f"truncated torn trailing line at byte {offset} "
                 f"({length} bytes dropped; crash mid-append)"
             )
         self.repair_log.append(event)
         _log.warning("evaluation store %s: %s", self.path, event)
+        telemetry_emit(
+            "store.repair", action=action, offset=offset, bytes=length
+        )
 
     # ------------------------------------------------------------------
     def get(self, genome: Sequence[int]) -> Optional[float]:
@@ -272,6 +284,8 @@ class EvaluationStore:
         if self._handle is not None:
             self._handle.flush()
             os.fsync(self._handle.fileno())
+            if self._unflushed:
+                telemetry_emit("store.flush", records=self._unflushed)
         self._unflushed = 0
 
     def per_benchmark(self, genome: Sequence[int]) -> Optional[dict]:

@@ -32,6 +32,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.rng import stable_hash
+from repro.telemetry import emit as telemetry_emit
 
 __all__ = ["RetryPolicy", "FailureReport", "run_supervised", "run_supervised_serial"]
 
@@ -104,6 +105,19 @@ class FailureReport:
         )
 
 
+def _emit_failure(report: FailureReport) -> None:
+    """Mirror a failed attempt into the telemetry stream (no-op when off)."""
+    telemetry_emit(
+        "supervise.failure",
+        task=report.task_name,
+        attempt=report.attempt,
+        kind=report.kind,
+        error=report.error_type,
+        message=report.message,
+        fatal=report.fatal,
+    )
+
+
 @dataclass
 class _TaskState:
     name: str
@@ -141,23 +155,25 @@ def run_supervised_serial(
             delay = policy.delay_before(name, attempt)
             if delay > 0.0:
                 time.sleep(delay)
-            started = time.perf_counter()
+            # same clock as the pooled path: FailureReport.elapsed and
+            # timeout accounting both read time.monotonic()
+            started = time.monotonic()
             try:
                 value = fn(payload)
             except (KeyboardInterrupt, SystemExit):
                 raise
             except Exception as exc:
-                failures.append(
-                    FailureReport(
-                        task_name=name,
-                        attempt=attempt,
-                        kind=KIND_EXCEPTION,
-                        error_type=type(exc).__name__,
-                        message=str(exc),
-                        elapsed=time.perf_counter() - started,
-                        fatal=attempt >= policy.max_attempts,
-                    )
+                report = FailureReport(
+                    task_name=name,
+                    attempt=attempt,
+                    kind=KIND_EXCEPTION,
+                    error_type=type(exc).__name__,
+                    message=str(exc),
+                    elapsed=time.monotonic() - started,
+                    fatal=attempt >= policy.max_attempts,
                 )
+                failures.append(report)
+                _emit_failure(report)
             else:
                 results[name] = value
                 if on_result is not None:
@@ -196,17 +212,17 @@ def run_supervised(
 
     def fail(entry_state: _TaskState, kind: str, error: str, message: str, elapsed: float) -> None:
         fatal = entry_state.attempts >= policy.max_attempts
-        failures.append(
-            FailureReport(
-                task_name=entry_state.name,
-                attempt=entry_state.attempts,
-                kind=kind,
-                error_type=error,
-                message=message,
-                elapsed=elapsed,
-                fatal=fatal,
-            )
+        report = FailureReport(
+            task_name=entry_state.name,
+            attempt=entry_state.attempts,
+            kind=kind,
+            error_type=error,
+            message=message,
+            elapsed=elapsed,
+            fatal=fatal,
         )
+        failures.append(report)
+        _emit_failure(report)
         if fatal:
             entry_state.failed = True
         else:
@@ -214,12 +230,13 @@ def run_supervised(
                 entry_state.name, entry_state.attempts + 1
             )
 
-    def rebuild_pool() -> None:
+    def rebuild_pool(reason: str) -> None:
         nonlocal pool
         if pool is not None:
             pool.shutdown(wait=False, cancel_futures=True)
         pool = None
         inflight.clear()
+        telemetry_emit("supervise.pool_rebuild", reason=reason)
 
     try:
         while True:
@@ -263,7 +280,7 @@ def run_supervised(
                         "pool broke while the task was in flight",
                         time.monotonic() - entry.started,
                     )
-                rebuild_pool()
+                rebuild_pool("broken-at-submit")
                 continue
 
             if not inflight:
@@ -316,7 +333,7 @@ def run_supervised(
                         "pool broke while the task was in flight",
                         time.monotonic() - entry.started,
                     )
-                rebuild_pool()
+                rebuild_pool("worker-death")
                 continue
 
             if policy.timeout is not None:
@@ -343,7 +360,7 @@ def run_supervised(
                     for future, entry in list(inflight.items()):
                         if not entry.timed_out:
                             entry.state.attempts -= 1
-                    rebuild_pool()
+                    rebuild_pool("timeout")
     finally:
         if pool is not None:
             pool.shutdown(wait=False, cancel_futures=True)

@@ -1,0 +1,62 @@
+"""Zero-dependency observability for the tuning stack.
+
+Structured JSONL events, a counter/gauge/histogram registry with
+Prometheus text export, and lightweight spans — off by default,
+bitwise-neutral when off.  See ``docs/OBSERVABILITY.md``.
+"""
+
+from repro.telemetry.core import (
+    ENV_VAR,
+    EventLog,
+    Span,
+    TelemetrySession,
+    configure,
+    emit,
+    get_session,
+    scoped_context,
+    shutdown,
+    trace,
+)
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.schema import (
+    EVENT_SCHEMAS,
+    REQUIRED_METRIC_FAMILIES,
+    SPAN_NAMES,
+    validate_event,
+)
+from repro.telemetry.summarize import (
+    load_events,
+    render_summary,
+    summarize,
+    summarize_directory,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "EventLog",
+    "Span",
+    "TelemetrySession",
+    "configure",
+    "emit",
+    "get_session",
+    "scoped_context",
+    "shutdown",
+    "trace",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "EVENT_SCHEMAS",
+    "REQUIRED_METRIC_FAMILIES",
+    "SPAN_NAMES",
+    "validate_event",
+    "load_events",
+    "render_summary",
+    "summarize",
+    "summarize_directory",
+]

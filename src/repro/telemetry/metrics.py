@@ -1,0 +1,257 @@
+"""Metrics registry: named counters, gauges, histograms, text export.
+
+The registry supersedes the hand-rolled counter bundles scattered
+through the perf stack (``AcceleratorStats``, the ``degraded_*``
+tallies): instrumented code asks the process's registry for a metric by
+name — plus optional labels — and bumps it; the campaign coordinator
+folds worker-side counter snapshots in, takes periodic
+``metrics.snapshot`` events, and writes a Prometheus text-exposition
+export (``metrics.prom``) at the end of the run.
+
+Everything here is stdlib-only and thread-safe (one lock per registry;
+metric updates are short critical sections).  Nothing touches any
+random stream, keeping telemetry bitwise-neutral.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+#: default histogram buckets (seconds-flavoured; spans are sub-second
+#: to minutes in this codebase)
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    10.0,
+    30.0,
+    60.0,
+    300.0,
+)
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, str]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_labels(key: LabelKey, extra: Iterable[Tuple[str, str]] = ()) -> str:
+    pairs = list(key) + list(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{name}="{_escape(value)}"' for name, value in pairs)
+    return "{" + body + "}"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    # Prometheus text format: integers without a trailing .0 read better
+    if isinstance(value, bool):  # bools are ints; refuse the footgun
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value", "_lock")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self.value: float = 0
+        self._lock = lock
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("value", "_lock")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self.value: float = 0
+        self._lock = lock
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        with self._lock:
+            self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        with self._lock:
+            self.value -= amount
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus semantics)."""
+
+    __slots__ = ("buckets", "counts", "total", "count", "_lock")
+
+    def __init__(self, lock: threading.Lock, buckets: Tuple[float, ...]) -> None:
+        self.buckets = tuple(sorted(buckets))
+        self.counts: List[int] = [0] * len(self.buckets)
+        self.total: float = 0.0
+        self.count: int = 0
+        self._lock = lock
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.total += value
+            self.count += 1
+            # counts are per-bucket; the exporter accumulates them into
+            # Prometheus's cumulative le-buckets
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self.counts[i] += 1
+                    break
+
+
+class MetricsRegistry:
+    """Name → metric map with label support and text exposition.
+
+    ``registry.counter("repro_ga_generations_total")`` returns the same
+    :class:`Counter` on every call; labelled variants
+    (``registry.counter("x_total", kind="timeout")``) get one child per
+    distinct label set, exported as ``x_total{kind="timeout"}``.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        # family name -> ("counter"|"gauge"|"histogram", {label_key: metric})
+        self._families: Dict[str, Tuple[str, Dict[LabelKey, object]]] = {}
+
+    # ------------------------------------------------------------------
+    def _get(self, kind: str, name: str, labels: Mapping[str, str], factory):
+        key = _label_key(labels)
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = (kind, {})
+                self._families[name] = family
+            elif family[0] != kind:
+                raise TypeError(
+                    f"metric {name!r} already registered as {family[0]}, "
+                    f"requested as {kind}"
+                )
+            children = family[1]
+            metric = children.get(key)
+            if metric is None:
+                metric = factory()
+                children[key] = metric
+            return metric
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self._get(
+            "counter", name, labels, lambda: Counter(self._lock)
+        )
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self._get("gauge", name, labels, lambda: Gauge(self._lock))
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Optional[Tuple[float, ...]] = None,
+        **labels: str,
+    ) -> Histogram:
+        chosen = tuple(buckets) if buckets else DEFAULT_BUCKETS
+        return self._get(
+            "histogram", name, labels, lambda: Histogram(self._lock, chosen)
+        )
+
+    # ------------------------------------------------------------------
+    def absorb_counters(
+        self, counts: Mapping[str, float], prefix: str = "", **labels: str
+    ) -> None:
+        """Fold a plain name→count mapping into counters.
+
+        This is how legacy counter bundles (``AcceleratorStats.as_dict``,
+        worker-side stat snapshots) are absorbed: each entry becomes
+        ``<prefix><name>_total`` and its value is added.
+        """
+        for name, value in counts.items():
+            if value:
+                self.counter(f"{prefix}{name}_total", **labels).inc(value)
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-safe dump of every metric (for ``metrics.snapshot``)."""
+        out: Dict[str, object] = {}
+        with self._lock:
+            families = {
+                name: (kind, dict(children))
+                for name, (kind, children) in self._families.items()
+            }
+        for name, (kind, children) in sorted(families.items()):
+            for key, metric in sorted(children.items()):
+                label_part = _render_labels(key)
+                if kind == "histogram":
+                    assert isinstance(metric, Histogram)
+                    out[f"{name}{label_part}"] = {
+                        "count": metric.count,
+                        "sum": metric.total,
+                    }
+                else:
+                    out[f"{name}{label_part}"] = metric.value  # type: ignore[union-attr]
+        return out
+
+    # ------------------------------------------------------------------
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: List[str] = []
+        with self._lock:
+            families = {
+                name: (kind, dict(children))
+                for name, (kind, children) in self._families.items()
+            }
+        for name, (kind, children) in sorted(families.items()):
+            lines.append(f"# TYPE {name} {kind}")
+            for key, metric in sorted(children.items()):
+                if kind == "histogram":
+                    assert isinstance(metric, Histogram)
+                    cumulative = 0
+                    for bound, bucket_count in zip(metric.buckets, metric.counts):
+                        cumulative += bucket_count
+                        labels = _render_labels(key, [("le", _format_value(bound))])
+                        lines.append(f"{name}_bucket{labels} {cumulative}")
+                    inf_labels = _render_labels(key, [("le", "+Inf")])
+                    lines.append(f"{name}_bucket{inf_labels} {metric.count}")
+                    lines.append(
+                        f"{name}_sum{_render_labels(key)} "
+                        f"{_format_value(metric.total)}"
+                    )
+                    lines.append(f"{name}_count{_render_labels(key)} {metric.count}")
+                else:
+                    value = metric.value  # type: ignore[union-attr]
+                    lines.append(
+                        f"{name}{_render_labels(key)} {_format_value(value)}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")

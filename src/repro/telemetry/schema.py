@@ -1,0 +1,151 @@
+"""Event schema: the contract between emitters and consumers.
+
+Every line of an ``events-*.jsonl`` file must satisfy
+:func:`validate_event`; ``tools/check_telemetry.py`` (the CI smoke
+check) and ``repro telemetry summarize`` both rely on it.  See
+``docs/OBSERVABILITY.md`` for the prose version.
+
+The schema is deliberately open: unknown *events* are rejected, but
+extra *fields* on a known event are allowed — context fields (campaign,
+cell, task) ride on every line, and emitters may attach ad-hoc detail.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "BASE_FIELDS",
+    "EVENT_SCHEMAS",
+    "SPAN_NAMES",
+    "REQUIRED_METRIC_FAMILIES",
+    "validate_event",
+]
+
+#: fields every event line must carry
+BASE_FIELDS: Dict[str, tuple] = {
+    "event": (str,),
+    "ts": (int, float),
+    "mono": (int, float),
+    "pid": (int,),
+}
+
+#: event name -> required fields beyond the base (name -> allowed types)
+EVENT_SCHEMAS: Dict[str, Dict[str, tuple]] = {
+    # coordinator lifecycle
+    "campaign.start": {"tasks": (int,)},
+    "campaign.cell_done": {
+        "task": (str,),
+        "ok": (bool,),
+        "new_records": (int,),
+    },
+    "campaign.done": {"succeeded": (int,), "failed": (int,)},
+    # spans (one event at region exit; see SPAN_NAMES)
+    "span": {"span": (str,), "secs": (int, float), "ok": (bool,)},
+    # supervisor
+    "supervise.failure": {
+        "task": (str,),
+        "attempt": (int,),
+        "kind": (str,),
+        "error": (str,),
+        "fatal": (bool,),
+    },
+    "supervise.pool_rebuild": {"reason": (str,)},
+    # degradation of accelerated paths
+    "perf.degraded_run": {"error": (str,)},
+    "perf.degraded_batch": {"program": (str,), "error": (str,)},
+    # evaluation store
+    "store.flush": {"records": (int,)},
+    "store.repair": {
+        "action": (str,),
+        "offset": (int,),
+        "bytes": (int,),
+    },
+    # registry dumps
+    "metrics.snapshot": {"metrics": (dict,)},
+}
+
+#: span names the instrumentation emits (``span`` field of span events)
+SPAN_NAMES: Tuple[str, ...] = (
+    "campaign",
+    "campaign.cell",
+    "ga.generation",
+    "perf.batch.generation",
+    "perf.adaptive.account",
+)
+
+#: metric families the CI smoke job greps the Prometheus export for
+REQUIRED_METRIC_FAMILIES: Tuple[str, ...] = (
+    "repro_ga_generations_total",
+    "repro_ga_evaluations_total",
+    "repro_cells_total",
+    "repro_span_seconds",
+)
+
+#: per-span required fields (beyond the generic span fields)
+_SPAN_FIELDS: Dict[str, Dict[str, tuple]] = {
+    "ga.generation": {
+        "gen": (int,),
+        "best": (int, float),
+        "mean": (int, float),
+        "evaluations": (int,),
+        "cache_hit_rate": (int, float),
+    },
+    "campaign.cell": {"task": (str,)},
+}
+
+
+def _check_fields(
+    record: Mapping, spec: Mapping[str, tuple], where: str
+) -> Optional[str]:
+    for field, types in spec.items():
+        if field not in record:
+            return f"{where}: missing field {field!r}"
+        value = record[field]
+        # bool is an int subclass; only accept it where bool is listed
+        if isinstance(value, bool) and bool not in types:
+            return f"{where}: field {field!r} has bool, expected {types}"
+        if not isinstance(value, types):
+            return (
+                f"{where}: field {field!r} has {type(value).__name__}, "
+                f"expected {types}"
+            )
+    return None
+
+
+def validate_event(record: Mapping) -> Optional[str]:
+    """Return None when *record* is schema-valid, else an error string."""
+    if not isinstance(record, Mapping):
+        return f"event is not an object: {type(record).__name__}"
+    error = _check_fields(record, BASE_FIELDS, "base")
+    if error:
+        return error
+    name = record["event"]
+    spec = EVENT_SCHEMAS.get(name)
+    if spec is None:
+        return f"unknown event {name!r}"
+    error = _check_fields(record, spec, name)
+    if error:
+        return error
+    if name == "span":
+        span_name = record["span"]
+        if span_name not in SPAN_NAMES:
+            return f"unknown span {span_name!r}"
+        # failed spans may lack result fields noted after the failure point
+        if record.get("ok") is True:
+            span_spec = _SPAN_FIELDS.get(span_name)
+            if span_spec:
+                error = _check_fields(record, span_spec, f"span {span_name}")
+                if error:
+                    return error
+    return None
+
+
+def validate_lines(lines) -> List[str]:
+    """Validate parsed event records; return all error strings."""
+    errors: List[str] = []
+    for i, record in enumerate(lines):
+        error = validate_event(record)
+        if error:
+            errors.append(f"line {i + 1}: {error}")
+    return errors

@@ -1,0 +1,242 @@
+"""Render a human-readable campaign summary from a telemetry directory.
+
+``repro telemetry summarize DIR`` reads every ``events-*.jsonl`` under
+DIR (one file per process), merges the lines by wall timestamp, and
+prints
+
+* a per-cell **convergence table** built from ``ga.generation`` spans
+  (generations seen, best/mean fitness trajectory, evaluations, final
+  cache hit rate),
+* a **failure timeline** of retries, pool rebuilds, degradations and
+  store repairs in wall-clock order,
+* the final **metrics snapshot** when one was emitted.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["load_events", "summarize", "render_summary"]
+
+
+def load_events(directory: str) -> Tuple[List[Dict], List[str]]:
+    """Parse every ``events-*.jsonl`` in *directory*.
+
+    Returns ``(events sorted by wall timestamp, parse-error strings)``.
+    Unparseable lines are reported, not fatal — a crashed process may
+    leave a torn final line.
+    """
+    events: List[Dict] = []
+    errors: List[str] = []
+    pattern = os.path.join(directory, "events-*.jsonl")
+    for path in sorted(glob.glob(pattern)):
+        with open(path, "r", encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    errors.append(f"{os.path.basename(path)}:{lineno}: unparseable")
+                    continue
+                if isinstance(record, dict):
+                    events.append(record)
+                else:
+                    errors.append(
+                        f"{os.path.basename(path)}:{lineno}: not an object"
+                    )
+    events.sort(key=lambda record: record.get("ts", 0))
+    return events, errors
+
+
+def _cell_of(record: Dict) -> str:
+    return str(record.get("cell") or record.get("task") or "?")
+
+
+def summarize(events: List[Dict]) -> Dict:
+    """Aggregate events into the summary structure render_summary prints."""
+    cells: Dict[str, Dict] = {}
+    timeline: List[Dict] = []
+    snapshot: Optional[Dict] = None
+    campaign: Dict = {}
+
+    for record in events:
+        event = record.get("event")
+        if event == "campaign.start":
+            campaign["tasks"] = record.get("tasks")
+            campaign["started_ts"] = record.get("ts")
+        elif event == "campaign.done":
+            campaign["succeeded"] = record.get("succeeded")
+            campaign["failed"] = record.get("failed")
+            campaign["finished_ts"] = record.get("ts")
+        elif event == "campaign.cell_done":
+            cell = cells.setdefault(_cell_of(record), _new_cell())
+            cell["done"] = True
+            cell["ok"] = record.get("ok")
+            cell["new_records"] = record.get("new_records")
+        elif event == "span" and record.get("span") == "campaign.cell":
+            cell = cells.setdefault(_cell_of(record), _new_cell())
+            cell["secs"] = record.get("secs")
+        elif event == "span" and record.get("span") == "ga.generation":
+            cell = cells.setdefault(_cell_of(record), _new_cell())
+            cell["generations"].append(
+                {
+                    "gen": record.get("gen"),
+                    "best": record.get("best"),
+                    "mean": record.get("mean"),
+                    "evaluations": record.get("evaluations"),
+                    "cache_hit_rate": record.get("cache_hit_rate"),
+                }
+            )
+        elif event in (
+            "supervise.failure",
+            "supervise.pool_rebuild",
+            "perf.degraded_run",
+            "perf.degraded_batch",
+            "store.repair",
+        ):
+            timeline.append(record)
+        elif event == "metrics.snapshot":
+            snapshot = record.get("metrics")
+
+    for cell in cells.values():
+        cell["generations"].sort(key=lambda g: (g["gen"] is None, g["gen"]))
+    return {
+        "campaign": campaign,
+        "cells": cells,
+        "timeline": timeline,
+        "snapshot": snapshot,
+    }
+
+
+def _new_cell() -> Dict:
+    return {
+        "generations": [],
+        "done": False,
+        "ok": None,
+        "secs": None,
+        "new_records": None,
+    }
+
+
+def _fmt(value, width: int = 10, digits: int = 4) -> str:
+    if value is None:
+        return "-".rjust(width)
+    if isinstance(value, float):
+        return f"{value:.{digits}f}".rjust(width)
+    return str(value).rjust(width)
+
+
+def render_summary(summary: Dict) -> str:
+    """Format the summary structure as terminal-friendly text."""
+    lines: List[str] = []
+    campaign = summary["campaign"]
+    if campaign:
+        total = campaign.get("tasks")
+        done = campaign.get("succeeded")
+        failed = campaign.get("failed")
+        status = []
+        if total is not None:
+            status.append(f"{total} cells")
+        if done is not None or failed is not None:
+            status.append(f"{done or 0} succeeded, {failed or 0} failed")
+        started = campaign.get("started_ts")
+        finished = campaign.get("finished_ts")
+        if started is not None and finished is not None:
+            status.append(f"{finished - started:.1f}s wall")
+        lines.append("campaign: " + ", ".join(status))
+        lines.append("")
+
+    lines.append("per-cell convergence")
+    lines.append("-" * 72)
+    if not summary["cells"]:
+        lines.append("  (no ga.generation spans recorded)")
+    for name in sorted(summary["cells"]):
+        cell = summary["cells"][name]
+        gens = cell["generations"]
+        status = "ok" if cell["ok"] else ("FAILED" if cell["done"] else "?")
+        secs = f" {cell['secs']:.1f}s" if isinstance(cell["secs"], (int, float)) else ""
+        lines.append(f"  {name}  [{status}{secs}]")
+        if not gens:
+            lines.append("      (no generation spans)")
+            continue
+        header = (
+            f"      {'gen':>4} {'best':>10} {'mean':>10} "
+            f"{'evals':>8} {'cache':>7}"
+        )
+        lines.append(header)
+        for g in gens:
+            hit = g["cache_hit_rate"]
+            hit_text = f"{hit:.0%}".rjust(7) if isinstance(hit, (int, float)) else "-".rjust(7)
+            lines.append(
+                f"      {_fmt(g['gen'], 4)} {_fmt(g['best'])} "
+                f"{_fmt(g['mean'])} {_fmt(g['evaluations'], 8)} {hit_text}"
+            )
+    lines.append("")
+
+    lines.append("failure timeline")
+    lines.append("-" * 72)
+    timeline = summary["timeline"]
+    if not timeline:
+        lines.append("  (no failures, degradations, or repairs)")
+    else:
+        base_ts = timeline[0].get("ts", 0)
+        for record in timeline:
+            offset = record.get("ts", base_ts) - base_ts
+            detail = _timeline_detail(record)
+            lines.append(
+                f"  +{offset:8.2f}s  {record.get('event', '?'):<24} {detail}"
+            )
+    lines.append("")
+
+    snapshot = summary["snapshot"]
+    if snapshot:
+        lines.append("final metrics snapshot")
+        lines.append("-" * 72)
+        for key in sorted(snapshot):
+            lines.append(f"  {key} = {snapshot[key]}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def _timeline_detail(record: Dict) -> str:
+    event = record.get("event")
+    cell = record.get("cell") or record.get("task")
+    parts: List[str] = []
+    if cell:
+        parts.append(str(cell))
+    if event == "supervise.failure":
+        parts.append(
+            f"attempt {record.get('attempt')} {record.get('kind')}: "
+            f"{record.get('error')}"
+        )
+        if record.get("fatal"):
+            parts.append("FATAL")
+    elif event == "supervise.pool_rebuild":
+        parts.append(f"reason={record.get('reason')}")
+    elif event == "perf.degraded_run":
+        parts.append(f"error={record.get('error')}")
+    elif event == "perf.degraded_batch":
+        parts.append(
+            f"program={record.get('program')} error={record.get('error')}"
+        )
+    elif event == "store.repair":
+        parts.append(
+            f"{record.get('action')} offset={record.get('offset')} "
+            f"bytes={record.get('bytes')}"
+        )
+    return "  ".join(parts)
+
+
+def summarize_directory(directory: str) -> str:
+    """One-call convenience used by the CLI."""
+    events, errors = load_events(directory)
+    text = render_summary(summarize(events))
+    if errors:
+        text += "\nparse warnings\n" + "-" * 72 + "\n"
+        text += "\n".join(f"  {error}" for error in errors) + "\n"
+    return text

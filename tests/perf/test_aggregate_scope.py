@@ -1,0 +1,80 @@
+"""Tests for accelerator stats aggregation scoping.
+
+``aggregate_stats()`` must count every accelerator of the process
+exactly once, whether it is still alive, explicitly retired, or plain
+garbage-collected; ``aggregate_stats(live_only=True)`` must count only
+the live ones.  The regression here: the old implementation summed a
+weak set of every accelerator ever constructed whose collection had not
+happened yet, so totals depended on GC timing and a campaign worker
+re-counted dead per-cell accelerators.
+"""
+
+import gc
+
+from repro.perf.engine import AcceleratorStats, EvaluationAccelerator, aggregate_stats
+
+
+def _delta(before: AcceleratorStats, after: AcceleratorStats) -> dict:
+    return {
+        "runs": after.runs - before.runs,
+        "report_hits": after.report_hits - before.report_hits,
+    }
+
+
+def _make(runs: int, hits: int = 0) -> EvaluationAccelerator:
+    # the vm is never touched by stats bookkeeping; a stub keeps the
+    # test independent of VM construction
+    accelerator = EvaluationAccelerator(vm=None)
+    accelerator.stats.runs = runs
+    accelerator.stats.report_hits = hits
+    return accelerator
+
+
+class TestAggregateScope:
+    def test_live_accelerator_is_counted(self):
+        before = aggregate_stats()
+        accelerator = _make(runs=5)
+        assert _delta(before, aggregate_stats())["runs"] == 5
+        accelerator.retire()
+
+    def test_retire_folds_exactly_once(self):
+        before = aggregate_stats()
+        accelerator = _make(runs=7, hits=3)
+        accelerator.retire()
+        assert _delta(before, aggregate_stats()) == {"runs": 7, "report_hits": 3}
+        # idempotent: retiring again must not double-fold
+        accelerator.retire()
+        assert _delta(before, aggregate_stats()) == {"runs": 7, "report_hits": 3}
+
+    def test_live_only_excludes_retired(self):
+        live_before = aggregate_stats(live_only=True)
+        retired = _make(runs=11)
+        survivor = _make(runs=2)
+        retired.retire()
+        delta = _delta(live_before, aggregate_stats(live_only=True))
+        assert delta["runs"] == 2  # only the survivor
+        survivor.retire()
+        delta = _delta(live_before, aggregate_stats(live_only=True))
+        assert delta["runs"] == 0
+
+    def test_collected_accelerator_still_counts_once(self):
+        # no explicit retire(): the finalizer folds at collection time,
+        # so process totals are exact regardless of when GC runs
+        before = aggregate_stats()
+        accelerator = _make(runs=13)
+        del accelerator
+        gc.collect()
+        assert _delta(before, aggregate_stats())["runs"] == 13
+        assert _delta(before, aggregate_stats())["runs"] == 13  # stable
+
+    def test_totals_independent_of_lifecycle_mix(self):
+        before = aggregate_stats()
+        live = _make(runs=1)
+        retired = _make(runs=10)
+        retired.retire()
+        collected = _make(runs=100)
+        del collected
+        gc.collect()
+        assert _delta(before, aggregate_stats())["runs"] == 111
+        live.retire()
+        assert _delta(before, aggregate_stats())["runs"] == 111

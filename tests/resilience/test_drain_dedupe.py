@@ -1,0 +1,77 @@
+"""Regression tests: replayed cell results must not duplicate store lines.
+
+Under supervision a cell can be retried after a timeout while its first
+attempt's result still lands, handing the coordinator the same drained
+evaluation buffer twice.  ``_merge_pending`` dedupes by genome key —
+against the store on disk and within the batch itself — so a replay
+appends nothing and reports zero new records.
+"""
+
+import json
+
+from repro.experiments.campaign import _merge_pending
+from repro.perf.store import EvaluationStore
+
+CTX = "test-context"
+
+
+def _pending(*genomes):
+    return [(tuple(g), float(sum(g)), None) for g in genomes]
+
+
+def _store_lines(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return [json.loads(line) for line in handle if line.strip()]
+
+
+class TestMergePending:
+    def test_first_merge_appends_everything(self, tmp_path):
+        path = str(tmp_path / "evals.jsonl")
+        fresh = _merge_pending(path, CTX, _pending((1, 2), (3, 4)))
+        assert fresh == 2
+        lines = _store_lines(path)
+        assert sorted(tuple(line["genome"]) for line in lines) == [(1, 2), (3, 4)]
+
+    def test_replay_is_idempotent(self, tmp_path):
+        path = str(tmp_path / "evals.jsonl")
+        pending = _pending((1, 2), (3, 4), (5, 6))
+
+        first = _merge_pending(path, CTX, pending)
+        lines_after_first = _store_lines(path)
+        second = _merge_pending(path, CTX, pending)  # double drain replay
+
+        assert first == 3
+        assert second == 0
+        assert _store_lines(path) == lines_after_first
+
+    def test_intra_batch_duplicates_collapse(self, tmp_path):
+        path = str(tmp_path / "evals.jsonl")
+        pending = _pending((7, 8), (7, 8), (9, 9))
+        fresh = _merge_pending(path, CTX, pending)
+        assert fresh == 2
+        genomes = [tuple(line["genome"]) for line in _store_lines(path)]
+        assert genomes.count((7, 8)) == 1
+
+    def test_existing_records_keep_their_fitness(self, tmp_path):
+        path = str(tmp_path / "evals.jsonl")
+        with EvaluationStore(path, context=CTX) as store:
+            store.record((1, 2), 0.125)
+
+        # the replayed copy carries a different fitness (e.g. drained
+        # from a retried attempt); the stored value must win
+        fresh = _merge_pending(path, CTX, [((1, 2), 0.5, None), ((3, 4), 0.25, None)])
+        assert fresh == 1
+
+        reader = EvaluationStore(path, context=CTX, readonly=True)
+        assert reader.get((1, 2)) == 0.125
+        assert reader.get((3, 4)) == 0.25
+        reader.close()
+
+    def test_per_benchmark_payload_survives(self, tmp_path):
+        path = str(tmp_path / "evals.jsonl")
+        per = {"javac": 1.5, "db": 2.5}
+        fresh = _merge_pending(path, CTX, [((4, 5), 2.0, per)])
+        assert fresh == 1
+        reader = EvaluationStore(path, context=CTX, readonly=True)
+        assert reader.per_benchmark((4, 5)) == per
+        reader.close()

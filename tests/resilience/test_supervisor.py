@@ -1,11 +1,15 @@
 """Tests for supervised task execution (retries, worker death, timeouts)."""
 
+import inspect
+import itertools
 import multiprocessing
 import os
 import signal
 import time
 
 import pytest
+
+import repro.resilience.supervisor as supervisor_module
 
 from repro.errors import ConfigurationError
 from repro.resilience.supervisor import (
@@ -128,6 +132,36 @@ class TestSerialSupervision:
             on_result=lambda name, value: seen.append((name, value)),
         )
         assert seen == [("a", 2), ("b", 4)]
+
+
+class TestClockDiscipline:
+    """FailureReport.elapsed and timeout checks must share one clock.
+
+    The supervisor times attempts with ``time.monotonic()`` everywhere —
+    mixing in ``time.perf_counter()`` (a different, unrelated epoch on
+    some platforms) would make elapsed values incomparable with the
+    timeout budget they are checked against.
+    """
+
+    def test_supervisor_never_reads_perf_counter(self):
+        source = inspect.getsource(supervisor_module)
+        assert "perf_counter" not in source
+        assert "time.monotonic" in source
+
+    def test_serial_elapsed_is_immune_to_perf_counter(self, monkeypatch):
+        # a wildly-skewed perf_counter must not leak into elapsed: if
+        # the serial path still read it, each report would show >=1e6s
+        ticks = itertools.count()
+        monkeypatch.setattr(
+            time, "perf_counter", lambda: 1e9 + next(ticks) * 1e6
+        )
+        results, failures = run_supervised_serial(
+            [("doomed", None)], _always_fail, policy=FAST
+        )
+        assert results == {}
+        assert len(failures) == FAST.max_attempts
+        for report in failures:
+            assert 0.0 <= report.elapsed < 60.0
 
 
 @pytest.mark.slow

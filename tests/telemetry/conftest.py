@@ -1,0 +1,18 @@
+"""Shared fixtures for the telemetry suite.
+
+A telemetry session is process-global and exported through the
+``REPRO_TELEMETRY`` environment variable, so every test starts and ends
+with a clean slate — a leaked session would stamp events (and env
+hand-offs) into unrelated tests.
+"""
+
+import pytest
+
+from repro.telemetry import shutdown
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    shutdown()
+    yield
+    shutdown()

@@ -1,0 +1,161 @@
+"""Tests for the telemetry core: event log, session, spans, discovery."""
+
+import json
+import os
+
+import pytest
+
+from repro.telemetry import (
+    ENV_VAR,
+    EventLog,
+    TelemetrySession,
+    configure,
+    emit,
+    get_session,
+    scoped_context,
+    shutdown,
+    trace,
+)
+from repro.telemetry.schema import validate_event
+
+
+def _read_events(directory):
+    records = []
+    for name in sorted(os.listdir(directory)):
+        if not (name.startswith("events-") and name.endswith(".jsonl")):
+            continue
+        with open(os.path.join(directory, name), "r", encoding="utf-8") as handle:
+            records.extend(json.loads(line) for line in handle if line.strip())
+    return records
+
+
+class TestEventLog:
+    def test_writes_one_json_line_per_event(self, tmp_path):
+        log = EventLog(str(tmp_path))
+        log.write({"event": "campaign.start", "tasks": 2})
+        log.write({"event": "campaign.done", "succeeded": 2})
+        log.close()
+
+        assert os.path.basename(log.path) == f"events-{os.getpid()}.jsonl"
+        records = _read_events(str(tmp_path))
+        assert [r["event"] for r in records] == ["campaign.start", "campaign.done"]
+
+    def test_creates_directory(self, tmp_path):
+        nested = str(tmp_path / "a" / "b")
+        log = EventLog(nested)
+        log.write({"event": "x"})
+        log.close()
+        assert os.path.isdir(nested)
+
+
+class TestTelemetrySession:
+    def test_emit_stamps_base_fields_and_context(self, tmp_path):
+        session = TelemetrySession(str(tmp_path), context={"campaign": "c1"})
+        session.emit("campaign.start", tasks=4)
+        session.close()
+
+        (record,) = _read_events(str(tmp_path))
+        assert validate_event(record) is None
+        assert record["event"] == "campaign.start"
+        assert record["tasks"] == 4
+        assert record["campaign"] == "c1"
+        assert record["pid"] == os.getpid()
+        assert isinstance(record["ts"], float)
+        assert isinstance(record["mono"], float)
+
+    def test_scoped_context_restores(self, tmp_path):
+        session = TelemetrySession(str(tmp_path))
+        with session.scoped(cell=" p4/adapt"):
+            session.emit("campaign.start", tasks=1)
+        session.emit("campaign.done", succeeded=1, failed=0)
+        session.close()
+
+        inside, outside = _read_events(str(tmp_path))
+        assert inside["cell"] == " p4/adapt"
+        assert "cell" not in outside
+
+    def test_span_emits_duration_and_observes_histogram(self, tmp_path):
+        session = TelemetrySession(str(tmp_path))
+        with session.span("campaign.cell", task="t") as span:
+            span.note(extra=1)
+        session.close()
+
+        (record,) = _read_events(str(tmp_path))
+        assert validate_event(record) is None
+        assert record["span"] == "campaign.cell"
+        assert record["ok"] is True
+        assert record["secs"] >= 0.0
+        assert record["extra"] == 1
+        histogram = session.registry.histogram("repro_span_seconds", span="campaign.cell")
+        assert histogram.count == 1
+
+    def test_span_failure_is_recorded_and_reraised(self, tmp_path):
+        session = TelemetrySession(str(tmp_path))
+        with pytest.raises(ValueError):
+            with session.span("campaign.cell", task="t"):
+                raise ValueError("boom")
+        session.close()
+
+        (record,) = _read_events(str(tmp_path))
+        assert validate_event(record) is None
+        assert record["ok"] is False
+
+    def test_env_round_trip(self, tmp_path):
+        session = TelemetrySession(str(tmp_path), context={"campaign": "c"})
+        clone = TelemetrySession.from_env(session.to_env())
+        assert clone.directory == session.directory
+        assert clone.context == {"campaign": "c"}
+
+    def test_export_prometheus_defaults_to_session_dir(self, tmp_path):
+        session = TelemetrySession(str(tmp_path))
+        session.registry.counter("repro_cells_total", status="done").inc()
+        path = session.export_prometheus()
+        assert path == os.path.join(str(tmp_path), "metrics.prom")
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        assert 'repro_cells_total{status="done"} 1' in text
+
+
+class TestDiscovery:
+    def test_configure_installs_and_propagates(self, tmp_path):
+        session = configure(str(tmp_path), context={"campaign": "c"})
+        assert get_session() is session
+        handoff = json.loads(os.environ[ENV_VAR])
+        assert handoff["dir"] == str(tmp_path)
+        shutdown()
+        assert get_session() is None
+        assert ENV_VAR not in os.environ
+
+    def test_worker_discovers_session_from_env(self, tmp_path, monkeypatch):
+        text = TelemetrySession(str(tmp_path), context={"campaign": "c"}).to_env()
+        shutdown()  # simulate a fresh worker: no session, env not checked
+        monkeypatch.setenv(ENV_VAR, text)
+        session = get_session()
+        assert session is not None
+        assert session.directory == str(tmp_path)
+        assert session.context == {"campaign": "c"}
+
+    def test_garbage_env_is_ignored(self, monkeypatch):
+        shutdown()
+        monkeypatch.setenv(ENV_VAR, "{not json")
+        assert get_session() is None
+
+
+class TestNoOpConveniences:
+    def test_emit_and_trace_are_noops_when_off(self):
+        assert get_session() is None
+        emit("campaign.start", tasks=1)  # must not raise
+        with trace("ga.generation", gen=0) as span:
+            span.note(best=1.0)  # null span swallows notes
+        with scoped_context(cell="x"):
+            pass
+
+    def test_trace_emits_when_configured(self, tmp_path):
+        configure(str(tmp_path))
+        with trace("campaign", tasks=2):
+            pass
+        session = get_session()
+        session.close()
+        (record,) = _read_events(str(tmp_path))
+        assert record["event"] == "span"
+        assert record["span"] == "campaign"

@@ -1,0 +1,128 @@
+"""Tests for the metrics registry and its Prometheus text export."""
+
+import json
+
+import pytest
+
+from repro.telemetry.metrics import DEFAULT_BUCKETS, MetricsRegistry
+
+
+class TestCounters:
+    def test_same_name_returns_same_counter(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total").inc()
+        registry.counter("x_total").inc(2)
+        assert registry.counter("x_total").value == 3
+
+    def test_counters_only_go_up(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("x_total").inc(-1)
+
+    def test_labels_create_distinct_children(self):
+        registry = MetricsRegistry()
+        registry.counter("cells_total", status="done").inc()
+        registry.counter("cells_total", status="failed").inc(2)
+        assert registry.counter("cells_total", status="done").value == 1
+        assert registry.counter("cells_total", status="failed").value == 2
+
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", a="1", b="2").inc()
+        assert registry.counter("x_total", b="2", a="1").value == 1
+
+    def test_kind_mismatch_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+
+class TestGauges:
+    def test_set_inc_dec(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("inflight")
+        gauge.set(5)
+        gauge.inc()
+        gauge.dec(3)
+        assert gauge.value == 3
+
+
+class TestHistograms:
+    def test_observe_counts_and_sums(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("secs")
+        histogram.observe(0.003)
+        histogram.observe(0.05)
+        histogram.observe(400.0)  # beyond the last bound
+        assert histogram.count == 3
+        assert histogram.total == pytest.approx(400.053)
+
+    def test_rendered_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("secs")
+        for value in (0.003, 0.003, 0.05, 400.0):
+            histogram.observe(value)
+        text = registry.render_prometheus()
+        assert 'secs_bucket{le="0.005"} 2' in text
+        assert 'secs_bucket{le="0.05"} 3' in text
+        assert 'secs_bucket{le="300"} 3' in text  # 400 overflows every bound
+        assert 'secs_bucket{le="+Inf"} 4' in text
+        assert "secs_count 4" in text
+
+    def test_bucket_counts_never_decrease_along_bounds(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("secs")
+        for value in (0.0005, 0.02, 0.7, 2.0, 45.0, 1000.0):
+            histogram.observe(value)
+        rendered = registry.render_prometheus()
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in rendered.splitlines()
+            if line.startswith("secs_bucket")
+        ]
+        assert len(counts) == len(DEFAULT_BUCKETS) + 1  # + the +Inf bucket
+        assert counts == sorted(counts)
+        assert counts[-1] == histogram.count
+
+
+class TestAbsorbCounters:
+    def test_folds_with_prefix_and_suffix(self):
+        registry = MetricsRegistry()
+        registry.absorb_counters({"runs": 5, "report_hits": 2}, prefix="repro_accel_")
+        assert registry.counter("repro_accel_runs_total").value == 5
+        assert registry.counter("repro_accel_report_hits_total").value == 2
+
+    def test_zero_values_register_nothing(self):
+        registry = MetricsRegistry()
+        registry.absorb_counters({"runs": 0})
+        assert "runs_total" not in registry.render_prometheus()
+
+    def test_repeated_absorb_accumulates(self):
+        registry = MetricsRegistry()
+        registry.absorb_counters({"runs": 5})
+        registry.absorb_counters({"runs": 3})
+        assert registry.counter("runs_total").value == 8
+
+
+class TestSnapshotAndExport:
+    def test_snapshot_is_json_safe(self):
+        registry = MetricsRegistry()
+        registry.counter("cells_total", status="done").inc(2)
+        registry.gauge("inflight").set(1)
+        registry.histogram("secs").observe(0.5)
+        snapshot = registry.snapshot()
+        assert json.loads(json.dumps(snapshot)) == snapshot
+        assert snapshot['cells_total{status="done"}'] == 2
+        assert snapshot["inflight"] == 1
+        assert snapshot["secs"] == {"count": 1, "sum": 0.5}
+
+    def test_render_emits_type_lines_and_escapes_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", reason='say "hi"\nthere').inc()
+        text = registry.render_prometheus()
+        assert "# TYPE x_total counter" in text
+        assert 'reason="say \\"hi\\"\\nthere"' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_prometheus() == ""

@@ -1,0 +1,147 @@
+"""Tests for the telemetry summarizer (events -> campaign narrative)."""
+
+import json
+import os
+
+from repro.telemetry.summarize import (
+    load_events,
+    render_summary,
+    summarize,
+    summarize_directory,
+)
+
+
+def _write_events(path, records):
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record) + "\n")
+
+
+def _event(name, ts, **fields):
+    record = {"event": name, "ts": ts, "mono": ts, "pid": 1}
+    record.update(fields)
+    return record
+
+
+def _campaign_events(tmp_path):
+    """A plausible 1x2 serial campaign timeline, split across two files
+    (coordinator + worker) to exercise the merge."""
+    coordinator = [
+        _event("campaign.start", 100.0, tasks=2),
+        _event("campaign.cell_done", 110.0, task="p4/adapt", ok=True, new_records=9),
+        _event("campaign.cell_done", 120.0, task="p4/opt", ok=True, new_records=10),
+        _event("campaign.done", 121.0, succeeded=2, failed=0),
+        _event(
+            "metrics.snapshot",
+            121.5,
+            metrics={"repro_cells_total{status=\"done\"}": 2},
+        ),
+    ]
+    worker = [
+        _event(
+            "span", 105.0, span="ga.generation", secs=0.5, ok=True,
+            cell="p4/adapt", gen=0, best=1.5, mean=2.0, evaluations=6,
+            cache_hit_rate=0.0,
+        ),
+        _event(
+            "span", 106.0, span="ga.generation", secs=0.4, ok=True,
+            cell="p4/adapt", gen=1, best=1.25, mean=1.5, evaluations=4,
+            cache_hit_rate=0.5,
+        ),
+        _event(
+            "span", 109.0, span="campaign.cell", secs=4.2, ok=True,
+            cell="p4/adapt", task="p4/adapt",
+        ),
+        _event(
+            "supervise.failure", 115.0, task="p4/opt", attempt=1,
+            kind="exception", error="ValueError", fatal=False,
+        ),
+        _event("supervise.pool_rebuild", 115.5, reason="worker-death"),
+        _event("store.repair", 116.0, action="truncated-torn-line", offset=10, bytes=7),
+    ]
+    _write_events(str(tmp_path / "events-1.jsonl"), coordinator)
+    _write_events(str(tmp_path / "events-2.jsonl"), worker)
+
+
+class TestLoadEvents:
+    def test_merges_files_by_wall_timestamp(self, tmp_path):
+        _campaign_events(tmp_path)
+        events, errors = load_events(str(tmp_path))
+        assert errors == []
+        timestamps = [record["ts"] for record in events]
+        assert timestamps == sorted(timestamps)
+        assert events[0]["event"] == "campaign.start"
+
+    def test_torn_lines_are_reported_not_fatal(self, tmp_path):
+        path = str(tmp_path / "events-9.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(_event("campaign.start", 1.0, tasks=1)) + "\n")
+            handle.write('{"event": "camp')  # crash mid-append
+        events, errors = load_events(str(tmp_path))
+        assert len(events) == 1
+        assert len(errors) == 1
+        assert "unparseable" in errors[0]
+
+
+class TestSummarize:
+    def test_cells_built_from_spans_and_cell_done(self, tmp_path):
+        _campaign_events(tmp_path)
+        events, _ = load_events(str(tmp_path))
+        summary = summarize(events)
+
+        assert summary["campaign"]["tasks"] == 2
+        assert summary["campaign"]["succeeded"] == 2
+
+        adapt = summary["cells"]["p4/adapt"]
+        assert adapt["done"] and adapt["ok"]
+        assert adapt["new_records"] == 9
+        assert adapt["secs"] == 4.2
+        assert [g["gen"] for g in adapt["generations"]] == [0, 1]
+        assert adapt["generations"][1]["best"] == 1.25
+
+    def test_timeline_collects_failures_in_order(self, tmp_path):
+        _campaign_events(tmp_path)
+        events, _ = load_events(str(tmp_path))
+        timeline = summarize(events)["timeline"]
+        assert [record["event"] for record in timeline] == [
+            "supervise.failure",
+            "supervise.pool_rebuild",
+            "store.repair",
+        ]
+
+    def test_snapshot_is_kept(self, tmp_path):
+        _campaign_events(tmp_path)
+        events, _ = load_events(str(tmp_path))
+        assert summarize(events)["snapshot"] == {
+            'repro_cells_total{status="done"}': 2
+        }
+
+
+class TestRenderSummary:
+    def test_renders_all_sections(self, tmp_path):
+        _campaign_events(tmp_path)
+        events, _ = load_events(str(tmp_path))
+        text = render_summary(summarize(events))
+
+        assert "campaign: 2 cells, 2 succeeded, 0 failed" in text
+        assert "p4/adapt" in text
+        assert "1.2500" in text  # best fitness of gen 1
+        assert "50%" in text  # final cache hit rate
+        assert "supervise.failure" in text
+        assert "reason=worker-death" in text
+        assert 'repro_cells_total{status="done"} = 2' in text
+
+    def test_empty_directory_renders_placeholders(self):
+        text = render_summary(summarize([]))
+        assert "(no ga.generation spans recorded)" in text
+        assert "(no failures, degradations, or repairs)" in text
+
+
+class TestSummarizeDirectory:
+    def test_appends_parse_warnings(self, tmp_path):
+        path = str(tmp_path / "events-1.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"event": "camp\n')
+        text = summarize_directory(str(tmp_path))
+        assert "parse warnings" in text
+        assert "events-1.jsonl:1" in text

@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Validate a telemetry directory: every JSONL event line against the
+schema, and the Prometheus export for the required metric families.
+
+CI's telemetry smoke job runs a tiny campaign with ``--telemetry DIR``
+and then::
+
+    python tools/check_telemetry.py DIR
+
+Exit code 0 when every line of every ``events-*.jsonl`` is schema-valid
+(see :mod:`repro.telemetry.schema`), the directory contains the event
+kinds a campaign must produce, and ``metrics.prom`` exposes the
+required metric families; 1 otherwise, with every violation listed.
+
+Options:
+    --require-events NAME[,NAME...]   additional event names that must
+                                      appear at least once (e.g.
+                                      ``supervise.failure`` for a
+                                      fault-injected run)
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.telemetry.schema import (  # noqa: E402
+    REQUIRED_METRIC_FAMILIES,
+    validate_event,
+)
+
+#: event kinds any successful campaign run must have produced
+BASELINE_EVENTS = ("campaign.start", "campaign.cell_done", "campaign.done", "span")
+
+
+def check_directory(directory: str, require_events=()) -> list:
+    """Return a list of violation strings (empty = pass)."""
+    problems = []
+
+    event_files = sorted(glob.glob(os.path.join(directory, "events-*.jsonl")))
+    if not event_files:
+        problems.append(f"no events-*.jsonl files in {directory!r}")
+    seen_events = set()
+    total = 0
+    for path in event_files:
+        name = os.path.basename(path)
+        with open(path, "r", encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                total += 1
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    problems.append(f"{name}:{lineno}: unparseable JSON")
+                    continue
+                error = validate_event(record)
+                if error:
+                    problems.append(f"{name}:{lineno}: {error}")
+                elif isinstance(record, dict):
+                    seen_events.add(record.get("event"))
+
+    for required in tuple(BASELINE_EVENTS) + tuple(require_events):
+        if required not in seen_events:
+            problems.append(f"required event {required!r} never emitted")
+
+    prom_path = os.path.join(directory, "metrics.prom")
+    if not os.path.exists(prom_path):
+        problems.append(f"missing Prometheus export {prom_path!r}")
+    else:
+        with open(prom_path, "r", encoding="utf-8") as handle:
+            prom_text = handle.read()
+        for family in REQUIRED_METRIC_FAMILIES:
+            if family not in prom_text:
+                problems.append(
+                    f"metrics.prom is missing required family {family!r}"
+                )
+
+    if total == 0 and event_files:
+        problems.append("event files exist but contain no events")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("directory", help="telemetry directory to validate")
+    parser.add_argument(
+        "--require-events",
+        default="",
+        help="comma-separated extra event names that must appear",
+    )
+    args = parser.parse_args(argv)
+
+    extra = [e.strip() for e in args.require_events.split(",") if e.strip()]
+    problems = check_directory(args.directory, require_events=extra)
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1
+    n_files = len(glob.glob(os.path.join(args.directory, "events-*.jsonl")))
+    print(f"telemetry OK: {n_files} event file(s) schema-valid, metrics.prom complete")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
