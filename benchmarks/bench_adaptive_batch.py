@@ -25,8 +25,18 @@ amortized: fresh signatures keep appearing as the GA explores, and the
 per-signature accounting — dominated by the invocation-propagation
 loop — is what each one costs.  The timed rounds alternate
 serial/kernel so machine-state drift hits both paths equally and
-cancels out of the ratio; CPU time (``process_time``) is used because
-both paths are single-threaded and CPU-bound.
+cancels out of the ratio.
+
+Rounds are timed in **user CPU time** (``getrusage``): both legs
+allocate and free multi-megabyte accounting arrays every round, and
+glibc's adaptive mmap threshold decides — from heap history that
+unrelated imports perturb — how many of those allocations are served
+by fresh kernel pages.  When it picks badly, minor-fault servicing
+adds a large *system*-time charge that lands disproportionately on the
+cheaper leg and can halve the apparent ratio run to run.  User time
+measures the work the code paths actually execute, stably.  For the
+same reason the timed rounds discard their result rows; bitwise
+identity is checked on the warm pass and once more after the rounds.
 
 ``run_adaptive_batch`` is importable on its own so
 ``tools/bench_guard.py`` can run the measurement headlessly and compare
@@ -36,7 +46,7 @@ the speedup against the committed baseline
 
 from __future__ import annotations
 
-import time
+import resource
 from typing import Dict
 
 from repro.arch import PENTIUM4
@@ -67,7 +77,10 @@ def run_adaptive_batch(
     programs = SPECJVM98.programs(seed=0)
     genomes = generation_genomes(n_genomes, seed)
     params_list = [InliningParameters(*genome) for genome in genomes]
-    clock = time.process_time
+
+    def clock() -> float:
+        # user CPU time only — see the module docstring
+        return resource.getrusage(resource.RUSAGE_SELF).ru_utime
 
     serial_vm = VirtualMachine(PENTIUM4, ADAPTIVE, memoize=True)
     kernel_vm = VirtualMachine(PENTIUM4, ADAPTIVE, memoize=True)
@@ -93,13 +106,18 @@ def run_adaptive_batch(
         serial_vm.clear_report_memo()
         kernel_vm.clear_report_memo()
         start = clock()
-        serial_rows = serial_sweep()
+        serial_sweep()
         mid = clock()
-        kernel_rows = kernel_sweep()
+        kernel_sweep()
         end = clock()
         serial_secs += mid - start
         kernel_secs += end - mid
-        mismatches += _count_mismatches(serial_rows, kernel_rows)
+
+    # post-loop identity check on the memo-cleared steady state the
+    # rounds actually measured
+    serial_vm.clear_report_memo()
+    kernel_vm.clear_report_memo()
+    mismatches += _count_mismatches(serial_sweep(), kernel_sweep())
 
     evaluations = rounds * len(genomes) * len(programs)
     return {

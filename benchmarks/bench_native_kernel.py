@@ -1,0 +1,169 @@
+"""Throughput benchmark of the compiled propagation kernel backend.
+
+Evaluates one bred GA generation — 50 genomes over the full SPECjvm98
+training suite under *Opt* — through the generation-batched evaluator
+twice: once pinned to the numpy rung
+(``accelerator.force_native_backend(None)``) and once pinned to the
+best compiled backend the host offers (numba when importable, else the
+``cc``-built C extension; see :mod:`repro.perf.native`), verifying
+every :class:`~repro.jvm.runtime.ExecutionReport` field agrees bit for
+bit.  The compiled kernels replay the reference scalar loop exactly —
+same IEEE-754 operation order, no ``-ffast-math`` — so identity is a
+hard assertion, not a tolerance.
+
+The guarded figure is the **steady-state propagation pipeline**: both
+paths first evaluate the generation once on their own cold caches (the
+untimed warm pass pays plan expansion and — for the compiled path —
+the one-off kernel build), then each timed round clears the report
+memos (``vm.clear_report_memo()``) while plan caches stay warm, so
+every plan signature re-runs its per-representative invocation
+propagation each round.  That propagation loop is pure Python on the
+numpy rung (the per-method chain is serial by construction — a
+caller's count must be final before its callees accumulate) and is
+exactly what the compiled kernel replaces.  Timed rounds alternate
+numpy/native so machine-state drift cancels out of the ratio.
+
+Rounds are timed in **user CPU time** (``getrusage``), not
+``process_time``.  Both legs allocate and free the same multi-megabyte
+accounting arrays every round, and glibc's adaptive mmap threshold
+decides — based on heap history that unrelated imports perturb — how
+many of those allocations are served by fresh kernel pages.  When it
+picks badly, minor-fault servicing adds a large *system*-time charge
+that lands disproportionately on the cheaper leg and can halve the
+apparent ratio run to run.  The work the two code paths actually
+execute is their user time, which measures stably regardless of where
+the allocator happened to adapt.
+
+``run_native_kernel`` is importable on its own so
+``tools/bench_guard.py`` can run the measurement headlessly and compare
+the speedup against the committed baseline
+(``benchmarks/BENCH_native_baseline.json``).
+"""
+
+from __future__ import annotations
+
+import resource
+from typing import Dict
+
+from repro.arch import PENTIUM4
+from repro.jvm.inlining import InliningParameters
+from repro.jvm.runtime import VirtualMachine
+from repro.jvm.scenario import OPTIMIZING
+from repro.perf import native
+from repro.perf.batch import GenerationBatchEvaluator
+from repro.workloads.suites import SPECJVM98
+
+from bench_evaluation_speed import REPORT_FIELDS, generation_genomes
+from conftest import emit
+
+
+def _count_mismatches(numpy_rows, native_rows) -> int:
+    mismatches = 0
+    for numpy_row, native_row in zip(numpy_rows, native_rows):
+        for numpy_report, native_report in zip(numpy_row, native_row):
+            for field in REPORT_FIELDS:
+                if getattr(numpy_report, field) != getattr(native_report, field):
+                    mismatches += 1
+    return mismatches
+
+
+def run_native_kernel(
+    n_genomes: int = 50, seed: int = 0, rounds: int = 5
+) -> Dict[str, object]:
+    """Measure numpy-rung vs compiled-kernel batched evaluation."""
+    backend = native.backend_for("numba") or native.backend_for("cext")
+    if backend is None:
+        raise RuntimeError(
+            "no compiled kernel backend available (numba not importable, "
+            "no C compiler) — the native guard needs one of the two"
+        )
+
+    programs = SPECJVM98.programs(seed=0)
+    genomes = generation_genomes(n_genomes, seed)
+    params_list = [InliningParameters(*genome) for genome in genomes]
+
+    def clock() -> float:
+        # user CPU time only — see the module docstring
+        return resource.getrusage(resource.RUSAGE_SELF).ru_utime
+
+    numpy_vm = VirtualMachine(PENTIUM4, OPTIMIZING, memoize=True)
+    native_vm = VirtualMachine(PENTIUM4, OPTIMIZING, memoize=True)
+    numpy_runner = GenerationBatchEvaluator(numpy_vm)
+    native_runner = GenerationBatchEvaluator(native_vm)
+    numpy_runner.accelerator.force_native_backend(None)
+    native_runner.accelerator.force_native_backend(backend)
+
+    def numpy_sweep():
+        return numpy_runner.run_generation(programs, params_list, attach_params=False)
+
+    def native_sweep():
+        return native_runner.run_generation(programs, params_list, attach_params=False)
+
+    # warm pass: plan expansion and the one-off kernel build happen
+    # here, untimed; also the first bitwise check of the compiled path
+    mismatches = _count_mismatches(numpy_sweep(), native_sweep())
+
+    numpy_secs = 0.0
+    native_secs = 0.0
+    for _ in range(rounds):
+        # steady state: plan caches stay warm, report memos are dropped
+        # so every signature re-runs its propagation each round.  Round
+        # results are discarded inside the timed region on purpose:
+        # keeping both generations' report rows alive while the other
+        # leg runs (as a per-round bitwise check would) churns enough
+        # memory to push allocator noise into the timings.  Identity is
+        # asserted on the warm pass above and re-checked once after the
+        # timed rounds below.
+        numpy_vm.clear_report_memo()
+        native_vm.clear_report_memo()
+        start = clock()
+        numpy_sweep()
+        mid = clock()
+        native_sweep()
+        end = clock()
+        numpy_secs += mid - start
+        native_secs += end - mid
+
+    # post-loop identity check on the memo-cleared steady state the
+    # rounds actually measured
+    numpy_vm.clear_report_memo()
+    native_vm.clear_report_memo()
+    mismatches += _count_mismatches(numpy_sweep(), native_sweep())
+
+    evaluations = rounds * len(genomes) * len(programs)
+    return {
+        "backend": backend.name,
+        "n_genomes": len(genomes),
+        "n_programs": len(programs),
+        "rounds": rounds,
+        "evaluations": evaluations,
+        "numpy_seconds": numpy_secs,
+        "native_seconds": native_secs,
+        "numpy_evals_per_sec": evaluations / numpy_secs,
+        "native_evals_per_sec": evaluations / native_secs,
+        "speedup": numpy_secs / native_secs,
+        "mismatched_fields": mismatches,
+        "accelerator_stats": native_vm.perf_stats.as_dict(),
+    }
+
+
+def test_native_kernel_speedup():
+    """One bred generation under Opt: >= 2x faster, bitwise identical."""
+    result = run_native_kernel()
+    stats = result["accelerator_stats"]
+    emit(
+        "compiled propagation kernel (50-genome bred generation, SPECjvm98, Opt)",
+        [
+            f"backend:        {result['backend']}",
+            f"numpy rung:     {result['numpy_seconds']:7.3f}s "
+            f"({result['numpy_evals_per_sec']:8.1f} evals/s)",
+            f"compiled:       {result['native_seconds']:7.3f}s "
+            f"({result['native_evals_per_sec']:8.1f} evals/s)",
+            f"speedup:        {result['speedup']:7.2f}x",
+            f"native propagations: {stats['native_propagations']:.0f}   "
+            f"rows: {stats['native_rows']:.0f}   "
+            f"fallbacks: {stats['native_fallbacks']:.0f}",
+        ],
+    )
+    assert result["mismatched_fields"] == 0
+    assert result["speedup"] >= 2.0

@@ -187,6 +187,40 @@ class CampaignResult:
         return total.as_dict()
 
 
+# Worker-side cache of the campaign's shared workload archive, keyed by
+# segment name (one archive per campaign, attached at most once per
+# worker process — every cell the worker runs then reuses the mapped
+# programs instead of regenerating them).
+_ARCHIVE_CACHE: Dict[str, object] = {}
+
+
+def _workload_programs(workload_seed: int, archive_name: Optional[str]) -> List:
+    """The training programs, from the shm archive when available.
+
+    The archive is strictly an IPC optimization: reconstruction from
+    the segment yields programs whose fingerprints equal the
+    generator's, and *any* failure (segment gone, platform without
+    shared memory) falls back to regenerating the suite locally.
+    """
+    from repro.workloads.suites import SPECJVM98
+
+    if archive_name is not None:
+        try:
+            archive = _ARCHIVE_CACHE.get(archive_name)
+            if archive is None:
+                from repro.perf.shm import WorkloadArchive
+
+                for stale in list(_ARCHIVE_CACHE.values()):
+                    stale.close()
+                _ARCHIVE_CACHE.clear()
+                archive = WorkloadArchive.attach(archive_name)
+                _ARCHIVE_CACHE[archive_name] = archive
+            return archive.programs()
+        except Exception:
+            pass
+    return SPECJVM98.programs(seed=workload_seed)
+
+
 def _run_campaign_task(payload) -> Tuple:
     """Tune one grid cell (module-level: runs in pool workers).
 
@@ -195,10 +229,14 @@ def _run_campaign_task(payload) -> Tuple:
     path (campaign directory mode) the GA persists its state every
     generation and resumes from an existing checkpoint, so a retried or
     resumed cell re-simulates only what the store cannot answer.
+
+    The payload's optional sixth element names the campaign's shared
+    workload-archive segment (see :mod:`repro.perf.shm`); five-element
+    payloads from older checkpoint tooling still unpack.
     """
-    task, ga_config, store_path, workload_seed, checkpoint_path = payload
+    task, ga_config, store_path, workload_seed, checkpoint_path = payload[:5]
+    archive_name = payload[5] if len(payload) > 5 else None
     from repro.resilience.faults import get_fault_injector
-    from repro.workloads.suites import SPECJVM98
 
     injector = get_fault_injector()
     if injector is not None:
@@ -208,7 +246,7 @@ def _run_campaign_task(payload) -> Tuple:
         injector.maybe_kill("worker-kill", key=task.name)
         injector.maybe_raise("task-exception", key=task.name)
 
-    programs = SPECJVM98.programs(seed=workload_seed)
+    programs = _workload_programs(workload_seed, archive_name)
     with scoped_context(cell=task.name):
         with trace("campaign.cell", task=task.name):
             tuner = InliningTuner(
@@ -379,6 +417,25 @@ def _run_campaign_impl(
         else:
             todo.append(task)
 
+    parallel = not (serial or len(todo) <= 1)
+
+    # Parallel runs intern the workload once in a shared-memory archive
+    # so every spawned worker maps the programs instead of regenerating
+    # the suite per process.  Purely an IPC optimization: workers fall
+    # back to local generation when the segment is unreachable, and the
+    # fingerprints of reconstructed programs equal the originals'.
+    archive = None
+    if parallel:
+        try:
+            from repro.perf.shm import WorkloadArchive
+            from repro.workloads.suites import SPECJVM98
+
+            archive = WorkloadArchive.publish(
+                SPECJVM98.programs(seed=workload_seed)
+            )
+        except Exception:
+            archive = None
+
     payloads = [
         (
             task.name,
@@ -390,6 +447,7 @@ def _run_campaign_impl(
                 checkpoint_path_for(campaign_dir, task.name)
                 if campaign_dir is not None
                 else None,
+                archive.name if archive is not None else None,
             ),
         )
         for task in todo
@@ -449,25 +507,68 @@ def _run_campaign_impl(
         say(f"{task_name}: done")
 
     telemetry_emit("campaign.start", tasks=len(tasks))
-    with trace("campaign", tasks=len(todo)):
-        if serial or len(todo) <= 1:
-            n_processes = 1
-            _, failures = run_supervised_serial(
-                payloads, _run_campaign_task, policy=policy, on_result=on_result
-            )
-        else:
-            if processes is not None:
-                n_processes = max(1, min(processes, len(todo)))
+    session = telemetry_get_session()
+    if session is not None:
+        # Materialize the IPC metric families up front so exports list
+        # them even for runs that never attach a segment or pick a
+        # kernel backend (e.g. serial smoke runs in CI).
+        registry = session.registry
+        registry.counter("repro_ipc_bytes_total", transport="shm").inc(0)
+        registry.counter("repro_shm_attach_total").inc(0)
+        registry.counter("repro_backend_selected_total", backend="numpy").inc(0)
+
+    def on_pool_rebuild(reason: str) -> None:
+        # Replacement workers will re-attach the workload archive; make
+        # sure it still exists (a hostile operator or tmpfs cleaner may
+        # have unlinked it while the pool was down) and republish when
+        # it does not.  Workers degrade to local generation either way.
+        nonlocal archive
+        if archive is None:
+            return
+        try:
+            from repro.perf.shm import SharedArraySegment, WorkloadArchive
+            from repro.workloads.suites import SPECJVM98
+
+            probe = SharedArraySegment.attach(archive.name, readonly=True)
+            probe.close()
+        except FileNotFoundError:
+            # republish under the SAME name: the in-flight payloads
+            # already carry it
+            try:
+                stale_name = archive.name
+                archive.close()
+                archive = WorkloadArchive.publish(
+                    SPECJVM98.programs(seed=workload_seed), name=stale_name
+                )
+            except Exception:
+                archive = None
+        except Exception:
+            pass
+
+    try:
+        with trace("campaign", tasks=len(todo)):
+            if not parallel:
+                n_processes = 1
+                _, failures = run_supervised_serial(
+                    payloads, _run_campaign_task, policy=policy, on_result=on_result
+                )
             else:
-                n_processes = min(len(todo), max(1, os.cpu_count() or 1))
-            _, failures = run_supervised(
-                payloads,
-                _run_campaign_task,
-                policy=policy,
-                max_workers=n_processes,
-                mp_context=multiprocessing.get_context("spawn"),
-                on_result=on_result,
-            )
+                if processes is not None:
+                    n_processes = max(1, min(processes, len(todo)))
+                else:
+                    n_processes = min(len(todo), max(1, os.cpu_count() or 1))
+                _, failures = run_supervised(
+                    payloads,
+                    _run_campaign_task,
+                    policy=policy,
+                    max_workers=n_processes,
+                    mp_context=multiprocessing.get_context("spawn"),
+                    on_result=on_result,
+                    on_pool_rebuild=on_pool_rebuild,
+                )
+    finally:
+        if archive is not None:
+            archive.unlink()
 
     attempts_spent = {name: 1 for name in finished}
     for failure in failures:

@@ -92,6 +92,44 @@ def _eval_chunk(function: FitnessFn, genomes: Sequence[Genome]) -> List[float]:
     return [function(genome) for genome in genomes]
 
 
+# Worker-side cache of the current generation's genome shuttle; the
+# coordinator creates one segment per map() call, so workers keep only
+# the latest attachment and close the previous one when it rotates.
+_SHUTTLE_CACHE: Dict[str, object] = {}
+
+
+def _attach_shuttle(segment_name: str):
+    shuttle = _SHUTTLE_CACHE.get(segment_name)
+    if shuttle is None:
+        from repro.perf.shm import GenomeShuttle
+
+        for stale in list(_SHUTTLE_CACHE.values()):
+            stale.close()
+        _SHUTTLE_CACHE.clear()
+        shuttle = GenomeShuttle.attach(segment_name)
+        _SHUTTLE_CACHE[segment_name] = shuttle
+    return shuttle
+
+
+def _eval_shm_chunk(
+    function: FitnessFn, segment_name: str, lo: int, hi: int
+) -> int:
+    """Worker-side range evaluation over the shared genome shuttle.
+
+    Reads its ``[lo, hi)`` genome rows straight from the mapped
+    segment, evaluates them through the same chunk path as the pickle
+    transport (identical fault-injection hooks, identical evaluation
+    order) and writes the fitnesses into the shuttle's result rows.
+    Returns the number of rows evaluated; the coordinator reads the
+    values out of shared memory once every range has succeeded.
+    """
+    shuttle = _attach_shuttle(segment_name)
+    genomes = shuttle.genome_rows(lo, hi)
+    values = _eval_chunk(function, genomes)
+    shuttle.write_results(lo, values)
+    return len(values)
+
+
 class SerialEvaluator:
     """Evaluate genomes one after another in-process."""
 
@@ -162,6 +200,7 @@ class MultiprocessEvaluator:
         chunksize: Optional[int] = None,
         store=None,
         max_rebuilds: int = 2,
+        use_shared_memory: Optional[bool] = None,
     ) -> None:
         if processes is not None and processes < 1:
             raise GAError(f"processes must be >= 1, got {processes}")
@@ -173,6 +212,14 @@ class MultiprocessEvaluator:
         self.chunksize = chunksize
         self.store = store
         self.max_rebuilds = max_rebuilds
+        if use_shared_memory is None:
+            from repro.perf.shm import shared_memory_supported
+
+            use_shared_memory = shared_memory_supported()
+        #: ship genomes/results through a shared-memory shuttle instead
+        #: of pickling them per chunk; degraded to False on the first
+        #: shm failure (the pickle path is always correct)
+        self.use_shared_memory = use_shared_memory
         #: pool rebuilds forced by worker deaths over this evaluator's life
         self.rebuilds = 0
         self._pool: Optional[ProcessPoolExecutor] = None
@@ -218,15 +265,63 @@ class MultiprocessEvaluator:
         Survives worker deaths by rebuilding the pool and resubmitting
         the unfinished chunks (see the class docstring); any other
         exception from the fitness function propagates.
+
+        With ``use_shared_memory`` the generation's genomes are packed
+        once into a shared-memory shuttle and each task ships only a
+        ``(segment, lo, hi)`` range; fitnesses come back through the
+        segment's result rows.  Any shm failure — unpackable genomes,
+        an unwritable ``/dev/shm``, a worker that cannot attach —
+        degrades this evaluator to the pickle transport permanently
+        (same values, more copying).
         """
         if not genomes:
             return []
+        shuttle = None
+        if self.use_shared_memory:
+            try:
+                from repro.perf.shm import GenomeShuttle
+
+                shuttle = GenomeShuttle.publish(list(genomes))
+            except Exception:
+                self.use_shared_memory = False
+                shuttle = None
+        if shuttle is None:
+            return self._map_transport(function, genomes, None)
+        try:
+            return self._map_transport(function, genomes, shuttle)
+        except OSError:
+            # The segment vanished or a worker could not map it (e.g.
+            # its /dev/shm is unwritable).  The pickle transport needs
+            # nothing from the OS, so re-run the whole generation
+            # through it; fitness evaluation is pure, hence identical
+            # values.  A genuine OSError from the fitness function
+            # re-raises from the retry.
+            self.use_shared_memory = False
+            return self._map_transport(function, genomes, None)
+        finally:
+            shuttle.unlink()
+            shuttle.close()
+
+    def _map_transport(
+        self,
+        function: FitnessFn,
+        genomes: Sequence[Genome],
+        shuttle,
+    ) -> List[float]:
+        """Run one generation over either transport.
+
+        Work units are ``[lo, hi)`` ranges of the genome sequence;
+        ranges that finished before a pool break are never re-run (the
+        shuttle survives pool rebuilds — it belongs to this process,
+        not to the executor).
+        """
         chunksize = self._chunksize_for(len(genomes))
-        chunks: List[Sequence[Genome]] = [
-            genomes[i : i + chunksize] for i in range(0, len(genomes), chunksize)
+        ranges: List[Tuple[int, int]] = [
+            (i, min(i + chunksize, len(genomes)))
+            for i in range(0, len(genomes), chunksize)
         ]
-        results: List[Optional[List[float]]] = [None] * len(chunks)
-        pending = list(range(len(chunks)))
+        results: List[Optional[List[float]]] = [None] * len(ranges)
+        pending = list(range(len(ranges)))
         rebuilds_left = self.max_rebuilds
         while pending:
             pool = self._ensure_pool()
@@ -236,9 +331,17 @@ class MultiprocessEvaluator:
             futures: Dict[Future, int] = {}
             try:
                 for index in pending:
-                    futures[pool.submit(_eval_chunk, call, chunks[index])] = index
+                    lo, hi = ranges[index]
+                    if shuttle is not None:
+                        future = pool.submit(
+                            _eval_shm_chunk, call, shuttle.name, lo, hi
+                        )
+                    else:
+                        future = pool.submit(_eval_chunk, call, genomes[lo:hi])
+                    futures[future] = index
                 for future, index in futures.items():
-                    results[index] = future.result()
+                    value = future.result()
+                    results[index] = value if shuttle is None else []
                 pending = []
             except BrokenProcessPool:
                 # a worker died: keep every finished chunk, rebuild the
@@ -257,7 +360,8 @@ class MultiprocessEvaluator:
                 ]
                 for future, index in futures.items():
                     if _finished(future):
-                        results[index] = future.result()
+                        value = future.result()
+                        results[index] = value if shuttle is None else []
                 if rebuilds_left == 0:
                     raise GAError(
                         f"process pool broke {self.rebuilds + 1} time(s); "
@@ -272,6 +376,8 @@ class MultiprocessEvaluator:
                 # close so the next map() starts from a clean pool.
                 self.terminate()
                 raise
+        if shuttle is not None:
+            return [float(v) for v in shuttle.results()]
         return [float(v) for row in results for v in row]
 
     def close(self) -> None:

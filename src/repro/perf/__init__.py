@@ -4,7 +4,7 @@ The GA's dominant cost is fitness evaluation: every genome means
 re-running every training benchmark through the simulated VM, and the
 seed implementation recompiled every reachable method with a fresh
 recursive inline-plan expansion each time.  This package removes that
-cost with three cooperating tiers (see ``docs/PERFORMANCE.md``):
+cost with six cooperating tiers (see ``docs/PERFORMANCE.md``):
 
 1. **Plan-signature memoization** (:mod:`repro.perf.plancache`) —
    compiled methods are cached per *parameter region*: the axis-aligned
@@ -34,6 +34,14 @@ cost with three cooperating tiers (see ``docs/PERFORMANCE.md``):
    representative dimension, and cold promoted methods are compiled
    once per distinct parameter region with the traced plan fanned out
    to every genome the region covers.
+6. **Zero-copy transport and compiled kernels** (:mod:`repro.perf.shm`,
+   :mod:`repro.perf.native`) — workload archives and genome/result
+   shuttles live in named ``multiprocessing.shared_memory`` segments
+   that pool workers map read-only instead of rebuilding after a
+   pickle, and the serial-by-construction invocation propagation runs
+   as a compiled kernel (numba, or a ``cc``-built C extension) chosen
+   through the graceful-degradation ladder compiled -> numpy -> serial
+   memoized -> reference; a missing compiler never breaks a run.
 
 All tiers are bitwise-exact: the accelerated paths reproduce the seed
 implementation's floating-point results to the last bit (enforced by
@@ -44,6 +52,12 @@ from repro.perf.adaptivekernel import AdaptiveBatchKernel
 from repro.perf.batch import GenerationBatchEvaluator, batched_cache_pressure
 from repro.perf.engine import AcceleratorStats, EvaluationAccelerator, aggregate_stats
 from repro.perf.plancache import MethodPlanCache
+from repro.perf.shm import (
+    GenomeShuttle,
+    SharedArraySegment,
+    WorkloadArchive,
+    shared_memory_supported,
+)
 from repro.perf.store import EvaluationStore, evaluation_context_key
 
 __all__ = [
@@ -51,9 +65,13 @@ __all__ = [
     "AdaptiveBatchKernel",
     "EvaluationAccelerator",
     "GenerationBatchEvaluator",
+    "GenomeShuttle",
     "MethodPlanCache",
+    "SharedArraySegment",
+    "WorkloadArchive",
     "EvaluationStore",
     "evaluation_context_key",
     "aggregate_stats",
     "batched_cache_pressure",
+    "shared_memory_supported",
 ]

@@ -141,7 +141,36 @@ class AdaptiveBatchKernel:
         propagate with whole-row vector operations, promoted methods
         with a gathered row-wide division and one flattened edge
         scatter per row.
+
+        When a compiled kernel backend is resolved
+        (:mod:`repro.perf.native`), the whole propagation runs as one
+        compiled call instead — each representative executes the serial
+        reference's scalar chain in C/numba doubles, which performs the
+        identical IEEE-754 operation sequence, so the result is the
+        same bits either way.  A kernel infrastructure failure falls
+        back to the numpy path below and disables the backend for this
+        accelerator; a genuine missing-version error propagates as the
+        reference's :class:`SimulationError`.
         """
+        backend = self.accelerator.native_backend()
+        if backend is not None:
+            try:
+                counts = self._propagate_matrix_native(
+                    backend, state, entry_matrix
+                )
+            except SimulationError:
+                raise
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception:
+                stats = self.accelerator.stats
+                stats.native_fallbacks += 1
+                self.accelerator.disable_native()
+            else:
+                stats = self.accelerator.stats
+                stats.native_propagations += 1
+                stats.native_rows += len(entry_matrix)
+                return counts
         program = state.program
         cache = state.cache
         baseline_info = state.baseline_info
@@ -204,6 +233,76 @@ class AdaptiveBatchKernel:
             rates_flat = np.concatenate(rate_parts)
             np.add.at(counts, (callee_idx, col_idx), c[col_idx] * rates_flat)
         return counts
+
+    def _propagate_matrix_native(
+        self, backend, state, entry_matrix: np.ndarray
+    ) -> np.ndarray:
+        """Run the matrix propagation through the compiled backend.
+
+        Prepares (once per program state) the flat arrays the kernel
+        walks — the per-method promoted-slot map and the baseline
+        residual-edge CSR — and returns the ``(methods,
+        representatives)`` view of the kernel's row-major output.
+        """
+        program = state.program
+        cache = state.cache
+        ctx = state.native_ctx
+        if ctx is None:
+            n_methods = len(program)
+            promoted_slot = np.full(n_methods, -1, dtype=np.int64)
+            promoted_slot[state.key_mids_array] = np.arange(
+                len(state.key_mids), dtype=np.int64
+            )
+            base_present = np.zeros(n_methods, dtype=np.uint8)
+            base_self_rate = np.zeros(n_methods, dtype=np.float64)
+            base_offsets = np.zeros(n_methods + 1, dtype=np.int64)
+            callee_parts: list = []
+            rate_parts: list = []
+            total = 0
+            for mid in range(n_methods):
+                info = state.baseline_info.get(mid)
+                if info is not None:
+                    self_rate, callees, rates = info
+                    base_present[mid] = 1
+                    base_self_rate[mid] = self_rate
+                    callee_parts.extend(callees)
+                    rate_parts.extend(rates)
+                    total += len(callees)
+                base_offsets[mid + 1] = total
+            ctx = (
+                promoted_slot,
+                base_present,
+                base_self_rate,
+                base_offsets,
+                np.array(callee_parts, dtype=np.int64),
+                np.array(rate_parts, dtype=np.float64),
+            )
+            state.native_ctx = ctx
+        (
+            promoted_slot,
+            base_present,
+            base_self_rate,
+            base_offsets,
+            base_callees,
+            base_rates,
+        ) = ctx
+        entry_offsets, entry_callees, entry_rates = cache.edge_csr()
+        counts = backend.adaptive_propagate_matrix(
+            entry_matrix,
+            program.entry_id,
+            promoted_slot,
+            cache.self_rate_column(),
+            entry_offsets,
+            entry_callees,
+            entry_rates,
+            base_present,
+            base_self_rate,
+            base_offsets,
+            base_callees,
+            base_rates,
+            program_name=program.name,
+        )
+        return counts.T
 
     # ------------------------------------------------------------------
     # batched final-version accounting

@@ -346,6 +346,55 @@ class GenerationBatchEvaluator:
         return resolved
 
     # ------------------------------------------------------------------
+    def _propagate_opt_batch(self, state, rep_rows: np.ndarray) -> np.ndarray:
+        """Invocation counts of the Opt miss representatives.
+
+        Top rung: the compiled kernel backend (:mod:`repro.perf.native`)
+        runs the propagation loop over all rows in one call, bitwise
+        equal to the per-row reference loop.  A kernel *infrastructure*
+        failure falls back to the reference loop and disables the
+        backend for this accelerator (``native_fallbacks``); a genuine
+        missing-version :class:`SimulationError` propagates exactly as
+        the reference would raise it.
+        """
+        acc = self.accelerator
+        program = state.program
+        cache = state.cache
+        backend = acc.native_backend()
+        if backend is not None:
+            try:
+                offsets, callees, rates = cache.edge_csr()
+                counts = backend.opt_propagate_batch(
+                    rep_rows,
+                    program.entry_id,
+                    cache.self_rate_column(),
+                    offsets,
+                    callees,
+                    rates,
+                    program_name=program.name,
+                )
+                acc.stats.native_propagations += 1
+                acc.stats.native_rows += len(rep_rows)
+                return counts
+            except SimulationError:
+                raise
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception:
+                acc.stats.native_fallbacks += 1
+                acc.disable_native()
+                _log.warning(
+                    "compiled kernel failed on %s; degrading this "
+                    "accelerator to the numpy path",
+                    program.name,
+                    exc_info=True,
+                )
+        counts = np.empty((len(rep_rows), len(program)), dtype=np.float64)
+        for r in range(len(rep_rows)):
+            counts[r] = acc._propagate(program, cache, rep_rows[r].tolist())
+        return counts
+
+    # ------------------------------------------------------------------
     def _account_opt_batch(
         self,
         state,
@@ -375,9 +424,7 @@ class GenerationBatchEvaluator:
         n_reps = len(rep_rows)
         cc_col, size_col, cpi_col, inline_col = cache.column_arrays()
 
-        counts = np.empty((n_reps, n_methods), dtype=np.float64)
-        for r in range(n_reps):
-            counts[r] = acc._propagate(program, cache, rep_rows[r].tolist())
+        counts = self._propagate_opt_batch(state, rep_rows)
         invoked = counts > 0.0
         entries = np.maximum(rep_rows, 0)
 

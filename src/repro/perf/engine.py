@@ -63,6 +63,9 @@ STAT_COUNTERS = (
     "adaptive_matrix_columns",
     "adaptive_grouped_compiles",
     "adaptive_group_covered",
+    "native_propagations",
+    "native_rows",
+    "native_fallbacks",
     "degraded_runs",
     "degraded_batches",
 )
@@ -90,6 +93,13 @@ class AcceleratorStats:
     adaptive_grouped_compiles: int = 0
     #: pending genomes resolved by another genome's compile (region fan-outs)
     adaptive_group_covered: int = 0
+    #: compiled-kernel invocations (repro.perf.native; one per batch)
+    native_propagations: int = 0
+    #: representative rows propagated by the compiled kernels
+    native_rows: int = 0
+    #: compiled-kernel calls that raised and fell back to the numpy
+    #: path (the backend is then disabled for this accelerator)
+    native_fallbacks: int = 0
     #: accelerated runs that raised and fell back to ``run_reference``
     degraded_runs: int = 0
     #: generation batches that raised and fell back to the serial
@@ -150,6 +160,9 @@ class AcceleratorStats:
             "adaptive_columns_per_propagation": self.adaptive_columns_per_propagation,
             "adaptive_grouped_compiles": self.adaptive_grouped_compiles,
             "adaptive_group_covered": self.adaptive_group_covered,
+            "native_propagations": self.native_propagations,
+            "native_rows": self.native_rows,
+            "native_fallbacks": self.native_fallbacks,
             "degraded_runs": self.degraded_runs,
             "degraded_batches": self.degraded_batches,
         }
@@ -159,6 +172,9 @@ class AcceleratorStats:
         for name in STAT_COUNTERS:
             setattr(self, name, getattr(self, name) + getattr(other, name))
 
+
+#: sentinel: the accelerator has not yet resolved its kernel backend
+_NATIVE_UNSET = object()
 
 #: live accelerators of this process, for campaign/report-level stats
 _LIVE_ACCELERATORS: "weakref.WeakSet[EvaluationAccelerator]" = weakref.WeakSet()
@@ -216,6 +232,7 @@ class _ProgramState:
         "baseline_inline",
         "baseline_info",
         "promotion_level",
+        "native_ctx",
     )
 
     def __init__(self, program: Program) -> None:
@@ -239,6 +256,9 @@ class _ProgramState:
             Dict[int, Tuple[float, List[int], List[float]]]
         ] = None
         self.promotion_level: Optional[Dict[int, int]] = None
+        # flat arrays prepared for the compiled adaptive kernel
+        # (promoted-slot map + baseline CSR); built on first native use
+        self.native_ctx: Optional[Tuple] = None
 
 
 class EvaluationAccelerator:
@@ -248,6 +268,11 @@ class EvaluationAccelerator:
         self.vm = vm
         self.stats = AcceleratorStats()
         self._states: Dict[int, _ProgramState] = {}
+        # compiled-kernel backend: _NATIVE_UNSET until first use, then
+        # the process-wide selection (or an explicit override); set to
+        # None after a kernel failure so one bad call degrades this
+        # accelerator to the numpy path permanently
+        self._native = _NATIVE_UNSET
         _LIVE_ACCELERATORS.add(self)
         # fold the counters into the retired totals when this
         # accelerator is collected without an explicit retire()
@@ -263,6 +288,31 @@ class EvaluationAccelerator:
         if self._stats_finalizer.detach() is not None:
             _fold_retired(self.stats)
         _LIVE_ACCELERATORS.discard(self)
+
+    # ------------------------------------------------------------------
+    def native_backend(self):
+        """The compiled kernel backend serving this accelerator.
+
+        Resolved lazily from the process-wide ladder
+        (:func:`repro.perf.native.get_backend`); None means the numpy
+        rung.  :meth:`disable_native` pins None after a kernel failure;
+        :meth:`force_native_backend` pins a specific backend (tests and
+        benchmarks use it to compare rungs).
+        """
+        if self._native is _NATIVE_UNSET:
+            from repro.perf.native import get_backend
+
+            self._native = get_backend()
+        return self._native
+
+    def force_native_backend(self, backend) -> None:
+        """Pin the kernel backend (None = numpy rung) for this
+        accelerator, bypassing the process-wide selection."""
+        self._native = backend
+
+    def disable_native(self) -> None:
+        """Degrade this accelerator to the numpy rung permanently."""
+        self._native = None
 
     # ------------------------------------------------------------------
     def _state_for(self, program: Program) -> _ProgramState:
@@ -403,7 +453,40 @@ class EvaluationAccelerator:
         product in the same order.  Accumulation runs on a plain Python
         list — the loop is scalar and data-dependent, where boxed
         ``np.float64`` arithmetic costs more than it saves.
+
+        Top rung: when a compiled kernel backend is selected the row
+        runs through :meth:`KernelBackend.opt_propagate_batch` as a
+        one-row batch — the identical scalar op sequence in C, so the
+        result is bitwise-equal to the Python loop below.  A kernel
+        infrastructure failure degrades this accelerator to the Python
+        loop permanently (``native_fallbacks``); a genuine
+        missing-version :class:`SimulationError` propagates unchanged.
         """
+        backend = self.native_backend()
+        if backend is not None:
+            try:
+                offsets, callees, rates = cache.edge_csr()
+                counts2d = backend.opt_propagate_batch(
+                    np.asarray([resolved], dtype=np.int64),
+                    program.entry_id,
+                    cache.self_rate_column(),
+                    offsets,
+                    callees,
+                    rates,
+                    program_name=program.name,
+                )
+                self.stats.native_propagations += 1
+                self.stats.native_rows += 1
+                # copy: the kernel hands back a row of its reusable
+                # scratch matrix
+                return counts2d[0].copy()
+            except SimulationError:
+                raise
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception:
+                self.stats.native_fallbacks += 1
+                self.disable_native()
         counts: List[float] = [0.0] * len(program)
         counts[program.entry_id] = 1.0
         self_rates = cache._self_rate

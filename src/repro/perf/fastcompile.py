@@ -275,7 +275,11 @@ class TracedCompiler:
             compile_cycles=compile_cycles,
             cycles_per_invocation=cycles,
             residual_forward=(
-                tuple(sorted(forward.items()))
+                # keys are unique, so sorting them alone orders the
+                # items identically to sorted(forward.items()) — and
+                # int keys take sort's fast path, skipping the tuple
+                # comparisons that dominated this call
+                tuple((mid, forward[mid]) for mid in sorted(forward))
                 if len(forward) > 1
                 else tuple(forward.items())
             ),

@@ -52,7 +52,7 @@ class MethodPlanCache:
         # residual forward edges per entry: (callee_ids, rates), kept as
         # Python lists — the propagation loop consumes them scalar by
         # scalar, where list indexing beats ndarray item access
-        self._edges: List[Tuple[List[int], List[float]]] = []
+        self._edges: List[Tuple[Tuple[int, ...], Tuple[float, ...]]] = []
         # dense matcher arrays, written row-by-row at insert time with
         # capacity doubling so match() never rebuilds them from scratch
         cap = self._INITIAL_CAPACITY
@@ -74,6 +74,17 @@ class MethodPlanCache:
         # kernel's flattened row scatters
         self._edge_array_cache: dict = {}
         self._edge_count_cache: Optional[np.ndarray] = None
+        # whole-cache CSR of the residual edges, for the compiled
+        # propagation kernels (repro.perf.native).  Grown incrementally
+        # — entries are append-only, so new entries' edges extend the
+        # tail of capacity-doubling buffers instead of rebuilding the
+        # whole CSR (the serial accelerator asks for the CSR after
+        # every compile while caches are cold)
+        self._csr_entries = 0
+        self._csr_edges = 0
+        self._csr_offsets = np.zeros(1, dtype=np.int64)
+        self._csr_callees = np.empty(0, dtype=np.int64)
+        self._csr_rates = np.empty(0, dtype=np.float64)
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -108,12 +119,8 @@ class MethodPlanCache:
         self._cycles_per_invocation.append(version.cycles_per_invocation)
         self._inline_count.append(version.inline_count)
         self._self_rate.append(version.residual_self_rate)
-        self._edges.append(
-            (
-                [c for c, _ in version.residual_forward],
-                [r for _, r in version.residual_forward],
-            )
-        )
+        forward = version.residual_forward
+        self._edges.append(tuple(zip(*forward)) if forward else ((), ()))
         return entry
 
     # ------------------------------------------------------------------
@@ -269,17 +276,27 @@ class MethodPlanCache:
     def self_rate_column(self) -> np.ndarray:
         """Residual self-rate as an ndarray column over all entries.
 
-        Rebuilt only when entries were added since the last call; the
-        adaptive matrix kernel gathers per-group scalars from it.
+        Grown incrementally when entries were added since the last
+        call (a capacity-doubling buffer; only the new tail is
+        written); the adaptive matrix kernel gathers per-group scalars
+        from it and the compiled propagation kernels index it per
+        entry.
         """
         col = self._self_rate_cache
         n = len(self._versions)
-        if col is None or len(col) != n:
-            col = np.array(self._self_rate, dtype=np.float64)
-            self._self_rate_cache = col
+        if col is None or col.base.shape[0] < n:
+            cap = max(64, 2 * n)
+            grown = np.empty(cap, dtype=np.float64)
+            grown[:n] = self._self_rate
+            self._self_rate_cache = col = grown[:n]
+        elif col.shape[0] != n:
+            old = col.shape[0]
+            base = col.base
+            base[old:n] = self._self_rate[old:]
+            self._self_rate_cache = col = base[:n]
         return col
 
-    def edges(self, entry: int) -> Tuple[List[int], List[float]]:
+    def edges(self, entry: int) -> Tuple[Tuple[int, ...], Tuple[float, ...]]:
         """Residual forward edges ``(callee_ids, rates)`` of one entry."""
         return self._edges[entry]
 
@@ -300,6 +317,62 @@ class MethodPlanCache:
             )
             self._edge_array_cache[entry] = cached
         return cached
+
+    def edge_csr(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """All entries' residual edges as one CSR triple.
+
+        ``(offsets int64 [entries+1], callees int64, rates float64)``
+        with entry ``e``'s edges at ``callees[offsets[e]:offsets[e+1]]``
+        in edge order — the layout the compiled propagation kernels
+        walk.  The float conversion is exact.
+
+        Entries are append-only, so the CSR grows incrementally:
+        entries added since the last call extend the tails of
+        capacity-doubling buffers (amortized O(new edges) per call,
+        which keeps the per-miss cost flat when the serial accelerator
+        propagates between compiles on a cold cache).  The returned
+        arrays are right-sized read-only views of those buffers.
+        """
+        n = len(self._versions)
+        if n > self._csr_entries:
+            if n + 1 > self._csr_offsets.shape[0]:
+                cap = max(64, 2 * (n + 1))
+                grown = np.zeros(cap, dtype=np.int64)
+                grown[: self._csr_entries + 1] = self._csr_offsets[
+                    : self._csr_entries + 1
+                ]
+                self._csr_offsets = grown
+            new_edges = self._edges[self._csr_entries : n]
+            added = sum(len(e[0]) for e in new_edges)
+            total = self._csr_edges + added
+            if total > self._csr_callees.shape[0]:
+                cap = max(256, 2 * total)
+                callees = np.empty(cap, dtype=np.int64)
+                rates = np.empty(cap, dtype=np.float64)
+                callees[: self._csr_edges] = self._csr_callees[: self._csr_edges]
+                rates[: self._csr_edges] = self._csr_rates[: self._csr_edges]
+                self._csr_callees = callees
+                self._csr_rates = rates
+            pos = self._csr_edges
+            flat_callees: list = []
+            flat_rates: list = []
+            lengths = np.empty(len(new_edges), dtype=np.int64)
+            for i, (entry_callees, entry_rates) in enumerate(new_edges):
+                flat_callees.extend(entry_callees)
+                flat_rates.extend(entry_rates)
+                lengths[i] = len(entry_callees)
+            self._csr_callees[pos : pos + added] = flat_callees
+            self._csr_rates[pos : pos + added] = flat_rates
+            np.cumsum(lengths, out=lengths)
+            lengths += pos
+            self._csr_offsets[self._csr_entries + 1 : n + 1] = lengths
+            self._csr_entries = n
+            self._csr_edges = pos + added
+        return (
+            self._csr_offsets[: n + 1],
+            self._csr_callees[: self._csr_edges],
+            self._csr_rates[: self._csr_edges],
+        )
 
     def edge_count_column(self) -> np.ndarray:
         """Residual-edge count per entry, as an int64 column.

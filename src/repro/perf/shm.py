@@ -1,0 +1,512 @@
+"""Zero-copy shared-memory interning for pool workers.
+
+Campaign pool workers historically rebuilt everything on the far side
+of a pickle: each spawned worker re-generated the workload programs
+and re-derived its caches (see ``repro/jvm/runtime.py`` —
+``VirtualMachine.__setstate__`` rebuilds the accelerator), and every
+``map`` call re-pickled genome lists and fitness lists through the
+pool's pipes.  This module moves the bulk payloads into
+``multiprocessing.shared_memory`` segments that workers map read-only:
+
+* :class:`SharedArraySegment` — one named segment holding several
+  named numpy arrays behind a tiny self-describing header, with
+  crash-safe lifecycle (owner-side atexit unlink; attach-side
+  resource-tracker unregistration so a SIGKILLed worker can never
+  unlink a segment it does not own);
+* :class:`WorkloadArchive` — the campaign's training programs interned
+  as flat arrays (method tables, instruction mixes, call sites, name
+  blobs); workers attach and reconstruct
+  :class:`~repro.jvm.callgraph.Program` objects whose fingerprints are
+  identical to the generator's, so evaluation-store context keys are
+  unaffected;
+* :class:`GenomeShuttle` — a generation's genomes packed as one int64
+  matrix plus a float64 result vector that workers fill in place, so
+  batched task submission ships ``(segment, lo, hi)`` ranges instead
+  of pickled genome lists.
+
+Telemetry: segment creation and attachment emit ``shm.create`` /
+``shm.attach`` events and feed the ``repro_shm_attach_total`` and
+``repro_ipc_bytes_total`` metric families (see
+``docs/OBSERVABILITY.md``); all of it is no-op safe when telemetry is
+off.
+
+Graceful degradation, as everywhere in the perf stack: every consumer
+of this module falls back to the pickle path when shared memory is
+unavailable (platform without ``/dev/shm``, segment vanished, ragged
+genomes) — shm is a throughput optimization, never a correctness
+dependency.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import secrets
+import struct
+import logging
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import GAError
+
+__all__ = [
+    "SharedArraySegment",
+    "WorkloadArchive",
+    "GenomeShuttle",
+    "shared_memory_supported",
+]
+
+_log = logging.getLogger("repro.perf.shm")
+
+#: prefix of every segment this repo creates (leak checks key on it)
+SEGMENT_PREFIX = "repro-"
+
+#: payload alignment inside a segment
+_ALIGN = 64
+
+_HEADER_LEN = struct.Struct("<Q")
+
+
+def shared_memory_supported() -> bool:
+    """True when named shared memory works on this platform."""
+    try:
+        from multiprocessing import shared_memory  # noqa: F401
+    except ImportError:  # pragma: no cover - stdlib since 3.8
+        return False
+    return True
+
+
+def _emit_shm(event: str, segment: str, nbytes: int) -> None:
+    """Telemetry for a segment lifecycle step (no-op when off)."""
+    try:
+        from repro.telemetry import emit, get_session
+
+        emit(event, segment=segment, bytes=int(nbytes))
+        session = get_session()
+        if session is not None:
+            registry = session.registry
+            # bytes moved through shm count on both sides: the owner
+            # interning a segment and every worker mapping it (worker
+            # registries are per-process; the coordinator's export
+            # reflects at least its own publications)
+            registry.counter(
+                "repro_ipc_bytes_total", transport="shm"
+            ).inc(int(nbytes))
+            if event == "shm.attach":
+                registry.counter("repro_shm_attach_total").inc()
+    except Exception:  # pragma: no cover - telemetry must never break a run
+        pass
+
+
+#: segments owned (created) by this process, unlinked at interpreter
+#: exit if still alive — a crashed coordinator additionally relies on
+#: the stdlib resource tracker, which unlinks registered segments when
+#: the owning process dies without cleanup
+_OWNED: Dict[str, "SharedArraySegment"] = {}
+
+
+def _cleanup_owned() -> None:  # pragma: no cover - exit hook
+    for segment in list(_OWNED.values()):
+        try:
+            segment.unlink()
+        except Exception:
+            pass
+
+
+atexit.register(_cleanup_owned)
+
+
+def _align(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+class SharedArraySegment:
+    """A named shared-memory segment holding named numpy arrays.
+
+    Layout: an 8-byte little-endian header length, a JSON header
+    mapping array names to ``(dtype, shape, offset)``, then the array
+    payloads, each 64-byte aligned.  ``create`` copies the given
+    arrays in and owns the segment (close + unlink); ``attach`` maps
+    an existing segment and exposes zero-copy ndarray views —
+    read-only by default, so a worker bug cannot corrupt a shared
+    plan table.
+    """
+
+    def __init__(self, shm, arrays: Dict[str, np.ndarray], owner: bool) -> None:
+        self._shm = shm
+        self.arrays = arrays
+        self.owner = owner
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def nbytes(self) -> int:
+        return self._shm.size
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls, arrays: Dict[str, np.ndarray], name: Optional[str] = None
+    ) -> "SharedArraySegment":
+        """Create a segment containing copies of *arrays* (owner side)."""
+        from multiprocessing import shared_memory
+
+        header: Dict[str, list] = {}
+        offset = 0
+        prepared: Dict[str, np.ndarray] = {}
+        for key, array in arrays.items():
+            array = np.ascontiguousarray(array)
+            prepared[key] = array
+            offset = _align(offset)
+            header[key] = [array.dtype.str, list(array.shape), offset]
+            offset += array.nbytes
+        blob = json.dumps(header, sort_keys=True).encode("ascii")
+        payload_base = _align(_HEADER_LEN.size + len(blob))
+        total = max(1, payload_base + offset)
+        if name is None:
+            name = f"{SEGMENT_PREFIX}{secrets.token_hex(8)}"
+        shm = shared_memory.SharedMemory(name=name, create=True, size=total)
+        shm.buf[: _HEADER_LEN.size] = _HEADER_LEN.pack(len(blob))
+        shm.buf[_HEADER_LEN.size : _HEADER_LEN.size + len(blob)] = blob
+        views: Dict[str, np.ndarray] = {}
+        for key, array in prepared.items():
+            dtype, shape, rel = header[key]
+            view = np.ndarray(
+                shape, dtype=dtype, buffer=shm.buf, offset=payload_base + rel
+            )
+            view[...] = array
+            views[key] = view
+        segment = cls(shm, views, owner=True)
+        _OWNED[segment.name] = segment
+        _emit_shm("shm.create", segment.name, total)
+        return segment
+
+    @classmethod
+    def attach(cls, name: str, readonly: bool = True) -> "SharedArraySegment":
+        """Map an existing segment by name (non-owner side).
+
+        On 3.13+ the attachment passes ``track=False`` so it adds no
+        resource-tracker registration of its own.  On older Pythons the
+        constructor re-registers the name, which is harmless: spawned
+        pool workers share the coordinator's tracker process, whose
+        cache is a per-name set — the worker's add is idempotent
+        against the owner's registration, and only the owner's
+        ``unlink`` removes it.  Unregistering here instead would strip
+        the owner's crash-safety net (and make its later unlink
+        double-unregister, spamming KeyErrors in the tracker).
+        """
+        from multiprocessing import shared_memory
+
+        try:
+            shm = shared_memory.SharedMemory(name=name, track=False)
+        except TypeError:  # track= arrived in 3.13
+            shm = shared_memory.SharedMemory(name=name)
+        (blob_len,) = _HEADER_LEN.unpack_from(shm.buf, 0)
+        blob = bytes(shm.buf[_HEADER_LEN.size : _HEADER_LEN.size + blob_len])
+        header = json.loads(blob.decode("ascii"))
+        payload_base = _align(_HEADER_LEN.size + blob_len)
+        views: Dict[str, np.ndarray] = {}
+        for key, (dtype, shape, rel) in header.items():
+            view = np.ndarray(
+                shape, dtype=dtype, buffer=shm.buf, offset=payload_base + rel
+            )
+            if readonly:
+                view.flags.writeable = False
+            views[key] = view
+        segment = cls(shm, views, owner=False)
+        _emit_shm("shm.attach", segment.name, shm.size)
+        return segment
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drop this process's mapping (the segment itself survives)."""
+        if self._closed:
+            return
+        self._closed = True
+        self.arrays = {}
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - live views keep the map
+            pass
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner only); idempotent."""
+        if not self.owner:
+            raise GAError(f"segment {self.name!r} is attached, not owned")
+        name = self.name
+        self.close()
+        _OWNED.pop(name, None)
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+
+    def __enter__(self) -> "SharedArraySegment":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self.owner:
+            self.unlink()
+        else:
+            self.close()
+
+
+# ----------------------------------------------------------------------
+# workload interning
+# ----------------------------------------------------------------------
+def _pack_strings(strings: Sequence[str]) -> Tuple[np.ndarray, np.ndarray]:
+    """Concatenated utf-8 blob + offsets for a string column."""
+    encoded = [s.encode("utf-8") for s in strings]
+    offsets = np.zeros(len(encoded) + 1, dtype=np.int64)
+    if encoded:
+        np.cumsum([len(e) for e in encoded], out=offsets[1:])
+    blob = np.frombuffer(b"".join(encoded), dtype=np.uint8).copy()
+    return blob, offsets
+
+
+def _unpack_strings(blob: np.ndarray, offsets: np.ndarray) -> List[str]:
+    raw = blob.tobytes()
+    return [
+        raw[offsets[i] : offsets[i + 1]].decode("utf-8")
+        for i in range(len(offsets) - 1)
+    ]
+
+
+class WorkloadArchive:
+    """Training programs interned as flat arrays in one shm segment.
+
+    ``publish(programs)`` (coordinator side) flattens every program's
+    method table — loop weights, instruction-mix histograms over the
+    fixed :class:`~repro.jvm.bytecode.InstructionKind` alphabet, names
+    — and call-site table into per-field arrays with per-program offset
+    columns.  ``attach(name)`` (worker side) maps the segment and
+    :meth:`programs` reconstructs the
+    :class:`~repro.jvm.callgraph.Program` objects from the mapped
+    arrays; reconstruction is exact (``InstructionMix.from_mapping``
+    canonicalizes kind order the same way the generator does), so the
+    rebuilt programs' fingerprints — and therefore every persistent
+    evaluation-store context key — equal the originals'.
+    """
+
+    def __init__(self, segment: SharedArraySegment) -> None:
+        self.segment = segment
+        self._programs: Optional[List] = None
+
+    @property
+    def name(self) -> str:
+        return self.segment.name
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def publish(
+        cls, programs: Sequence, name: Optional[str] = None
+    ) -> "WorkloadArchive":
+        """Intern *programs* into a fresh owned segment.
+
+        *name* pins the segment name — used to republish an archive
+        that vanished under a live campaign, so payloads already
+        carrying the name keep resolving.
+        """
+        from repro.jvm.bytecode import InstructionKind
+
+        kinds = tuple(InstructionKind)
+        kind_pos = {kind: i for i, kind in enumerate(kinds)}
+
+        program_entry = np.array(
+            [p.entry_id for p in programs], dtype=np.int64
+        )
+        method_offsets = np.zeros(len(programs) + 1, dtype=np.int64)
+        site_offsets = np.zeros(len(programs) + 1, dtype=np.int64)
+        if programs:
+            np.cumsum([len(p.methods) for p in programs], out=method_offsets[1:])
+            np.cumsum([len(p.call_sites) for p in programs], out=site_offsets[1:])
+
+        n_methods = int(method_offsets[-1])
+        n_sites = int(site_offsets[-1])
+        loop_weight = np.empty(n_methods, dtype=np.float64)
+        mix = np.zeros((n_methods, len(kinds)), dtype=np.int64)
+        method_names: List[str] = []
+        site_cols = np.empty((n_sites, 3), dtype=np.int64)
+        site_calls = np.empty(n_sites, dtype=np.float64)
+
+        m = 0
+        s = 0
+        for program in programs:
+            for method in program.methods:
+                loop_weight[m] = method.body.loop_weight
+                for kind, count in method.body.mix:
+                    mix[m, kind_pos[kind]] = count
+                method_names.append(method.name)
+                m += 1
+            for site in program.call_sites:
+                site_cols[s] = (site.caller_id, site.callee_id, site.site_index)
+                site_calls[s] = site.calls_per_invocation
+                s += 1
+
+        program_name_blob, program_name_offsets = _pack_strings(
+            [p.name for p in programs]
+        )
+        method_name_blob, method_name_offsets = _pack_strings(method_names)
+
+        segment = SharedArraySegment.create(
+            {
+                "program_entry": program_entry,
+                "program_method_offsets": method_offsets,
+                "program_site_offsets": site_offsets,
+                "program_name_blob": program_name_blob,
+                "program_name_offsets": program_name_offsets,
+                "method_loop_weight": loop_weight,
+                "method_mix": mix,
+                "method_name_blob": method_name_blob,
+                "method_name_offsets": method_name_offsets,
+                "site_cols": site_cols,
+                "site_calls": site_calls,
+            },
+            name=name,
+        )
+        return cls(segment)
+
+    @classmethod
+    def attach(cls, name: str) -> "WorkloadArchive":
+        """Map a published archive by segment name (worker side)."""
+        return cls(SharedArraySegment.attach(name, readonly=True))
+
+    # ------------------------------------------------------------------
+    def programs(self) -> List:
+        """Reconstruct (and memoize) the interned programs."""
+        if self._programs is not None:
+            return self._programs
+        from repro.jvm.bytecode import InstructionKind, InstructionMix, MethodBody
+        from repro.jvm.callgraph import CallSite, Program
+        from repro.jvm.methods import MethodInfo
+
+        kinds = tuple(InstructionKind)
+        a = self.segment.arrays
+        program_names = _unpack_strings(
+            a["program_name_blob"], a["program_name_offsets"]
+        )
+        method_names = _unpack_strings(
+            a["method_name_blob"], a["method_name_offsets"]
+        )
+        method_offsets = a["program_method_offsets"]
+        site_offsets = a["program_site_offsets"]
+        programs: List[Program] = []
+        for p, name in enumerate(program_names):
+            m_lo, m_hi = int(method_offsets[p]), int(method_offsets[p + 1])
+            methods = []
+            for m in range(m_lo, m_hi):
+                row = a["method_mix"][m]
+                mapping = {
+                    kind: int(row[i]) for i, kind in enumerate(kinds) if row[i]
+                }
+                body = MethodBody(
+                    mix=InstructionMix.from_mapping(mapping),
+                    loop_weight=float(a["method_loop_weight"][m]),
+                )
+                methods.append(
+                    MethodInfo(
+                        method_id=m - m_lo, name=method_names[m], body=body
+                    )
+                )
+            s_lo, s_hi = int(site_offsets[p]), int(site_offsets[p + 1])
+            sites = [
+                CallSite(
+                    caller_id=int(a["site_cols"][s, 0]),
+                    callee_id=int(a["site_cols"][s, 1]),
+                    site_index=int(a["site_cols"][s, 2]),
+                    calls_per_invocation=float(a["site_calls"][s]),
+                )
+                for s in range(s_lo, s_hi)
+            ]
+            programs.append(
+                Program(
+                    name=name,
+                    methods=methods,
+                    call_sites=sites,
+                    entry_id=int(a["program_entry"][p]),
+                )
+            )
+        self._programs = programs
+        return programs
+
+    def close(self) -> None:
+        self._programs = None
+        self.segment.close()
+
+    def unlink(self) -> None:
+        self._programs = None
+        self.segment.unlink()
+
+
+# ----------------------------------------------------------------------
+# genome / fitness shuttle
+# ----------------------------------------------------------------------
+class GenomeShuttle:
+    """One generation's genomes and results in a single segment.
+
+    The coordinator packs the genomes as an int64 ``(n, width)`` matrix
+    next to a zeroed float64 result vector; workers attach writable,
+    read their ``[lo, hi)`` genome rows straight from the mapping and
+    write fitnesses into the same rows of the result vector.  Ranges
+    are disjoint, so concurrent workers never touch the same bytes,
+    and a resubmitted range (after a worker death) simply overwrites
+    its slice with the identical pure-function values.
+    """
+
+    def __init__(self, segment: SharedArraySegment) -> None:
+        self.segment = segment
+
+    @property
+    def name(self) -> str:
+        return self.segment.name
+
+    @classmethod
+    def publish(cls, genomes: Sequence[Sequence[int]]) -> "GenomeShuttle":
+        """Pack *genomes* into a fresh owned segment.
+
+        Raises :class:`ValueError` for ragged genome lists — callers
+        treat that as "use the pickle path".
+        """
+        try:
+            matrix = np.array([tuple(g) for g in genomes], dtype=np.int64)
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"genomes must be rectangular to pack: {exc}") from exc
+        if matrix.ndim != 2:
+            raise ValueError("genomes must be rectangular to pack")
+        segment = SharedArraySegment.create(
+            {
+                "genomes": matrix,
+                "results": np.zeros(len(matrix), dtype=np.float64),
+            }
+        )
+        return cls(segment)
+
+    @classmethod
+    def attach(cls, name: str) -> "GenomeShuttle":
+        """Worker-side writable attachment (results are filled in place)."""
+        return cls(SharedArraySegment.attach(name, readonly=False))
+
+    def genome_rows(self, lo: int, hi: int) -> List[Tuple[int, ...]]:
+        """The ``[lo, hi)`` genomes as plain tuples."""
+        matrix = self.segment.arrays["genomes"]
+        return [tuple(int(v) for v in row) for row in matrix[lo:hi]]
+
+    def write_results(self, lo: int, values: Sequence[float]) -> None:
+        """Store a completed range's fitnesses at row *lo* onward."""
+        results = self.segment.arrays["results"]
+        results[lo : lo + len(values)] = values
+
+    def results(self) -> np.ndarray:
+        """A private copy of the result vector (coordinator side)."""
+        return self.segment.arrays["results"].copy()
+
+    def close(self) -> None:
+        self.segment.close()
+
+    def unlink(self) -> None:
+        self.segment.unlink()

@@ -352,3 +352,12 @@ class EvaluationStore:
         state["_handle"] = None  # file handles don't pickle; reopen lazily
         state["_unflushed"] = 0
         return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        # A pickled store always lands in another process (pool worker,
+        # checkpoint restore) — never the single writer.  Re-assert
+        # readonly so a lazily reopened handle can only buffer to
+        # ``_pending``, preserving the single-writer discipline even
+        # for a store that was writable on the pickling side.
+        self.readonly = True

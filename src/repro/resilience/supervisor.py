@@ -190,6 +190,7 @@ def run_supervised(
     mp_context=None,
     on_result: Optional[Callable[[str, object], None]] = None,
     poll_interval: float = 0.05,
+    on_pool_rebuild: Optional[Callable[[str], None]] = None,
 ) -> Tuple[Dict[str, object], List[FailureReport]]:
     """Run ``fn(payload)`` for every (name, payload), supervised.
 
@@ -202,6 +203,13 @@ def run_supervised(
     ``on_result(name, value)`` fires in the coordinating process as
     each task completes — the campaign uses it to persist results
     incrementally, so a later crash costs only in-flight work.
+
+    ``on_pool_rebuild(reason)`` fires in the coordinating process each
+    time a broken pool is dropped, before any resubmission — the
+    campaign uses it to verify shared resources the replacement workers
+    will need (e.g. that the shared-memory workload archive still
+    exists).  Exceptions from the hook are swallowed: supervision must
+    proceed even when the callback's resource cannot be restored.
     """
     policy = policy or RetryPolicy()
     states = [_TaskState(name=name, payload=payload) for name, payload in payloads]
@@ -237,6 +245,11 @@ def run_supervised(
         pool = None
         inflight.clear()
         telemetry_emit("supervise.pool_rebuild", reason=reason)
+        if on_pool_rebuild is not None:
+            try:
+                on_pool_rebuild(reason)
+            except Exception:  # pragma: no cover - hook must not kill supervision
+                pass
 
     try:
         while True:

@@ -54,6 +54,11 @@ EVENT_SCHEMAS: Dict[str, Dict[str, tuple]] = {
     # degradation of accelerated paths
     "perf.degraded_run": {"error": (str,)},
     "perf.degraded_batch": {"program": (str,), "error": (str,)},
+    # kernel backend selection (compiled / numpy ladder)
+    "perf.backend_selected": {"backend": (str,)},
+    # shared-memory segment lifecycle
+    "shm.create": {"segment": (str,), "bytes": (int,)},
+    "shm.attach": {"segment": (str,), "bytes": (int,)},
     # evaluation store
     "store.flush": {"records": (int,)},
     "store.repair": {
@@ -80,6 +85,9 @@ REQUIRED_METRIC_FAMILIES: Tuple[str, ...] = (
     "repro_ga_evaluations_total",
     "repro_cells_total",
     "repro_span_seconds",
+    "repro_ipc_bytes_total",
+    "repro_shm_attach_total",
+    "repro_backend_selected_total",
 )
 
 #: per-span required fields (beyond the generic span fields)

@@ -63,6 +63,12 @@ def summarize(events: List[Dict]) -> Dict:
     timeline: List[Dict] = []
     snapshot: Optional[Dict] = None
     campaign: Dict = {}
+    ipc: Dict = {
+        "segments_created": 0,
+        "segment_attaches": 0,
+        "shm_bytes": 0,
+        "backends": {},
+    }
 
     for record in events:
         event = record.get("event")
@@ -100,6 +106,15 @@ def summarize(events: List[Dict]) -> Dict:
             "store.repair",
         ):
             timeline.append(record)
+        elif event == "shm.create":
+            ipc["segments_created"] += 1
+        elif event == "shm.attach":
+            ipc["segment_attaches"] += 1
+            if isinstance(record.get("bytes"), (int, float)):
+                ipc["shm_bytes"] += int(record["bytes"])
+        elif event == "perf.backend_selected":
+            backend = str(record.get("backend"))
+            ipc["backends"][backend] = ipc["backends"].get(backend, 0) + 1
         elif event == "metrics.snapshot":
             snapshot = record.get("metrics")
 
@@ -110,6 +125,7 @@ def summarize(events: List[Dict]) -> Dict:
         "cells": cells,
         "timeline": timeline,
         "snapshot": snapshot,
+        "ipc": ipc,
     }
 
 
@@ -192,6 +208,23 @@ def render_summary(summary: Dict) -> str:
                 f"  +{offset:8.2f}s  {record.get('event', '?'):<24} {detail}"
             )
     lines.append("")
+
+    ipc = summary.get("ipc") or {}
+    if ipc.get("segments_created") or ipc.get("segment_attaches") or ipc.get("backends"):
+        lines.append("ipc / kernel backends")
+        lines.append("-" * 72)
+        lines.append(
+            f"  shm segments created: {ipc.get('segments_created', 0)}, "
+            f"attaches: {ipc.get('segment_attaches', 0)}, "
+            f"bytes mapped: {ipc.get('shm_bytes', 0)}"
+        )
+        backends = ipc.get("backends") or {}
+        if backends:
+            chosen = ", ".join(
+                f"{name} x{count}" for name, count in sorted(backends.items())
+            )
+            lines.append(f"  kernel backends selected: {chosen}")
+        lines.append("")
 
     snapshot = summary["snapshot"]
     if snapshot:

@@ -1,0 +1,190 @@
+"""Zero-copy shared-memory interning: segments, archives, shuttles.
+
+The shm layer's contract is strict: workers map payloads read-only and
+see exactly the bytes the coordinator published — reconstructed
+programs carry the *same fingerprints* as the originals so persistent
+evaluation-store context keys are unaffected — and every failure mode
+degrades to the pickle transport instead of breaking a run.
+"""
+
+from __future__ import annotations
+
+import glob
+
+import numpy as np
+import pytest
+
+from repro.errors import GAError
+from repro.ga.parallel import MultiprocessEvaluator, SerialEvaluator
+from repro.perf.shm import (
+    SEGMENT_PREFIX,
+    GenomeShuttle,
+    SharedArraySegment,
+    WorkloadArchive,
+    shared_memory_supported,
+)
+from repro.workloads.suites import SPECJVM98
+
+from helpers import chain_program, diamond_program
+
+pytestmark = pytest.mark.skipif(
+    not shared_memory_supported(), reason="no shared-memory support"
+)
+
+
+def _shm_entries():
+    return set(glob.glob(f"/dev/shm/{SEGMENT_PREFIX}*"))
+
+
+class TestSharedArraySegment:
+    ARRAYS = {
+        "floats": np.arange(12, dtype=np.float64).reshape(3, 4) * 0.5,
+        "ints": np.array([3, -1, 7], dtype=np.int64),
+        "bytes": np.frombuffer(b"hello shm", dtype=np.uint8).copy(),
+        "empty": np.empty(0, dtype=np.float64),
+    }
+
+    def test_roundtrip_is_exact(self):
+        with SharedArraySegment.create(self.ARRAYS) as segment:
+            attached = SharedArraySegment.attach(segment.name)
+            try:
+                assert set(attached.arrays) == set(self.ARRAYS)
+                for key, array in self.ARRAYS.items():
+                    view = attached.arrays[key]
+                    assert view.dtype == array.dtype
+                    assert view.shape == array.shape
+                    assert np.array_equal(view, array)
+            finally:
+                attached.close()
+
+    def test_default_attachment_is_readonly(self):
+        with SharedArraySegment.create(self.ARRAYS) as segment:
+            attached = SharedArraySegment.attach(segment.name)
+            try:
+                with pytest.raises((ValueError, RuntimeError)):
+                    attached.arrays["ints"][0] = 99
+                # the shared bytes were not corrupted
+                assert segment.arrays["ints"][0] == 3
+            finally:
+                attached.close()
+
+    def test_writable_attachment_shares_bytes(self):
+        with SharedArraySegment.create(self.ARRAYS) as segment:
+            attached = SharedArraySegment.attach(segment.name, readonly=False)
+            try:
+                attached.arrays["ints"][1] = 42
+                assert segment.arrays["ints"][1] == 42  # same memory
+            finally:
+                attached.close()
+
+    def test_unlink_destroys_the_segment(self):
+        segment = SharedArraySegment.create(self.ARRAYS)
+        name = segment.name
+        assert any(name in entry for entry in _shm_entries())
+        segment.unlink()
+        assert not any(name in entry for entry in _shm_entries())
+        with pytest.raises(FileNotFoundError):
+            SharedArraySegment.attach(name)
+        segment.unlink()  # idempotent
+
+    def test_attached_segment_refuses_unlink(self):
+        with SharedArraySegment.create(self.ARRAYS) as segment:
+            attached = SharedArraySegment.attach(segment.name)
+            try:
+                with pytest.raises(GAError, match="attached, not owned"):
+                    attached.unlink()
+            finally:
+                attached.close()
+
+
+class TestWorkloadArchive:
+    def _programs(self):
+        return [diamond_program(), chain_program(4, name="chain4")]
+
+    def test_reconstructed_programs_match_bitwise(self):
+        originals = self._programs()
+        archive = WorkloadArchive.publish(originals)
+        try:
+            attached = WorkloadArchive.attach(archive.name)
+            try:
+                rebuilt = attached.programs()
+                assert len(rebuilt) == len(originals)
+                for original, copy in zip(originals, rebuilt):
+                    assert copy.name == original.name
+                    assert copy.entry_id == original.entry_id
+                    assert len(copy.methods) == len(original.methods)
+                    assert copy.call_sites == original.call_sites
+                    # fingerprint equality is the load-bearing claim:
+                    # evaluation-store context keys derive from it
+                    assert copy.fingerprint() == original.fingerprint()
+            finally:
+                attached.close()
+        finally:
+            archive.unlink()
+
+    def test_generated_suite_fingerprints_survive(self):
+        originals = SPECJVM98.programs(seed=0)[:2]
+        archive = WorkloadArchive.publish(originals)
+        try:
+            attached = WorkloadArchive.attach(archive.name)
+            try:
+                rebuilt = attached.programs()
+                for original, copy in zip(originals, rebuilt):
+                    assert copy.fingerprint() == original.fingerprint()
+            finally:
+                attached.close()
+        finally:
+            archive.unlink()
+
+
+class TestGenomeShuttle:
+    GENOMES = [(17, 4, 6, 2100, 140), (23, 11, 5, 1900, 135), (1, 1, 1, 1, 1)]
+
+    def test_rows_and_results_roundtrip(self):
+        shuttle = GenomeShuttle.publish(self.GENOMES)
+        try:
+            worker = GenomeShuttle.attach(shuttle.name)
+            try:
+                assert worker.genome_rows(0, 3) == list(self.GENOMES)
+                assert worker.genome_rows(1, 2) == [self.GENOMES[1]]
+                worker.write_results(1, [0.5, 0.25])
+            finally:
+                worker.close()
+            assert shuttle.results().tolist() == [0.0, 0.5, 0.25]
+        finally:
+            shuttle.unlink()
+
+    def test_ragged_genomes_are_rejected(self):
+        with pytest.raises(ValueError, match="rectangular"):
+            GenomeShuttle.publish([(1, 2, 3), (1, 2)])
+        with pytest.raises(ValueError, match="rectangular"):
+            GenomeShuttle.publish([3, 4])  # scalar rows
+
+
+def _square_sum(genome):
+    return float(sum(g * g for g in genome))
+
+
+@pytest.mark.slow
+class TestMultiprocessShmTransport:
+    GENOMES = [(i, i + 1, i + 2, i + 3, i + 4) for i in range(10)]
+
+    def test_shm_transport_matches_serial(self):
+        expected = SerialEvaluator().map(_square_sum, self.GENOMES)
+        before = _shm_entries()
+        with MultiprocessEvaluator(processes=2, use_shared_memory=True) as ev:
+            values = ev.map(_square_sum, self.GENOMES)
+            assert values == expected
+            assert ev.use_shared_memory  # no degradation happened
+        assert _shm_entries() <= before  # every shuttle was unlinked
+
+    def test_ragged_genomes_degrade_to_pickle(self):
+        ragged = [(1, 2, 3), (4, 5)]
+        expected = SerialEvaluator().map(_square_sum, ragged)
+        with MultiprocessEvaluator(processes=2, use_shared_memory=True) as ev:
+            assert ev.map(_square_sum, ragged) == expected
+            assert not ev.use_shared_memory  # degraded permanently
+            # the pickle transport keeps serving subsequent generations
+            assert ev.map(_square_sum, self.GENOMES) == SerialEvaluator().map(
+                _square_sum, self.GENOMES
+            )

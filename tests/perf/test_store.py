@@ -117,6 +117,38 @@ class TestContextKey:
         )
 
 
+class TestStorePickling:
+    """A pickled store lands in another process — never the writer."""
+
+    def test_unpickled_store_is_readonly(self, tmp_path):
+        import pickle
+
+        path = str(tmp_path / "store.jsonl")
+        with EvaluationStore(path, context="ctx") as store:
+            store.record((1, 2, 3, 4, 5), 0.75)
+        writable = EvaluationStore(path, context="ctx")
+        assert not writable.readonly
+        clone = pickle.loads(pickle.dumps(writable))
+        # the far side must re-assert readonly even though the
+        # pickling side was the single writer
+        assert clone.readonly is True
+        assert clone.get((1, 2, 3, 4, 5)) == 0.75
+
+    def test_unpickled_store_buffers_to_pending(self, tmp_path):
+        import pickle
+
+        path = str(tmp_path / "store.jsonl")
+        with EvaluationStore(path, context="ctx") as store:
+            store.record((1, 2, 3, 4, 5), 0.75)
+        clone = pickle.loads(pickle.dumps(EvaluationStore(path, context="ctx")))
+        clone.record((9, 9, 9, 9, 9), 0.125)
+        # served in-process, buffered for drain, never written to disk
+        assert clone.get((9, 9, 9, 9, 9)) == 0.125
+        assert clone.drain_pending() == [((9, 9, 9, 9, 9), 0.125, None)]
+        reopened = EvaluationStore(path, context="ctx")
+        assert reopened.get((9, 9, 9, 9, 9)) is None
+
+
 class TestFitnessCacheStore:
     def test_evaluate_writes_through(self, tmp_path):
         store = EvaluationStore(str(tmp_path / "s.jsonl"))

@@ -1,0 +1,105 @@
+"""Crash-safe shared-memory lifecycle under worker faults.
+
+The shm transport must never trade crash-safety for speed: a SIGKILLed
+pool worker mid-generation (while it holds a mapping of the genome
+shuttle) must leave the generation's results identical to a serial
+run, and once the evaluator is done no ``repro-*`` segment may remain
+in ``/dev/shm`` — a leaked segment would accumulate across campaign
+restarts until the tmpfs fills.
+"""
+
+import glob
+
+import pytest
+
+from repro.ga.parallel import MultiprocessEvaluator, SerialEvaluator
+from repro.perf.shm import SEGMENT_PREFIX, shared_memory_supported
+from repro.resilience.faults import FaultPlan, FaultSpec, install_fault_plan
+
+pytestmark = [
+    pytest.mark.slow,
+    pytest.mark.skipif(
+        not shared_memory_supported(), reason="no shared-memory support"
+    ),
+]
+
+GENOMES = [(i, i + 1, i + 2, i + 3, i + 4) for i in range(8)]
+
+
+def _fitness(genome):
+    return float(sum(g * g for g in genome))
+
+
+def _shm_entries():
+    return set(glob.glob(f"/dev/shm/{SEGMENT_PREFIX}*"))
+
+
+class TestShmCleanup:
+    def test_killed_worker_leaks_no_segment(self, tmp_path):
+        """SIGKILL mid-map: identical results, no /dev/shm leak.
+
+        The killed worker dies while attached to the shuttle; the
+        resource tracker must not unlink the owner's segment out from
+        under the rebuilt pool, and the owner's unlink at the end of
+        ``map`` must still remove it.
+        """
+        expected = SerialEvaluator().map(_fitness, GENOMES)
+        before = _shm_entries()
+        install_fault_plan(
+            FaultPlan(
+                sites={"worker-kill": FaultSpec(max_fires=1)},
+                marker_dir=str(tmp_path / "markers"),
+            )
+        )
+        with MultiprocessEvaluator(processes=2, use_shared_memory=True) as ev:
+            values = ev.map(_fitness, GENOMES)
+            assert values == expected
+            assert ev.rebuilds == 1
+            # the transport survived the death — no degradation
+            assert ev.use_shared_memory
+            # the next generation reuses the shm path and stays correct
+            assert ev.map(_fitness, GENOMES) == expected
+        assert _shm_entries() <= before
+
+    def test_vanished_segment_degrades_not_crashes(self, tmp_path):
+        """An unlinked-under-us segment falls back to pickle transport."""
+        from repro.perf import shm as shm_module
+
+        original_publish = shm_module.GenomeShuttle.publish
+
+        class _VanishingShuttle:
+            """Publishes normally, then destroys the segment before use."""
+
+            def __init__(self, shuttle):
+                self._shuttle = shuttle
+
+            @property
+            def name(self):
+                return self._shuttle.name
+
+            def results(self):
+                return self._shuttle.results()
+
+            def unlink(self):
+                self._shuttle.unlink()
+
+            def close(self):
+                self._shuttle.close()
+
+        def _sabotaged_publish(genomes):
+            shuttle = original_publish(genomes)
+            # unlink immediately: workers' attach will raise
+            # FileNotFoundError (an OSError), which must degrade the
+            # evaluator to the pickle transport, not fail the map
+            shuttle.segment._shm.unlink()
+            return _VanishingShuttle(shuttle)
+
+        expected = SerialEvaluator().map(_fitness, GENOMES)
+        with MultiprocessEvaluator(processes=2, use_shared_memory=True) as ev:
+            try:
+                shm_module.GenomeShuttle.publish = _sabotaged_publish
+                assert ev.map(_fitness, GENOMES) == expected
+            finally:
+                shm_module.GenomeShuttle.publish = original_publish
+            assert not ev.use_shared_memory  # degraded permanently
+            assert ev.map(_fitness, GENOMES) == expected
