@@ -5,11 +5,11 @@ over the full SPECjvm98 training suite — through the reference VM path
 (``memoize=False``, the seed implementation) and through the
 :mod:`repro.perf` accelerator, verifying that every
 :class:`~repro.jvm.runtime.ExecutionReport` field agrees bit for bit,
-and that the accelerated engine is at least 4x faster.  (The floor
-is 4x rather than higher because the cold-cache plan compilation that
-dominates the accelerated leg is work both legs share; where the
-ratio tops out varies by host, and the regression window against the
-committed baseline in ``tools/bench_guard.py`` is the tighter guard.)
+and that the accelerated engine is at least 5x faster.  (Cold-cache
+plan compilation, which both legs share, caps the ratio; the
+arena-backed compile path lifted the cap enough to raise the floor
+from its original 4x, and the regression window against the committed
+baseline in ``tools/bench_guard.py`` is the tighter guard.)
 
 ``run_evaluation_speed`` is importable on its own so
 ``tools/bench_guard.py`` can run the measurement headlessly and compare
@@ -142,7 +142,7 @@ def run_evaluation_speed(n_genomes: int = 50, seed: int = 0) -> Dict[str, object
 
 
 def test_evaluation_speedup():
-    """One generation over SPECjvm98: >= 4x faster, bitwise identical."""
+    """One generation over SPECjvm98: >= 5x faster, bitwise identical."""
     result = run_evaluation_speed()
     stats = result["accelerator_stats"]
     emit(
@@ -158,4 +158,4 @@ def test_evaluation_speedup():
         ],
     )
     assert result["mismatched_fields"] == 0
-    assert result["speedup"] >= 4.0
+    assert result["speedup"] >= 5.0

@@ -283,6 +283,12 @@ def _cmd_campaign(args) -> int:
         f"method hit rate {totals['method_hit_rate']:.1%}, "
         f"batch dedup rate {totals['batch_dedup_rate']:.1%}"
     )
+    if totals.get("plan_preloaded") or totals.get("plan_warm_hits"):
+        print(
+            f"plans    : {int(totals['plan_preloaded'])} entries preloaded "
+            f"from the shared archive, {int(totals['plan_warm_hits'])} warm "
+            f"hits, {int(totals['plan_recompiles'])} recompiles"
+        )
     if not result.ok:
         for failure in result.failures:
             print(f"failure  : {failure}", file=sys.stderr)

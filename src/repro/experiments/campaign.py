@@ -231,11 +231,22 @@ def _run_campaign_task(payload) -> Tuple:
     resumed cell re-simulates only what the store cannot answer.
 
     The payload's optional sixth element names the campaign's shared
-    workload-archive segment (see :mod:`repro.perf.shm`); five-element
-    payloads from older checkpoint tooling still unpack.
+    workload-archive segment (see :mod:`repro.perf.shm`) and the
+    optional seventh the campaign's plan archive (see
+    :mod:`repro.perf.planshare`); five-element payloads from older
+    checkpoint tooling still unpack.
     """
     task, ga_config, store_path, workload_seed, checkpoint_path = payload[:5]
     archive_name = payload[5] if len(payload) > 5 else None
+    plan_base = payload[6] if len(payload) > 6 else None
+    if plan_base is not None:
+        # attach the coordinator's published plan caches: accelerators
+        # in this worker then warm-start instead of recompiling plans
+        # another cell already produced (degrades to private caches on
+        # any shm failure)
+        from repro.perf import planshare
+
+        planshare.ensure_client(plan_base)
     from repro.resilience.faults import get_fault_injector
 
     injector = get_fault_injector()
@@ -256,7 +267,14 @@ def _run_campaign_task(payload) -> Tuple:
     store = tuner.last_store
     pending = store.drain_pending() if store is not None else []
     context = store.context if store is not None else None
-    return task.name, tuned, context, pending, tuner.last_accelerator_stats
+    return (
+        task.name,
+        tuned,
+        context,
+        pending,
+        tuner.last_accelerator_stats,
+        tuner.last_plan_exports,
+    )
 
 
 def _merge_pending(
@@ -436,6 +454,23 @@ def _run_campaign_impl(
         except Exception:
             archive = None
 
+    # Parallel runs also share *compiled plan caches*: each finished
+    # cell returns its plan exports, the coordinator merges them into a
+    # PlanArchive and republishes, and later cells' workers warm-start
+    # from the newest epoch instead of recompiling identical plans.
+    # Like the workload archive this is purely a throughput
+    # optimization — warm-started cells are bitwise-identical to cold
+    # ones, and any failure degrades the campaign to private caches.
+    plan_publisher = None
+    if parallel:
+        try:
+            from repro.perf import planshare
+
+            if planshare.plan_sharing_enabled():
+                plan_publisher = planshare.PlanSharePublisher()
+        except Exception:
+            plan_publisher = None
+
     payloads = [
         (
             task.name,
@@ -448,6 +483,7 @@ def _run_campaign_impl(
                 if campaign_dir is not None
                 else None,
                 archive.name if archive is not None else None,
+                plan_publisher.base if plan_publisher is not None else None,
             ),
         )
         for task in todo
@@ -462,10 +498,16 @@ def _run_campaign_impl(
         # store — see _merge_pending) and its manifest entry
         # immediately: a crash later in the campaign then costs only
         # the in-flight cells.
-        task_name, tuned, context, pending, accel_stats = value
+        task_name, tuned, context, pending, accel_stats = value[:5]
+        plan_exports = value[5] if len(value) > 5 else None
         fresh = 0
         if store_path is not None and context is not None and pending:
             fresh = _merge_pending(store_path, context, pending)
+        if plan_publisher is not None and plan_exports:
+            # fold the cell's compiled plans into the shared archive and
+            # republish so cells still queued warm-start from them
+            plan_publisher.merge(plan_exports)
+            plan_publisher.publish_if_dirty()
         finished[task_name] = CampaignTaskResult(
             task_name=task_name,
             tuned=tuned,
@@ -504,6 +546,12 @@ def _run_campaign_impl(
                     },
                     prefix="repro_accel_",
                 )
+                registry.counter("repro_plan_warm_hits_total").inc(
+                    int(accel_stats.get("plan_warm_hits", 0))
+                )
+                registry.counter("repro_plan_recompiles_total").inc(
+                    int(accel_stats.get("plan_recompiles", 0))
+                )
         say(f"{task_name}: done")
 
     telemetry_emit("campaign.start", tasks=len(tasks))
@@ -516,6 +564,8 @@ def _run_campaign_impl(
         registry.counter("repro_ipc_bytes_total", transport="shm").inc(0)
         registry.counter("repro_shm_attach_total").inc(0)
         registry.counter("repro_backend_selected_total", backend="numpy").inc(0)
+        registry.counter("repro_plan_warm_hits_total").inc(0)
+        registry.counter("repro_plan_recompiles_total").inc(0)
 
     def on_pool_rebuild(reason: str) -> None:
         # Replacement workers will re-attach the workload archive; make
@@ -569,6 +619,8 @@ def _run_campaign_impl(
     finally:
         if archive is not None:
             archive.unlink()
+        if plan_publisher is not None:
+            plan_publisher.unlink()
 
     attempts_spent = {name: 1 for name in finished}
     for failure in failures:

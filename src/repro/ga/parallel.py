@@ -73,6 +73,30 @@ class _SnapshotFitness:
         return self.function(genome)
 
 
+class _PlanSeededFitness:
+    """Picklable wrapper attaching the coordinator's plan archive.
+
+    Installs the process-global plan-share client (idempotent per
+    archive name) before the first evaluation, so the worker's
+    accelerator preloads the coordinator's compiled plan caches instead
+    of recompiling them.  Attachment failure degrades the worker to
+    private caches — never to an error.
+    """
+
+    def __init__(self, function: FitnessFn, plan_base: str) -> None:
+        self.function = function
+        self.plan_base = plan_base
+
+    def __call__(self, genome: Genome) -> float:
+        try:
+            from repro.perf import planshare
+
+            planshare.ensure_client(self.plan_base)
+        except Exception:
+            pass
+        return self.function(genome)
+
+
 def _eval_chunk(function: FitnessFn, genomes: Sequence[Genome]) -> List[float]:
     """Worker-side chunk evaluation (module-level: must pickle).
 
@@ -223,6 +247,13 @@ class MultiprocessEvaluator:
         #: pool rebuilds forced by worker deaths over this evaluator's life
         self.rebuilds = 0
         self._pool: Optional[ProcessPoolExecutor] = None
+        # coordinator-owned plan archive (repro.perf.planshare): the
+        # fitness function's compiled plan caches are published before
+        # each generation so workers — including replacements after a
+        # pool rebuild — warm-start instead of recompiling.  Degraded
+        # permanently on the first failure.
+        self._plan_publisher = None
+        self._plan_share_failed = False
         # keys in the base snapshot shipped at pool creation; entries
         # recorded after that travel as per-map deltas
         self._shipped: Set[Genome] = set()
@@ -276,6 +307,9 @@ class MultiprocessEvaluator:
         """
         if not genomes:
             return []
+        plan_base = self._plan_base_for(function)
+        if plan_base is not None:
+            function = _PlanSeededFitness(function, plan_base)
         shuttle = None
         if self.use_shared_memory:
             try:
@@ -301,6 +335,52 @@ class MultiprocessEvaluator:
         finally:
             shuttle.unlink()
             shuttle.close()
+
+    def _plan_base_for(self, function: FitnessFn) -> Optional[str]:
+        """Publish the coordinator's compiled plans; the archive name.
+
+        When this process already holds a plan-share client (a campaign
+        worker running a parallel tune), its campaign-wide archive is
+        relayed to the pool workers directly.  Otherwise, if *function*
+        carries an accelerated VM, its plan caches are exported into an
+        evaluator-owned archive and republished (a fresh epoch) whenever
+        they have grown since the last generation.  Returns None — and
+        degrades permanently after a failure — when there is nothing to
+        share; workers then simply compile privately.
+        """
+        if self._plan_share_failed:
+            return None
+        try:
+            from repro.perf import planshare
+
+            if not planshare.plan_sharing_enabled():
+                return None
+            client = planshare.get_client()
+            if client is not None and not client.dead:
+                return client.base
+            accelerator = getattr(getattr(function, "vm", None), "_accelerator", None)
+            if accelerator is None:
+                return None
+            if self._plan_publisher is None:
+                self._plan_publisher = planshare.PlanSharePublisher()
+            self._plan_publisher.merge(
+                planshare.export_accelerator_plans(accelerator)
+            )
+            self._plan_publisher.publish_if_dirty()
+            if self._plan_publisher.dead:
+                raise GAError("plan-share publisher degraded")
+            return self._plan_publisher.base
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception:
+            self._plan_share_failed = True
+            self._release_plan_archive()
+            return None
+
+    def _release_plan_archive(self) -> None:
+        if self._plan_publisher is not None:
+            self._plan_publisher.unlink()
+            self._plan_publisher = None
 
     def _map_transport(
         self,
@@ -385,6 +465,7 @@ class MultiprocessEvaluator:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        self._release_plan_archive()
 
     def terminate(self) -> None:
         """Drop the pool immediately, cancelling queued work."""

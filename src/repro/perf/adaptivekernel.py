@@ -287,7 +287,7 @@ class AdaptiveBatchKernel:
             base_rates,
         ) = ctx
         entry_offsets, entry_callees, entry_rates = cache.edge_csr()
-        counts = backend.adaptive_propagate_matrix(
+        counts = backend.adaptive_propagate_blocked(
             entry_matrix,
             program.entry_id,
             promoted_slot,

@@ -186,7 +186,12 @@ class GenerationBatchEvaluator:
         stats.runs += n_genomes
         stats.method_lookups += n_genomes * len(key_mids)
 
+        builds_before = stats.method_builds
         resolved = self._resolve_batch(state, params_list, values_matrix, key_mids, adaptive)
+        if state.preloaded:
+            builds = stats.method_builds - builds_before
+            stats.plan_warm_hits += n_genomes * len(key_mids) - builds
+            stats.plan_recompiles += builds
 
         # partition the generation by plan signature over the key
         # columns; row bytes key the grouping (cheaper than a lexsort),
@@ -350,7 +355,8 @@ class GenerationBatchEvaluator:
         """Invocation counts of the Opt miss representatives.
 
         Top rung: the compiled kernel backend (:mod:`repro.perf.native`)
-        runs the propagation loop over all rows in one call, bitwise
+        runs the propagation loop over all rows in one cache-blocked
+        call (:meth:`KernelBackend.opt_propagate_blocked`), bitwise
         equal to the per-row reference loop.  A kernel *infrastructure*
         failure falls back to the reference loop and disables the
         backend for this accelerator (``native_fallbacks``); a genuine
@@ -364,7 +370,7 @@ class GenerationBatchEvaluator:
         if backend is not None:
             try:
                 offsets, callees, rates = cache.edge_csr()
-                counts = backend.opt_propagate_batch(
+                counts = backend.opt_propagate_blocked(
                     rep_rows,
                     program.entry_id,
                     cache.self_rate_column(),

@@ -66,6 +66,9 @@ STAT_COUNTERS = (
     "native_propagations",
     "native_rows",
     "native_fallbacks",
+    "plan_preloaded",
+    "plan_warm_hits",
+    "plan_recompiles",
     "degraded_runs",
     "degraded_batches",
 )
@@ -100,6 +103,15 @@ class AcceleratorStats:
     #: compiled-kernel calls that raised and fell back to the numpy
     #: path (the backend is then disabled for this accelerator)
     native_fallbacks: int = 0
+    #: plan-cache entries preloaded from the campaign's shm archive
+    #: (repro.perf.planshare) instead of compiled locally
+    plan_preloaded: int = 0
+    #: method resolutions in warm-started (preloaded) program states
+    #: that were served from the cache instead of compiling
+    plan_warm_hits: int = 0
+    #: compiles a warm-started state still had to run because the
+    #: archive lacked the region (the warm-start miss count)
+    plan_recompiles: int = 0
     #: accelerated runs that raised and fell back to ``run_reference``
     degraded_runs: int = 0
     #: generation batches that raised and fell back to the serial
@@ -163,6 +175,9 @@ class AcceleratorStats:
             "native_propagations": self.native_propagations,
             "native_rows": self.native_rows,
             "native_fallbacks": self.native_fallbacks,
+            "plan_preloaded": self.plan_preloaded,
+            "plan_warm_hits": self.plan_warm_hits,
+            "plan_recompiles": self.plan_recompiles,
             "degraded_runs": self.degraded_runs,
             "degraded_batches": self.degraded_batches,
         }
@@ -233,6 +248,7 @@ class _ProgramState:
         "baseline_info",
         "promotion_level",
         "native_ctx",
+        "preloaded",
     )
 
     def __init__(self, program: Program) -> None:
@@ -259,6 +275,9 @@ class _ProgramState:
         # flat arrays prepared for the compiled adaptive kernel
         # (promoted-slot map + baseline CSR); built on first native use
         self.native_ctx: Optional[Tuple] = None
+        # True when the plan cache was warm-started from the campaign's
+        # shm archive; gates the warm-hit/recompile accounting
+        self.preloaded = False
 
 
 class EvaluationAccelerator:
@@ -319,8 +338,40 @@ class EvaluationAccelerator:
         state = self._states.get(id(program))
         if state is None or state.program is not program:
             state = _ProgramState(program)
+            self._preload_plans(state)
             self._states[id(program)] = state
         return state
+
+    def _preload_plans(self, state: _ProgramState) -> None:
+        """Warm-start a fresh program state from the shared plan archive.
+
+        Applies only when the process holds a plan-share client (see
+        :mod:`repro.perf.planshare`).  Preloaded entries are exact
+        reconstructions of the coordinator's compiled versions, so the
+        warm cache resolves and accounts bitwise-identically to a cold
+        one that compiled the same regions itself.  Any failure leaves
+        the state cold — sharing never breaks a run.
+        """
+        try:
+            from repro.perf.planshare import get_client, plan_key
+
+            client = get_client()
+            if client is None:
+                return
+            vm = self.vm
+            arrays = client.arrays_for(
+                plan_key(state.program, vm.machine, vm.scenario, vm.cost_model)
+            )
+            if arrays is None:
+                return
+            added = state.cache.load_arrays(arrays)
+            if added:
+                self.stats.plan_preloaded += added
+                state.preloaded = True
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception:
+            state.preloaded = False
 
     def clear(self) -> None:
         """Drop all cached state (programs, plans, reports)."""
@@ -393,6 +444,9 @@ class EvaluationAccelerator:
             resolved[mid] = cache.add(mid, region, version)
             builds += 1
         self.stats.method_builds += builds
+        if state.preloaded:
+            self.stats.plan_warm_hits += len(reachable) - builds
+            self.stats.plan_recompiles += builds
 
         signature = tuple(resolved[mid] for mid in reachable)
         memo = state.reports.get(signature)
@@ -564,6 +618,7 @@ class EvaluationAccelerator:
         self.stats.method_lookups += len(skeleton.promotions)
         use_hot = vm.scenario.uses_hot_callsite_heuristic
         traced = self._traced(state)
+        builds = 0
         for i, (mid, level) in enumerate(skeleton.promotions):
             if resolved[i] >= 0:
                 continue
@@ -575,7 +630,11 @@ class EvaluationAccelerator:
                 use_hot_heuristic=use_hot,
             )
             resolved[i] = cache.add(mid, region, version)
-            self.stats.method_builds += 1
+            builds += 1
+        self.stats.method_builds += builds
+        if state.preloaded:
+            self.stats.plan_warm_hits += len(skeleton.promotions) - builds
+            self.stats.plan_recompiles += builds
 
         signature = tuple(resolved)
         memo = state.reports.get(signature)

@@ -107,6 +107,19 @@ class TracedCompiler:
             + cost_model.call_mispredict_weight * machine.branch_misprediction_cycles
         )
         self._per_level: Dict[int, Tuple[float, float]] = {}
+        # suspended-frame arena: descent frames live in preallocated
+        # parallel slot lists indexed by a stack pointer instead of a
+        # fresh 5-tuple per descent.  The stack can never grow past
+        # HARD_DEPTH_LIMIT + 1 frames (descent stops once depth exceeds
+        # the limit), so the slots are provably sufficient and reused
+        # across every compile() call this instance serves.
+        slots = HARD_DEPTH_LIMIT + 2
+        self._arena_depth: List[int] = [0] * slots
+        self._arena_mult: List[float] = [0.0] * slots
+        self._arena_rows: List[Tuple] = [()] * slots
+        self._arena_i: List[int] = [0] * slots
+        self._arena_n: List[int] = [0] * slots
+        self._forward: Dict[int, float] = {}
 
     def _level_consts(self, level: int) -> Tuple[float, float]:
         consts = self._per_level.get(level)
@@ -154,15 +167,21 @@ class TracedCompiler:
         n_inlined = 0
         call_rate = 0.0
         self_rate = 0.0
-        forward: Dict[int, float] = {}
+        forward = self._forward
+        if forward:
+            forward.clear()
 
         # depth-first preorder over the inline tree with suspended
         # frames: on descent the current (depth, mult, rows, cursor) is
-        # pushed and the callee's sites take over — one tuple per
-        # descent instead of one per site
-        stack: List[Tuple[int, float, Tuple, int, int]] = []
-        pop = stack.pop
-        append = stack.append
+        # stored into the arena slot at the stack pointer and the
+        # callee's sites take over — slot writes into the preallocated
+        # parallel lists instead of a heap tuple per descent
+        a_depth = self._arena_depth
+        a_mult = self._arena_mult
+        a_rows = self._arena_rows
+        a_i = self._arena_i
+        a_n = self._arena_n
+        sp = 0
         depth = 1
         mult = 1.0
         rows = site_rows[method_id]
@@ -170,9 +189,14 @@ class TracedCompiler:
         n = len(rows)
         while True:
             if i == n:
-                if not stack:
+                if not sp:
                     break
-                depth, mult, rows, i, n = pop()
+                sp -= 1
+                depth = a_depth[sp]
+                mult = a_mult[sp]
+                rows = a_rows[sp]
+                i = a_i[sp]
+                n = a_n[sp]
                 continue
             callee, per_invocation, key = rows[i]
             i += 1
@@ -234,7 +258,12 @@ class TracedCompiler:
                 expanded += growth[callee]
                 child_rows = site_rows[callee]
                 if child_rows:
-                    append((depth, mult, rows, i, n))
+                    a_depth[sp] = depth
+                    a_mult[sp] = mult
+                    a_rows[sp] = rows
+                    a_i[sp] = i
+                    a_n[sp] = n
+                    sp += 1
                     depth += 1
                     mult = rate
                     rows = child_rows

@@ -150,10 +150,24 @@ class KernelBackend:
     to fall down the ladder.
     """
 
-    def __init__(self, name, opt_fn, adaptive_fn) -> None:
+    #: target footprint of one representative block's method-major
+    #: scratch — half a typical L2's worth of doubles, so a block's
+    #: working set survives the walk over the program's cache entries
+    BLOCK_TARGET_BYTES = 262144
+
+    def __init__(
+        self,
+        name,
+        opt_fn,
+        adaptive_fn,
+        opt_blocked_fn=None,
+        adaptive_blocked_fn=None,
+    ) -> None:
         self.name = name
         self._opt_fn = opt_fn
         self._adaptive_fn = adaptive_fn
+        self._opt_blocked_fn = opt_blocked_fn
+        self._adaptive_blocked_fn = adaptive_blocked_fn
         # per-method-count scratch pool for the counts output.  A
         # generation's counts matrix is ~1 MB — above glibc's mmap
         # threshold — so a fresh allocation per call costs an mmap plus
@@ -162,6 +176,10 @@ class KernelBackend:
         # accounting) fully consume the matrix before the next call, so
         # handing back the same buffer is safe.
         self._scratch: dict = {}
+        # (n_methods, block) method-major working matrices for the
+        # blocked kernels, keyed by method count (the block width is a
+        # pure function of it)
+        self._block_pool: dict = {}
 
     def _counts_buffer(self, n_reps: int, n_methods: int) -> np.ndarray:
         buf = self._scratch.get(n_methods)
@@ -169,6 +187,17 @@ class KernelBackend:
             buf = np.empty((n_reps, n_methods), dtype=np.float64)
             self._scratch[n_methods] = buf
         return buf[:n_reps]
+
+    def block_width(self, n_methods: int) -> int:
+        """Representatives per cache block for an *n_methods* program."""
+        return max(1, self.BLOCK_TARGET_BYTES // (8 * max(1, n_methods)))
+
+    def _block_scratch(self, n_methods: int, block: int) -> np.ndarray:
+        buf = self._block_pool.get(n_methods)
+        if buf is None or buf.shape[1] < block:
+            buf = np.empty((n_methods, block), dtype=np.float64)
+            self._block_pool[n_methods] = buf
+        return buf
 
     # ------------------------------------------------------------------
     def opt_propagate_batch(
@@ -258,6 +287,116 @@ class KernelBackend:
             )
         return counts
 
+    # ------------------------------------------------------------------
+    # cache-blocked entry points (multi-representative calls)
+    # ------------------------------------------------------------------
+    def opt_propagate_blocked(
+        self,
+        resolved: np.ndarray,
+        entry_id: int,
+        self_rate: np.ndarray,
+        edge_offsets: np.ndarray,
+        edge_callees: np.ndarray,
+        edge_rates: np.ndarray,
+        program_name: str = "?",
+    ) -> np.ndarray:
+        """Blocked twin of :meth:`opt_propagate_batch`.
+
+        Same inputs, same bitwise-identical output rows; the kernel
+        walks methods in the outer loop over blocks of representatives
+        so each cache entry's CSR row is applied to a whole block while
+        hot.  Falls back to the rep-major kernel when this rung has no
+        blocked implementation.
+        """
+        if self._opt_blocked_fn is None:
+            return self.opt_propagate_batch(
+                resolved, entry_id, self_rate,
+                edge_offsets, edge_callees, edge_rates,
+                program_name=program_name,
+            )
+        resolved = np.ascontiguousarray(resolved, dtype=np.int64)
+        n_reps, n_methods = resolved.shape
+        block = self.block_width(n_methods)
+        scratch = self._block_scratch(n_methods, block)
+        counts = self._counts_buffer(n_reps, n_methods)
+        err = self._opt_blocked_fn(
+            n_reps,
+            n_methods,
+            int(entry_id),
+            block,
+            resolved,
+            np.ascontiguousarray(self_rate, dtype=np.float64),
+            np.ascontiguousarray(edge_offsets, dtype=np.int64),
+            np.ascontiguousarray(edge_callees, dtype=np.int64),
+            np.ascontiguousarray(edge_rates, dtype=np.float64),
+            scratch,
+            counts,
+        )
+        if err:
+            mid = -int(err) - 1
+            raise SimulationError(
+                _MISSING_VERSION.format(mid=mid, name=program_name)
+            )
+        return counts
+
+    def adaptive_propagate_blocked(
+        self,
+        entry_matrix: np.ndarray,
+        entry_id: int,
+        promoted_slot: np.ndarray,
+        entry_self_rate: np.ndarray,
+        entry_offsets: np.ndarray,
+        entry_callees: np.ndarray,
+        entry_rates: np.ndarray,
+        base_present: np.ndarray,
+        base_self_rate: np.ndarray,
+        base_offsets: np.ndarray,
+        base_callees: np.ndarray,
+        base_rates: np.ndarray,
+        program_name: str = "?",
+    ) -> np.ndarray:
+        """Blocked twin of :meth:`adaptive_propagate_matrix`."""
+        if self._adaptive_blocked_fn is None:
+            return self.adaptive_propagate_matrix(
+                entry_matrix, entry_id, promoted_slot,
+                entry_self_rate, entry_offsets, entry_callees, entry_rates,
+                base_present, base_self_rate, base_offsets,
+                base_callees, base_rates,
+                program_name=program_name,
+            )
+        entry_matrix = np.ascontiguousarray(entry_matrix, dtype=np.int64)
+        n_reps, n_promoted = entry_matrix.shape
+        n_methods = len(promoted_slot)
+        block = self.block_width(n_methods)
+        scratch = self._block_scratch(n_methods, block)
+        counts = self._counts_buffer(n_reps, n_methods)
+        err = self._adaptive_blocked_fn(
+            n_reps,
+            n_methods,
+            int(entry_id),
+            n_promoted,
+            block,
+            entry_matrix,
+            np.ascontiguousarray(promoted_slot, dtype=np.int64),
+            np.ascontiguousarray(entry_self_rate, dtype=np.float64),
+            np.ascontiguousarray(entry_offsets, dtype=np.int64),
+            np.ascontiguousarray(entry_callees, dtype=np.int64),
+            np.ascontiguousarray(entry_rates, dtype=np.float64),
+            np.ascontiguousarray(base_present, dtype=np.uint8),
+            np.ascontiguousarray(base_self_rate, dtype=np.float64),
+            np.ascontiguousarray(base_offsets, dtype=np.int64),
+            np.ascontiguousarray(base_callees, dtype=np.int64),
+            np.ascontiguousarray(base_rates, dtype=np.float64),
+            scratch,
+            counts,
+        )
+        if err:
+            mid = -int(err) - 1
+            raise SimulationError(
+                _MISSING_VERSION.format(mid=mid, name=program_name)
+            )
+        return counts
+
 
 # ----------------------------------------------------------------------
 # cext rung: ctypes over the cc-built shared object
@@ -286,10 +425,26 @@ def _load_cext() -> Optional[KernelBackend]:
             _PU8, _PF64, _PI64, _PI64, _PF64,
             _PF64,
         ]
+        opt_blocked = lib.repro_opt_propagate_blocked
+        opt_blocked.restype = _I64
+        opt_blocked.argtypes = [
+            _I64, _I64, _I64, _I64,
+            _PI64, _PF64, _PI64, _PI64, _PF64,
+            _PF64, _PF64,
+        ]
+        adaptive_blocked = lib.repro_adaptive_propagate_blocked
+        adaptive_blocked.restype = _I64
+        adaptive_blocked.argtypes = [
+            _I64, _I64, _I64, _I64, _I64,
+            _PI64, _PI64,
+            _PF64, _PI64, _PI64, _PF64,
+            _PU8, _PF64, _PI64, _PI64, _PF64,
+            _PF64, _PF64,
+        ]
     except (OSError, AttributeError) as exc:
         _log.info("kernel load failed: %s", exc)
         return None
-    return KernelBackend("cext", opt, adaptive)
+    return KernelBackend("cext", opt, adaptive, opt_blocked, adaptive_blocked)
 
 
 # ----------------------------------------------------------------------
@@ -363,6 +518,84 @@ def _load_numba() -> Optional[KernelBackend]:
                         counts[r, base_callees[k]] += c * base_rates[k]
         return 0
 
+    @numba.njit(cache=True)
+    def _opt_blocked(n_reps, n_methods, entry_id, block, resolved,
+                     self_rate, edge_offsets, edge_callees, edge_rates,
+                     scratch, counts):
+        for b0 in range(0, n_reps, block):
+            bw = min(block, n_reps - b0)
+            for m in range(n_methods):
+                for r in range(bw):
+                    scratch[m, r] = 0.0
+            for r in range(bw):
+                scratch[entry_id, r] = 1.0
+            for mid in range(n_methods):
+                for r in range(bw):
+                    c = scratch[mid, r]
+                    if c <= 0.0:
+                        continue
+                    entry = resolved[b0 + r, mid]
+                    if entry < 0:
+                        return -(mid + 1)
+                    sr = self_rate[entry]
+                    if sr > 0.0:
+                        c = c / (1.0 - sr)
+                        scratch[mid, r] = c
+                    for k in range(edge_offsets[entry], edge_offsets[entry + 1]):
+                        scratch[edge_callees[k], r] += c * edge_rates[k]
+            for r in range(bw):
+                for m in range(n_methods):
+                    counts[b0 + r, m] = scratch[m, r]
+        return 0
+
+    @numba.njit(cache=True)
+    def _adaptive_blocked(n_reps, n_methods, entry_id, n_promoted, block,
+                          entry_matrix, promoted_slot, entry_self_rate,
+                          entry_offsets, entry_callees, entry_rates,
+                          base_present, base_self_rate, base_offsets,
+                          base_callees, base_rates, scratch, counts):
+        for b0 in range(0, n_reps, block):
+            bw = min(block, n_reps - b0)
+            for m in range(n_methods):
+                for r in range(bw):
+                    scratch[m, r] = 0.0
+            for r in range(bw):
+                scratch[entry_id, r] = 1.0
+            for mid in range(n_methods):
+                slot = promoted_slot[mid]
+                for r in range(bw):
+                    c = scratch[mid, r]
+                    if c <= 0.0:
+                        continue
+                    if slot >= 0:
+                        e = entry_matrix[b0 + r, slot]
+                        if e < 0:
+                            return -(mid + 1)
+                        sr = entry_self_rate[e]
+                        lo = entry_offsets[e]
+                        hi = entry_offsets[e + 1]
+                        promoted = True
+                    else:
+                        if base_present[mid] == 0:
+                            return -(mid + 1)
+                        sr = base_self_rate[mid]
+                        lo = base_offsets[mid]
+                        hi = base_offsets[mid + 1]
+                        promoted = False
+                    if sr > 0.0:
+                        c = c / (1.0 - sr)
+                        scratch[mid, r] = c
+                    if promoted:
+                        for k in range(lo, hi):
+                            scratch[entry_callees[k], r] += c * entry_rates[k]
+                    else:
+                        for k in range(lo, hi):
+                            scratch[base_callees[k], r] += c * base_rates[k]
+            for r in range(bw):
+                for m in range(n_methods):
+                    counts[b0 + r, m] = scratch[m, r]
+        return 0
+
     def opt_fn(n_reps, n_methods, entry_id, resolved, self_rate,
                edge_offsets, edge_callees, edge_rates, counts):
         return _opt(n_reps, n_methods, entry_id, resolved, self_rate,
@@ -371,7 +604,15 @@ def _load_numba() -> Optional[KernelBackend]:
     def adaptive_fn(*args):
         return _adaptive(*args)
 
-    return KernelBackend("numba", opt_fn, adaptive_fn)
+    def opt_blocked_fn(*args):
+        return _opt_blocked(*args)
+
+    def adaptive_blocked_fn(*args):
+        return _adaptive_blocked(*args)
+
+    return KernelBackend(
+        "numba", opt_fn, adaptive_fn, opt_blocked_fn, adaptive_blocked_fn
+    )
 
 
 _LOADERS = {"numba": _load_numba, "cext": _load_cext}

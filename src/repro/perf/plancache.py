@@ -24,7 +24,7 @@ attribute chasing.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -385,3 +385,108 @@ class MethodPlanCache:
             col = np.array([len(e[0]) for e in self._edges], dtype=np.int64)
             self._edge_count_cache = col
         return col
+
+    # ------------------------------------------------------------------
+    # flat-array serialization (shm plan interning)
+    # ------------------------------------------------------------------
+    def export_arrays(self) -> Dict[str, np.ndarray]:
+        """The whole cache as flat numpy arrays, suitable for shm.
+
+        Every column round-trips exactly: the scalar columns hold
+        Python floats, float64 storage is lossless for them, and the
+        residual edges ship as the same CSR triple the compiled kernels
+        walk.  :meth:`load_arrays` reconstructs entries whose
+        :class:`~repro.jvm.compiled.CompiledMethod` objects compare
+        equal to the originals, so a warm-started cache resolves and
+        accounts bitwise-identically to the cache that exported it.
+        """
+        n = len(self._versions)
+        offsets, callees, rates = self.edge_csr()
+        return {
+            "n_methods": np.array([self.n_methods], dtype=np.int64),
+            "entry_method": self._ENTRY_METHOD[:n].copy(),
+            "lo": self._LO[:n].copy(),
+            "hi": self._HI[:n].copy(),
+            "opt_level": np.array(
+                [v.opt_level for v in self._versions], dtype=np.int64
+            ),
+            "compile_cycles": np.array(self._compile_cycles, dtype=np.float64),
+            "code_size": np.array(self._code_size, dtype=np.float64),
+            "cycles_per_invocation": np.array(
+                self._cycles_per_invocation, dtype=np.float64
+            ),
+            "inline_count": np.array(self._inline_count, dtype=np.int64),
+            "self_rate": np.array(self._self_rate, dtype=np.float64),
+            "edge_offsets": np.array(offsets, dtype=np.int64),
+            "edge_callees": np.array(callees, dtype=np.int64),
+            "edge_rates": np.array(rates, dtype=np.float64),
+        }
+
+    def _region_keys(self) -> Set[Tuple[int, Tuple[int, ...], Tuple[int, ...]]]:
+        """The (method, lo, hi) identity of every present entry."""
+        return {
+            (version.method_id, region.lo, region.hi)
+            for version, region in zip(self._versions, self._regions)
+        }
+
+    def load_arrays(self, arrays: Dict[str, np.ndarray]) -> int:
+        """Merge exported entries into this cache; returns entries added.
+
+        Entries are deduplicated by ``(method_id, region)``: regions of
+        one method from distinct plan expansions are disjoint, so an
+        entry whose region already exists *is* the same compiled
+        version and is skipped.  Safe to call repeatedly as the
+        publisher's archive grows across epochs.
+        """
+        if int(arrays["n_methods"][0]) != self.n_methods:
+            raise ValueError(
+                f"plan arrays describe {int(arrays['n_methods'][0])} methods, "
+                f"cache holds {self.n_methods}"
+            )
+        seen = self._region_keys()
+        entry_method = arrays["entry_method"]
+        lo_rows = arrays["lo"]
+        hi_rows = arrays["hi"]
+        opt_level = arrays["opt_level"]
+        compile_cycles = arrays["compile_cycles"]
+        code_size = arrays["code_size"]
+        cycles_per_invocation = arrays["cycles_per_invocation"]
+        inline_count = arrays["inline_count"]
+        self_rate = arrays["self_rate"]
+        offsets = arrays["edge_offsets"]
+        callees = arrays["edge_callees"]
+        rates = arrays["edge_rates"]
+        added = 0
+        for e in range(len(entry_method)):
+            method_id = int(entry_method[e])
+            lo = tuple(int(v) for v in lo_rows[e])
+            hi = tuple(int(v) for v in hi_rows[e])
+            key = (method_id, lo, hi)
+            if key in seen:
+                continue
+            seen.add(key)
+            span = slice(int(offsets[e]), int(offsets[e + 1]))
+            forward = tuple(
+                (int(c), float(r))
+                for c, r in zip(callees[span], rates[span])
+            )
+            version = CompiledMethod(
+                method_id=method_id,
+                opt_level=int(opt_level[e]),
+                code_size=float(code_size[e]),
+                compile_cycles=float(compile_cycles[e]),
+                cycles_per_invocation=float(cycles_per_invocation[e]),
+                residual_forward=forward,
+                residual_self_rate=float(self_rate[e]),
+                inline_count=int(inline_count[e]),
+            )
+            self.add(method_id, ParamRegion(lo=lo, hi=hi), version)
+            added += 1
+        return added
+
+    @classmethod
+    def from_arrays(cls, arrays: Dict[str, np.ndarray]) -> "MethodPlanCache":
+        """A fresh cache reconstructed from :meth:`export_arrays` output."""
+        cache = cls(int(arrays["n_methods"][0]))
+        cache.load_arrays(arrays)
+        return cache

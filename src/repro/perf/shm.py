@@ -54,6 +54,8 @@ __all__ = [
     "SharedArraySegment",
     "WorkloadArchive",
     "GenomeShuttle",
+    "PlanArchive",
+    "PlanArchiveReader",
     "shared_memory_supported",
 ]
 
@@ -441,6 +443,206 @@ class WorkloadArchive:
     def unlink(self) -> None:
         self._programs = None
         self.segment.unlink()
+
+
+# ----------------------------------------------------------------------
+# plan-cache interning
+# ----------------------------------------------------------------------
+def _emit_plan(event: str, **fields) -> None:
+    """Telemetry for a plan-archive lifecycle step (no-op when off)."""
+    try:
+        from repro.telemetry import emit
+
+        emit(event, **fields)
+    except Exception:  # pragma: no cover - telemetry must never break a run
+        pass
+
+
+class PlanArchive:
+    """Versioned shm publication of compiled plan caches (owner side).
+
+    The coordinator interns every program's
+    :class:`~repro.perf.plancache.MethodPlanCache` — exported as flat
+    arrays by :meth:`~repro.perf.plancache.MethodPlanCache.export_arrays`
+    and keyed by an opaque plan-key string — so campaign workers
+    warm-start from the coordinator's compiled versions instead of
+    recompiling them per process.
+
+    Consistency protocol (readers never see a torn snapshot):
+
+    * a tiny *directory* segment, named ``base``, holds the current
+      epoch number and is the only segment updated in place;
+    * each publication writes a fresh immutable *data* segment named
+      ``base-e{N}`` containing every cache's arrays plus a
+      ``__commit__`` stamp written after the payload, then advances the
+      directory epoch to ``N``, then unlinks epoch ``N-1`` (existing
+      reader mappings of the old epoch stay valid — POSIX unlink only
+      removes the name);
+    * readers resolve the directory epoch, attach ``base-e{N}``, and
+      verify the commit stamp, retrying when a republish races the
+      attach (``FileNotFoundError`` or a stale stamp).
+    """
+
+    def __init__(self, directory: SharedArraySegment, base: str) -> None:
+        self._directory = directory
+        self.base = base
+        self._data: Optional[SharedArraySegment] = None
+        self._epoch = 0
+
+    @property
+    def name(self) -> str:
+        return self.base
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    @classmethod
+    def create(cls, name: Optional[str] = None) -> "PlanArchive":
+        """Create an empty archive (epoch 0: nothing published yet)."""
+        if name is None:
+            name = f"{SEGMENT_PREFIX}plans-{secrets.token_hex(8)}"
+        directory = SharedArraySegment.create(
+            {"epoch": np.zeros(1, dtype=np.int64)}, name=name
+        )
+        return cls(directory, name)
+
+    def publish(self, exports: Dict[str, Dict[str, np.ndarray]]) -> int:
+        """Publish a new epoch holding *exports*; returns the epoch.
+
+        *exports* maps plan-key strings to
+        :meth:`~repro.perf.plancache.MethodPlanCache.export_arrays`
+        dictionaries.  The whole mapping is written each time — epochs
+        are snapshots, not deltas, so a late-joining worker needs only
+        the newest one.
+        """
+        epoch = self._epoch + 1
+        keys = sorted(exports)
+        key_blob, key_offsets = _pack_strings(keys)
+        arrays: Dict[str, np.ndarray] = {
+            "__commit__": np.zeros(1, dtype=np.int64),
+            "__keys_blob__": key_blob,
+            "__keys_offsets__": key_offsets,
+        }
+        entries = 0
+        for i, key in enumerate(keys):
+            for field, array in exports[key].items():
+                arrays[f"k{i}:{field}"] = array
+            entries += len(exports[key]["entry_method"])
+        data = SharedArraySegment.create(arrays, name=f"{self.base}-e{epoch}")
+        # commit stamp last: a reader that attached a half-written
+        # republished segment sees a stale stamp and retries
+        data.arrays["__commit__"][0] = epoch
+        self._directory.arrays["epoch"][0] = epoch
+        old = self._data
+        self._data = data
+        self._epoch = epoch
+        if old is not None:
+            old.unlink()
+        _emit_plan(
+            "plan.publish",
+            segment=self.base,
+            epoch=epoch,
+            keys=len(keys),
+            entries=entries,
+            bytes=data.nbytes,
+        )
+        return epoch
+
+    def unlink(self) -> None:
+        """Destroy the directory and the live epoch; idempotent."""
+        if self._data is not None:
+            try:
+                self._data.unlink()
+            except GAError:  # pragma: no cover - defensive
+                pass
+            self._data = None
+        try:
+            self._directory.unlink()
+        except GAError:  # pragma: no cover - defensive
+            pass
+
+
+class PlanArchiveReader:
+    """Worker-side view of a :class:`PlanArchive`."""
+
+    def __init__(self, directory: SharedArraySegment, base: str) -> None:
+        self._directory = directory
+        self.base = base
+        self._data: Optional[SharedArraySegment] = None
+        self._epoch = 0
+        self._exports: Optional[Dict[str, Dict[str, np.ndarray]]] = None
+
+    @classmethod
+    def attach(cls, base: str) -> "PlanArchiveReader":
+        return cls(SharedArraySegment.attach(base, readonly=True), base)
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    def snapshot(
+        self, retries: int = 8
+    ) -> Tuple[int, Dict[str, Dict[str, np.ndarray]]]:
+        """``(epoch, {plan_key: arrays})`` for the newest committed epoch.
+
+        The returned arrays are read-only views into the attached data
+        segment, which stays mapped (and therefore valid even after the
+        owner republishes and unlinks the epoch) until the next
+        :meth:`snapshot` call or :meth:`close`.  Retries around a
+        republish racing the attach; raises :class:`GAError` when no
+        consistent snapshot can be obtained.
+        """
+        for _ in range(retries):
+            epoch = int(self._directory.arrays["epoch"][0])
+            if epoch == 0:
+                return 0, {}
+            if epoch == self._epoch and self._exports is not None:
+                return epoch, self._exports
+            try:
+                data = SharedArraySegment.attach(
+                    f"{self.base}-e{epoch}", readonly=True
+                )
+            except FileNotFoundError:
+                continue  # republished under our feet; re-read the epoch
+            if int(data.arrays["__commit__"][0]) != epoch:
+                data.close()
+                continue
+            keys = _unpack_strings(
+                data.arrays["__keys_blob__"], data.arrays["__keys_offsets__"]
+            )
+            exports: Dict[str, Dict[str, np.ndarray]] = {}
+            for i, key in enumerate(keys):
+                prefix = f"k{i}:"
+                exports[key] = {
+                    field[len(prefix):]: array
+                    for field, array in data.arrays.items()
+                    if field.startswith(prefix)
+                }
+            if self._data is not None:
+                self._data.close()
+            self._data = data
+            self._epoch = epoch
+            self._exports = exports
+            _emit_plan(
+                "plan.attach",
+                segment=self.base,
+                epoch=epoch,
+                keys=len(keys),
+                entries=sum(len(e["entry_method"]) for e in exports.values()),
+            )
+            return epoch, exports
+        raise GAError(
+            f"plan archive {self.base!r}: no consistent snapshot "
+            f"after {retries} attempts"
+        )
+
+    def close(self) -> None:
+        self._exports = None
+        if self._data is not None:
+            self._data.close()
+            self._data = None
+        self._directory.close()
 
 
 # ----------------------------------------------------------------------

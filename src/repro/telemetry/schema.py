@@ -59,6 +59,20 @@ EVENT_SCHEMAS: Dict[str, Dict[str, tuple]] = {
     # shared-memory segment lifecycle
     "shm.create": {"segment": (str,), "bytes": (int,)},
     "shm.attach": {"segment": (str,), "bytes": (int,)},
+    # plan-archive lifecycle (campaign-wide compiled-plan sharing)
+    "plan.publish": {
+        "segment": (str,),
+        "epoch": (int,),
+        "keys": (int,),
+        "entries": (int,),
+        "bytes": (int,),
+    },
+    "plan.attach": {
+        "segment": (str,),
+        "epoch": (int,),
+        "keys": (int,),
+        "entries": (int,),
+    },
     # evaluation store
     "store.flush": {"records": (int,)},
     "store.repair": {
@@ -88,6 +102,8 @@ REQUIRED_METRIC_FAMILIES: Tuple[str, ...] = (
     "repro_ipc_bytes_total",
     "repro_shm_attach_total",
     "repro_backend_selected_total",
+    "repro_plan_warm_hits_total",
+    "repro_plan_recompiles_total",
 )
 
 #: per-span required fields (beyond the generic span fields)

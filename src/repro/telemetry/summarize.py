@@ -68,6 +68,10 @@ def summarize(events: List[Dict]) -> Dict:
         "segment_attaches": 0,
         "shm_bytes": 0,
         "backends": {},
+        "plan_publishes": 0,
+        "plan_attaches": 0,
+        "plan_epoch": None,
+        "plan_entries": None,
     }
 
     for record in events:
@@ -115,6 +119,16 @@ def summarize(events: List[Dict]) -> Dict:
         elif event == "perf.backend_selected":
             backend = str(record.get("backend"))
             ipc["backends"][backend] = ipc["backends"].get(backend, 0) + 1
+        elif event == "plan.publish":
+            # events arrive timestamp-sorted, so the last one describes
+            # the archive's newest epoch
+            ipc["plan_publishes"] += 1
+            if record.get("epoch") is not None:
+                ipc["plan_epoch"] = record.get("epoch")
+            if record.get("entries") is not None:
+                ipc["plan_entries"] = record.get("entries")
+        elif event == "plan.attach":
+            ipc["plan_attaches"] += 1
         elif event == "metrics.snapshot":
             snapshot = record.get("metrics")
 
@@ -210,7 +224,13 @@ def render_summary(summary: Dict) -> str:
     lines.append("")
 
     ipc = summary.get("ipc") or {}
-    if ipc.get("segments_created") or ipc.get("segment_attaches") or ipc.get("backends"):
+    if (
+        ipc.get("segments_created")
+        or ipc.get("segment_attaches")
+        or ipc.get("backends")
+        or ipc.get("plan_publishes")
+        or ipc.get("plan_attaches")
+    ):
         lines.append("ipc / kernel backends")
         lines.append("-" * 72)
         lines.append(
@@ -224,6 +244,18 @@ def render_summary(summary: Dict) -> str:
                 f"{name} x{count}" for name, count in sorted(backends.items())
             )
             lines.append(f"  kernel backends selected: {chosen}")
+        if ipc.get("plan_publishes") or ipc.get("plan_attaches"):
+            detail = ""
+            if ipc.get("plan_epoch") is not None:
+                detail = (
+                    f" (newest epoch {ipc['plan_epoch']}, "
+                    f"{ipc.get('plan_entries') or 0} entries)"
+                )
+            lines.append(
+                f"  plan archive: {ipc.get('plan_publishes', 0)} "
+                f"publishes{detail}, {ipc.get('plan_attaches', 0)} "
+                f"worker attaches"
+            )
         lines.append("")
 
     snapshot = summary["snapshot"]

@@ -117,6 +117,105 @@ class TestLadderParity:
         assert vm.perf_stats.native_fallbacks == 0
 
 
+def _random_opt_state(rng, n_methods, n_entries, n_reps):
+    """A synthetic resolved-batch + cache-entry CSR for kernel parity."""
+    self_rate = rng.uniform(0.0, 0.9, size=n_entries)
+    self_rate[rng.random(n_entries) < 0.5] = 0.0
+    degrees = rng.integers(0, 4, size=n_entries)
+    offsets = np.zeros(n_entries + 1, dtype=np.int64)
+    offsets[1:] = np.cumsum(degrees)
+    n_edges = int(offsets[-1])
+    callees = rng.integers(0, n_methods, size=n_edges).astype(np.int64)
+    rates = rng.uniform(0.05, 1.5, size=n_edges)
+    resolved = rng.integers(0, n_entries, size=(n_reps, n_methods)).astype(
+        np.int64
+    )
+    return resolved, self_rate, offsets, callees, rates
+
+
+class TestBlockedKernels:
+    """The cache-blocked batched entry points replay the rep-major
+    kernels byte for byte — blocking reorders *which representative's*
+    work happens when, never any single representative's operation
+    sequence.  Randomized structures deliberately span several blocks
+    (``n_reps`` above ``block_width``) so the block boundaries, the
+    partial tail block, and the transposed writeback are all hit."""
+
+    @pytest.mark.parametrize("backend", COMPILED_BACKENDS, ids=lambda b: b.name)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_opt_blocked_matches_rep_major(self, backend, seed, monkeypatch):
+        rng = np.random.default_rng(seed)
+        # shrink the block target so a ~300-rep batch spans many blocks
+        monkeypatch.setattr(backend, "BLOCK_TARGET_BYTES", 2048)
+        n_methods = int(rng.integers(5, 40))
+        n_entries = int(rng.integers(2, 3 * n_methods))
+        n_reps = int(rng.integers(1, 300))
+        resolved, self_rate, offsets, callees, rates = _random_opt_state(
+            rng, n_methods, n_entries, n_reps
+        )
+        rep_major = backend.opt_propagate_batch(
+            resolved, 0, self_rate, offsets, callees, rates
+        ).copy()
+        blocked = backend.opt_propagate_blocked(
+            resolved, 0, self_rate, offsets, callees, rates
+        )
+        assert rep_major.tobytes() == np.ascontiguousarray(blocked).tobytes()
+
+    @pytest.mark.parametrize("backend", COMPILED_BACKENDS, ids=lambda b: b.name)
+    @pytest.mark.parametrize("seed", [3, 4, 5])
+    def test_adaptive_blocked_matches_rep_major(self, backend, seed, monkeypatch):
+        rng = np.random.default_rng(seed)
+        monkeypatch.setattr(backend, "BLOCK_TARGET_BYTES", 2048)
+        n_methods = int(rng.integers(5, 40))
+        n_entries = int(rng.integers(2, 3 * n_methods))
+        n_reps = int(rng.integers(1, 300))
+        _, entry_self_rate, entry_offsets, entry_callees, entry_rates = (
+            _random_opt_state(rng, n_methods, n_entries, n_reps)
+        )
+        _, base_self_rate, base_offsets, base_callees, base_rates = (
+            _random_opt_state(rng, n_methods, n_methods, 1)
+        )
+        promoted = rng.random(n_methods) < 0.4
+        n_promoted = max(1, int(promoted.sum()))
+        promoted_slot = np.full(n_methods, -1, dtype=np.int64)
+        promoted_slot[np.flatnonzero(promoted)[:n_promoted]] = np.arange(
+            int(promoted.sum()), dtype=np.int64
+        )[:n_promoted]
+        entry_matrix = rng.integers(
+            0, n_entries, size=(n_reps, n_promoted)
+        ).astype(np.int64)
+        base_present = np.ones(n_methods, dtype=np.uint8)
+        rep_major = backend.adaptive_propagate_matrix(
+            entry_matrix, 0, promoted_slot,
+            entry_self_rate, entry_offsets, entry_callees, entry_rates,
+            base_present, base_self_rate, base_offsets,
+            base_callees, base_rates,
+        ).copy()
+        blocked = backend.adaptive_propagate_blocked(
+            entry_matrix, 0, promoted_slot,
+            entry_self_rate, entry_offsets, entry_callees, entry_rates,
+            base_present, base_self_rate, base_offsets,
+            base_callees, base_rates,
+        )
+        assert rep_major.tobytes() == np.ascontiguousarray(blocked).tobytes()
+
+    @pytest.mark.parametrize("backend", COMPILED_BACKENDS, ids=lambda b: b.name)
+    def test_blocked_missing_version_raises(self, backend):
+        """The error protocol survives blocking: an unresolved method
+        raises the same SimulationError the rep-major kernel raises."""
+        from repro.errors import SimulationError
+
+        rng = np.random.default_rng(9)
+        resolved, self_rate, offsets, callees, rates = _random_opt_state(
+            rng, 8, 5, 4
+        )
+        resolved[2, 0] = -1  # entry method unresolved for one rep
+        with pytest.raises(SimulationError):
+            backend.opt_propagate_blocked(
+                resolved, 0, self_rate, offsets, callees, rates
+            )
+
+
 class TestLadderSelection:
     def test_backend_env_pin_numpy(self, monkeypatch):
         """``REPRO_KERNEL_BACKEND=numpy`` pins the pure-numpy rung."""

@@ -1,0 +1,283 @@
+"""Campaign-wide plan sharing: archive protocol, degradation, parity.
+
+The plan archive's contract mirrors the rest of the shm layer, with a
+stronger consistency requirement because the owner *republishes* while
+readers are live: a reader must either see a fully committed epoch or
+retry — never a torn snapshot — and a warm-started accelerator must be
+bitwise-indistinguishable from a cold-started one (preloaded plan
+entries are exact reconstructions of the versions that produced them).
+"""
+
+from __future__ import annotations
+
+import glob
+import multiprocessing
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.arch import PENTIUM4
+from repro.errors import GAError
+from repro.jvm.runtime import VirtualMachine
+from repro.jvm.scenario import ADAPTIVE, OPTIMIZING
+from repro.perf import planshare
+from repro.perf.batch import GenerationBatchEvaluator
+from repro.perf.plancache import MethodPlanCache
+from repro.perf.shm import (
+    SEGMENT_PREFIX,
+    PlanArchive,
+    PlanArchiveReader,
+    SharedArraySegment,
+    _pack_strings,
+    shared_memory_supported,
+)
+from repro.workloads.suites import SPECJVM98
+
+from tests.perf.test_equivalence import assert_reports_identical
+from tests.perf.test_native_backends import random_generation
+
+pytestmark = pytest.mark.skipif(
+    not shared_memory_supported(), reason="no shared-memory support"
+)
+
+
+def _plan_segments():
+    return set(glob.glob(f"/dev/shm/{SEGMENT_PREFIX}plans-*"))
+
+
+def _populated_cache(scenario=OPTIMIZING, n_genomes=6, seed=3):
+    """Real plan-cache state: one small generation over one program."""
+    vm = VirtualMachine(PENTIUM4, scenario, memoize=True)
+    runner = GenerationBatchEvaluator(vm)
+    programs = SPECJVM98.programs(seed=0)[:1]
+    runner.run_generation(programs, random_generation(n=n_genomes, seed=seed))
+    state = next(iter(runner.accelerator._states.values()))
+    assert len(state.cache)
+    return state.cache
+
+
+class TestExportRoundtrip:
+    def test_arrays_reconstruct_identical_cache(self):
+        """export_arrays -> load_arrays is lossless: the rebuilt cache
+        re-exports byte-identical arrays."""
+        cache = _populated_cache()
+        exported = cache.export_arrays()
+        rebuilt = MethodPlanCache.from_arrays(exported)
+        assert len(rebuilt) == len(cache)
+        again = rebuilt.export_arrays()
+        assert set(again) == set(exported)
+        for field, array in exported.items():
+            assert again[field].dtype == array.dtype
+            assert again[field].tobytes() == array.tobytes(), field
+
+    def test_reload_into_populated_cache_dedupes(self):
+        """Merging a cache's own export back adds nothing: regions of
+        one method are disjoint across plans, so an existing
+        (method, region) already is the same compiled version."""
+        cache = _populated_cache()
+        n = len(cache)
+        assert cache.load_arrays(cache.export_arrays()) == 0
+        assert len(cache) == n
+
+    def test_shm_roundtrip_through_archive(self):
+        """publish -> attach -> snapshot -> load reproduces the cache."""
+        cache = _populated_cache()
+        archive = PlanArchive.create()
+        reader = None
+        try:
+            archive.publish({"cell-a": cache.export_arrays()})
+            reader = PlanArchiveReader.attach(archive.base)
+            epoch, exports = reader.snapshot()
+            assert epoch == 1
+            assert set(exports) == {"cell-a"}
+            rebuilt = MethodPlanCache.from_arrays(exports["cell-a"])
+            assert len(rebuilt) == len(cache)
+            original = cache.export_arrays()
+            for field, array in rebuilt.export_arrays().items():
+                assert array.tobytes() == original[field].tobytes(), field
+        finally:
+            if reader is not None:
+                reader.close()
+            archive.unlink()
+
+
+class TestEpochProtocol:
+    def test_republish_advances_epoch_and_unlinks_old(self):
+        cache = _populated_cache()
+        half = {
+            field: (array[: len(array) // 2].copy() if field != "n_methods" else array)
+            for field, array in cache.export_arrays().items()
+        }
+        archive = PlanArchive.create()
+        reader = None
+        try:
+            assert archive.publish({"k": half}) == 1
+            reader = PlanArchiveReader.attach(archive.base)
+            epoch, exports = reader.snapshot()
+            assert epoch == 1
+            first_entries = len(exports["k"]["entry_method"])
+            assert archive.publish({"k": cache.export_arrays()}) == 2
+            # the old epoch's name is gone, the new one is attachable
+            assert f"/dev/shm/{archive.base}-e1" not in _plan_segments()
+            epoch, exports = reader.snapshot()
+            assert epoch == 2
+            assert len(exports["k"]["entry_method"]) > first_entries
+        finally:
+            if reader is not None:
+                reader.close()
+            archive.unlink()
+
+    def test_empty_archive_snapshots_empty(self):
+        archive = PlanArchive.create()
+        reader = None
+        try:
+            reader = PlanArchiveReader.attach(archive.base)
+            assert reader.snapshot() == (0, {})
+        finally:
+            if reader is not None:
+                reader.close()
+            archive.unlink()
+
+    def test_reader_never_sees_uncommitted_epoch(self):
+        """Mid-republish (directory advanced, commit stamp stale) the
+        reader retries and fails cleanly; once the stamp lands it
+        attaches the new epoch."""
+        cache = _populated_cache()
+        exports = {"k": cache.export_arrays()}
+        archive = PlanArchive.create()
+        reader = None
+        torn = None
+        try:
+            archive.publish(exports)
+            reader = PlanArchiveReader.attach(archive.base)
+            assert reader.snapshot()[0] == 1
+
+            # hand-build epoch 2 the way publish() does, but stop
+            # before the commit stamp — a reader must treat it as torn
+            blob, offsets = _pack_strings(["k"])
+            arrays = {
+                "__commit__": np.zeros(1, dtype=np.int64),
+                "__keys_blob__": blob,
+                "__keys_offsets__": offsets,
+            }
+            for field, array in exports["k"].items():
+                arrays[f"k0:{field}"] = array
+            torn = SharedArraySegment.create(arrays, name=f"{archive.base}-e2")
+            archive._directory.arrays["epoch"][0] = 2
+
+            with pytest.raises(GAError):
+                reader.snapshot(retries=3)
+
+            torn.arrays["__commit__"][0] = 2  # commit lands
+            epoch, snap = reader.snapshot()
+            assert epoch == 2
+            assert set(snap) == {"k"}
+        finally:
+            if reader is not None:
+                reader.close()
+            if torn is not None:
+                torn.unlink()
+            archive.unlink()
+
+    def test_vanished_directory_degrades_client(self):
+        """An unlinked archive kills the client permanently — lookups
+        return None, they never raise."""
+        archive = PlanArchive.create()
+        base = archive.base
+        archive.unlink()
+        client = planshare.PlanShareClient(base)
+        assert client.arrays_for("anything") is None
+        assert client.dead
+        assert client.arrays_for("anything") is None
+
+
+class TestWarmStartParity:
+    @pytest.mark.parametrize(
+        "scenario", [OPTIMIZING, ADAPTIVE], ids=lambda s: s.name
+    )
+    @pytest.mark.parametrize("seed", [17, 23])
+    def test_warm_accelerator_bitwise_identical(self, scenario, seed, monkeypatch):
+        """Randomized sweep: a warm-started accelerator reproduces the
+        cold run's every ExecutionReport field bit for bit, while
+        actually answering lookups from the preloaded entries."""
+        # test the mechanism even when the ambient policy disables it
+        # (CI's plan-share-degraded job exports REPRO_PLAN_SHARE=off)
+        monkeypatch.setenv(planshare.ENV_PLAN_SHARE, "on")
+        programs = SPECJVM98.programs(seed=0)[:2]
+        generation = random_generation(n=8, seed=seed)
+
+        planshare.clear_client()
+        cold_vm = VirtualMachine(PENTIUM4, scenario, memoize=True)
+        cold = GenerationBatchEvaluator(cold_vm)
+        cold_rows = cold.run_generation(programs, generation)
+        exports = planshare.export_accelerator_plans(cold.accelerator)
+        assert exports
+
+        archive = PlanArchive.create()
+        try:
+            archive.publish(exports)
+            assert planshare.ensure_client(archive.base) is not None
+            warm_vm = VirtualMachine(PENTIUM4, scenario, memoize=True)
+            warm = GenerationBatchEvaluator(warm_vm)
+            warm_rows = warm.run_generation(programs, generation)
+            for cold_row, warm_row in zip(cold_rows, warm_rows):
+                for cold_report, warm_report in zip(cold_row, warm_row):
+                    assert_reports_identical(cold_report, warm_report)
+            stats = warm_vm.perf_stats
+            assert stats.plan_preloaded > 0
+            assert stats.plan_warm_hits > 0
+            if scenario is OPTIMIZING:
+                # the archive held every version this generation needs
+                assert stats.plan_recompiles == 0
+        finally:
+            planshare.clear_client()
+            archive.unlink()
+
+    def test_plan_share_off_disables_client(self, monkeypatch):
+        monkeypatch.setenv(planshare.ENV_PLAN_SHARE, "off")
+        assert not planshare.plan_sharing_enabled()
+        assert planshare.ensure_client("repro-plans-nope") is None
+        assert planshare.get_client() is None
+
+
+def _attach_and_hang(base: str, ready_path: str) -> None:
+    reader = PlanArchiveReader.attach(base)
+    reader.snapshot()
+    with open(ready_path, "w", encoding="utf-8") as handle:
+        handle.write("ok")
+    time.sleep(60)
+
+
+@pytest.mark.slow
+class TestCrashSafety:
+    def test_killed_reader_leaks_no_plan_segments(self, tmp_path):
+        """SIGKILL a worker while it holds a mapped epoch: the owner
+        must still be able to republish and a final unlink must leave
+        /dev/shm clean (a leaked archive would accumulate across
+        campaign restarts)."""
+        before = _plan_segments()
+        cache = _populated_cache()
+        exports = {"k": cache.export_arrays()}
+        archive = PlanArchive.create()
+        try:
+            archive.publish(exports)
+            ready = tmp_path / "ready"
+            ctx = multiprocessing.get_context("spawn")
+            proc = ctx.Process(
+                target=_attach_and_hang, args=(archive.base, str(ready))
+            )
+            proc.start()
+            deadline = time.time() + 30
+            while not ready.exists() and time.time() < deadline:
+                time.sleep(0.05)
+            assert ready.exists(), "reader process never attached"
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.join(timeout=30)
+            # the owner's next epoch must publish despite the death
+            assert archive.publish(exports) == 2
+        finally:
+            archive.unlink()
+        assert _plan_segments() <= before
