@@ -5,6 +5,7 @@ Subcommands
 ``run``      run one benchmark under a scenario/machine/heuristic
 ``tune``     run the GA tuner for a standard task
 ``campaign`` tune the arch x scenario x metric grid concurrently
+``store``    inspect/compact/migrate a sharded evaluation-store tier
 ``telemetry`` summarize a campaign's --telemetry directory
 ``figure``   regenerate a paper figure (1, 2, 5-10) as ASCII charts
 ``table``    regenerate a paper table (4 or 5)
@@ -86,9 +87,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_camp.add_argument(
         "--store",
         default=None,
-        help="shared evaluation-store JSONL path "
-        "(default: .repro_cache/evaluations.jsonl, or "
-        "<dir>/evaluations.jsonl with --dir)",
+        help="shared evaluation-store path: a JSONL file (legacy "
+        "single-writer store) or a directory/*.tier path (sharded "
+        "store tier). Default: .repro_cache/evaluations.jsonl, or "
+        "<dir>/evaluations.jsonl with --dir",
+    )
+    p_camp.add_argument(
+        "--store-tier",
+        default=None,
+        metavar="DIR",
+        help="shorthand for --store pointing at a sharded "
+        "store-tier directory (created if missing); workers append "
+        "their own shards and the tier is compacted when the "
+        "campaign finishes",
+    )
+    p_camp.add_argument(
+        "--warm-start",
+        choices=("exact", "neighbors"),
+        default="exact",
+        help="'exact' (default): cells answer recorded genomes from "
+        "the store, bitwise-identical to a cold run; 'neighbors' "
+        "(tier only, trajectory-changing): additionally seed each "
+        "cell's GA population from the nearest workload profiles "
+        "already in the tier",
     )
     p_camp.add_argument(
         "--dir",
@@ -122,6 +143,37 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="write structured telemetry (JSONL events, metrics.prom) "
         "to DIR; inspect with 'repro telemetry summarize DIR'",
+    )
+
+    p_store = sub.add_parser(
+        "store", help="inspect and maintain a sharded evaluation-store tier"
+    )
+    store_sub = p_store.add_subparsers(dest="store_command", required=True)
+    p_store_stats = store_sub.add_parser(
+        "stats",
+        help="shard/pack sizes, per-context record counts, hit rates",
+    )
+    p_store_stats.add_argument("tier", help="store-tier directory")
+    p_store_compact = store_sub.add_parser(
+        "compact",
+        help="fold cooled shards and existing packs into one indexed "
+        "SQLite pack (crash-safe; shards with a live writer are skipped)",
+    )
+    p_store_compact.add_argument("tier", help="store-tier directory")
+    p_store_compact.add_argument(
+        "--include-hot",
+        action="store_true",
+        help="compact shards that still have a live writer too "
+        "(only safe when you know those writers are done appending)",
+    )
+    p_store_migrate = store_sub.add_parser(
+        "migrate",
+        help="import a legacy single-file JSONL store into a tier "
+        "(the legacy file is left untouched)",
+    )
+    p_store_migrate.add_argument("legacy", help="legacy JSONL store path")
+    p_store_migrate.add_argument(
+        "tier", help="store-tier directory (created if missing)"
     )
 
     p_tel = sub.add_parser(
@@ -235,7 +287,19 @@ def _cmd_campaign(args) -> int:
         metrics=[m.strip() for m in args.metrics.split(",") if m.strip()],
         seed=args.seed,
     )
-    if args.store is not None:
+    if args.store_tier is not None:
+        if args.store is not None:
+            print("error: --store and --store-tier are mutually exclusive",
+                  file=sys.stderr)
+            return 2
+        # create the tier up front so every worker resolves the path as
+        # a tier (a bare nonexistent directory would look like a legacy
+        # file path)
+        from repro.perf.storetier import StoreTier
+
+        StoreTier(args.store_tier)
+        store = args.store_tier
+    elif args.store is not None:
         store = args.store
     elif args.campaign_dir is not None:
         store = None  # the campaign directory supplies its default store
@@ -257,6 +321,7 @@ def _cmd_campaign(args) -> int:
         resume=args.resume,
         retry_policy=policy,
         telemetry_dir=args.telemetry_dir,
+        warm_start_neighbors=args.warm_start == "neighbors",
     )
     print(
         f"{'task':<24} {'status':>7} {'fitness':>10} {'improve':>8} "
@@ -298,6 +363,51 @@ def _cmd_campaign(args) -> int:
             file=sys.stderr,
         )
         return 1
+    return 0
+
+
+def _cmd_store(args) -> int:
+    from repro.perf.storetier import StoreTier, is_tier_path
+
+    if args.store_command == "migrate":
+        tier = StoreTier(args.tier)
+        imported = tier.migrate_legacy(args.legacy)
+        print(f"migrated {imported} record(s) from {args.legacy} into {args.tier}")
+        return 0
+    if not os.path.isdir(args.tier) or not is_tier_path(args.tier):
+        print(f"error: {args.tier!r} is not a store-tier directory",
+              file=sys.stderr)
+        return 2
+    tier = StoreTier(args.tier)
+    if args.store_command == "compact":
+        summary = tier.compact(include_hot=args.include_hot)
+        print(
+            f"compacted {summary['shards']} shard(s) + {summary['packs']} "
+            f"pack(s) into {summary['records']} indexed record(s); "
+            f"{summary['skipped_hot']} hot shard(s) skipped"
+        )
+        return 0
+    stats = tier.stats()
+    print(f"tier      : {stats['root']}")
+    print(
+        f"shards    : {len(stats['shards'])} "
+        f"({sum(stats['shards'].values())} bytes, "
+        f"{stats['hot_shards']} hot)"
+    )
+    print(
+        f"packs     : {len(stats['packs'])} "
+        f"({sum(stats['packs'].values())} bytes)"
+    )
+    print(f"profiles  : {stats['profiles']}")
+    contexts = stats["contexts"]
+    print(f"contexts  : {len(contexts)} ({sum(contexts.values())} records)")
+    for context, count in sorted(contexts.items()):
+        print(f"  {context[:56]:<58} {count:>8}")
+    print(
+        f"lifetime  : {stats['appends']} appends, {stats['hits']} hits, "
+        f"{stats['misses']} misses (hit rate {stats['hit_rate']:.1%}), "
+        f"{stats['compactions']} compaction(s)"
+    )
     return 0
 
 
@@ -446,6 +556,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "run": _cmd_run,
         "tune": _cmd_tune,
         "campaign": _cmd_campaign,
+        "store": _cmd_store,
         "telemetry": _cmd_telemetry,
         "figure": _cmd_figure,
         "table": _cmd_table,

@@ -138,19 +138,29 @@ class InliningTuner:
         evaluator_factory=None,
         store_path: Optional[str] = None,
         store_readonly: bool = False,
+        warm_start_neighbors: bool = False,
     ) -> None:
         self.ga_config = ga_config
         self.space = space or TABLE1_SPACE
         self.cost_model = cost_model
         self._evaluator_factory = evaluator_factory or HeuristicEvaluator
-        #: when set, genome fitnesses persist to this JSONL file, keyed
-        #: by the evaluation context; an identical re-run (same task,
-        #: programs, space, cost model) re-simulates nothing.
+        #: when set, genome fitnesses persist here, keyed by the
+        #: evaluation context; an identical re-run (same task, programs,
+        #: space, cost model) re-simulates nothing.  A directory (or
+        #: ``*.tier`` path) opens as a sharded
+        #: :class:`~repro.perf.storetier.TierStore`; anything else as
+        #: the legacy single-file JSONL store.
         self.store_path = store_path
-        #: open the store in buffered read-only mode (campaign workers:
-        #: new records accumulate on :attr:`last_store` for the
+        #: open a *legacy* store in buffered read-only mode (campaign
+        #: workers: new records accumulate on :attr:`last_store` for the
         #: coordinating process to collect — single-writer discipline).
+        #: Tier stores ignore this: they append to private shards.
         self.store_readonly = store_readonly
+        #: opt-in, trajectory-changing: when the store is a tier and the
+        #: task's context has no recorded entries yet, seed the initial
+        #: GA population with the best genomes of the nearest-neighbour
+        #: workload profiles already in the tier.
+        self.warm_start_neighbors = warm_start_neighbors
         #: the store used by the most recent :meth:`tune` call (closed),
         #: and that run's accelerator counters — campaign bookkeeping.
         self.last_store = None
@@ -192,6 +202,8 @@ class InliningTuner:
         store = self._open_store(task, training_programs)
         engine = GAEngine(self.space.to_ga_space(), config, store=store)
 
+        seeds = self._warm_start_seeds(task, training_programs, store)
+
         resume_from = None
         if checkpoint_path is not None and os.path.exists(checkpoint_path):
             from repro.ga.checkpoint import load_checkpoint
@@ -203,7 +215,9 @@ class InliningTuner:
             result = engine.run(
                 evaluator,
                 on_generation=on_generation,
-                initial_genomes=[self.space.encode(JIKES_DEFAULT_PARAMETERS)],
+                initial_genomes=(
+                    [self.space.encode(JIKES_DEFAULT_PARAMETERS)] + seeds
+                ),
                 checkpoint_path=checkpoint_path,
                 checkpoint_every=checkpoint_every,
                 resume_from=resume_from,
@@ -260,10 +274,17 @@ class InliningTuner:
         )
 
     def _open_store(self, task: TuningTask, programs: Sequence[Program]):
-        """Open the persistent evaluation store for *task*, if enabled."""
+        """Open the persistent evaluation store for *task*, if enabled.
+
+        A tier path opens as a :class:`~repro.perf.storetier.TierStore`
+        and the task's workload profile is registered with the tier so
+        later jobs with different workloads can find it as a
+        nearest-neighbour warm-start source.
+        """
         if self.store_path is None:
             return None
-        from repro.perf.store import EvaluationStore, evaluation_context_key
+        from repro.perf.store import evaluation_context_key
+        from repro.perf.storetier import TierStore, build_profile, open_store
 
         context = evaluation_context_key(
             task.machine,
@@ -273,9 +294,51 @@ class InliningTuner:
             self.space,
             programs,
         )
-        return EvaluationStore(
+        store = open_store(
             self.store_path, context=context, readonly=self.store_readonly
         )
+        if isinstance(store, TierStore):
+            store.tier.register_profile(
+                context,
+                build_profile(
+                    task.machine,
+                    task.scenario,
+                    task.metric,
+                    self.cost_model,
+                    self.space,
+                    programs,
+                ),
+            )
+        return store
+
+    def _warm_start_seeds(
+        self, task: TuningTask, programs: Sequence[Program], store
+    ) -> list:
+        """Nearest-neighbour population seeds from the tier (opt-in).
+
+        Only fires when enabled, the store is a tier, and the task's own
+        context is empty — a context with recorded entries already warm
+        starts *exactly* through store lookups, which is strictly
+        better (and bitwise-identical to a cold run, which seeding is
+        not)."""
+        from repro.perf.storetier import TierStore, build_profile
+
+        if not self.warm_start_neighbors or not isinstance(store, TierStore):
+            return []
+        if store.size:
+            return []
+        seeds = store.tier.warm_start_genomes(
+            build_profile(
+                task.machine,
+                task.scenario,
+                task.metric,
+                self.cost_model,
+                self.space,
+                programs,
+            ),
+            k=max(1, self.ga_config.population_size // 4),
+        )
+        return [tuple(seed) for seed in seeds]
 
     def tune_per_program(
         self,

@@ -7,12 +7,17 @@ are independent (their evaluation contexts never overlap, so no genome
 fitness can cross-pollute between grid cells) and run concurrently in a
 process pool.
 
-Single-writer discipline: workers open the store in buffered read-only
-mode (:class:`EvaluationStore` ``readonly=True``), answer already
-persisted genomes from it, and return their newly simulated records to
-the coordinating process, which is the only one that ever appends to
-the JSONL file.  A re-run of the same campaign therefore answers every
-genome from the store — zero new simulations.
+With a legacy single-file store, single-writer discipline applies:
+workers open the store in buffered read-only mode
+(:class:`EvaluationStore` ``readonly=True``), answer already persisted
+genomes from it, and return their newly simulated records to the
+coordinating process, which is the only one that ever appends to the
+JSONL file.  With a *store tier* (``--store-tier``; a directory — see
+:mod:`repro.perf.storetier`) that funnel disappears: every worker
+appends durable records straight to its own shard, nothing rides back
+in the result tuple, and the coordinator compacts the cooled shards
+when the campaign finishes.  Either way, a re-run of the same campaign
+answers every genome from the store — zero new simulations.
 
 Each task also reports its accelerator counters (report-memo, method
 cache and batch-dedup hit rates), which
@@ -224,8 +229,10 @@ def _workload_programs(workload_seed: int, archive_name: Optional[str]) -> List:
 def _run_campaign_task(payload) -> Tuple:
     """Tune one grid cell (module-level: runs in pool workers).
 
-    The worker's store is read-only; newly simulated records come back
-    with the result for the coordinator to persist.  With a checkpoint
+    A legacy single-file store opens read-only; newly simulated records
+    come back with the result for the coordinator to persist.  A store
+    *tier* appends from this worker directly (private shard, durable
+    immediately) and only the count rides back.  With a checkpoint
     path (campaign directory mode) the GA persists its state every
     generation and resumes from an existing checkpoint, so a retried or
     resumed cell re-simulates only what the store cannot answer.
@@ -233,12 +240,14 @@ def _run_campaign_task(payload) -> Tuple:
     The payload's optional sixth element names the campaign's shared
     workload-archive segment (see :mod:`repro.perf.shm`) and the
     optional seventh the campaign's plan archive (see
-    :mod:`repro.perf.planshare`); five-element payloads from older
-    checkpoint tooling still unpack.
+    :mod:`repro.perf.planshare`), and the optional eighth enables
+    nearest-neighbour warm-start seeding for tier stores; five-element
+    payloads from older checkpoint tooling still unpack.
     """
     task, ga_config, store_path, workload_seed, checkpoint_path = payload[:5]
     archive_name = payload[5] if len(payload) > 5 else None
     plan_base = payload[6] if len(payload) > 6 else None
+    warm_start_neighbors = bool(payload[7]) if len(payload) > 7 else False
     if plan_base is not None:
         # attach the coordinator's published plan caches: accelerators
         # in this worker then warm-start instead of recompiling plans
@@ -261,12 +270,19 @@ def _run_campaign_task(payload) -> Tuple:
     with scoped_context(cell=task.name):
         with trace("campaign.cell", task=task.name):
             tuner = InliningTuner(
-                ga_config, store_path=store_path, store_readonly=True
+                ga_config,
+                store_path=store_path,
+                store_readonly=True,
+                warm_start_neighbors=warm_start_neighbors,
             )
             tuned = tuner.tune(task, programs, checkpoint_path=checkpoint_path)
     store = tuner.last_store
     pending = store.drain_pending() if store is not None else []
     context = store.context if store is not None else None
+    # tier stores append durably from the worker itself; report how many
+    # records this cell persisted so the coordinator can account for
+    # them without a merge pass
+    appended = getattr(store, "appended", 0) if store is not None else 0
     return (
         task.name,
         tuned,
@@ -274,6 +290,7 @@ def _run_campaign_task(payload) -> Tuple:
         pending,
         tuner.last_accelerator_stats,
         tuner.last_plan_exports,
+        appended,
     )
 
 
@@ -328,11 +345,15 @@ def run_campaign(
     resume: bool = False,
     retry_policy: Optional[RetryPolicy] = None,
     telemetry_dir: Optional[str] = None,
+    warm_start_neighbors: bool = False,
 ) -> CampaignResult:
     """Run every task of the campaign, concurrently by default.
 
-    *store_path* names the shared JSONL evaluation store (no store when
-    None — every run then simulates from scratch).  *processes* caps
+    *store_path* names the shared evaluation store — a JSONL file
+    (legacy single-writer protocol) or a store-tier directory
+    (:mod:`repro.perf.storetier`: workers append their own durable
+    shards, the coordinator compacts at the end; no store when None —
+    every run then simulates from scratch).  *processes* caps
     the pool size (default: one per task, bounded by the CPU count);
     ``serial=True`` runs the tasks in-process, in order — same
     single-writer protocol, no pool.  *progress* (optional callable)
@@ -371,6 +392,7 @@ def run_campaign(
             return _run_campaign_impl(
                 tasks, ga_config, store_path, workload_seed, processes,
                 serial, progress, campaign_dir, resume, retry_policy,
+                warm_start_neighbors,
             )
         finally:
             session = telemetry_get_session()
@@ -380,6 +402,7 @@ def run_campaign(
     return _run_campaign_impl(
         tasks, ga_config, store_path, workload_seed, processes,
         serial, progress, campaign_dir, resume, retry_policy,
+        warm_start_neighbors,
     )
 
 
@@ -394,6 +417,7 @@ def _run_campaign_impl(
     campaign_dir: Optional[str],
     resume: bool,
     retry_policy: Optional[RetryPolicy],
+    warm_start_neighbors: bool = False,
 ) -> CampaignResult:
     say = progress or (lambda _msg: None)
     if tasks is None:
@@ -425,6 +449,13 @@ def _run_campaign_impl(
                 manifest.save()
     elif resume:
         raise ConfigurationError("resume=True requires campaign_dir")
+
+    # tier mode: store_path names a sharded store-tier directory rather
+    # than a single JSONL file — workers append their own shards, the
+    # coordinator never merges, and cooled shards compact at the end
+    from repro.perf.storetier import is_tier_path
+
+    tier_mode = store_path is not None and is_tier_path(store_path)
 
     resumed: Dict[str, CampaignTaskResult] = {}
     todo: List[TuningTask] = []
@@ -461,13 +492,20 @@ def _run_campaign_impl(
     # Like the workload archive this is purely a throughput
     # optimization — warm-started cells are bitwise-identical to cold
     # ones, and any failure degrades the campaign to private caches.
+    # With a store tier the archive additionally *persists* under
+    # <tier>/plans, so a future coordinator warm-starts its compiled
+    # plans from disk before the first cell even finishes.
     plan_publisher = None
     if parallel:
         try:
             from repro.perf import planshare
 
             if planshare.plan_sharing_enabled():
-                plan_publisher = planshare.PlanSharePublisher()
+                plan_publisher = planshare.PlanSharePublisher(
+                    persist_dir=os.path.join(store_path, "plans")
+                    if tier_mode
+                    else None
+                )
         except Exception:
             plan_publisher = None
 
@@ -484,6 +522,7 @@ def _run_campaign_impl(
                 else None,
                 archive.name if archive is not None else None,
                 plan_publisher.base if plan_publisher is not None else None,
+                warm_start_neighbors and tier_mode,
             ),
         )
         for task in todo
@@ -500,9 +539,14 @@ def _run_campaign_impl(
         # the in-flight cells.
         task_name, tuned, context, pending, accel_stats = value[:5]
         plan_exports = value[5] if len(value) > 5 else None
+        store_appends = value[6] if len(value) > 6 else 0
         fresh = 0
         if store_path is not None and context is not None and pending:
             fresh = _merge_pending(store_path, context, pending)
+        elif store_appends:
+            # tier cells persisted their records themselves; the count
+            # is bookkeeping, not a merge instruction
+            fresh = store_appends
         if plan_publisher is not None and plan_exports:
             # fold the cell's compiled plans into the shared archive and
             # republish so cells still queued warm-start from them
@@ -552,6 +596,14 @@ def _run_campaign_impl(
                 registry.counter("repro_plan_recompiles_total").inc(
                     int(accel_stats.get("plan_recompiles", 0))
                 )
+            if tier_mode:
+                # tier hit/miss accounting: genomes the tier answered vs
+                # genomes the cell had to simulate (and append)
+                registry.counter("repro_tier_hits_total").inc(
+                    tuned.store_hits if tuned is not None else 0
+                )
+                registry.counter("repro_tier_misses_total").inc(store_appends)
+                registry.counter("repro_tier_appends_total").inc(store_appends)
         say(f"{task_name}: done")
 
     telemetry_emit("campaign.start", tasks=len(tasks))
@@ -566,6 +618,10 @@ def _run_campaign_impl(
         registry.counter("repro_backend_selected_total", backend="numpy").inc(0)
         registry.counter("repro_plan_warm_hits_total").inc(0)
         registry.counter("repro_plan_recompiles_total").inc(0)
+        registry.counter("repro_tier_hits_total").inc(0)
+        registry.counter("repro_tier_misses_total").inc(0)
+        registry.counter("repro_tier_appends_total").inc(0)
+        registry.counter("repro_tier_compactions_total").inc(0)
 
     def on_pool_rebuild(reason: str) -> None:
         # Replacement workers will re-attach the workload archive; make
@@ -621,6 +677,30 @@ def _run_campaign_impl(
             archive.unlink()
         if plan_publisher is not None:
             plan_publisher.unlink()
+
+    if tier_mode:
+        # the campaign's writers have closed their shards; fold the
+        # cooled ones (and any previous packs) into one indexed pack so
+        # the next campaign loads its contexts with indexed queries
+        # instead of replaying JSONL.  Best-effort: a failed compaction
+        # leaves a fully readable tier for the next run to compact.
+        try:
+            from repro.perf.storetier import StoreTier
+
+            summary = StoreTier(store_path).compact()
+            if summary["shards"] or summary["packs"] > 1:
+                say(
+                    f"store tier: compacted {summary['shards']} shard(s) + "
+                    f"{summary['packs']} pack(s) into "
+                    f"{summary['records']} indexed records"
+                )
+                session = telemetry_get_session()
+                if session is not None:
+                    session.registry.counter(
+                        "repro_tier_compactions_total"
+                    ).inc()
+        except Exception:  # pragma: no cover - e.g. read-only mount
+            pass
 
     attempts_spent = {name: 1 for name in finished}
     for failure in failures:

@@ -63,6 +63,8 @@ __all__ = [
     "get_client",
     "clear_client",
     "export_accelerator_plans",
+    "persist_plan_exports",
+    "load_plan_exports",
 ]
 
 _log = logging.getLogger("repro.perf.planshare")
@@ -152,13 +154,30 @@ class PlanSharePublisher:
     writes a fresh archive epoch only when the merge actually added
     entries.  A publish failure degrades the publisher permanently (the
     already-published epoch stays attachable).
+
+    With *persist_dir* the merged exports also live on disk
+    (``plan-*.npz``, atomic writes): the publisher loads whatever a
+    previous coordinator saved before its first publish — so a brand
+    new process warm-starts its campaign's compiled plans from the
+    store tier — and saves the merged state on every republish.
+    Persistence is best-effort both ways; any failure leaves the
+    in-memory protocol untouched.
     """
 
-    def __init__(self, name: Optional[str] = None) -> None:
+    def __init__(
+        self, name: Optional[str] = None, persist_dir: Optional[str] = None
+    ) -> None:
         self.archive = PlanArchive.create(name)
         self._caches: Dict[str, MethodPlanCache] = {}
         self._dirty = False
         self._dead = False
+        self.persist_dir = persist_dir
+        if persist_dir is not None:
+            try:
+                self.merge(load_plan_exports(persist_dir))
+                self.publish_if_dirty()
+            except Exception as exc:  # pragma: no cover - defensive
+                _log.debug("plan persistence preload failed: %s", exc)
 
     @property
     def base(self) -> str:
@@ -205,6 +224,17 @@ class PlanSharePublisher:
             _log.debug("plan-share publisher degraded on publish: %s", exc)
             return None
         self._dirty = False
+        if self.persist_dir is not None:
+            try:
+                persist_plan_exports(
+                    self.persist_dir,
+                    {
+                        key: cache.export_arrays()
+                        for key, cache in self._caches.items()
+                    },
+                )
+            except Exception as exc:  # pragma: no cover - full disk etc.
+                _log.debug("plan persistence save failed: %s", exc)
         return epoch
 
     def unlink(self) -> None:
@@ -249,6 +279,67 @@ def clear_client() -> None:
     if _CLIENT is not None:
         _CLIENT.close()
     _CLIENT = None
+
+
+def persist_plan_exports(
+    directory: str, exports: Dict[str, Dict[str, np.ndarray]]
+) -> int:
+    """Save *exports* under *directory* as one ``plan-<hash>.npz`` each.
+
+    The plan key (arbitrary text) travels inside the file as a uint8
+    array; the filename is its hash.  Writes are atomic
+    (temp + ``os.replace``), so readers never see a torn archive.
+    Returns the number of files written.
+    """
+    import hashlib
+
+    os.makedirs(directory, exist_ok=True)
+    saved = 0
+    for key, arrays in exports.items():
+        digest = hashlib.sha256(key.encode("utf-8")).hexdigest()[:16]
+        path = os.path.join(directory, f"plan-{digest}.npz")
+        payload = dict(arrays)
+        payload["__key__"] = np.frombuffer(
+            key.encode("utf-8"), dtype=np.uint8
+        ).copy()
+        tmp = path + f".tmp-{os.getpid()}"
+        with open(tmp, "wb") as handle:
+            np.savez(handle, **payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        saved += 1
+    return saved
+
+
+def load_plan_exports(directory: str) -> Dict[str, Dict[str, np.ndarray]]:
+    """Inverse of :func:`persist_plan_exports` (missing dir -> empty).
+
+    Unreadable files are skipped: persistence is a warm-start source,
+    never a correctness dependency.
+    """
+    exports: Dict[str, Dict[str, np.ndarray]] = {}
+    try:
+        names = sorted(os.listdir(directory))
+    except OSError:
+        return exports
+    for name in names:
+        if not (name.startswith("plan-") and name.endswith(".npz")):
+            continue
+        path = os.path.join(directory, name)
+        try:
+            with np.load(path) as data:
+                key = bytes(data["__key__"]).decode("utf-8")
+                exports[key] = {
+                    field: data[field].copy()
+                    for field in data.files
+                    if field != "__key__"
+                }
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as exc:
+            _log.debug("skipped unreadable plan export %s: %s", path, exc)
+    return exports
 
 
 def export_accelerator_plans(accelerator) -> Dict[str, Dict[str, np.ndarray]]:

@@ -120,7 +120,20 @@ class EvaluationStore:
         self._pending: List[Tuple[Genome, float, Optional[dict]]] = []
         self._handle = None
         self._unflushed = 0
+        self._finalizer = None
         self._load()
+
+    @staticmethod
+    def _final_flush(handle) -> None:
+        """GC/exit safety net: fsync the tail batch of a store that was
+        dropped without :meth:`close` (the interpreter's own finalizer
+        flushes to the OS but never fsyncs)."""
+        try:
+            if not handle.closed:
+                handle.flush()
+                os.fsync(handle.fileno())
+        except Exception:  # pragma: no cover - interpreter teardown
+            pass
 
     # ------------------------------------------------------------------
     def _load(self) -> None:
@@ -249,6 +262,13 @@ class EvaluationStore:
                     tail.seek(-1, os.SEEK_END)
                     needs_newline = tail.read(1) != b"\n"
             self._handle = open(self.path, "a", encoding="utf-8")
+            import weakref
+
+            if self._finalizer is not None:
+                self._finalizer.detach()
+            self._finalizer = weakref.finalize(
+                self, EvaluationStore._final_flush, self._handle
+            )
             if needs_newline:
                 # a crash mid-append left a truncated line; start fresh
                 # so the next record is not glued onto the garbage
@@ -335,9 +355,14 @@ class EvaluationStore:
 
     def close(self) -> None:
         """Flush + fsync buffered appends and release the handle
-        (entries stay loaded)."""
+        (entries stay loaded).  The final partial ``flush_every`` batch
+        is made durable here — a clean close never leaves unfsynced
+        records behind."""
         if self._handle is not None:
             self._flush_fsync()
+            if self._finalizer is not None:
+                self._finalizer.detach()
+                self._finalizer = None
             self._handle.close()
             self._handle = None
 
@@ -351,6 +376,7 @@ class EvaluationStore:
         state = self.__dict__.copy()
         state["_handle"] = None  # file handles don't pickle; reopen lazily
         state["_unflushed"] = 0
+        state["_finalizer"] = None
         return state
 
     def __setstate__(self, state) -> None:

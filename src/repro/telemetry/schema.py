@@ -80,6 +80,15 @@ EVENT_SCHEMAS: Dict[str, Dict[str, tuple]] = {
         "offset": (int,),
         "bytes": (int,),
     },
+    # store-tier lifecycle (repro.perf.storetier)
+    "tier.compact": {
+        "records": (int,),
+        "shards": (int,),
+        "packs": (int,),
+        "bytes": (int,),
+    },
+    "tier.migrate": {"records": (int,)},
+    "tier.warm_start": {"seeds": (int,)},
     # registry dumps
     "metrics.snapshot": {"metrics": (dict,)},
 }
@@ -104,6 +113,10 @@ REQUIRED_METRIC_FAMILIES: Tuple[str, ...] = (
     "repro_backend_selected_total",
     "repro_plan_warm_hits_total",
     "repro_plan_recompiles_total",
+    "repro_tier_hits_total",
+    "repro_tier_misses_total",
+    "repro_tier_appends_total",
+    "repro_tier_compactions_total",
 )
 
 #: per-span required fields (beyond the generic span fields)

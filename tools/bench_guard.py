@@ -41,6 +41,14 @@ baseline:
   ``benchmarks/BENCH_blocked.json``, baseline in
   ``benchmarks/BENCH_blocked_baseline.json``, 1.3x acceptance floor.
   Needs a compiled backend, like the native guard.
+* ``benchmarks/bench_store_tier.py`` — the sharded store tier
+  (``repro.perf.storetier``) vs the legacy single-file store: batched
+  warm-start lookup against an 8-context store (indexed pack query vs
+  full JSONL replay; ``speedup``, 5x floor) and 4-writer append
+  throughput (private shards vs the coordinator's single-writer merge
+  funnel; ``append_speedup``, 2x floor).  Results in
+  ``benchmarks/BENCH_store.json``, baseline in
+  ``benchmarks/BENCH_store_baseline.json``.
 
 The guarded figure is always the **speedup ratio**, not absolute
 evals/sec: the ratio is a property of the code paths and survives CI
@@ -71,7 +79,10 @@ BENCH_DIR = os.path.join(REPO_ROOT, "benchmarks")
 MAX_REGRESSION = 0.20
 
 #: the guarded measurements: (label, module, runner attr, result file,
-#: baseline file, acceptance floor)
+#: baseline file, acceptance floor[, extra ratio floors]).  The
+#: optional seventh element maps additional result keys to their own
+#: acceptance floors — those ratios are guarded exactly like
+#: ``speedup`` (floor + 20% regression window against the baseline)
 GUARDS = (
     (
         "evaluation",
@@ -113,6 +124,15 @@ GUARDS = (
         "BENCH_blocked_baseline.json",
         1.3,
     ),
+    (
+        "store",
+        "bench_store_tier",
+        "run_store_tier",
+        "BENCH_store.json",
+        "BENCH_store_baseline.json",
+        5.0,
+        {"append_speedup": 2.0},
+    ),
 )
 
 
@@ -125,38 +145,44 @@ def _measure(module_name: str, runner_name: str) -> dict:
     return getattr(module, runner_name)()
 
 
-def _guard_one(label, module_name, runner_name, result_file, baseline_file, floor, rebaseline):
+def _guard_one(label, module_name, runner_name, result_file, baseline_file,
+               floor, rebaseline, extra_floors=None):
     """Run one measurement and return its list of failure strings."""
     result_path = os.path.join(BENCH_DIR, result_file)
     baseline_path = os.path.join(BENCH_DIR, baseline_file)
+    ratios = {"speedup": floor}
+    ratios.update(extra_floors or {})
 
     result = _measure(module_name, runner_name)
     with open(result_path, "w", encoding="utf-8") as handle:
         json.dump(result, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"[{label}] wrote {os.path.relpath(result_path, REPO_ROOT)}")
-    print(f"[{label}] speedup {result['speedup']:.2f}x")
+    for ratio in ratios:
+        print(f"[{label}] {ratio} {result[ratio]:.2f}x")
 
     failures = []
     if result["mismatched_fields"]:
         failures.append(
-            f"[{label}] {result['mismatched_fields']} ExecutionReport fields "
+            f"[{label}] {result['mismatched_fields']} fields "
             "diverged between the compared paths"
         )
-    if result["speedup"] < floor:
-        failures.append(
-            f"[{label}] speedup {result['speedup']:.2f}x is below the "
-            f"{floor:.1f}x acceptance floor (see the {label!r} entry in "
-            "tools/bench_guard.py)"
-        )
+    for ratio, ratio_floor in ratios.items():
+        if result[ratio] < ratio_floor:
+            failures.append(
+                f"[{label}] {ratio} {result[ratio]:.2f}x is below the "
+                f"{ratio_floor:.1f}x acceptance floor (see the {label!r} "
+                "entry in tools/bench_guard.py)"
+            )
 
     if rebaseline:
         baseline = {
-            "speedup": result["speedup"],
             "accelerator_stats": result["accelerator_stats"],
         }
+        for ratio in ratios:
+            baseline[ratio] = result[ratio]
         for key in result:
-            if key.endswith("_evals_per_sec"):
+            if key.endswith("_per_sec"):
                 baseline[key] = result[key]
         with open(baseline_path, "w", encoding="utf-8") as handle:
             json.dump(baseline, handle, indent=2, sort_keys=True)
@@ -171,19 +197,22 @@ def _guard_one(label, module_name, runner_name, result_file, baseline_file, floo
         with open(baseline_path, "r", encoding="utf-8") as handle:
             baseline = json.load(handle)
         baseline_rel = os.path.relpath(baseline_path, REPO_ROOT)
-        floor_ratio = baseline["speedup"] * (1.0 - MAX_REGRESSION)
-        print(
-            f"[{label}] baseline speedup {baseline['speedup']:.2f}x   "
-            f"regression floor {floor_ratio:.2f}x   ({baseline_rel})"
-        )
-        if result["speedup"] < floor_ratio:
-            failures.append(
-                f"[{label}] speedup {result['speedup']:.2f}x regressed more "
-                f"than {MAX_REGRESSION:.0%} below the committed "
-                f"{baseline['speedup']:.2f}x in {baseline_rel} "
-                f"(allowed minimum {floor_ratio:.2f}x; rerun with "
-                "--rebaseline only for an intentional change)"
+        for ratio in ratios:
+            if ratio not in baseline:
+                continue
+            floor_ratio = baseline[ratio] * (1.0 - MAX_REGRESSION)
+            print(
+                f"[{label}] baseline {ratio} {baseline[ratio]:.2f}x   "
+                f"regression floor {floor_ratio:.2f}x   ({baseline_rel})"
             )
+            if result[ratio] < floor_ratio:
+                failures.append(
+                    f"[{label}] {ratio} {result[ratio]:.2f}x regressed more "
+                    f"than {MAX_REGRESSION:.0%} below the committed "
+                    f"{baseline[ratio]:.2f}x in {baseline_rel} "
+                    f"(allowed minimum {floor_ratio:.2f}x; rerun with "
+                    "--rebaseline only for an intentional change)"
+                )
     return failures
 
 
@@ -203,13 +232,16 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     failures = []
-    for label, module_name, runner_name, result_file, baseline_file, floor in GUARDS:
+    for guard in GUARDS:
+        label, module_name, runner_name, result_file, baseline_file, floor = guard[:6]
+        extra_floors = guard[6] if len(guard) > 6 else None
         if args.only is not None and label != args.only:
             continue
         failures.extend(
             _guard_one(
                 label, module_name, runner_name,
                 result_file, baseline_file, floor, args.rebaseline,
+                extra_floors,
             )
         )
 
