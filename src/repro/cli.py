@@ -5,6 +5,9 @@ Subcommands
 ``run``      run one benchmark under a scenario/machine/heuristic
 ``tune``     run the GA tuner for a standard task
 ``campaign`` tune the arch x scenario x metric grid concurrently
+``serve``    run the persistent tuning service daemon
+``submit``   submit a tuning job to a running daemon
+``jobs``     list/inspect a daemon's jobs
 ``store``    inspect/compact/migrate a sharded evaluation-store tier
 ``telemetry`` summarize a campaign's --telemetry directory
 ``figure``   regenerate a paper figure (1, 2, 5-10) as ASCII charts
@@ -143,6 +146,85 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="write structured telemetry (JSONL events, metrics.prom) "
         "to DIR; inspect with 'repro telemetry summarize DIR'",
+    )
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the persistent tuning service daemon over a state "
+        "directory (async job API; see docs/SERVICE.md)",
+    )
+    p_serve.add_argument(
+        "--dir",
+        dest="state_dir",
+        required=True,
+        help="service state directory (journal, checkpoints, store tier)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=2, help="worker pool size (default 2)"
+    )
+    p_serve.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        help="max active (non-terminal) jobs before submissions are "
+        "rejected with queue-full (default 64)",
+    )
+    p_serve.add_argument(
+        "--quota",
+        type=int,
+        default=2,
+        help="max in-flight cells per job (default 2)",
+    )
+    p_serve.add_argument(
+        "--retries", type=int, default=3, help="attempt budget per cell"
+    )
+    p_serve.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        help="per-cell wall-clock budget in seconds (default: none)",
+    )
+    p_serve.add_argument(
+        "--telemetry",
+        dest="telemetry_dir",
+        default=None,
+        metavar="DIR",
+        help="write service telemetry (JSONL events, metrics.prom) to DIR",
+    )
+
+    p_submit = sub.add_parser(
+        "submit", help="submit a tuning job to a running service daemon"
+    )
+    p_submit.add_argument(
+        "--dir", dest="state_dir", required=True, help="the daemon's state directory"
+    )
+    p_submit.add_argument(
+        "--key",
+        required=True,
+        help="client job key (resubmitting the same key with the same "
+        "spec returns the existing job)",
+    )
+    p_submit.add_argument("--machines", default="pentium4")
+    p_submit.add_argument("--scenarios", default="adapt")
+    p_submit.add_argument("--metrics", default="balance")
+    p_submit.add_argument("--population", type=int, default=8)
+    p_submit.add_argument("--generations", type=int, default=4)
+    p_submit.add_argument("--seed", type=int, default=0)
+    p_submit.add_argument("--workload-seed", type=int, default=0)
+    p_submit.add_argument("--priority", type=int, default=1)
+    p_submit.add_argument(
+        "--deadline", type=float, default=None, help="advisory deadline, seconds"
+    )
+    p_submit.add_argument(
+        "--wait", action="store_true", help="block until the job is terminal"
+    )
+
+    p_jobs = sub.add_parser("jobs", help="list/inspect a daemon's jobs")
+    p_jobs.add_argument(
+        "--dir", dest="state_dir", required=True, help="the daemon's state directory"
+    )
+    p_jobs.add_argument(
+        "--id", dest="job_id", default=None, help="show one job's cells"
     )
 
     p_store = sub.add_parser(
@@ -366,6 +448,113 @@ def _cmd_campaign(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.resilience import RetryPolicy
+    from repro.service import ServiceDaemon
+
+    policy = RetryPolicy(max_attempts=args.retries, timeout=args.task_timeout)
+    daemon = ServiceDaemon(
+        args.state_dir,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        quota=args.quota,
+        policy=policy,
+        telemetry_dir=args.telemetry_dir,
+    )
+    daemon.start()
+    host, port = daemon.api.address
+    print(
+        f"serving on {host}:{port} (state {args.state_dir}, "
+        f"{args.workers} worker(s)); SIGTERM drains gracefully"
+    )
+    daemon.serve_forever()
+    print("drained; bye")
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from repro.service import ServiceClient, ServiceUnavailable
+
+    job = {
+        "key": args.key,
+        "machines": [m.strip() for m in args.machines.split(",") if m.strip()],
+        "scenarios": [s.strip() for s in args.scenarios.split(",") if s.strip()],
+        "metrics": [m.strip() for m in args.metrics.split(",") if m.strip()],
+        "population": args.population,
+        "generations": args.generations,
+        "seed": args.seed,
+        "workload_seed": args.workload_seed,
+        "priority": args.priority,
+    }
+    if args.deadline is not None:
+        job["deadline"] = args.deadline
+    client = ServiceClient(args.state_dir)
+    try:
+        response = client.submit(job)
+    except ServiceUnavailable as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not response.get("ok"):
+        error = response.get("error", {})
+        print(
+            f"rejected ({error.get('code')}): {error.get('message')}",
+            file=sys.stderr,
+        )
+        return 1
+    dedup = " (deduplicated)" if response.get("deduplicated") else ""
+    print(f"submitted {response['id']} state={response['state']}{dedup}")
+    if args.wait:
+        final = client.wait_job(response["id"])
+        print(
+            f"{final['id']}: {final['state']} "
+            f"({final['cells_done']}/{final['cells']} cells)"
+        )
+        return 0 if final["state"] == "done" else 1
+    return 0
+
+
+def _cmd_jobs(args) -> int:
+    from repro.service import ServiceClient, ServiceUnavailable
+
+    client = ServiceClient(args.state_dir)
+    try:
+        if args.job_id is not None:
+            response = client.result(args.job_id)
+            if not response.get("ok"):
+                error = response.get("error", {})
+                print(f"error ({error.get('code')}): {error.get('message')}",
+                      file=sys.stderr)
+                return 1
+            job = response["job"]
+            print(
+                f"{job['id']} key={job['key']} state={job['state']} "
+                f"priority={job['priority']}"
+            )
+            for name, cell in sorted(response["cells"].items()):
+                line = f"  {name:<30} {cell.get('state', '?')}"
+                if cell.get("state") == "done":
+                    line += f"  evaluations={cell.get('evaluations')}"
+                elif cell.get("error"):
+                    line += f"  {cell['error']}"
+                print(line)
+            return 0
+        response = client.jobs()
+        jobs = response.get("jobs", [])
+        if not jobs:
+            print("no jobs")
+            return 0
+        print(f"{'id':<12} {'key':<20} {'state':<10} {'prio':>4} {'cells':>9}")
+        for job in jobs:
+            print(
+                f"{job['id']:<12} {job['key'][:20]:<20} {job['state']:<10} "
+                f"{job['priority']:>4} {job['cells_done']:>4}/{job['cells']:<4}"
+            )
+        return 0
+    except ServiceUnavailable as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
 def _cmd_store(args) -> int:
     from repro.perf.storetier import StoreTier, is_tier_path
 
@@ -406,7 +595,8 @@ def _cmd_store(args) -> int:
     print(
         f"lifetime  : {stats['appends']} appends, {stats['hits']} hits, "
         f"{stats['misses']} misses (hit rate {stats['hit_rate']:.1%}), "
-        f"{stats['compactions']} compaction(s)"
+        f"{stats['compactions']} compaction(s), "
+        f"{stats['bloom_skips']} bloom skip(s)"
     )
     return 0
 
@@ -556,6 +746,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "run": _cmd_run,
         "tune": _cmd_tune,
         "campaign": _cmd_campaign,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "jobs": _cmd_jobs,
         "store": _cmd_store,
         "telemetry": _cmd_telemetry,
         "figure": _cmd_figure,

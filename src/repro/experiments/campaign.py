@@ -75,6 +75,9 @@ from repro.telemetry import (
 __all__ = [
     "grid_tasks",
     "run_campaign",
+    "CellRequest",
+    "CellOutcome",
+    "execute_cell",
     "CampaignTaskResult",
     "CampaignResult",
 ]
@@ -226,72 +229,147 @@ def _workload_programs(workload_seed: int, archive_name: Optional[str]) -> List:
     return SPECJVM98.programs(seed=workload_seed)
 
 
-def _run_campaign_task(payload) -> Tuple:
+@dataclass(frozen=True)
+class CellRequest:
+    """One schedulable grid cell — the unit of work shared by the CLI
+    campaign runner and the :mod:`repro.service` daemon.
+
+    Everything a worker process needs to tune one cell rides in here
+    (picklable for spawn pools): the tuning task, the GA budget, the
+    shared store, and the campaign-scope optimizations (workload
+    archive, plan archive) that degrade to nothing when absent.
+    """
+
+    task: TuningTask
+    ga_config: GAConfig
+    #: shared evaluation store — JSONL file, tier directory, or None
+    store_path: Optional[str] = None
+    workload_seed: int = 0
+    #: per-cell GA checkpoint path (crash-safe resume), or None
+    checkpoint_path: Optional[str] = None
+    #: shared-memory workload-archive segment name (repro.perf.shm)
+    archive_name: Optional[str] = None
+    #: published plan-archive base name (repro.perf.planshare)
+    plan_base: Optional[str] = None
+    #: opt-in nearest-neighbour population seeding (tier stores only)
+    warm_start_neighbors: bool = False
+
+    @classmethod
+    def from_payload(cls, payload: Sequence) -> "CellRequest":
+        """Unpack a legacy positional payload tuple (5..8 elements)."""
+        task, ga_config, store_path, workload_seed, checkpoint_path = payload[:5]
+        return cls(
+            task=task,
+            ga_config=ga_config,
+            store_path=store_path,
+            workload_seed=workload_seed,
+            checkpoint_path=checkpoint_path,
+            archive_name=payload[5] if len(payload) > 5 else None,
+            plan_base=payload[6] if len(payload) > 6 else None,
+            warm_start_neighbors=bool(payload[7]) if len(payload) > 7 else False,
+        )
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """What one executed cell hands back to its coordinator."""
+
+    task_name: str
+    tuned: TunedHeuristic
+    #: evaluation-context key of the cell's store partition
+    context: Optional[str]
+    #: records buffered by a readonly legacy store (tier cells: empty)
+    pending: Tuple
+    accelerator_stats: Optional[Dict[str, float]]
+    #: compiled plan caches as flat arrays (repro.perf.planshare)
+    plan_exports: Optional[dict]
+    #: records a tier cell appended durably from the worker itself
+    appended: int
+
+    def as_tuple(self) -> Tuple:
+        """The positional result tuple the campaign runner consumes."""
+        return (
+            self.task_name,
+            self.tuned,
+            self.context,
+            self.pending,
+            self.accelerator_stats,
+            self.plan_exports,
+            self.appended,
+        )
+
+
+def execute_cell(request: CellRequest) -> CellOutcome:
     """Tune one grid cell (module-level: runs in pool workers).
 
-    A legacy single-file store opens read-only; newly simulated records
-    come back with the result for the coordinator to persist.  A store
-    *tier* appends from this worker directly (private shard, durable
-    immediately) and only the count rides back.  With a checkpoint
-    path (campaign directory mode) the GA persists its state every
+    This is the cell-execution core shared by ``repro campaign`` and
+    the ``repro serve`` daemon.  A legacy single-file store opens
+    read-only; newly simulated records come back in
+    :attr:`CellOutcome.pending` for the coordinator to persist.  A
+    store *tier* appends from this worker directly (private shard,
+    durable immediately) and only :attr:`CellOutcome.appended` rides
+    back.  With a checkpoint path the GA persists its state every
     generation and resumes from an existing checkpoint, so a retried or
     resumed cell re-simulates only what the store cannot answer.
-
-    The payload's optional sixth element names the campaign's shared
-    workload-archive segment (see :mod:`repro.perf.shm`) and the
-    optional seventh the campaign's plan archive (see
-    :mod:`repro.perf.planshare`), and the optional eighth enables
-    nearest-neighbour warm-start seeding for tier stores; five-element
-    payloads from older checkpoint tooling still unpack.
     """
-    task, ga_config, store_path, workload_seed, checkpoint_path = payload[:5]
-    archive_name = payload[5] if len(payload) > 5 else None
-    plan_base = payload[6] if len(payload) > 6 else None
-    warm_start_neighbors = bool(payload[7]) if len(payload) > 7 else False
-    if plan_base is not None:
+    task = request.task
+    if request.plan_base is not None:
         # attach the coordinator's published plan caches: accelerators
         # in this worker then warm-start instead of recompiling plans
         # another cell already produced (degrades to private caches on
         # any shm failure)
         from repro.perf import planshare
 
-        planshare.ensure_client(plan_base)
+        planshare.ensure_client(request.plan_base)
     from repro.resilience.faults import get_fault_injector
 
     injector = get_fault_injector()
     if injector is not None:
         # test-only supervision hooks: an installed fault plan can kill
-        # this worker (SIGKILL) or fail the cell with an exception; the
-        # supervisor must recover either way
+        # this worker (SIGKILL), fail the cell with an exception, or
+        # stall it into a timeout; the supervisor must recover all three
         injector.maybe_kill("worker-kill", key=task.name)
         injector.maybe_raise("task-exception", key=task.name)
+        injector.maybe_delay("slow-task", key=task.name)
 
-    programs = _workload_programs(workload_seed, archive_name)
+    programs = _workload_programs(request.workload_seed, request.archive_name)
     with scoped_context(cell=task.name):
         with trace("campaign.cell", task=task.name):
             tuner = InliningTuner(
-                ga_config,
-                store_path=store_path,
+                request.ga_config,
+                store_path=request.store_path,
                 store_readonly=True,
-                warm_start_neighbors=warm_start_neighbors,
+                warm_start_neighbors=request.warm_start_neighbors,
             )
-            tuned = tuner.tune(task, programs, checkpoint_path=checkpoint_path)
+            tuned = tuner.tune(
+                task, programs, checkpoint_path=request.checkpoint_path
+            )
     store = tuner.last_store
-    pending = store.drain_pending() if store is not None else []
+    pending = tuple(store.drain_pending()) if store is not None else ()
     context = store.context if store is not None else None
     # tier stores append durably from the worker itself; report how many
     # records this cell persisted so the coordinator can account for
     # them without a merge pass
     appended = getattr(store, "appended", 0) if store is not None else 0
-    return (
-        task.name,
-        tuned,
-        context,
-        pending,
-        tuner.last_accelerator_stats,
-        tuner.last_plan_exports,
-        appended,
+    return CellOutcome(
+        task_name=task.name,
+        tuned=tuned,
+        context=context,
+        pending=pending,
+        accelerator_stats=tuner.last_accelerator_stats,
+        plan_exports=tuner.last_plan_exports,
+        appended=appended,
     )
+
+
+def _run_campaign_task(payload) -> Tuple:
+    """Positional-tuple adapter over :func:`execute_cell`.
+
+    The campaign runner ships payload tuples (5..8 elements — older
+    checkpoint tooling still submits five) and consumes positional
+    result tuples; the daemon uses :class:`CellRequest` directly.
+    """
+    return execute_cell(CellRequest.from_payload(payload)).as_tuple()
 
 
 def _merge_pending(

@@ -46,6 +46,9 @@ Layout of a tier directory::
     <root>/tier.json        tier marker + lifetime counters (atomic)
     <root>/shards/*.jsonl   active append shards, one per writer
     <root>/shards/*.lock    live-writer markers (pid; stale ones reaped)
+    <root>/shards/*.bloom   per-shard context bloom sidecars (written at
+                            writer close; cold lookups skip a shard's
+                            replay when its bloom excludes the context)
     <root>/packs/*.sqlite   compacted packs (record_key -> record)
     <root>/profiles/*.json  workload profiles, one per context
     <root>/plans/*.npz      persisted compiled-plan archives
@@ -185,6 +188,79 @@ def open_store(
 
 
 # ----------------------------------------------------------------------
+# per-shard context bloom filters
+# ----------------------------------------------------------------------
+#: bloom geometry: 2048 bits / 4 hashes keeps the false-positive rate
+#: under 1% up to ~150 distinct contexts per shard (shards typically
+#: hold one or two)
+BLOOM_BITS = 2048
+BLOOM_HASHES = 4
+
+
+def _bloom_indexes(context: str) -> List[int]:
+    return [
+        stable_hash(f"bloom|{i}|{context}") % BLOOM_BITS
+        for i in range(BLOOM_HASHES)
+    ]
+
+
+def _bloom_path(shard_path: str) -> str:
+    return shard_path + ".bloom"
+
+
+def _write_bloom(shard_path: str, contexts) -> None:
+    """Persist the context bloom sidecar of a cooled shard (atomic).
+
+    Best-effort: the sidecar only enables the replay *skip*; a missing
+    or torn sidecar simply means the shard is replayed as before.
+    """
+    bits = bytearray(BLOOM_BITS // 8)
+    for context in contexts:
+        for index in _bloom_indexes(context):
+            bits[index // 8] |= 1 << (index % 8)
+    payload = {
+        "version": 1,
+        "m": BLOOM_BITS,
+        "k": BLOOM_HASHES,
+        "bits": bits.hex(),
+    }
+    path = _bloom_path(shard_path)
+    tmp = path + f".tmp-{os.getpid()}"
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp, path)
+    except OSError:  # pragma: no cover - read-only mount
+        try:
+            os.remove(tmp)
+        except OSError:
+            pass
+
+
+def _bloom_excludes(shard_path: str, context: str) -> bool:
+    """True only when the sidecar *proves* the context is absent.
+
+    Any defect — no sidecar (hot shard, crashed writer), torn JSON,
+    foreign geometry — answers False, so defects degrade to a replay,
+    never to a missed record.
+    """
+    try:
+        with open(_bloom_path(shard_path), "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if payload.get("m") != BLOOM_BITS or payload.get("k") != BLOOM_HASHES:
+            return False
+        bits = bytes.fromhex(payload["bits"])
+        if len(bits) != BLOOM_BITS // 8:
+            return False
+    except (OSError, ValueError, TypeError, KeyError):
+        return False
+    return any(
+        not bits[index // 8] & (1 << (index % 8))
+        for index in _bloom_indexes(context)
+    )
+
+
+# ----------------------------------------------------------------------
 # shard files
 # ----------------------------------------------------------------------
 class _ShardWriter:
@@ -201,6 +277,9 @@ class _ShardWriter:
         os.makedirs(directory, exist_ok=True)
         self.flush_every = flush_every
         self._unflushed = 0
+        #: distinct contexts appended — becomes the bloom sidecar that
+        #: lets cold lookups skip this shard once it cools
+        self._contexts: set = set()
         while True:
             name = f"w-{os.getpid()}-{uuid.uuid4().hex[:8]}.jsonl"
             path = os.path.join(directory, name)
@@ -233,6 +312,9 @@ class _ShardWriter:
 
     def append(self, record: dict) -> None:
         self._handle.write(json.dumps(record) + "\n")
+        ctx = record.get("ctx")
+        if ctx is not None:
+            self._contexts.add(ctx)
         self._unflushed += 1
         if self._unflushed >= self.flush_every:
             self.flush()
@@ -258,8 +340,12 @@ class _ShardWriter:
         try:
             if os.path.getsize(self.path) == 0:
                 os.remove(self.path)
+                return
         except OSError:  # pragma: no cover - concurrent compaction
             pass
+        # the shard just cooled: publish its context bloom so cold
+        # lookups for other contexts skip the replay entirely
+        _write_bloom(self.path, self._contexts)
 
 
 def _iter_shard_records(path: str, repair_log: Optional[List[str]] = None):
@@ -356,7 +442,7 @@ class StoreTier:
         if not os.path.exists(self._marker_path()):
             self._write_marker({"version": 1, "n_buckets": self.n_buckets,
                                 "hits": 0, "misses": 0, "appends": 0,
-                                "compactions": 0})
+                                "compactions": 0, "bloom_skips": 0})
         else:
             data = self._read_marker()
             self.n_buckets = int(data.get("n_buckets", self.n_buckets))
@@ -445,7 +531,11 @@ class StoreTier:
 
         Packs answer with one indexed query each (columnar rows into a
         hash map); shards replay their JSONL tails on top, so the
-        freshest append wins when a record appears in both.
+        freshest append wins when a record appears in both.  Cooled
+        shards carry a context *bloom sidecar* (written at writer
+        close): when the bloom proves the context cannot be present the
+        shard's replay is skipped outright, counted in the tier's
+        ``bloom_skips`` scoreboard (``repro store stats``).
         """
         entries: Dict[Genome, float] = {}
         extras: Dict[Genome, dict] = {}
@@ -469,7 +559,11 @@ class StoreTier:
                 entries[genome] = fitness
                 if per:
                     extras[genome] = json.loads(per)
+        bloom_skips = 0
         for shard in self.shard_files():
+            if _bloom_excludes(shard, context):
+                bloom_skips += 1
+                continue
             for ctx, genome, fitness, per in _iter_shard_records(
                 shard, repair_log
             ):
@@ -478,6 +572,8 @@ class StoreTier:
                 entries[genome] = fitness
                 if per:
                     extras[genome] = dict(per)
+        if bloom_skips:
+            self.fold_counters(bloom_skips=bloom_skips)
         return entries, extras, repair_log
 
     def contexts(self) -> Dict[str, int]:
@@ -587,12 +683,12 @@ class StoreTier:
                 removed += 1
             except OSError:  # pragma: no cover - already reaped
                 pass
-            lock = stale + ".lock"
-            if os.path.exists(lock):
-                try:
-                    os.remove(lock)
-                except OSError:  # pragma: no cover
-                    pass
+            for sidecar in (stale + ".lock", _bloom_path(stale)):
+                if os.path.exists(sidecar):
+                    try:
+                        os.remove(sidecar)
+                    except OSError:  # pragma: no cover
+                        pass
         # reap temp packs from compactions that died pre-publish
         for name in os.listdir(self.packs_dir):
             if ".sqlite.tmp-" in name:
@@ -763,6 +859,7 @@ class StoreTier:
             "misses": misses,
             "appends": int(marker.get("appends", 0)),
             "compactions": int(marker.get("compactions", 0)),
+            "bloom_skips": int(marker.get("bloom_skips", 0)),
             "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
         }
 

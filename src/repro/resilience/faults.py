@@ -31,6 +31,14 @@ Supported sites (the constants below):
 ``slow-task``
     ``maybe_delay`` sleeps for the spec's ``delay`` — exercises
     per-task timeouts.
+``job-admit``
+    ``maybe_raise`` inside the service daemon's submission path, after
+    validation but before the journal write — exercises the API's
+    structured ``internal`` error (and that a client retry of the same
+    job key succeeds once the fire budget is spent).
+``journal-io``
+    ``maybe_raise`` just before the job journal rewrites its file —
+    simulates a failing state disk at the daemon's most critical write.
 
 The injector is test-only configuration: production code calls
 :func:`get_fault_injector`, which returns ``None`` unless a plan was
@@ -57,6 +65,8 @@ __all__ = [
     "SITE_BATCH_KERNEL",
     "SITE_TORN_WRITE",
     "SITE_SLOW_TASK",
+    "SITE_JOB_ADMIT",
+    "SITE_JOURNAL_IO",
     "InjectedFault",
     "FaultSpec",
     "FaultPlan",
@@ -71,6 +81,8 @@ SITE_TASK_EXCEPTION = "task-exception"
 SITE_BATCH_KERNEL = "batch-kernel"
 SITE_TORN_WRITE = "torn-write"
 SITE_SLOW_TASK = "slow-task"
+SITE_JOB_ADMIT = "job-admit"
+SITE_JOURNAL_IO = "journal-io"
 
 #: environment variable carrying the plan JSON into spawned workers
 PLAN_ENV_VAR = "REPRO_FAULT_PLAN"

@@ -74,14 +74,28 @@ class RetryPolicy:
         if self.timeout is not None and self.timeout <= 0:
             raise ConfigurationError(f"timeout must be positive, got {self.timeout}")
 
-    def delay_before(self, task_name: str, attempt: int) -> float:
-        """Backoff before *attempt* (1-based) of *task_name*."""
+    def delay_before(
+        self, task_name: str, attempt: int, slept: Optional[float] = None
+    ) -> float:
+        """Backoff before *attempt* (1-based) of *task_name*.
+
+        When the policy has a ``timeout`` and *slept* (total backoff
+        this task has already slept) is given, the delay is capped at
+        the task's *remaining* sleep budget — cumulative backoff never
+        exceeds the per-task timeout, so a retried task can never sleep
+        past its deadline no matter how aggressive the backoff curve
+        is.  The cap is pure arithmetic over the policy and *slept*;
+        no clock is read here.
+        """
         if attempt <= 1 or self.backoff_base <= 0.0:
             return 0.0
         raw = self.backoff_base * self.backoff_factor ** (attempt - 2)
         raw = min(raw, self.backoff_max)
         unit = stable_hash(f"backoff|{self.seed}|{task_name}|{attempt}") / 2.0**64
-        return raw * (1.0 + self.jitter * unit)
+        delay = raw * (1.0 + self.jitter * unit)
+        if self.timeout is not None and slept is not None:
+            delay = min(delay, max(0.0, self.timeout - slept))
+        return delay
 
 
 @dataclass(frozen=True)
@@ -124,6 +138,9 @@ class _TaskState:
     payload: object
     attempts: int = 0
     ready_at: float = 0.0
+    #: cumulative backoff scheduled for this task (caps future backoff
+    #: at the remaining per-task timeout; see RetryPolicy.delay_before)
+    slept: float = 0.0
     done: bool = False
     failed: bool = False
 
@@ -151,10 +168,12 @@ def run_supervised_serial(
     results: Dict[str, object] = {}
     failures: List[FailureReport] = []
     for name, payload in payloads:
+        slept = 0.0
         for attempt in range(1, policy.max_attempts + 1):
-            delay = policy.delay_before(name, attempt)
+            delay = policy.delay_before(name, attempt, slept=slept)
             if delay > 0.0:
                 time.sleep(delay)
+                slept += delay
             # same clock as the pooled path: FailureReport.elapsed and
             # timeout accounting both read time.monotonic()
             started = time.monotonic()
@@ -234,9 +253,13 @@ def run_supervised(
         if fatal:
             entry_state.failed = True
         else:
-            entry_state.ready_at = time.monotonic() + policy.delay_before(
-                entry_state.name, entry_state.attempts + 1
+            delay = policy.delay_before(
+                entry_state.name,
+                entry_state.attempts + 1,
+                slept=entry_state.slept,
             )
+            entry_state.slept += delay
+            entry_state.ready_at = time.monotonic() + delay
 
     def rebuild_pool(reason: str) -> None:
         nonlocal pool

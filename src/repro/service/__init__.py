@@ -1,0 +1,57 @@
+"""Tuning-as-a-service: the fault-tolerant campaign daemon.
+
+``repro serve --dir STATE`` turns the one-shot campaign runner into a
+persistent daemon: clients submit tuning *jobs* (a workload profile,
+target architectures, compilation scenarios, optimization metrics, a GA
+budget, a priority and an optional deadline) over a newline-delimited
+JSON socket API; the daemon expands each job into campaign cells and
+schedules them over one shared elastic worker pool with weighted-fair
+scheduling, per-job quotas and admission control.
+
+The package splits along the daemon's fault boundaries:
+
+:mod:`repro.service.jobs`
+    job specifications, schema validation at the API boundary, job and
+    cell state machines;
+:mod:`repro.service.journal`
+    the crash-safe job journal (atomic temp-file + ``os.replace``
+    rewrites) that lets a SIGKILLed daemon restart and resume;
+:mod:`repro.service.scheduler`
+    the shared worker pool: stride (weighted-fair) cell scheduling,
+    per-job inflight quotas, retry/backoff/timeout supervision, pool
+    rebuild on worker death;
+:mod:`repro.service.api`
+    the NDJSON-over-TCP request server and its endpoint discovery file;
+:mod:`repro.service.daemon`
+    the composition root: journal recovery, scheduler, API server,
+    signal handling (SIGTERM drains gracefully) and service telemetry;
+:mod:`repro.service.client`
+    the thin blocking client used by ``repro submit`` / ``repro jobs``
+    and the soak harness.
+
+See ``docs/SERVICE.md`` for the API contract, the job lifecycle state
+machine and the failure semantics.
+"""
+
+from repro.service.client import ServiceClient, ServiceUnavailable
+from repro.service.daemon import ServiceDaemon
+from repro.service.jobs import (
+    JOB_STATES,
+    JobRecord,
+    JobSpec,
+    ValidationFailure,
+    validate_job_payload,
+)
+from repro.service.journal import JobJournal
+
+__all__ = [
+    "JOB_STATES",
+    "JobJournal",
+    "JobRecord",
+    "JobSpec",
+    "ServiceClient",
+    "ServiceDaemon",
+    "ServiceUnavailable",
+    "ValidationFailure",
+    "validate_job_payload",
+]

@@ -1,0 +1,128 @@
+"""Blocking client for the service daemon's NDJSON API.
+
+One connection per request keeps the client trivially robust against
+daemon restarts: every call re-reads ``endpoint.json`` (a restarted
+daemon publishes a fresh port there), connects, writes one line, reads
+one line.  A daemon that cannot be reached raises
+:class:`ServiceUnavailable` — the only transport-level error surface;
+everything else is the structured response payload.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from typing import Optional
+
+from repro.service.api import read_endpoint
+
+__all__ = ["ServiceClient", "ServiceUnavailable"]
+
+
+class ServiceUnavailable(Exception):
+    """No daemon is reachable for the state directory."""
+
+
+class ServiceClient:
+    """Thin request/response client bound to one state directory."""
+
+    def __init__(self, state_dir: str, connect_timeout: float = 5.0) -> None:
+        self.state_dir = state_dir
+        self.connect_timeout = connect_timeout
+
+    # -- transport -----------------------------------------------------
+    def request(self, payload: dict) -> dict:
+        endpoint = read_endpoint(self.state_dir)
+        if endpoint is None:
+            raise ServiceUnavailable(
+                f"no daemon endpoint published in {self.state_dir!r} "
+                "(is `repro serve` running?)"
+            )
+        try:
+            with socket.create_connection(
+                (endpoint["host"], int(endpoint["port"])),
+                timeout=self.connect_timeout,
+            ) as conn:
+                conn.sendall((json.dumps(payload) + "\n").encode("utf-8"))
+                with conn.makefile("r", encoding="utf-8") as reader:
+                    line = reader.readline()
+        except OSError as exc:
+            raise ServiceUnavailable(
+                f"daemon at {endpoint.get('host')}:{endpoint.get('port')} "
+                f"(pid {endpoint.get('pid')}) is unreachable: {exc}"
+            ) from exc
+        if not line:
+            raise ServiceUnavailable("daemon closed the connection mid-request")
+        return json.loads(line)
+
+    def wait_ready(self, timeout: float = 30.0, poll: float = 0.1) -> None:
+        """Block until the daemon answers a ping (or raise)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                if self.request({"op": "ping"}).get("ok"):
+                    return
+            except (ServiceUnavailable, json.JSONDecodeError):
+                pass
+            if time.monotonic() > deadline:
+                raise ServiceUnavailable(
+                    f"daemon for {self.state_dir!r} not ready after {timeout}s"
+                )
+            time.sleep(poll)
+
+    # -- operations ----------------------------------------------------
+    def ping(self) -> dict:
+        return self.request({"op": "ping"})
+
+    def submit(self, job: dict) -> dict:
+        return self.request({"op": "submit", "job": job})
+
+    def status(self, job_id: Optional[str] = None, key: Optional[str] = None) -> dict:
+        payload: dict = {"op": "status"}
+        if job_id is not None:
+            payload["id"] = job_id
+        if key is not None:
+            payload["key"] = key
+        return self.request(payload)
+
+    def result(self, job_id: str) -> dict:
+        return self.request({"op": "result", "id": job_id})
+
+    def jobs(self) -> dict:
+        return self.request({"op": "jobs"})
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})
+
+    def drain(self) -> dict:
+        return self.request({"op": "drain"})
+
+    def shutdown(self) -> dict:
+        return self.request({"op": "shutdown"})
+
+    # -- convenience ---------------------------------------------------
+    def wait_job(
+        self, job_id: str, timeout: float = 300.0, poll: float = 0.2
+    ) -> dict:
+        """Poll until the job is terminal; returns its final status.
+
+        Rides out daemon restarts: a :class:`ServiceUnavailable` during
+        the wait is retried until the deadline, because the job's state
+        survives in the journal and a recovered daemon keeps running it.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                response = self.status(job_id=job_id)
+                if response.get("ok"):
+                    job = response["job"]
+                    if job["state"] in ("done", "failed", "cancelled"):
+                        return job
+            except ServiceUnavailable:
+                pass
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} not terminal after {timeout}s"
+                )
+            time.sleep(poll)

@@ -19,6 +19,7 @@ __all__ = [
     "EVENT_SCHEMAS",
     "SPAN_NAMES",
     "REQUIRED_METRIC_FAMILIES",
+    "SERVICE_METRIC_FAMILIES",
     "validate_event",
 ]
 
@@ -91,6 +92,18 @@ EVENT_SCHEMAS: Dict[str, Dict[str, tuple]] = {
     "tier.warm_start": {"seeds": (int,)},
     # registry dumps
     "metrics.snapshot": {"metrics": (dict,)},
+    # service daemon (repro.service) job lifecycle
+    "service.start": {"workers": (int,)},
+    "service.job_submitted": {
+        "job": (str,),
+        "key": (str,),
+        "cells": (int,),
+        "deduplicated": (bool,),
+    },
+    "service.job_rejected": {"code": (str,)},
+    "service.job_done": {"job": (str,), "key": (str,), "state": (str,)},
+    "service.cell_done": {"job": (str,), "cell": (str,), "ok": (bool,)},
+    "service.drain": {"inflight": (int,)},
 }
 
 #: span names the instrumentation emits (``span`` field of span events)
@@ -117,6 +130,20 @@ REQUIRED_METRIC_FAMILIES: Tuple[str, ...] = (
     "repro_tier_misses_total",
     "repro_tier_appends_total",
     "repro_tier_compactions_total",
+)
+
+#: metric families a *service daemon* run must export (validated by
+#: ``tools/check_telemetry.py --baseline service``; deliberately NOT
+#: part of REQUIRED_METRIC_FAMILIES — plain campaign runs never touch
+#: the daemon, so requiring these there would fail every campaign)
+SERVICE_METRIC_FAMILIES: Tuple[str, ...] = (
+    "repro_service_jobs_total",
+    "repro_service_cells_total",
+    "repro_service_rejects_total",
+    "repro_service_retries_total",
+    "repro_service_pool_rebuilds_total",
+    "repro_service_queue_depth",
+    "repro_service_inflight",
 )
 
 #: per-span required fields (beyond the generic span fields)

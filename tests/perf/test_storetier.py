@@ -181,6 +181,96 @@ class TestTierCounters:
         assert stats["hits"] == 1
 
 
+class TestBloomFilters:
+    def _cooled_shard(self, root, context="ctx-a", records=4):
+        with TierStore(root, context=context) as store:
+            for i in range(records):
+                store.record((i, i, i, i, i), float(i))
+
+    def test_cooled_shard_gets_a_bloom_sidecar(self, tmp_path):
+        root = str(tmp_path / "tier")
+        self._cooled_shard(root)
+        tier = StoreTier(root)
+        (shard,) = tier.shard_files()
+        assert os.path.exists(shard + ".bloom")
+
+    def test_foreign_context_skips_the_shard_replay(self, tmp_path):
+        root = str(tmp_path / "tier")
+        self._cooled_shard(root, context="ctx-a")
+        tier = StoreTier(root)
+        entries, _extras, _log = tier.load_context("ctx-never-written")
+        assert entries == {}
+        assert tier.stats()["bloom_skips"] == 1
+        # the skip is structural, not just a counter: the replay parser
+        # is never consulted for an excluded shard
+        import repro.perf.storetier as storetier_module
+
+        calls = []
+        original = storetier_module._iter_shard_records
+
+        def spy(path, repair_log=None):
+            calls.append(path)
+            return original(path, repair_log)
+
+        storetier_module._iter_shard_records = spy
+        try:
+            tier.load_context("ctx-never-written")
+        finally:
+            storetier_module._iter_shard_records = original
+        assert calls == []
+
+    def test_own_context_is_never_excluded(self, tmp_path):
+        root = str(tmp_path / "tier")
+        self._cooled_shard(root, context="ctx-a", records=6)
+        entries, _extras, _log = StoreTier(root).load_context("ctx-a")
+        assert len(entries) == 6
+
+    def test_torn_sidecar_degrades_to_replay(self, tmp_path):
+        root = str(tmp_path / "tier")
+        self._cooled_shard(root, context="ctx-a")
+        tier = StoreTier(root)
+        (shard,) = tier.shard_files()
+        with open(shard + ".bloom", "w", encoding="utf-8") as handle:
+            handle.write('{"version": 1, "m":')  # torn mid-write
+        entries, _extras, _log = tier.load_context("ctx-a")
+        assert len(entries) == 4  # replayed despite the broken sidecar
+        assert tier.stats()["bloom_skips"] == 0
+
+    def test_hot_shard_without_sidecar_is_replayed(self, tmp_path):
+        root = str(tmp_path / "tier")
+        store = TierStore(root, context="ctx-a")
+        store.record((9, 9, 9, 9, 9), 9.0)
+        store.flush()  # durable but the writer is still live: no bloom
+        tier = StoreTier(root)
+        entries, _extras, _log = tier.load_context("ctx-a")
+        assert entries == {(9, 9, 9, 9, 9): 9.0}
+        assert tier.stats()["bloom_skips"] == 0
+        store.close()
+
+    def test_compaction_removes_bloom_sidecars(self, tmp_path):
+        root = str(tmp_path / "tier")
+        self._cooled_shard(root)
+        tier = StoreTier(root)
+        tier.compact()
+        assert not tier.shard_files()
+        leftovers = [
+            name
+            for name in os.listdir(tier.shards_dir)
+            if name.endswith(".bloom")
+        ]
+        assert leftovers == []
+
+    def test_skips_accumulate_in_the_scoreboard(self, tmp_path):
+        root = str(tmp_path / "tier")
+        self._cooled_shard(root, context="ctx-a")
+        self._cooled_shard(root, context="ctx-b")
+        tier = StoreTier(root)
+        base = tier.stats()["bloom_skips"]  # opening ctx-b already skipped
+        tier.load_context("ctx-c")  # both shards excluded
+        tier.load_context("ctx-a")  # one shard excluded
+        assert tier.stats()["bloom_skips"] == base + 3
+
+
 class TestCompaction:
     def _fill(self, root, n_contexts=3, per_context=5):
         expected = {}

@@ -91,6 +91,64 @@ class TestRetryPolicy:
         assert 1.0 <= delay <= 1.5
         assert policy.delay_before("other", 2) != delay  # de-synchronized
 
+    def test_backoff_is_capped_at_remaining_timeout(self):
+        # an aggressive backoff curve must never sleep a retried task
+        # past its per-task deadline: cumulative backoff <= timeout
+        policy = RetryPolicy(
+            max_attempts=5,
+            backoff_base=10.0,
+            backoff_factor=2.0,
+            jitter=0.0,
+            timeout=3.0,
+        )
+        first = policy.delay_before("t", 2, slept=0.0)
+        assert first == 3.0  # 10s raw, capped at the full budget
+        assert policy.delay_before("t", 3, slept=first) == 0.0  # budget gone
+        assert policy.delay_before("t", 3, slept=2.5) == 0.5  # partial budget
+
+    def test_cap_is_inert_without_timeout_or_accounting(self):
+        uncapped = RetryPolicy(backoff_base=10.0, jitter=0.0)
+        assert uncapped.delay_before("t", 2, slept=100.0) == 10.0
+        capped = RetryPolicy(backoff_base=10.0, jitter=0.0, timeout=3.0)
+        # no slept accounting handed in -> legacy behaviour, no cap
+        assert capped.delay_before("t", 2) == 10.0
+
+    def test_cap_is_clock_invariant(self, monkeypatch):
+        # the cap is arithmetic over (policy, slept); skewing every
+        # clock must not change a single returned delay
+        policy = RetryPolicy(
+            max_attempts=4, backoff_base=5.0, jitter=0.0, timeout=2.0
+        )
+        baseline = [policy.delay_before("t", n, slept=s)
+                    for n, s in ((2, 0.0), (3, 1.5), (4, 2.0))]
+        ticks = itertools.count()
+        monkeypatch.setattr(time, "monotonic", lambda: 1e9 + next(ticks) * 1e6)
+        monkeypatch.setattr(time, "perf_counter", lambda: -5e8)
+        skewed = [policy.delay_before("t", n, slept=s)
+                  for n, s in ((2, 0.0), (3, 1.5), (4, 2.0))]
+        assert skewed == baseline
+
+    def test_serial_total_sleep_never_exceeds_timeout(self, monkeypatch):
+        # regression: a retried task used to sleep backoff_base *
+        # backoff_factor**n between attempts regardless of its deadline
+        slept = []
+        monkeypatch.setattr(
+            supervisor_module.time, "sleep", lambda s: slept.append(s)
+        )
+        policy = RetryPolicy(
+            max_attempts=4,
+            backoff_base=30.0,
+            backoff_factor=2.0,
+            jitter=0.0,
+            timeout=0.5,
+        )
+        results, failures = run_supervised_serial(
+            [("doomed", None)], _always_fail, policy=policy
+        )
+        assert results == {}
+        assert len(failures) == 4
+        assert sum(slept) <= policy.timeout + 1e-9
+
 
 class TestSerialSupervision:
     def test_all_succeed(self):

@@ -1,0 +1,16 @@
+"""Shared fixtures for the service suite.
+
+The daemon tests install fault plans and spawn worker pools; both are
+process-global state that must never leak between tests.
+"""
+
+import pytest
+
+from repro.resilience.faults import clear_fault_plan
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_plan():
+    clear_fault_plan()
+    yield
+    clear_fault_plan()

@@ -1,0 +1,121 @@
+"""Crash-safety and recovery semantics of the job journal."""
+
+import json
+import os
+
+from repro.service.jobs import JobRecord, JobSpec
+from repro.service.journal import JobJournal
+
+
+def spec(key="k", **overrides) -> JobSpec:
+    fields = dict(
+        key=key,
+        machines=("pentium4",),
+        scenarios=("adapt",),
+        metrics=("running",),
+    )
+    fields.update(overrides)
+    return JobSpec(**fields)
+
+
+def record(key="k", job_id="job-000001") -> JobRecord:
+    return JobRecord(job_id=job_id, spec=spec(key))
+
+
+class TestAdmission:
+    def test_admit_is_write_ahead(self, tmp_path):
+        journal = JobJournal(str(tmp_path))
+        journal.admit(record())
+        # before the caller could possibly ack, the job is on disk
+        with open(journal.path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert [job["job_id"] for job in payload["jobs"]] == ["job-000001"]
+
+    def test_seq_is_assigned_in_admission_order(self, tmp_path):
+        journal = JobJournal(str(tmp_path))
+        first = journal.admit(record("a", "job-000001"))
+        second = journal.admit(record("b", "job-000002"))
+        assert (first.seq, second.seq) == (1, 2)
+        assert journal.next_seq() == 3
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        journal = JobJournal(str(tmp_path))
+        journal.admit(record())
+        journal.update(journal.get("job-000001"))
+        assert os.listdir(tmp_path) == ["journal.json"]
+
+    def test_lookup_by_key_and_id(self, tmp_path):
+        journal = JobJournal(str(tmp_path))
+        admitted = journal.admit(record())
+        assert journal.get("job-000001") is admitted
+        assert journal.by_key("k") is admitted
+        assert journal.get("job-999999") is None
+        assert journal.by_key("unknown") is None
+
+
+class TestRecovery:
+    def test_reload_roundtrips_records(self, tmp_path):
+        journal = JobJournal(str(tmp_path))
+        admitted = journal.admit(record())
+        admitted.cell_done(
+            "adapt:running@pentium4", {"fitness": 1.25, "params": [1, 2]}, 8
+        )
+        journal.update(admitted)
+
+        reloaded = JobJournal(str(tmp_path))
+        twin = reloaded.get("job-000001")
+        assert twin.as_dict() == admitted.as_dict()
+        assert twin.state == "done"
+
+    def test_next_seq_survives_reload(self, tmp_path):
+        journal = JobJournal(str(tmp_path))
+        journal.admit(record("a", "job-000001"))
+        journal.admit(record("b", "job-000002"))
+        assert JobJournal(str(tmp_path)).next_seq() == 3
+
+    def test_active_jobs_excludes_terminal(self, tmp_path):
+        journal = JobJournal(str(tmp_path))
+        done = journal.admit(record("a", "job-000001"))
+        done.cell_done("adapt:running@pentium4", {"fitness": 1.0}, 8)
+        journal.update(done)
+        journal.admit(record("b", "job-000002"))
+
+        recovered = JobJournal(str(tmp_path))
+        assert [r.job_id for r in recovered.active_jobs()] == ["job-000002"]
+        # admission order is preserved for the full listing
+        assert [r.job_id for r in recovered.jobs()] == [
+            "job-000001",
+            "job-000002",
+        ]
+
+
+class TestCorruptionTolerance:
+    def test_missing_file_is_an_empty_journal(self, tmp_path):
+        journal = JobJournal(str(tmp_path))
+        assert journal.jobs() == []
+        assert journal.next_seq() == 1
+
+    def test_torn_file_is_an_empty_journal(self, tmp_path):
+        (tmp_path / "journal.json").write_text('{"version": 1, "jobs": [')
+        journal = JobJournal(str(tmp_path))
+        assert journal.jobs() == []
+
+    def test_unknown_version_is_ignored(self, tmp_path):
+        (tmp_path / "journal.json").write_text(
+            json.dumps({"version": 99, "jobs": [record().as_dict()]})
+        )
+        assert JobJournal(str(tmp_path)).jobs() == []
+
+    def test_one_malformed_entry_does_not_sink_recovery(self, tmp_path):
+        journal = JobJournal(str(tmp_path))
+        journal.admit(record("a", "job-000001"))
+        journal.admit(record("b", "job-000002"))
+        with open(journal.path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        del payload["jobs"][0]["spec"]  # job-000001 is now unreadable
+        (tmp_path / "journal.json").write_text(json.dumps(payload))
+
+        recovered = JobJournal(str(tmp_path))
+        assert [r.job_id for r in recovered.jobs()] == ["job-000002"]
+        # seq keeps counting past the surviving entries
+        assert recovered.next_seq() == 3

@@ -9,10 +9,16 @@ and then::
 
 Exit code 0 when every line of every ``events-*.jsonl`` is schema-valid
 (see :mod:`repro.telemetry.schema`), the directory contains the event
-kinds a campaign must produce, and ``metrics.prom`` exposes the
-required metric families; 1 otherwise, with every violation listed.
+kinds the run must produce, and ``metrics.prom`` exposes the required
+metric families; 1 otherwise, with every violation listed.
 
 Options:
+    --baseline {campaign,service}     which run profile to validate
+                                      against: a ``repro campaign``
+                                      run (default) or a ``repro
+                                      serve`` daemon run (service.*
+                                      events plus the repro_service_*
+                                      metric families)
     --require-events NAME[,NAME...]   additional event names that must
                                       appear at least once (e.g.
                                       ``supervise.failure`` for a
@@ -33,16 +39,34 @@ sys.path.insert(
 
 from repro.telemetry.schema import (  # noqa: E402
     REQUIRED_METRIC_FAMILIES,
+    SERVICE_METRIC_FAMILIES,
     validate_event,
 )
 
 #: event kinds any successful campaign run must have produced
 BASELINE_EVENTS = ("campaign.start", "campaign.cell_done", "campaign.done", "span")
 
+#: event kinds any service daemon run must have produced.  The daemon's
+#: cells still run the campaign code paths, so span events appear too.
+SERVICE_BASELINE_EVENTS = (
+    "service.start",
+    "service.job_submitted",
+    "service.job_done",
+    "service.cell_done",
+    "span",
+)
 
-def check_directory(directory: str, require_events=()) -> list:
+#: per-profile (required events, required metric families)
+BASELINES = {
+    "campaign": (BASELINE_EVENTS, REQUIRED_METRIC_FAMILIES),
+    "service": (SERVICE_BASELINE_EVENTS, SERVICE_METRIC_FAMILIES),
+}
+
+
+def check_directory(directory: str, require_events=(), baseline="campaign") -> list:
     """Return a list of violation strings (empty = pass)."""
     problems = []
+    baseline_events, required_families = BASELINES[baseline]
 
     event_files = sorted(glob.glob(os.path.join(directory, "events-*.jsonl")))
     if not event_files:
@@ -68,7 +92,7 @@ def check_directory(directory: str, require_events=()) -> list:
                 elif isinstance(record, dict):
                     seen_events.add(record.get("event"))
 
-    for required in tuple(BASELINE_EVENTS) + tuple(require_events):
+    for required in tuple(baseline_events) + tuple(require_events):
         if required not in seen_events:
             problems.append(f"required event {required!r} never emitted")
 
@@ -78,7 +102,7 @@ def check_directory(directory: str, require_events=()) -> list:
     else:
         with open(prom_path, "r", encoding="utf-8") as handle:
             prom_text = handle.read()
-        for family in REQUIRED_METRIC_FAMILIES:
+        for family in required_families:
             if family not in prom_text:
                 problems.append(
                     f"metrics.prom is missing required family {family!r}"
@@ -93,6 +117,12 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("directory", help="telemetry directory to validate")
     parser.add_argument(
+        "--baseline",
+        choices=sorted(BASELINES),
+        default="campaign",
+        help="run profile to validate against (default: campaign)",
+    )
+    parser.add_argument(
         "--require-events",
         default="",
         help="comma-separated extra event names that must appear",
@@ -100,7 +130,9 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     extra = [e.strip() for e in args.require_events.split(",") if e.strip()]
-    problems = check_directory(args.directory, require_events=extra)
+    problems = check_directory(
+        args.directory, require_events=extra, baseline=args.baseline
+    )
     if problems:
         for problem in problems:
             print(f"FAIL: {problem}", file=sys.stderr)
