@@ -1,0 +1,137 @@
+"""Convergence of every search strategy, per evaluation budget.
+
+The `SearchStrategy` extraction made the tuner's search pluggable
+(``docs/SEARCH.md``); this bench answers the follow-up question —
+*which* search earns its budget — by running each registry strategy at
+a ladder of evaluation budgets over the same training workload and
+printing the training-fitness improvement over the default heuristic.
+
+Run directly (unlike the figure benches this is a plain script, so CI
+can invoke it without the pytest-benchmark harness)::
+
+    python benchmarks/bench_strategies.py            # full ladder
+    python benchmarks/bench_strategies.py --smoke    # CI-sized
+
+Methodology notes:
+
+* Every strategy spends the same budget on the same evaluator, so the
+  table is an apples-to-apples per-evaluation comparison (the GA's
+  budget is ``population x generations``).
+* ``mcts`` scores inline-decision prefixes rather than parameter
+  vectors — its improvement column is relative to the default-heuristic
+  advice baseline, not the parameter-space default.
+* ``pareto`` reports the scalar fitness of its knee point, which is
+  what the tuner returns for comparability.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.arch import PENTIUM4
+from repro.core.metrics import Metric
+from repro.core.tuner import InliningTuner, TuningTask
+from repro.ga.engine import GAConfig
+from repro.jvm.scenario import OPTIMIZING
+from repro.search.registry import STRATEGY_NAMES
+from repro.workloads.suites import SPECJVM98
+
+FULL_BUDGETS = (48, 96, 192)
+SMOKE_BUDGETS = (16, 32)
+POPULATION = 8
+
+
+def run_ladder(budgets, programs, seed=0):
+    """{(strategy, budget): TunedHeuristic or exception} for the grid."""
+    cells = {}
+    for name in STRATEGY_NAMES:
+        for budget in budgets:
+            cfg = GAConfig(
+                population_size=POPULATION,
+                generations=max(2, budget // POPULATION),
+                elitism=1,
+                seed=seed,
+            )
+            task = TuningTask(
+                name=f"bench:{name}:{budget}",
+                scenario=OPTIMIZING,
+                machine=PENTIUM4,
+                metric=Metric.TOTAL,
+                seed=seed,
+            )
+            tuner = InliningTuner(cfg, strategy=name, strategy_budget=budget)
+            start = time.perf_counter()
+            try:
+                tuned = tuner.tune(task, programs)
+            except Exception as exc:  # surface in the table, fail at exit
+                cells[(name, budget)] = exc
+            else:
+                cells[(name, budget)] = (tuned, time.perf_counter() - start)
+    return cells
+
+
+def format_table(budgets, cells):
+    width = max(len(name) for name in STRATEGY_NAMES) + 2
+    header = "".join(f"{'budget ' + str(b):>20}" for b in budgets)
+    lines = [f"{'strategy':<{width}}{header}"]
+    for name in STRATEGY_NAMES:
+        row = [f"{name:<{width}}"]
+        for budget in budgets:
+            cell = cells[(name, budget)]
+            if isinstance(cell, Exception):
+                row.append(f"{'ERROR':>20}")
+                continue
+            tuned, wall = cell
+            row.append(
+                f"{tuned.improvement:+8.2%} ({tuned.evaluations:>3}ev)".rjust(20)
+            )
+        lines.append("".join(row))
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized run: small budgets, a workload subset",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    budgets = SMOKE_BUDGETS if args.smoke else FULL_BUDGETS
+    programs = SPECJVM98.programs()
+    if args.smoke:
+        programs = programs[:3]
+
+    cells = run_ladder(budgets, programs, seed=args.seed)
+    title = (
+        f"Strategy convergence over {len(programs)} programs "
+        f"(improvement over the default heuristic per budget)"
+    )
+    print(f"\n===== {title} =====")
+    print(format_table(budgets, cells))
+
+    failures = [
+        (key, cell) for key, cell in cells.items() if isinstance(cell, Exception)
+    ]
+    for (name, budget), exc in failures:
+        print(f"FAIL {name}@{budget}: {exc!r}", file=sys.stderr)
+    # the seeded scalar strategies carry the GA's improvement floor
+    for name in ("ga", "cmaes", "bandit"):
+        for budget in budgets:
+            cell = cells[(name, budget)]
+            if not isinstance(cell, Exception) and cell[0].improvement < -1e-9:
+                print(
+                    f"FAIL {name}@{budget}: worse than the default "
+                    f"({cell[0].improvement:+.2%})",
+                    file=sys.stderr,
+                )
+                failures.append(((name, budget), cell))
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,6 +30,7 @@ from repro.errors import ReproError
 from repro.jvm.inlining import JIKES_DEFAULT_PARAMETERS, NO_INLINING, InliningParameters
 from repro.jvm.runtime import VirtualMachine
 from repro.jvm.scenario import get_scenario
+from repro.search.registry import STRATEGY_NAMES
 from repro.workloads.suites import DACAPO_JBB, SPECJVM98, get_benchmark
 
 __all__ = ["main", "build_parser"]
@@ -60,6 +61,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_tune.add_argument("--generations", type=int, default=DEFAULT_GA_CONFIG.generations)
     p_tune.add_argument("--population", type=int, default=DEFAULT_GA_CONFIG.population_size)
     p_tune.add_argument("--seed", type=int, default=0)
+    p_tune.add_argument(
+        "--strategy",
+        choices=STRATEGY_NAMES,
+        default="ga",
+        help="search strategy (default: the paper's GA; see docs/SEARCH.md)",
+    )
     p_tune.add_argument("--quiet", action="store_true")
 
     p_camp = sub.add_parser(
@@ -147,6 +154,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="write structured telemetry (JSONL events, metrics.prom) "
         "to DIR; inspect with 'repro telemetry summarize DIR'",
     )
+    p_camp.add_argument(
+        "--strategy",
+        choices=STRATEGY_NAMES,
+        default="ga",
+        help="search strategy every cell runs (default: the paper's GA; "
+        "see docs/SEARCH.md)",
+    )
 
     p_serve = sub.add_parser(
         "serve",
@@ -213,18 +227,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_submit.add_argument("--workload-seed", type=int, default=0)
     p_submit.add_argument("--priority", type=int, default=1)
     p_submit.add_argument(
+        "--strategy",
+        choices=STRATEGY_NAMES,
+        default="ga",
+        help="search strategy for every cell of the job (part of the "
+        "job's idempotency fingerprint)",
+    )
+    p_submit.add_argument(
         "--deadline", type=float, default=None, help="advisory deadline, seconds"
     )
     p_submit.add_argument(
         "--wait", action="store_true", help="block until the job is terminal"
     )
 
-    p_jobs = sub.add_parser("jobs", help="list/inspect a daemon's jobs")
+    p_jobs = sub.add_parser("jobs", help="list/inspect/cancel a daemon's jobs")
     p_jobs.add_argument(
         "--dir", dest="state_dir", required=True, help="the daemon's state directory"
     )
     p_jobs.add_argument(
         "--id", dest="job_id", default=None, help="show one job's cells"
+    )
+    p_jobs.add_argument(
+        "action",
+        nargs="?",
+        choices=("cancel",),
+        help="'cancel JOB_ID': cancel a queued or running job (queued "
+        "jobs cancel immediately; running jobs stop at the next cell "
+        "boundary)",
+    )
+    p_jobs.add_argument(
+        "cancel_id",
+        nargs="?",
+        metavar="JOB_ID",
+        help="job to cancel (with 'cancel')",
     )
 
     p_store = sub.add_parser(
@@ -341,8 +376,10 @@ def _cmd_tune(args) -> int:
     hook = None
     if not args.quiet:
         hook = lambda stats: print(f"  {stats}")  # noqa: E731 - tiny CLI callback
-        print(f"tuning {task} ...")
-    tuned = InliningTuner(config).tune(task, SPECJVM98.programs(), on_generation=hook)
+        print(f"tuning {task} with {args.strategy} ...")
+    tuned = InliningTuner(config, strategy=args.strategy).tune(
+        task, SPECJVM98.programs(), on_generation=hook
+    )
     print(f"tuned parameters : {tuned.params}")
     print(f"training fitness : {tuned.fitness:.6g} (default {tuned.default_fitness:.6g})")
     print(f"improvement      : {tuned.improvement:+.1%}")
@@ -404,6 +441,7 @@ def _cmd_campaign(args) -> int:
         retry_policy=policy,
         telemetry_dir=args.telemetry_dir,
         warm_start_neighbors=args.warm_start == "neighbors",
+        strategy=args.strategy,
     )
     print(
         f"{'task':<24} {'status':>7} {'fitness':>10} {'improve':>8} "
@@ -485,6 +523,7 @@ def _cmd_submit(args) -> int:
         "seed": args.seed,
         "workload_seed": args.workload_seed,
         "priority": args.priority,
+        "strategy": args.strategy,
     }
     if args.deadline is not None:
         job["deadline"] = args.deadline
@@ -518,6 +557,24 @@ def _cmd_jobs(args) -> int:
 
     client = ServiceClient(args.state_dir)
     try:
+        if args.action == "cancel":
+            if args.cancel_id is None:
+                print("error: 'jobs cancel' needs a JOB_ID", file=sys.stderr)
+                return 1
+            response = client.cancel(job_id=args.cancel_id)
+            if not response.get("ok"):
+                error = response.get("error", {})
+                print(f"error ({error.get('code')}): {error.get('message')}",
+                      file=sys.stderr)
+                return 1
+            if response.get("cancelled"):
+                print(f"{response['id']}: cancelled")
+                return 0
+            print(
+                f"{response['id']}: already terminal "
+                f"(state={response['state']}); nothing to cancel"
+            )
+            return 1
         if args.job_id is not None:
             response = client.result(args.job_id)
             if not response.get("ok"):

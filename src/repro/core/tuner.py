@@ -67,7 +67,13 @@ class TuningTask:
 
 @dataclass(frozen=True)
 class TunedHeuristic:
-    """A tuned parameter vector plus provenance."""
+    """A tuned parameter vector plus provenance.
+
+    ``strategy`` names the search that produced it (``"ga"`` unless the
+    tuner was configured otherwise); ``detail`` carries
+    strategy-specific extras — the Pareto front, the MCTS decision
+    prefix — and is omitted from JSON when empty.
+    """
 
     task_name: str
     scenario_name: str
@@ -81,6 +87,8 @@ class TunedHeuristic:
     wall_seconds: float
     store_hits: int = 0
     history: Tuple[GenerationStats, ...] = field(repr=False, default=())
+    strategy: str = "ga"
+    detail: Optional[dict] = field(repr=False, default=None)
 
     @property
     def improvement(self) -> float:
@@ -92,21 +100,23 @@ class TunedHeuristic:
 
     def to_json(self) -> str:
         """Serialize (without history) for storage alongside results."""
-        return json.dumps(
-            {
-                "task": self.task_name,
-                "scenario": self.scenario_name,
-                "machine": self.machine_name,
-                "metric": self.metric.value,
-                "params": list(self.params.as_tuple()),
-                "fitness": self.fitness,
-                "default_fitness": self.default_fitness,
-                "generations_run": self.generations_run,
-                "evaluations": self.evaluations,
-                "wall_seconds": self.wall_seconds,
-                "store_hits": self.store_hits,
-            }
-        )
+        payload = {
+            "task": self.task_name,
+            "scenario": self.scenario_name,
+            "machine": self.machine_name,
+            "metric": self.metric.value,
+            "params": list(self.params.as_tuple()),
+            "fitness": self.fitness,
+            "default_fitness": self.default_fitness,
+            "generations_run": self.generations_run,
+            "evaluations": self.evaluations,
+            "wall_seconds": self.wall_seconds,
+            "store_hits": self.store_hits,
+            "strategy": self.strategy,
+        }
+        if self.detail is not None:
+            payload["detail"] = self.detail
+        return json.dumps(payload)
 
     @classmethod
     def from_json(cls, text: str) -> "TunedHeuristic":
@@ -124,11 +134,13 @@ class TunedHeuristic:
             evaluations=int(data["evaluations"]),
             wall_seconds=float(data["wall_seconds"]),
             store_hits=int(data.get("store_hits", 0)),
+            strategy=str(data.get("strategy", "ga")),
+            detail=data.get("detail"),
         )
 
 
 class InliningTuner:
-    """Runs the GA search for tuning tasks."""
+    """Runs the search (GA by default) for tuning tasks."""
 
     def __init__(
         self,
@@ -139,7 +151,24 @@ class InliningTuner:
         store_path: Optional[str] = None,
         store_readonly: bool = False,
         warm_start_neighbors: bool = False,
+        strategy: str = "ga",
+        strategy_budget: Optional[int] = None,
     ) -> None:
+        from repro.search.registry import STRATEGY_NAMES
+
+        if strategy not in STRATEGY_NAMES:
+            raise TuningError(
+                f"unknown search strategy {strategy!r}; expected one of "
+                f"{', '.join(STRATEGY_NAMES)}"
+            )
+        #: which search proposes genomes.  ``"ga"`` is the default and
+        #: runs the exact historical engine path; the others go through
+        #: :func:`repro.search.driver.run_search`.
+        self.strategy = strategy
+        #: evaluation budget for the non-GA strategies; defaults to the
+        #: GA's population x generations so convergence comparisons are
+        #: per-evaluation fair (see benchmarks/bench_strategies.py).
+        self.strategy_budget = strategy_budget
         self.ga_config = ga_config
         self.space = space or TABLE1_SPACE
         self.cost_model = cost_model
@@ -187,7 +216,19 @@ class InliningTuner:
         generations, and a run finding an existing checkpoint at that
         path resumes from its last saved generation instead of starting
         over (the campaign runner uses this for ``--resume``).
+
+        With a non-default :attr:`strategy` the search runs through the
+        strategy driver instead of the GA engine; the GA path below is
+        byte-for-byte the historical one.
         """
+        if self.strategy != "ga":
+            return self._tune_with_strategy(
+                task,
+                training_programs,
+                on_generation=on_generation,
+                checkpoint_path=checkpoint_path,
+                checkpoint_every=checkpoint_every,
+            )
         evaluator = self._evaluator_factory(
             programs=training_programs,
             machine=task.machine,
@@ -271,6 +312,179 @@ class InliningTuner:
             wall_seconds=wall,
             store_hits=store_hits,
             history=result.history,
+        )
+
+    def _tune_with_strategy(
+        self,
+        task: TuningTask,
+        training_programs: Sequence[Program],
+        on_generation=None,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_every: int = 1,
+    ) -> TunedHeuristic:
+        """Run a non-GA strategy through the search driver.
+
+        Strategy-specific wiring:
+
+        * ``cmaes`` / ``bandit`` search the same 5-parameter space with
+          the same scalar evaluator and share the evaluation store.
+        * ``pareto`` uses the multi-objective evaluator and runs
+          storeless — the store tiers are scalar-only by schema.
+        * ``mcts`` searches inline-decision prefixes with the advice
+          evaluator and runs storeless — a 0/1 decision vector must
+          never collide with a parameter genome under the same store
+          context.
+        """
+        from repro.search.driver import run_search
+
+        cfg = self.ga_config
+        name = self.strategy
+        budget = self.strategy_budget or cfg.population_size * cfg.generations
+        ga_space = self.space.to_ga_space()
+        rng_key = f"tuner:{task.name}:{name}"
+        default_genome = self.space.encode(JIKES_DEFAULT_PARAMETERS)
+        store = None
+
+        if name == "mcts":
+            from repro.core.evaluation import AdviceEvaluator
+            from repro.search.mcts import InlineMCTSStrategy
+
+            evaluator = AdviceEvaluator(
+                programs=training_programs,
+                machine=task.machine,
+                scenario=task.scenario,
+                metric=task.metric,
+                cost_model=self.cost_model,
+            )
+            strategy = InlineMCTSStrategy(
+                budget=budget, seed=task.seed, rng_key=rng_key
+            )
+        elif name == "pareto":
+            from repro.core.evaluation import MultiObjectiveEvaluator
+            from repro.search.pareto import ParetoStrategy
+
+            evaluator = MultiObjectiveEvaluator(
+                programs=training_programs,
+                machine=task.machine,
+                scenario=task.scenario,
+                metric=task.metric,
+                space=self.space,
+                cost_model=self.cost_model,
+            )
+            strategy = ParetoStrategy(
+                ga_space,
+                population_size=cfg.population_size,
+                generations=max(1, budget // cfg.population_size),
+                crossover_rate=cfg.crossover_rate,
+                seed=task.seed,
+                rng_key=rng_key,
+                initial_genomes=[default_genome],
+            )
+        else:
+            evaluator = self._evaluator_factory(
+                programs=training_programs,
+                machine=task.machine,
+                scenario=task.scenario,
+                metric=task.metric,
+                space=self.space,
+                cost_model=self.cost_model,
+            )
+            store = self._open_store(task, training_programs)
+            if name == "cmaes":
+                from repro.search.cmaes import CMAESStrategy
+
+                strategy = CMAESStrategy(
+                    ga_space,
+                    budget=budget,
+                    seed=task.seed,
+                    rng_key=rng_key,
+                    initial_genomes=[default_genome],
+                )
+            else:  # bandit
+                from repro.search.bandit import BanditHalvingStrategy
+
+                strategy = BanditHalvingStrategy(
+                    ga_space,
+                    budget=budget,
+                    seed=task.seed,
+                    rng_key=rng_key,
+                    initial_genomes=[default_genome],
+                )
+
+        if checkpoint_path is not None and os.path.exists(checkpoint_path):
+            strategy.restore_from(checkpoint_path)
+
+        start = time.perf_counter()
+        try:
+            result = run_search(
+                strategy,
+                evaluator,
+                store=store,
+                checkpoint_path=checkpoint_path,
+                checkpoint_every=checkpoint_every,
+                on_progress=on_generation,
+            )
+            default_fitness = evaluator.default_fitness
+            if name == "mcts":
+                params = evaluator.params
+                fitness = float(result.best_fitness)
+                detail = dict(result.detail or {})
+                detail["decisions"] = list(result.best_genome)
+            elif name == "pareto":
+                params = self.space.decode(result.best_genome)
+                # The front trades objectives off; the scalar Perf of
+                # the knee point keeps the result comparable to the
+                # other strategies (and `improvement` meaningful).
+                fitness = evaluator.fitness_of_params(params)
+                detail = dict(result.detail or {})
+                detail["objectives"] = list(result.best.fitness)
+                detail["front"] = [
+                    [list(genome), list(obj)] for genome, obj in result.front
+                ]
+            else:
+                params = self.space.decode(result.best_genome)
+                fitness = float(result.best_fitness)
+                detail = result.detail
+        finally:
+            store_hits = store.hits if store is not None else 0
+            if store is not None:
+                store.close()
+            self.last_store = store
+            accelerator = getattr(evaluator, "vm", None)
+            accelerator = getattr(accelerator, "_accelerator", None)
+            self.last_accelerator_stats = (
+                accelerator.stats.as_dict() if accelerator is not None else None
+            )
+            self.last_plan_exports = None
+            if accelerator is not None:
+                from repro.perf import planshare
+
+                if planshare.get_client() is not None:
+                    try:
+                        self.last_plan_exports = (
+                            planshare.export_accelerator_plans(accelerator)
+                            or None
+                        )
+                    except Exception:
+                        self.last_plan_exports = None
+                accelerator.retire()
+        wall = time.perf_counter() - start
+
+        return TunedHeuristic(
+            task_name=task.name,
+            scenario_name=task.scenario.name,
+            machine_name=task.machine.name,
+            metric=task.metric,
+            params=params,
+            fitness=fitness,
+            default_fitness=default_fitness,
+            generations_run=result.iterations,
+            evaluations=result.evaluations,
+            wall_seconds=wall,
+            store_hits=store_hits,
+            history=result.history,
+            strategy=name,
+            detail=detail,
         )
 
     def _open_store(self, task: TuningTask, programs: Sequence[Program]):

@@ -253,10 +253,12 @@ class CellRequest:
     plan_base: Optional[str] = None
     #: opt-in nearest-neighbour population seeding (tier stores only)
     warm_start_neighbors: bool = False
+    #: search strategy tuning this cell (repro.search registry name)
+    strategy: str = "ga"
 
     @classmethod
     def from_payload(cls, payload: Sequence) -> "CellRequest":
-        """Unpack a legacy positional payload tuple (5..8 elements)."""
+        """Unpack a legacy positional payload tuple (5..9 elements)."""
         task, ga_config, store_path, workload_seed, checkpoint_path = payload[:5]
         return cls(
             task=task,
@@ -267,6 +269,7 @@ class CellRequest:
             archive_name=payload[5] if len(payload) > 5 else None,
             plan_base=payload[6] if len(payload) > 6 else None,
             warm_start_neighbors=bool(payload[7]) if len(payload) > 7 else False,
+            strategy=str(payload[8]) if len(payload) > 8 else "ga",
         )
 
 
@@ -340,6 +343,7 @@ def execute_cell(request: CellRequest) -> CellOutcome:
                 store_path=request.store_path,
                 store_readonly=True,
                 warm_start_neighbors=request.warm_start_neighbors,
+                strategy=request.strategy,
             )
             tuned = tuner.tune(
                 task, programs, checkpoint_path=request.checkpoint_path
@@ -424,8 +428,16 @@ def run_campaign(
     retry_policy: Optional[RetryPolicy] = None,
     telemetry_dir: Optional[str] = None,
     warm_start_neighbors: bool = False,
+    strategy: str = "ga",
 ) -> CampaignResult:
     """Run every task of the campaign, concurrently by default.
+
+    *strategy* selects the search every cell runs (CLI: ``repro
+    campaign --strategy``): ``ga`` (default, the paper's search),
+    ``mcts``, ``cmaes``, ``bandit`` or ``pareto`` — see
+    ``docs/SEARCH.md``.  Non-GA strategies join the campaign
+    fingerprint, so a manifest written by one strategy cannot silently
+    resume under another.
 
     *store_path* names the shared evaluation store — a JSONL file
     (legacy single-writer protocol) or a store-tier directory
@@ -470,7 +482,7 @@ def run_campaign(
             return _run_campaign_impl(
                 tasks, ga_config, store_path, workload_seed, processes,
                 serial, progress, campaign_dir, resume, retry_policy,
-                warm_start_neighbors,
+                warm_start_neighbors, strategy,
             )
         finally:
             session = telemetry_get_session()
@@ -480,7 +492,7 @@ def run_campaign(
     return _run_campaign_impl(
         tasks, ga_config, store_path, workload_seed, processes,
         serial, progress, campaign_dir, resume, retry_policy,
-        warm_start_neighbors,
+        warm_start_neighbors, strategy,
     )
 
 
@@ -496,6 +508,7 @@ def _run_campaign_impl(
     resume: bool,
     retry_policy: Optional[RetryPolicy],
     warm_start_neighbors: bool = False,
+    strategy: str = "ga",
 ) -> CampaignResult:
     say = progress or (lambda _msg: None)
     if tasks is None:
@@ -503,6 +516,13 @@ def _run_campaign_impl(
     tasks = list(tasks)
     if not tasks:
         raise ConfigurationError("campaign needs at least one task")
+    from repro.search.registry import STRATEGY_NAMES
+
+    if strategy not in STRATEGY_NAMES:
+        raise ConfigurationError(
+            f"unknown search strategy {strategy!r}; expected one of "
+            f"{', '.join(STRATEGY_NAMES)}"
+        )
     names = [t.name for t in tasks]
     if len(set(names)) != len(names):
         raise ConfigurationError(f"duplicate task names in campaign: {names}")
@@ -514,7 +534,9 @@ def _run_campaign_impl(
             raise CampaignError(
                 f"cannot resume: {campaign_dir!r} has no campaign manifest"
             )
-        fingerprint = campaign_fingerprint(names, ga_config, workload_seed)
+        fingerprint = campaign_fingerprint(
+            names, ga_config, workload_seed, strategy=strategy
+        )
         manifest = CampaignManifest.open_or_create(
             campaign_dir, fingerprint, store_path
         )
@@ -601,6 +623,7 @@ def _run_campaign_impl(
                 archive.name if archive is not None else None,
                 plan_publisher.base if plan_publisher is not None else None,
                 warm_start_neighbors and tier_mode,
+                strategy,
             ),
         )
         for task in todo
@@ -654,12 +677,24 @@ def _run_campaign_impl(
             registry.counter("repro_cells_total", status="done").inc()
             registry.counter("repro_store_records_total").inc(fresh)
             if tuned is not None:
-                registry.counter("repro_ga_generations_total").inc(
-                    tuned.generations_run
-                )
-                registry.counter("repro_ga_evaluations_total").inc(
-                    tuned.evaluations
-                )
+                if strategy == "ga":
+                    registry.counter("repro_ga_generations_total").inc(
+                        tuned.generations_run
+                    )
+                    registry.counter("repro_ga_evaluations_total").inc(
+                        tuned.evaluations
+                    )
+                elif parallel:
+                    # Worker registries die with the pool; fold the
+                    # cell's ask/tell rounds and true evaluations here.
+                    # Serial cells already counted these in-process via
+                    # the search driver.
+                    registry.counter(
+                        "repro_strategy_batches_total", strategy=strategy
+                    ).inc(tuned.generations_run)
+                    registry.counter(
+                        "repro_strategy_evaluations_total", strategy=strategy
+                    ).inc(tuned.evaluations)
             if accel_stats:
                 registry.absorb_counters(
                     {
@@ -700,6 +735,14 @@ def _run_campaign_impl(
         registry.counter("repro_tier_misses_total").inc(0)
         registry.counter("repro_tier_appends_total").inc(0)
         registry.counter("repro_tier_compactions_total").inc(0)
+        registry.counter("repro_ga_generations_total").inc(0)
+        registry.counter("repro_ga_evaluations_total").inc(0)
+        registry.counter(
+            "repro_strategy_batches_total", strategy=strategy
+        ).inc(0)
+        registry.counter(
+            "repro_strategy_evaluations_total", strategy=strategy
+        ).inc(0)
 
     def on_pool_rebuild(reason: str) -> None:
         # Replacement workers will re-attach the workload archive; make

@@ -7,6 +7,14 @@ elitism, minimizing a fitness function.  The paper used a population of
 early-stop patience makes laptop-scale runs practical (the simulator's
 landscape converges far sooner than real-hardware measurements, which
 are noisy).
+
+Since the search-strategy extraction (ROADMAP item 3) the evolution
+loop itself lives in :class:`repro.search.ga.GAStrategy` and the
+evaluation machinery in :mod:`repro.search.driver`; this engine is the
+stable public API over that pair, with bitwise-identical behavior to
+the pre-extraction loop (checkpoints, RNG streams, fitness
+trajectories).  Imports of :mod:`repro.search` stay inside method
+bodies: ``repro.search.ga`` imports :class:`GAConfig` from here.
 """
 
 from __future__ import annotations
@@ -24,8 +32,6 @@ from repro.ga.mutation import CreepMutation, MutationOperator
 from repro.ga.parallel import BatchEvaluator
 from repro.ga.selection import SelectionOperator, TournamentSelection
 from repro.ga.statistics import GenerationStats
-from repro.rng import rng_for
-from repro.telemetry import trace
 
 __all__ = ["GAConfig", "GAResult", "GAEngine"]
 
@@ -139,213 +145,61 @@ class GAEngine:
         final best — with every already-paid genome answered from the
         restored cache (and the persistent store, when attached).
         """
-        cfg = self.config
-        if checkpoint_every < 1:
-            raise GAError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
-        rng = rng_for(cfg.rng_key, cfg.seed)
-        cache = FitnessCache(fitness_fn, store=self.store)
+        from repro.search.driver import run_search
+        from repro.search.ga import GAStrategy
 
-        history: List[GenerationStats] = []
-        if resume_from is not None:
-            population, best, stale, start_gen = self._restore(
-                resume_from, cache, rng
-            )
-        else:
-            with trace("ga.generation", gen=0) as span:
-                population = self._initial_population(rng, initial_genomes)
-                self._evaluate(population, cache)
-                best = min(population, key=lambda ind: ind.require_fitness()).copy()
-                stale = 0
-                start_gen = 1
-                stats = GenerationStats.from_population(
-                    0, population, cache.misses, cache.hits
-                )
-                self._note_span(span, stats, cache)
-            history.append(stats)
-            if on_generation is not None:
-                on_generation(stats)
-            self._maybe_checkpoint(
-                checkpoint_path, checkpoint_every, 0, population, best, cache,
-                rng, stale,
-            )
-
-        stopped_early = False
-        generations_run = max(1, start_gen)
-        for gen in range(start_gen, cfg.generations):
-            with trace("ga.generation", gen=gen) as span:
-                population = self._breed(population, rng)
-                self._evaluate(population, cache)
-                generations_run += 1
-
-                gen_best = min(population, key=lambda ind: ind.require_fitness())
-                if gen_best.require_fitness() < best.require_fitness():
-                    best = gen_best.copy()
-                    stale = 0
-                else:
-                    stale += 1
-
-                stats = GenerationStats.from_population(
-                    gen, population, cache.misses, cache.hits
-                )
-                self._note_span(span, stats, cache)
-            history.append(stats)
-            if on_generation is not None:
-                on_generation(stats)
-            self._maybe_checkpoint(
-                checkpoint_path, checkpoint_every, gen, population, best, cache,
-                rng, stale,
-            )
-
-            if cfg.early_stop_patience is not None and stale >= cfg.early_stop_patience:
-                stopped_early = True
-                break
-
+        strategy = GAStrategy(
+            self.space,
+            self.config,
+            initial_genomes=initial_genomes,
+            resume_from=resume_from,
+        )
+        result = run_search(
+            strategy,
+            fitness_fn,
+            evaluator=self.evaluator,
+            store=self.store,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+            on_progress=on_generation,
+        )
         return GAResult(
-            best=best,
-            history=tuple(history),
-            evaluations=cache.misses,
-            cache_hits=cache.hits,
-            generations_run=generations_run,
-            stopped_early=stopped_early,
-        )
-
-    @staticmethod
-    def _note_span(span, stats: GenerationStats, cache: FitnessCache) -> None:
-        """Attach convergence fields to a ``ga.generation`` span."""
-        answered = cache.hits + cache.misses
-        span.note(
-            best=stats.best_fitness,
-            mean=stats.mean_fitness,
-            evaluations=stats.evaluations,
-            cache_hit_rate=(cache.hits / answered) if answered else 0.0,
+            best=result.best,
+            history=result.history,
+            evaluations=result.evaluations,
+            cache_hits=result.cache_hits,
+            generations_run=result.iterations,
+            stopped_early=result.stopped_early,
         )
 
     # ------------------------------------------------------------------
-    def _restore(self, checkpoint, cache: FitnessCache, rng: np.random.Generator):
-        """Rebuild engine state from a :class:`Checkpoint`.
+    # Building blocks shared with the island model (repro.ga.islands
+    # drives them directly, outside the strategy loop).
 
-        The checkpoint's cache entries are replayed into *cache* (and
-        written through to the persistent store when one is attached),
-        the saved population is re-hydrated, and — for format-v2
-        checkpoints — the RNG resumes its exact saved stream, making
-        the continuation bitwise-identical to an uninterrupted run.
-        v1 checkpoints lack the RNG state; the generator then restarts
-        its stream (best-effort resume, still deterministic).
-        """
-        checkpoint.restore_cache(cache)
-        population = [
-            Individual(self.space.clip(ind.genome), ind.fitness)
-            for ind in checkpoint.population
-        ]
-        if len(population) != self.config.population_size:
-            raise GAError(
-                f"checkpoint population size {len(population)} does not match "
-                f"configured population_size {self.config.population_size}"
-            )
-        self._evaluate(population, cache)
-        best = checkpoint.best.copy() if checkpoint.best is not None else None
-        if best is None or best.fitness is None:
-            best = min(population, key=lambda ind: ind.require_fitness()).copy()
-        if checkpoint.rng_state is not None:
-            rng.bit_generator.state = checkpoint.rng_state
-        return population, best, checkpoint.stale, checkpoint.generation + 1
-
-    def _maybe_checkpoint(
-        self,
-        path: Optional[str],
-        every: int,
-        generation: int,
-        population: List[Individual],
-        best: Individual,
-        cache: FitnessCache,
-        rng: np.random.Generator,
-        stale: int,
-    ) -> None:
-        if path is None or generation % every != 0:
-            return
-        from repro.ga.checkpoint import save_checkpoint
-
-        save_checkpoint(
-            path,
-            generation=generation,
-            population=population,
-            best=best,
-            cache=cache,
-            rng_state=rng.bit_generator.state,
-            stale=stale,
-        )
-
-    # ------------------------------------------------------------------
     def _initial_population(
         self,
         rng: np.random.Generator,
         initial_genomes: Optional[Sequence[Sequence[int]]],
     ) -> List[Individual]:
-        cfg = self.config
-        population: List[Individual] = []
-        if initial_genomes:
-            for genome in initial_genomes[: cfg.population_size]:
-                clipped = self.space.clip(genome)
-                population.append(Individual(clipped))
-        while len(population) < cfg.population_size:
-            population.append(Individual(self.space.random_genome(rng)))
-        return population
+        from repro.search.ga import initial_population
+
+        return initial_population(self.space, self.config, rng, initial_genomes)
 
     def _evaluate(self, population: List[Individual], cache: FitnessCache) -> None:
-        """Fill in fitnesses, batching distinct uncached genomes.
+        """Fill in fitnesses, batching distinct uncached genomes (see
+        :func:`repro.search.driver.evaluate_genomes` for the counting
+        discipline)."""
+        from repro.search.driver import evaluate_genomes
 
-        ``cache.misses`` counts genomes truly evaluated; every other
-        assignment (revisited genomes, same-generation duplicates,
-        persistent-store recalls) is a hit.  Genome tuples from
-        :class:`Individual` are already canonical, so the cache's
-        ``_key`` fast path applies throughout.
-        """
-        pending: List[Genome] = []
-        seen = set()
-        for ind in population:
-            if cache.peek(ind.genome) is None and ind.genome not in seen:
-                seen.add(ind.genome)
-                if cache.recall(ind.genome) is not None:
-                    continue  # served from the persistent store
-                pending.append(ind.genome)
-        if pending:
-            values = self.evaluator.map(cache.function, pending)
-            if len(values) != len(pending):
-                raise GAError(
-                    f"evaluator returned {len(values)} results for {len(pending)} genomes"
-                )
-            for genome, value in zip(pending, values):
-                cache.insert(genome, value)
-            cache.misses += len(pending)
-        cache.hits += len(population) - len(pending)
-        for ind in population:
-            value = cache.peek(ind.genome)
-            if value is None:
-                raise GAError(f"genome {ind.genome} missing after batch evaluation")
+        values = evaluate_genomes(
+            [ind.genome for ind in population], cache, self.evaluator
+        )
+        for ind, value in zip(population, values):
             ind.fitness = value
 
     def _breed(
         self, population: Sequence[Individual], rng: np.random.Generator
     ) -> List[Individual]:
-        cfg = self.config
-        next_pop: List[Individual] = []
+        from repro.search.ga import breed
 
-        if cfg.elitism:
-            elites = sorted(population, key=lambda ind: ind.require_fitness())
-            next_pop.extend(ind.copy() for ind in elites[: cfg.elitism])
-
-        while len(next_pop) < cfg.population_size:
-            parent_a = cfg.selection.select(population, rng)
-            parent_b = cfg.selection.select(population, rng)
-            if rng.random() < cfg.crossover_rate:
-                child_a, child_b = cfg.crossover.cross(
-                    parent_a.genome, parent_b.genome, rng
-                )
-            else:
-                child_a, child_b = parent_a.genome, parent_b.genome
-            for child in (child_a, child_b):
-                mutated = cfg.mutation.mutate(child, self.space, rng)
-                next_pop.append(Individual(self.space.clip(mutated)))
-                if len(next_pop) >= cfg.population_size:
-                    break
-        return next_pop
+        return breed(self.space, self.config, population, rng)

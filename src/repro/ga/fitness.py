@@ -16,13 +16,26 @@ unchanged re-records).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple, Union
 
 from repro.errors import GAError
 
-__all__ = ["FitnessCache"]
+__all__ = ["FitnessCache", "Fitness", "coerce_fitness"]
 
 Genome = Tuple[int, ...]
+#: scalar fitness (the paper's setup) or an objective vector (Pareto
+#: search over run time / compile time / code size)
+Fitness = Union[float, Tuple[float, ...]]
+
+
+def coerce_fitness(value) -> Fitness:
+    """Canonical fitness: ``float`` for scalars, tuple of floats for
+    objective vectors.  Scalars keep the exact ``float(value)``
+    conversion the cache always applied, so legacy behavior is
+    bitwise-unchanged."""
+    if isinstance(value, (tuple, list)):
+        return tuple(float(v) for v in value)
+    return float(value)
 
 
 class FitnessCache:
@@ -90,7 +103,7 @@ class FitnessCache:
             self.hits += 1
             return stored
         self.misses += 1
-        value = float(self.function(key))
+        value = coerce_fitness(self.function(key))
         self._check(key, value)
         self._store[key] = value
         if self.store is not None:
@@ -103,16 +116,18 @@ class FitnessCache:
         when one is attached (no-op there if already stored unchanged).
         """
         key = self._key(genome)
-        value = float(value)
+        value = coerce_fitness(value)
         self._check(key, value)
         self._store[key] = value
         if self.store is not None:
             self.store.record(key, value)
 
     @staticmethod
-    def _check(key: Genome, value: float) -> None:
-        if value != value or value in (float("inf"), float("-inf")):
-            raise GAError(f"non-finite fitness {value!r} for genome {list(key)}")
+    def _check(key: Genome, value: Fitness) -> None:
+        components = value if isinstance(value, tuple) else (value,)
+        for component in components:
+            if component != component or component in (float("inf"), float("-inf")):
+                raise GAError(f"non-finite fitness {value!r} for genome {list(key)}")
 
     @property
     def size(self) -> int:

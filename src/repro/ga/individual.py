@@ -112,5 +112,10 @@ class Individual:
         return hash(self.genome)
 
     def __repr__(self) -> str:
-        fit = f"{self.fitness:.6g}" if self.fitness is not None else "unevaluated"
+        if self.fitness is None:
+            fit = "unevaluated"
+        elif isinstance(self.fitness, tuple):
+            fit = "(" + ", ".join(f"{v:.6g}" for v in self.fitness) + ")"
+        else:
+            fit = f"{self.fitness:.6g}"
         return f"Individual({list(self.genome)}, fitness={fit})"

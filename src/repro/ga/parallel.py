@@ -159,7 +159,9 @@ class SerialEvaluator:
 
     def map(self, function: FitnessFn, genomes: Sequence[Genome]) -> List[float]:
         """Apply *function* to every genome, preserving order."""
-        return [float(function(g)) for g in genomes]
+        from repro.ga.fitness import coerce_fitness
+
+        return [coerce_fitness(function(g)) for g in genomes]
 
     def close(self) -> None:
         """No resources to release."""
@@ -178,11 +180,19 @@ class BatchEvaluator:
     """
 
     def map(self, function: FitnessFn, genomes: Sequence[Genome]) -> List[float]:
-        """Apply *function* to every genome, preserving order."""
+        """Apply *function* to every genome, preserving order.
+
+        Values pass through :func:`repro.ga.fitness.coerce_fitness`, so
+        multi-objective functions returning tuples work here (unlike
+        the multiprocess evaluators, whose shared-memory result rows
+        are scalar float64 by construction).
+        """
+        from repro.ga.fitness import coerce_fitness
+
         batch = getattr(function, "evaluate_batch", None)
         if batch is not None:
-            return [float(v) for v in batch(list(genomes))]
-        return [float(function(g)) for g in genomes]
+            return [coerce_fitness(v) for v in batch(list(genomes))]
+        return [coerce_fitness(function(g)) for g in genomes]
 
     def close(self) -> None:
         """No resources to release."""

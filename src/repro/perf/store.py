@@ -48,6 +48,23 @@ Genome = Tuple[int, ...]
 
 _log = logging.getLogger("repro.perf.store")
 
+
+def _parse_fitness(raw):
+    """Fitness from a JSONL record: scalar float, or a tuple for the
+    multi-objective records Pareto search writes (``"fitness": [...]``).
+    Scalar records go through the exact ``float()`` conversion they
+    always did."""
+    if isinstance(raw, list):
+        return tuple(float(v) for v in raw)
+    return float(raw)
+
+
+def _check_finite(fitness, key: Genome):
+    components = fitness if isinstance(fitness, tuple) else (fitness,)
+    for component in components:
+        if component != component or component in (float("inf"), float("-inf")):
+            raise GAError(f"non-finite fitness {fitness!r} for genome {list(key)}")
+
 #: default number of buffered records between flush+fsync pairs
 DEFAULT_FLUSH_EVERY = 64
 
@@ -180,7 +197,7 @@ class EvaluationStore:
             try:
                 context = record["ctx"]
                 genome = tuple(int(g) for g in record["genome"])
-                fitness = float(record["fitness"])
+                fitness = _parse_fitness(record["fitness"])
             except (ValueError, TypeError, KeyError):
                 continue  # foreign but intact line: leave it alone
             if context != self.context:
@@ -238,9 +255,11 @@ class EvaluationStore:
         ``flush_every`` durability/throughput trade-off.
         """
         key = tuple(int(g) for g in genome)
-        fitness = float(fitness)
-        if fitness != fitness or fitness in (float("inf"), float("-inf")):
-            raise GAError(f"non-finite fitness {fitness!r} for genome {list(key)}")
+        if isinstance(fitness, (tuple, list)):
+            fitness = tuple(float(v) for v in fitness)
+        else:
+            fitness = float(fitness)
+        _check_finite(fitness, key)
         if self._entries.get(key) == fitness:
             return
         self._entries[key] = fitness

@@ -50,8 +50,13 @@ def campaign_fingerprint(
     task_names: Sequence[str],
     ga_config,
     workload_seed: int,
+    strategy: str = "ga",
 ) -> str:
-    """Hash of everything that determines the campaign's results."""
+    """Hash of everything that determines the campaign's results.
+
+    The search strategy joins the hash only when it is not the default
+    GA, so manifests written before strategies existed keep verifying.
+    """
     import repro
 
     parts = [
@@ -65,6 +70,8 @@ def campaign_fingerprint(
         str(ga_config.seed),
         str(workload_seed),
     ]
+    if strategy != "ga":
+        parts.append(f"strategy={strategy}")
     return f"{stable_hash('|'.join(parts)):016x}"
 
 

@@ -1,0 +1,185 @@
+"""Successive-halving bandit for low-budget tuning jobs.
+
+Treats each candidate parameter vector as an arm.  An initial cohort of
+random genomes (seeded with the compiler default when provided) is
+evaluated once; each round keeps the best ``1/eta`` fraction and refills
+the cohort with *creep children* of the survivors — the survivor's
+genome perturbed per-gene within a radius that shrinks round over
+round, so the search narrows around winners exactly the way successive
+halving narrows budget onto promising arms.
+
+Because the simulator is deterministic, re-listing a survivor in the
+next round's batch costs nothing: the fitness cache answers it as a
+hit, and the driver's accounting keeps ``evaluations`` equal to the
+number of *distinct* genomes simulated.  That makes the strategy's
+``budget`` a cap on true simulator work, which is the resource a
+low-budget service job actually buys.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import GAError
+from repro.ga.individual import Individual, IntVectorSpace
+from repro.rng import rng_for
+from repro.search.base import Genome, SearchResult, SearchStrategy
+
+__all__ = ["BanditHalvingStrategy"]
+
+
+class BanditHalvingStrategy(SearchStrategy):
+    """Successive halving with creep-refilled cohorts."""
+
+    name = "bandit"
+
+    def __init__(
+        self,
+        space: IntVectorSpace,
+        budget: int = 64,
+        eta: int = 2,
+        seed: int = 0,
+        rng_key: str = "bandit",
+        initial_genomes: Optional[Sequence[Sequence[int]]] = None,
+    ) -> None:
+        super().__init__()
+        if budget < 2:
+            raise GAError(f"budget must be >= 2, got {budget}")
+        if eta < 2:
+            raise GAError(f"eta must be >= 2, got {eta}")
+        self.space = space
+        self.budget = budget
+        self.eta = eta
+        self.rng = rng_for(rng_key, seed)
+        # First cohort takes eta-1 parts of the budget in eta, leaving
+        # one part for all refills combined (the halving schedule).
+        self.cohort_size = max(2, (budget * (eta - 1)) // eta)
+        self.initial_genomes = initial_genomes
+
+        self.round = 0
+        self.evaluated = 0
+        self.best: Optional[Individual] = None
+        self._cohort: List[Genome] = []
+        self._charged = 0
+        self._done = False
+
+    # -- cohort construction -------------------------------------------
+    def _creep_child(self, genome: Genome, radius_scale: float) -> Genome:
+        """Perturb each gene within a fraction of its range."""
+        child = []
+        for g, lo, hi in zip(genome, self.space.lows, self.space.highs):
+            radius = max(1, int((hi - lo) * radius_scale))
+            child.append(int(g) + int(self.rng.integers(-radius, radius + 1)))
+        return self.space.clip(child)
+
+    def ask(self) -> List[Genome]:
+        if self.round == 0:
+            cohort: List[Genome] = []
+            seen = set()
+            if self.initial_genomes:
+                for genome in self.initial_genomes[: self.cohort_size]:
+                    clipped = self.space.clip(genome)
+                    if clipped not in seen:
+                        seen.add(clipped)
+                        cohort.append(clipped)
+            while len(cohort) < self.cohort_size:
+                genome = self.space.random_genome(self.rng)
+                if genome not in seen:
+                    seen.add(genome)
+                    cohort.append(genome)
+            self._cohort = cohort
+        return list(self._cohort)
+
+    # -- halving -------------------------------------------------------
+    def tell(self, genomes: Sequence[Genome], values: Sequence) -> Optional[dict]:
+        self.iteration += 1
+        self.round += 1
+        fitnesses = [float(v) for v in values]
+        order = sorted(range(len(fitnesses)), key=lambda i: fitnesses[i])
+
+        best_i = order[0]
+        if self.best is None or fitnesses[best_i] < self.best.require_fitness():
+            self.best = Individual(genomes[best_i], fitnesses[best_i])
+
+        survivors = [genomes[i] for i in order[: max(1, len(genomes) // self.eta)]]
+        new_misses = self._count_new(genomes)
+        self.evaluated += new_misses
+
+        if len(survivors) <= 1 or self.evaluated >= self.budget:
+            self._done = True
+            self._cohort = survivors
+            return {"round": self.round, "survivors": len(survivors)}
+
+        # Refill around the survivors with a shrinking creep radius:
+        # halving both narrows the cohort and focuses its spread.
+        radius_scale = 0.5 / (2**self.round)
+        cohort: List[Genome] = list(survivors)
+        seen = set(cohort)
+        attempts = 0
+        target = max(2, len(survivors) * 2)
+        while len(cohort) < target and attempts < 16 * target:
+            parent = survivors[int(self.rng.integers(0, len(survivors)))]
+            child = self._creep_child(parent, radius_scale)
+            attempts += 1
+            if child not in seen:
+                seen.add(child)
+                cohort.append(child)
+        self._cohort = cohort
+        return {"round": self.round, "survivors": len(survivors)}
+
+    def _count_new(self, genomes: Sequence[Genome]) -> int:
+        """Distinct genomes in this batch not charged in prior rounds."""
+        cache = self._cache
+        if cache is None:
+            return len(set(genomes))
+        # The driver already evaluated the batch; misses accumulated on
+        # the shared cache are authoritative, so derive the per-round
+        # charge from the cache's running total.
+        charged = cache.misses - self._charged
+        self._charged = cache.misses
+        return charged
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    def result(self) -> SearchResult:
+        if self.best is None:
+            raise GAError("bandit strategy has no result before any tell()")
+        return SearchResult(
+            best=self.best,
+            iterations=self.round,
+            detail={"rounds": self.round, "cohort_size": self.cohort_size},
+        )
+
+    # -- checkpointing -------------------------------------------------
+    def checkpoint_state(self) -> Optional[dict]:
+        from repro.search.cmaes import _rng_state_out
+
+        return {
+            "round": self.round,
+            "iteration": self.iteration,
+            "evaluated": self.evaluated,
+            "charged": getattr(self, "_charged", 0),
+            "cohort": [list(g) for g in self._cohort],
+            "done": self._done,
+            "rng_state": _rng_state_out(self.rng),
+            "best": None
+            if self.best is None
+            else [list(self.best.genome), self.best.require_fitness()],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        from repro.search.cmaes import _rng_state_in
+
+        self.round = int(state["round"])
+        self.iteration = int(state["iteration"])
+        self.evaluated = int(state["evaluated"])
+        self._charged = int(state["charged"])
+        self._cohort = [tuple(int(g) for g in genome) for genome in state["cohort"]]
+        self._done = bool(state["done"])
+        _rng_state_in(self.rng, state["rng_state"])
+        best = state.get("best")
+        if best is not None:
+            genome, fitness = best
+            self.best = Individual(tuple(int(g) for g in genome), float(fitness))

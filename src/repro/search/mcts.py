@@ -1,0 +1,191 @@
+"""UCT tree search over per-call-site inline decisions.
+
+Where every other strategy searches the paper's 5-parameter *heuristic*
+space, MCTS searches the *decision* space directly: a genome is a 0/1
+vector forcing the first N inline decisions the compiler makes (in its
+deterministic plan-expansion order), with the tuned-default heuristic
+deciding every site past the prefix.  Evaluation threads the prefix
+through :class:`repro.jvm.inlining.InlineAdvice` via
+:class:`repro.core.evaluation.AdviceEvaluator`.
+
+The tree policy follows the classic incremental-UCT scheme: descend
+while both children exist picking the max-UCB child; at a node with one
+child, expand the missing sibling; at a leaf, expand one child with a
+coin-flip decision.  The new node's prefix is evaluated (the heuristic
+tail makes the value deterministic, so the fitness cache applies), and
+the negated fitness is backed up the path.
+
+MCTS genomes are decision vectors, not parameter vectors — they must
+never share an evaluation store context with parameter-space searches
+(a 5-long 0/1 prefix would collide with a parameter genome under the
+same context key), so the tuner runs this strategy storeless.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from repro.errors import GAError
+from repro.rng import rng_for
+from repro.ga.individual import Individual
+from repro.search.base import Genome, SearchResult, SearchStrategy
+
+__all__ = ["InlineMCTSStrategy"]
+
+
+class _Node:
+    """One forced decision; the path from the root spells the prefix."""
+
+    __slots__ = ("decision", "parent", "children", "visits", "total")
+
+    def __init__(self, decision: bool, parent: Optional["_Node"]) -> None:
+        self.decision = decision
+        self.parent = parent
+        self.children: List["_Node"] = []
+        self.visits = 0
+        self.total = 0.0
+
+
+class InlineMCTSStrategy(SearchStrategy):
+    """Monte-Carlo tree search over inline-decision prefixes."""
+
+    name = "mcts"
+
+    def __init__(
+        self,
+        budget: int = 200,
+        exploration: float = math.sqrt(2.0),
+        max_depth: int = 64,
+        seed: int = 0,
+        rng_key: str = "mcts",
+    ) -> None:
+        super().__init__()
+        if budget < 1:
+            raise GAError(f"budget must be >= 1, got {budget}")
+        if max_depth < 1:
+            raise GAError(f"max_depth must be >= 1, got {max_depth}")
+        self.budget = budget
+        self.exploration = exploration
+        self.max_depth = max_depth
+        self.rng = rng_for(rng_key, seed)
+        self.root = _Node(False, None)  # sentinel; its decision is unused
+        self.best: Optional[Individual] = None
+        self.nodes = 1
+        self._pending: Optional[_Node] = None
+        self._pending_genome: Optional[Genome] = None
+
+    # -- tree policy ---------------------------------------------------
+    def _uct(self, child: _Node, parent: _Node) -> float:
+        if child.visits == 0:
+            return float("inf")
+        exploit = child.total / child.visits
+        explore = self.exploration * math.sqrt(
+            math.log(max(parent.visits, 1)) / child.visits
+        )
+        return exploit + explore
+
+    def ask(self) -> List[Genome]:
+        node = self.root
+        prefix: List[int] = []
+        while True:
+            if len(prefix) >= self.max_depth:
+                # Depth cap: re-visit this node's prefix (a cache hit)
+                # and let backpropagation refine the path statistics.
+                self._pending = node
+                break
+            if not node.children:
+                decision = bool(self.rng.random() < 0.5)
+                child = _Node(decision, node)
+                node.children.append(child)
+                self.nodes += 1
+                prefix.append(1 if decision else 0)
+                self._pending = child
+                break
+            if len(node.children) == 1:
+                have = node.children[0].decision
+                child = _Node(not have, node)
+                node.children.append(child)
+                self.nodes += 1
+                prefix.append(0 if have else 1)
+                self._pending = child
+                break
+            node = max(node.children, key=lambda c: self._uct(c, node))
+            prefix.append(1 if node.decision else 0)
+        self._pending_genome = tuple(prefix)
+        return [self._pending_genome]
+
+    # -- backup --------------------------------------------------------
+    def tell(self, genomes: Sequence[Genome], values: Sequence) -> Optional[dict]:
+        self.iteration += 1
+        fitness = float(values[0])
+        if self.best is None or fitness < self.best.require_fitness():
+            self.best = Individual(self._pending_genome, fitness)
+        reward = -fitness
+        node = self._pending
+        while node is not None:
+            node.visits += 1
+            node.total += reward
+            node = node.parent
+        self._pending = None
+        self._pending_genome = None
+        return {
+            "iteration": self.iteration,
+            "best": self.best.require_fitness(),
+            "nodes": self.nodes,
+        }
+
+    @property
+    def done(self) -> bool:
+        return self.iteration >= self.budget
+
+    def result(self) -> SearchResult:
+        if self.best is None:
+            raise GAError("mcts strategy has no result before any tell()")
+        return SearchResult(
+            best=self.best,
+            iterations=self.iteration,
+            detail={"nodes": self.nodes, "prefix_length": len(self.best.genome)},
+        )
+
+    # -- checkpointing -------------------------------------------------
+    def _node_out(self, node: _Node) -> list:
+        return [
+            1 if node.decision else 0,
+            node.visits,
+            node.total,
+            [self._node_out(child) for child in node.children],
+        ]
+
+    def _node_in(self, payload: list, parent: Optional[_Node]) -> _Node:
+        decision, visits, total, children = payload
+        node = _Node(bool(decision), parent)
+        node.visits = int(visits)
+        node.total = float(total)
+        node.children = [self._node_in(child, node) for child in children]
+        return node
+
+    def checkpoint_state(self) -> Optional[dict]:
+        from repro.search.cmaes import _rng_state_out
+
+        return {
+            "iteration": self.iteration,
+            "nodes": self.nodes,
+            "tree": self._node_out(self.root),
+            "rng_state": _rng_state_out(self.rng),
+            "best": None
+            if self.best is None
+            else [list(self.best.genome), self.best.require_fitness()],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        from repro.search.cmaes import _rng_state_in
+
+        self.iteration = int(state["iteration"])
+        self.nodes = int(state["nodes"])
+        self.root = self._node_in(state["tree"], None)
+        _rng_state_in(self.rng, state["rng_state"])
+        best = state.get("best")
+        if best is not None:
+            genome, fitness = best
+            self.best = Individual(tuple(int(g) for g in genome), float(fitness))

@@ -1,0 +1,282 @@
+"""Multi-objective Pareto search over (run time, compile time, code size).
+
+NSGA-II machinery (Deb et al., 2002): non-dominated sorting, crowding
+distance, binary tournament on (rank, crowding), and an elitist
+environmental selection over the combined parent+offspring pool.  The
+fitness function must return a tuple of objectives, all minimized —
+:class:`repro.core.evaluation.MultiObjectiveEvaluator` produces the
+paper-relevant triple of geometric-mean ratios versus the default
+heuristic.
+
+The result's ``front`` is the final non-dominated set; ``best`` is the
+front's knee point — the member minimizing the sum of per-objective
+normalized values — which is what single-objective consumers (the tuner
+and campaign schedulers) record.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import GAError
+from repro.ga.crossover import TwoPointCrossover
+from repro.ga.individual import Individual, IntVectorSpace
+from repro.ga.mutation import CreepMutation
+from repro.rng import rng_for
+from repro.search.base import Genome, SearchResult, SearchStrategy
+
+__all__ = ["ParetoStrategy", "non_dominated_sort", "crowding_distance"]
+
+Objectives = Tuple[float, ...]
+
+
+def _dominates(a: Objectives, b: Objectives) -> bool:
+    """True if *a* is no worse in every objective and better in one."""
+    return all(x <= y for x, y in zip(a, b)) and any(x < y for x, y in zip(a, b))
+
+
+def non_dominated_sort(objectives: Sequence[Objectives]) -> List[List[int]]:
+    """Indices grouped into Pareto fronts, best front first."""
+    n = len(objectives)
+    dominated_by: List[List[int]] = [[] for _ in range(n)]
+    domination_count = [0] * n
+    fronts: List[List[int]] = [[]]
+    for i in range(n):
+        for j in range(i + 1, n):
+            if _dominates(objectives[i], objectives[j]):
+                dominated_by[i].append(j)
+                domination_count[j] += 1
+            elif _dominates(objectives[j], objectives[i]):
+                dominated_by[j].append(i)
+                domination_count[i] += 1
+        if domination_count[i] == 0:
+            fronts[0].append(i)
+    current = 0
+    while fronts[current]:
+        nxt: List[int] = []
+        for i in fronts[current]:
+            for j in dominated_by[i]:
+                domination_count[j] -= 1
+                if domination_count[j] == 0:
+                    nxt.append(j)
+        current += 1
+        fronts.append(nxt)
+    fronts.pop()
+    return fronts
+
+
+def crowding_distance(
+    front: Sequence[int], objectives: Sequence[Objectives]
+) -> dict:
+    """Crowding distance of each index in *front* (inf at boundaries)."""
+    distance = {i: 0.0 for i in front}
+    if len(front) <= 2:
+        return {i: float("inf") for i in front}
+    n_obj = len(objectives[front[0]])
+    for k in range(n_obj):
+        ordered = sorted(front, key=lambda i: objectives[i][k])
+        lo = objectives[ordered[0]][k]
+        hi = objectives[ordered[-1]][k]
+        distance[ordered[0]] = float("inf")
+        distance[ordered[-1]] = float("inf")
+        if hi <= lo:
+            continue
+        for pos in range(1, len(ordered) - 1):
+            gap = objectives[ordered[pos + 1]][k] - objectives[ordered[pos - 1]][k]
+            distance[ordered[pos]] += gap / (hi - lo)
+    return distance
+
+
+def _knee_index(front: Sequence[int], objectives: Sequence[Objectives]) -> int:
+    """Front member minimizing the summed normalized objectives."""
+    n_obj = len(objectives[front[0]])
+    lows = [min(objectives[i][k] for i in front) for k in range(n_obj)]
+    highs = [max(objectives[i][k] for i in front) for k in range(n_obj)]
+
+    def score(i: int) -> float:
+        total = 0.0
+        for k in range(n_obj):
+            span = highs[k] - lows[k]
+            total += (objectives[i][k] - lows[k]) / span if span > 0 else 0.0
+        return total
+
+    return min(front, key=score)
+
+
+class ParetoStrategy(SearchStrategy):
+    """Elitist multi-objective evolutionary search (NSGA-II style)."""
+
+    name = "pareto"
+
+    def __init__(
+        self,
+        space: IntVectorSpace,
+        population_size: int = 20,
+        generations: int = 20,
+        crossover_rate: float = 0.9,
+        seed: int = 0,
+        rng_key: str = "pareto",
+        initial_genomes: Optional[Sequence[Sequence[int]]] = None,
+    ) -> None:
+        super().__init__()
+        if population_size < 4:
+            raise GAError(f"population_size must be >= 4, got {population_size}")
+        if generations < 1:
+            raise GAError(f"generations must be >= 1, got {generations}")
+        self.space = space
+        self.population_size = population_size
+        self.generations = generations
+        self.crossover_rate = crossover_rate
+        self.rng = rng_for(rng_key, seed)
+        self.crossover = TwoPointCrossover()
+        self.mutation = CreepMutation()
+        self.initial_genomes = initial_genomes
+
+        self.gen = 0
+        #: current parents: genome list plus parallel objective list
+        self._parents: List[Genome] = []
+        self._parent_obj: List[Objectives] = []
+        self._pending: List[Genome] = []
+        self._front: List[Tuple[Genome, Objectives]] = []
+        self._done = False
+
+    # -- proposal ------------------------------------------------------
+    def _tournament(self, ranks: dict, crowd: dict) -> Genome:
+        i = int(self.rng.integers(0, len(self._parents)))
+        j = int(self.rng.integers(0, len(self._parents)))
+        if (ranks[i], -crowd[i]) <= (ranks[j], -crowd[j]):
+            return self._parents[i]
+        return self._parents[j]
+
+    def _offspring(self) -> List[Genome]:
+        fronts = non_dominated_sort(self._parent_obj)
+        ranks = {}
+        crowd = {}
+        for rank, front in enumerate(fronts):
+            dist = crowding_distance(front, self._parent_obj)
+            for i in front:
+                ranks[i] = rank
+                crowd[i] = dist[i]
+        children: List[Genome] = []
+        while len(children) < self.population_size:
+            parent_a = self._tournament(ranks, crowd)
+            parent_b = self._tournament(ranks, crowd)
+            if self.rng.random() < self.crossover_rate:
+                child_a, child_b = self.crossover.cross(parent_a, parent_b, self.rng)
+            else:
+                child_a, child_b = parent_a, parent_b
+            for child in (child_a, child_b):
+                mutated = self.mutation.mutate(child, self.space, self.rng)
+                children.append(self.space.clip(mutated))
+                if len(children) >= self.population_size:
+                    break
+        return children
+
+    def ask(self) -> List[Genome]:
+        if self.gen == 0:
+            population: List[Genome] = []
+            if self.initial_genomes:
+                for genome in self.initial_genomes[: self.population_size]:
+                    population.append(self.space.clip(genome))
+            while len(population) < self.population_size:
+                population.append(self.space.random_genome(self.rng))
+            self._pending = population
+        else:
+            self._pending = self._offspring()
+        return list(self._pending)
+
+    # -- environmental selection ---------------------------------------
+    def tell(self, genomes: Sequence[Genome], values: Sequence) -> Optional[dict]:
+        self.iteration += 1
+        objectives = [self._as_objectives(v, g) for g, v in zip(genomes, values)]
+
+        pool = list(zip(self._parents, self._parent_obj)) + list(
+            zip(genomes, objectives)
+        )
+        # Dedup identical genomes: the deterministic simulator gives
+        # them identical objectives, and duplicates flatten crowding.
+        seen = set()
+        unique: List[Tuple[Genome, Objectives]] = []
+        for genome, obj in pool:
+            if genome not in seen:
+                seen.add(genome)
+                unique.append((genome, obj))
+        pool_obj = [obj for _, obj in unique]
+        fronts = non_dominated_sort(pool_obj)
+
+        survivors: List[int] = []
+        for front in fronts:
+            if len(survivors) + len(front) <= self.population_size:
+                survivors.extend(front)
+            else:
+                dist = crowding_distance(front, pool_obj)
+                ordered = sorted(front, key=lambda i: -dist[i])
+                survivors.extend(ordered[: self.population_size - len(survivors)])
+                break
+
+        self._parents = [unique[i][0] for i in survivors]
+        self._parent_obj = [unique[i][1] for i in survivors]
+        self._front = [
+            (unique[i][0], unique[i][1])
+            for i in fronts[0]
+            if i in set(survivors)
+        ]
+        self.gen += 1
+        if self.gen >= self.generations:
+            self._done = True
+        return {"generation": self.gen, "front_size": len(self._front)}
+
+    @staticmethod
+    def _as_objectives(value, genome: Genome) -> Objectives:
+        if not isinstance(value, tuple) or len(value) < 2:
+            raise GAError(
+                f"pareto strategy requires a multi-objective fitness; got "
+                f"{value!r} for genome {genome} (use MultiObjectiveEvaluator)"
+            )
+        return tuple(float(v) for v in value)
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    def result(self) -> SearchResult:
+        if not self._front:
+            raise GAError("pareto strategy has no result before any tell()")
+        front_indices = list(range(len(self._front)))
+        objectives = [obj for _, obj in self._front]
+        knee = _knee_index(front_indices, objectives)
+        genome, obj = self._front[knee]
+        return SearchResult(
+            best=Individual(genome, obj),
+            iterations=self.gen,
+            front=tuple((g, o) for g, o in self._front),
+            detail={"front_size": len(self._front)},
+        )
+
+    # -- checkpointing -------------------------------------------------
+    def checkpoint_state(self) -> Optional[dict]:
+        from repro.search.cmaes import _rng_state_out
+
+        return {
+            "gen": self.gen,
+            "iteration": self.iteration,
+            "parents": [list(g) for g in self._parents],
+            "parent_obj": [list(o) for o in self._parent_obj],
+            "front": [[list(g), list(o)] for g, o in self._front],
+            "done": self._done,
+            "rng_state": _rng_state_out(self.rng),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        from repro.search.cmaes import _rng_state_in
+
+        self.gen = int(state["gen"])
+        self.iteration = int(state["iteration"])
+        self._parents = [tuple(int(v) for v in g) for g in state["parents"]]
+        self._parent_obj = [tuple(float(v) for v in o) for o in state["parent_obj"]]
+        self._front = [
+            (tuple(int(v) for v in g), tuple(float(v) for v in o))
+            for g, o in state["front"]
+        ]
+        self._done = bool(state["done"])
+        _rng_state_in(self.rng, state["rng_state"])

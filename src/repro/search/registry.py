@@ -1,0 +1,47 @@
+"""Name -> strategy class registry.
+
+Lazy by design: importing :mod:`repro.search` must not pull in numpy's
+heavier strategy modules (or ``repro.ga.engine``, which ``ga`` needs for
+its config) until a strategy is actually requested.  Construction is
+left to the caller — strategies differ in what they search over (the
+parameter-space strategies take an :class:`IntVectorSpace`; MCTS takes
+an inline-decision budget) — so the registry resolves classes, not
+instances.  :func:`repro.core.tuner` is the place where per-name
+construction for the paper's tuning problem lives.
+"""
+
+from __future__ import annotations
+
+from importlib import import_module
+from typing import Tuple, Type
+
+from repro.errors import GAError
+from repro.search.base import SearchStrategy
+
+__all__ = ["STRATEGY_NAMES", "DEFAULT_STRATEGY", "strategy_class"]
+
+#: every selectable strategy, in documentation order
+STRATEGY_NAMES: Tuple[str, ...] = ("ga", "mcts", "cmaes", "bandit", "pareto")
+
+DEFAULT_STRATEGY = "ga"
+
+_MODULES = {
+    "ga": ("repro.search.ga", "GAStrategy"),
+    "mcts": ("repro.search.mcts", "InlineMCTSStrategy"),
+    "cmaes": ("repro.search.cmaes", "CMAESStrategy"),
+    "bandit": ("repro.search.bandit", "BanditHalvingStrategy"),
+    "pareto": ("repro.search.pareto", "ParetoStrategy"),
+}
+
+
+def strategy_class(name: str) -> Type[SearchStrategy]:
+    """Resolve a strategy name to its class (imports lazily)."""
+    try:
+        module_name, class_name = _MODULES[name]
+    except KeyError:
+        raise GAError(
+            f"unknown search strategy {name!r}; expected one of "
+            f"{', '.join(STRATEGY_NAMES)}"
+        ) from None
+    module = import_module(module_name)
+    return getattr(module, class_name)

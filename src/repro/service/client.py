@@ -89,6 +89,16 @@ class ServiceClient:
     def result(self, job_id: str) -> dict:
         return self.request({"op": "result", "id": job_id})
 
+    def cancel(self, job_id: Optional[str] = None, key: Optional[str] = None) -> dict:
+        """Cancel a job by id or key (queued cells settle immediately;
+        in-flight cells drain and are written off at the cell boundary)."""
+        payload: dict = {"op": "cancel"}
+        if job_id is not None:
+            payload["id"] = job_id
+        if key is not None:
+            payload["key"] = key
+        return self.request(payload)
+
     def jobs(self) -> dict:
         return self.request({"op": "jobs"})
 
@@ -106,6 +116,10 @@ class ServiceClient:
         self, job_id: str, timeout: float = 300.0, poll: float = 0.2
     ) -> dict:
         """Poll until the job is terminal; returns its final status.
+
+        Terminal means ``done``, ``failed`` or ``cancelled`` — a job
+        cancelled while this client waits returns here, not at the
+        timeout.
 
         Rides out daemon restarts: a :class:`ServiceUnavailable` during
         the wait is retried until the deadline, because the job's state

@@ -110,7 +110,7 @@ class ServiceDaemon:
         if registry is not None:
             # materialize every service family up front so even an
             # idle daemon's export satisfies the telemetry smoke check
-            for status in ("done", "failed"):
+            for status in ("done", "failed", "cancelled"):
                 registry.counter(
                     "repro_service_jobs_total", status=status
                 ).inc(0)
@@ -186,6 +186,17 @@ class ServiceDaemon:
                 registry.counter(
                     "repro_service_cells_total", status=status
                 ).inc()
+        elif kind == "job_cancelled":
+            self._session_emit(
+                "service.job_cancelled",
+                job=fields.get("job_id", ""),
+                key=fields.get("key", ""),
+            )
+            if registry is not None:
+                registry.counter(
+                    "repro_service_jobs_total", status="cancelled"
+                ).inc()
+            self._admitted_at.pop(fields.get("job_id", ""), None)
         elif kind in ("job_done", "job_failed"):
             self._session_emit(
                 "service.job_done",
@@ -216,6 +227,7 @@ class ServiceDaemon:
             "submit": self._op_submit,
             "status": self._op_status,
             "result": self._op_result,
+            "cancel": self._op_cancel,
             "jobs": self._op_jobs,
             "stats": self._op_stats,
             "drain": self._op_drain,
@@ -330,6 +342,46 @@ class ServiceDaemon:
             "ok": True,
             "job": self._status_with_deadline(record),
             "cells": record.cells,
+        }
+
+    def _op_cancel(self, payload: dict) -> dict:
+        """Cancel a job by id or key.
+
+        Queued jobs settle immediately; a running job's in-flight cells
+        drain and are written off at the next cell boundary (the worker
+        pool is never torn down for a cancellation).  Cancelling a job
+        that is already terminal is a no-op acknowledged with its state.
+        """
+        record = self._find(payload)
+        if record is None:
+            return error_payload(CODE_NOT_FOUND, "no such job")
+        if record.terminal:
+            return {
+                "ok": True,
+                "id": record.job_id,
+                "state": record.state,
+                "cancelled": False,
+            }
+        accepted = self.scheduler.cancel(record.job_id)
+        if not accepted:
+            # not active in the scheduler (e.g. a drained daemon holds
+            # it queued in the journal only): journal the cancel here
+            record.cancel()
+            self.journal.update(record)
+            self._session_emit(
+                "service.job_cancelled", job=record.job_id, key=record.spec.key
+            )
+            registry = self._registry()
+            if registry is not None:
+                registry.counter(
+                    "repro_service_jobs_total", status="cancelled"
+                ).inc()
+        self._touch_gauges()
+        return {
+            "ok": True,
+            "id": record.job_id,
+            "state": record.state,
+            "cancelled": True,
         }
 
     def _op_jobs(self, payload: dict) -> dict:

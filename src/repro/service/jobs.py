@@ -27,6 +27,7 @@ from repro.errors import ConfigurationError
 from repro.ga.engine import GAConfig
 from repro.jvm.scenario import get_scenario
 from repro.rng import stable_hash
+from repro.search.registry import DEFAULT_STRATEGY, STRATEGY_NAMES
 
 __all__ = [
     "JOB_STATES",
@@ -84,6 +85,10 @@ class JobSpec:
     #: purely advisory bookkeeping surfaced in job status
     deadline: Optional[float] = None
     warm_start_neighbors: bool = False
+    #: search strategy every cell of the job tunes with (see
+    #: repro.search.registry); joins the fingerprint only when it is
+    #: not the default GA so pre-strategy journals keep deduplicating
+    strategy: str = DEFAULT_STRATEGY
 
     def ga_config(self) -> GAConfig:
         return GAConfig(
@@ -113,6 +118,8 @@ class JobSpec:
             str(self.workload_seed),
             str(int(self.warm_start_neighbors)),
         ]
+        if self.strategy != DEFAULT_STRATEGY:
+            parts.append(f"strategy={self.strategy}")
         return f"{stable_hash('|'.join(parts)):016x}"
 
     def as_dict(self) -> dict:
@@ -136,6 +143,7 @@ class JobSpec:
             priority=int(payload.get("priority", 1)),
             deadline=payload.get("deadline"),
             warm_start_neighbors=bool(payload.get("warm_start_neighbors", False)),
+            strategy=str(payload.get("strategy", DEFAULT_STRATEGY)),
         )
 
 
@@ -220,6 +228,12 @@ def validate_job_payload(payload: object) -> JobSpec:
         )
         deadline = float(deadline)
 
+    strategy = payload.get("strategy", DEFAULT_STRATEGY)
+    _require(
+        isinstance(strategy, str) and strategy in STRATEGY_NAMES,
+        f"unknown strategy {strategy!r}; available: " + ", ".join(STRATEGY_NAMES),
+    )
+
     return JobSpec(
         key=key,
         machines=tuple(dict.fromkeys(machines)),
@@ -232,6 +246,7 @@ def validate_job_payload(payload: object) -> JobSpec:
         priority=_int_field(payload, "priority", 1, 1, MAX_PRIORITY),
         deadline=deadline,
         warm_start_neighbors=bool(payload.get("warm_start_neighbors", False)),
+        strategy=strategy,
     )
 
 
@@ -269,8 +284,24 @@ class JobRecord:
         return [
             name
             for name, cell in self.cells.items()
-            if cell.get("state") not in ("done", "failed")
+            if cell.get("state") not in ("done", "failed", "cancelled")
         ]
+
+    def cancel(self) -> List[str]:
+        """Move the job to ``cancelled``; returns the cells written off.
+
+        Finished cells keep their journalled results.  Everything still
+        queued (or awaiting a retry) is marked ``cancelled`` — the state
+        is terminal, so :meth:`_refresh_state` never resurrects the job
+        when a late in-flight cell lands afterwards.
+        """
+        written_off = []
+        for name, cell in self.cells.items():
+            if cell.get("state") not in ("done", "failed"):
+                self.cells[name] = {"state": "cancelled"}
+                written_off.append(name)
+        self.state = "cancelled"
+        return written_off
 
     def cell_done(self, name: str, tuned_json: dict, evaluations: int) -> None:
         self.cells[name] = {

@@ -84,6 +84,9 @@ class _JobState:
     #: stride-scheduling pass value; smallest runnable pass runs next
     pass_value: float = 0.0
     inflight: int = 0
+    #: set by CellScheduler.cancel; in-flight cells drain but their
+    #: results are written off instead of journalled
+    cancelled: bool = False
 
     @property
     def stride(self) -> float:
@@ -138,7 +141,8 @@ class CellScheduler:
 
     *events* (optional callable ``events(kind, **fields)``) receives
     the scheduler's lifecycle stream — ``cell_done``, ``cell_failed``,
-    ``job_done``, ``job_failed``, ``retry``, ``pool_rebuild`` — which
+    ``cell_written_off``, ``job_done``, ``job_failed``,
+    ``job_cancelled``, ``retry``, ``pool_rebuild`` — which
     the daemon mirrors into telemetry.  Event-handler exceptions are
     swallowed: observability must never take the scheduler down.
     """
@@ -180,6 +184,12 @@ class CellScheduler:
         self._archives: Dict[int, object] = {}
         self._plan_publisher = None
 
+        # shm hygiene: published segment names are registered in a
+        # state-dir sidecar so a restart can unlink what a SIGKILLed
+        # predecessor could not (graceful shutdown clears the file)
+        self._shm_registry_path = os.path.join(state_dir, "shm.json")
+        self._sweep_stale_segments()
+
     # -- lifecycle -----------------------------------------------------
     def start(self) -> None:
         try:
@@ -191,6 +201,7 @@ class CellScheduler:
                 )
         except Exception:
             self._plan_publisher = None
+        self._record_segments()
         self._thread = threading.Thread(
             target=self._run, name="repro-scheduler", daemon=True
         )
@@ -239,6 +250,10 @@ class CellScheduler:
             except Exception:
                 pass
             self._plan_publisher = None
+        try:
+            os.remove(self._shm_registry_path)
+        except OSError:
+            pass
 
     # -- admission (API thread) ----------------------------------------
     def submit(self, record: JobRecord) -> None:
@@ -255,6 +270,33 @@ class CellScheduler:
                 # job that crashed after its last cell landed)
                 self._finalize_job(job)
             self._cond.notify()
+
+    # -- cancellation (API thread) -------------------------------------
+    def cancel(self, job_id: str) -> bool:
+        """Cancel one active job; returns False when it is not active.
+
+        Queued cells (and cells waiting out a retry backoff) settle
+        immediately and the ``cancelled`` state is journalled before
+        this returns.  In-flight cells are *not* interrupted — a running
+        future cannot be cancelled without tearing down the pool under
+        every other job — they finish their current attempt and the
+        result is written off at the cell boundary in :meth:`_consume`.
+        """
+        with self._cond:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return False
+            job.cancelled = True
+            for cell in job.cells:
+                if not cell.settled and not cell.inflight:
+                    cell.settled = True
+            job.record.cancel()
+            self.journal.update(job.record)
+            inflight = job.inflight
+            self._cond.notify()
+        if inflight == 0:
+            self._finalize_job(job)
+        return True
 
     # -- introspection (API thread) ------------------------------------
     def queue_depth(self) -> int:
@@ -298,7 +340,72 @@ class CellScheduler:
         except Exception:
             archive = None
         self._archives[workload_seed] = archive
+        if archive is not None:
+            self._record_segments()
         return archive
+
+    def _sweep_stale_segments(self) -> None:
+        """Unlink shm segments a SIGKILLed predecessor left behind.
+
+        Graceful shutdown unlinks every published segment and removes
+        the registry file, so names still listed at startup belong to a
+        daemon that died without cleanup.  Missing segments and
+        platforms without shared memory are both fine — the sweep is
+        pure hygiene.
+        """
+        try:
+            with open(self._shm_registry_path, "r", encoding="utf-8") as handle:
+                names = json.load(handle).get("segments", [])
+        except (OSError, ValueError):
+            names = []
+        for name in names:
+            if not isinstance(name, str) or not name:
+                continue
+            try:
+                from multiprocessing import shared_memory
+
+                try:
+                    segment = shared_memory.SharedMemory(name=name, track=False)
+                except TypeError:  # pragma: no cover - pre-3.13
+                    segment = shared_memory.SharedMemory(name=name)
+                segment.unlink()
+                segment.close()
+            except FileNotFoundError:
+                pass
+            except Exception:
+                pass
+        try:
+            os.remove(self._shm_registry_path)
+        except OSError:
+            pass
+
+    def _record_segments(self) -> None:
+        """Snapshot the published segment names into the registry file."""
+        names = []
+        for archive in self._archives.values():
+            if archive is None:
+                continue
+            try:
+                names.append(archive.name)
+            except Exception:
+                pass
+        publisher = self._plan_publisher
+        if publisher is not None and not getattr(publisher, "dead", False):
+            try:
+                base = publisher.base
+                names.append(base)
+                epoch = int(publisher.archive.epoch)
+                if epoch:
+                    names.append(f"{base}-e{epoch}")
+            except Exception:
+                pass
+        tmp = self._shm_registry_path + ".tmp"
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump({"segments": names}, handle)
+            os.replace(tmp, self._shm_registry_path)
+        except OSError:
+            pass
 
     def _verify_archives(self) -> None:
         """After a pool rebuild: republish any unlinked archive segment
@@ -350,6 +457,7 @@ class CellScheduler:
                 else None
             ),
             warm_start_neighbors=spec.warm_start_neighbors,
+            strategy=spec.strategy,
         )
 
     # -- the scheduling loop -------------------------------------------
@@ -478,11 +586,30 @@ class CellScheduler:
         self._record_success(job, cell, outcome)
         return False
 
+    def _write_off(self, job: _JobState, cell: _CellState) -> None:
+        """Discard a drained in-flight cell of a cancelled job.  Lock
+        held by the caller.  The record's cells were already marked
+        cancelled by :meth:`cancel`; once the last in-flight cell drains
+        the job leaves the active set."""
+        if cell.settled:
+            return  # cancel() already settled it (and finalized if last)
+        cell.settled = True
+        self._emit(
+            "cell_written_off", job_id=job.record.job_id, cell=cell.name
+        )
+        if job.inflight == 0 and not job.unsettled():
+            self._finalize_job(job)
+
     def _record_success(self, job: _JobState, cell: _CellState, outcome) -> None:
+        with self._cond:
+            if job.cancelled:
+                self._write_off(job, cell)
+                return
         if self._plan_publisher is not None and outcome.plan_exports:
             try:
                 self._plan_publisher.merge(outcome.plan_exports)
-                self._plan_publisher.publish_if_dirty()
+                if self._plan_publisher.publish_if_dirty() is not None:
+                    self._record_segments()
             except Exception:
                 pass
         record = job.record
@@ -514,6 +641,12 @@ class CellScheduler:
         elapsed: float,
     ) -> None:
         """Account one failed attempt.  Lock held by the caller."""
+        if job.cancelled:
+            # the attempt no longer matters — the job was cancelled
+            # while this cell was in flight; write it off instead of
+            # charging/retrying it
+            self._write_off(job, cell)
+            return
         task_key = f"{job.record.job_id}/{cell.name}"
         fatal = cell.attempts >= self.policy.max_attempts
         report = FailureReport(
@@ -557,8 +690,12 @@ class CellScheduler:
         record = job.record
         with self._cond:
             self._jobs.pop(record.job_id, None)
+        kind = {
+            "done": "job_done",
+            "cancelled": "job_cancelled",
+        }.get(record.state, "job_failed")
         self._emit(
-            "job_done" if record.state == "done" else "job_failed",
+            kind,
             job_id=record.job_id,
             key=record.spec.key,
             state=record.state,

@@ -21,6 +21,7 @@ __all__ = [
     "REQUIRED_METRIC_FAMILIES",
     "SERVICE_METRIC_FAMILIES",
     "validate_event",
+    "is_unknown_namespaced_event",
 ]
 
 #: fields every event line must carry
@@ -90,6 +91,19 @@ EVENT_SCHEMAS: Dict[str, Dict[str, tuple]] = {
     },
     "tier.migrate": {"records": (int,)},
     "tier.warm_start": {"seeds": (int,)},
+    # search strategies (repro.search.driver); the GA keeps its
+    # historical ga.generation spans instead of these
+    "strategy.batch": {
+        "strategy": (str,),
+        "iteration": (int,),
+        "proposed": (int,),
+        "evaluated": (int,),
+    },
+    "strategy.done": {
+        "strategy": (str,),
+        "iterations": (int,),
+        "evaluations": (int,),
+    },
     # registry dumps
     "metrics.snapshot": {"metrics": (dict,)},
     # service daemon (repro.service) job lifecycle
@@ -102,6 +116,7 @@ EVENT_SCHEMAS: Dict[str, Dict[str, tuple]] = {
     },
     "service.job_rejected": {"code": (str,)},
     "service.job_done": {"job": (str,), "key": (str,), "state": (str,)},
+    "service.job_cancelled": {"job": (str,), "key": (str,)},
     "service.cell_done": {"job": (str,), "cell": (str,), "ok": (bool,)},
     "service.drain": {"inflight": (int,)},
 }
@@ -175,6 +190,27 @@ def _check_fields(
                 f"expected {types}"
             )
     return None
+
+
+def is_unknown_namespaced_event(record: Mapping) -> bool:
+    """True when *record* carries valid base fields but names an event
+    the schema does not know, in a dotted namespace (``family.name``).
+
+    Consumers downgrade these from errors to warnings: a newer emitter
+    adding a namespaced event family (the way ``strategy.*`` was added)
+    must not fail an older checker.  An event without a namespace, or a
+    record with broken base fields, is still an error — that shape only
+    comes from corruption, never from forward compatibility.
+    """
+    if not isinstance(record, Mapping):
+        return False
+    if _check_fields(record, BASE_FIELDS, "base") is not None:
+        return False
+    name = record["event"]
+    if name in EVENT_SCHEMAS:
+        return False
+    head, _, tail = name.partition(".")
+    return bool(head) and bool(tail)
 
 
 def validate_event(record: Mapping) -> Optional[str]:

@@ -95,6 +95,77 @@ class TestSerialization:
         assert payload["params"] == list(tuned.params.as_tuple())
 
 
+class TestStrategies:
+    """End-to-end runs of every non-GA search strategy."""
+
+    @pytest.mark.parametrize("name", ["cmaes", "bandit", "mcts", "pareto"])
+    def test_every_strategy_tunes_end_to_end(self, task, programs, name):
+        tuner = InliningTuner(TINY_GA, strategy=name, strategy_budget=24)
+        tuned = tuner.tune(task, programs)
+        assert tuned.strategy == name
+        assert tuned.evaluations > 0
+        assert tuned.fitness > 0
+        assert tuned.default_fitness > 0
+        assert tuned.wall_seconds > 0
+
+    @pytest.mark.parametrize("name", ["cmaes", "bandit"])
+    def test_seeded_strategies_never_worse_than_default(
+        self, task, programs, name
+    ):
+        # the default genome rides along with the first batch, so the
+        # GA's improvement floor holds for the seeded strategies too
+        tuner = InliningTuner(TINY_GA, strategy=name, strategy_budget=24)
+        tuned = tuner.tune(task, programs)
+        assert tuned.fitness <= tuned.default_fitness * (1 + 1e-12)
+        assert tuned.improvement >= -1e-12
+
+    def test_pareto_detail_carries_the_front(self, task, programs):
+        tuner = InliningTuner(TINY_GA, strategy="pareto", strategy_budget=24)
+        tuned = tuner.tune(task, programs)
+        assert tuned.detail and tuned.detail["front"]
+        assert len(tuned.detail["objectives"]) >= 2
+        genomes = {tuple(genome) for genome, _ in tuned.detail["front"]}
+        assert len(genomes) == len(tuned.detail["front"])
+
+    def test_mcts_detail_carries_the_decisions(self, task, programs):
+        tuner = InliningTuner(TINY_GA, strategy="mcts", strategy_budget=24)
+        tuned = tuner.tune(task, programs)
+        assert tuned.detail and set(tuned.detail["decisions"]) <= {0, 1}
+
+    def test_strategy_roundtrips_through_json(self, task, programs):
+        tuner = InliningTuner(TINY_GA, strategy="cmaes", strategy_budget=16)
+        tuned = tuner.tune(task, programs)
+        loaded = TunedHeuristic.from_json(tuned.to_json())
+        assert loaded.strategy == "cmaes"
+        assert loaded.detail == tuned.detail
+        assert loaded.params == tuned.params
+
+    def test_legacy_json_defaults_to_ga(self, task, programs):
+        tuned = InliningTuner(TINY_GA).tune(task, programs)
+        payload = json.loads(tuned.to_json())
+        assert payload["strategy"] == "ga"
+        assert "detail" not in payload
+        payload.pop("strategy")
+        loaded = TunedHeuristic.from_json(json.dumps(payload))
+        assert loaded.strategy == "ga"
+
+    def test_unknown_strategy_is_a_structured_error(self):
+        from repro.errors import TuningError
+
+        with pytest.raises(TuningError, match="annealing"):
+            InliningTuner(TINY_GA, strategy="annealing")
+
+    def test_strategy_determinism(self, task, programs):
+        results = [
+            InliningTuner(TINY_GA, strategy="bandit", strategy_budget=24).tune(
+                task, programs
+            )
+            for _ in range(2)
+        ]
+        assert results[0].params == results[1].params
+        assert results[0].fitness == results[1].fitness
+
+
 class TestTaskStr:
     def test_describes_configuration(self, task):
         text = str(task)

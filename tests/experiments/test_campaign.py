@@ -4,9 +4,10 @@ from __future__ import annotations
 
 import pytest
 
-from repro.errors import ConfigurationError
+from repro.errors import CampaignError, ConfigurationError
 from repro.experiments.campaign import (
     CampaignResult,
+    CellRequest,
     grid_tasks,
     run_campaign,
 )
@@ -118,3 +119,64 @@ class TestRunCampaign:
             assert b.tuned.fitness == a.tuned.fitness
             assert b.tuned.params == a.tuned.params
             assert b.new_records == a.new_records
+
+
+class TestCampaignStrategies:
+    def test_non_ga_strategy_runs_end_to_end(self, tmp_path):
+        tasks = grid_tasks(machines=["pentium4"], scenarios=["opt"])
+        result = run_campaign(
+            tasks,
+            ga_config=TINY_GA,
+            store_path=str(tmp_path / "evals.jsonl"),
+            serial=True,
+            strategy="cmaes",
+        )
+        assert result.failures == ()
+        assert all(r.tuned.strategy == "cmaes" for r in result.results)
+        assert result.total_evaluations > 0
+
+    def test_unknown_strategy_rejected(self):
+        tasks = grid_tasks(machines=["pentium4"], scenarios=["opt"])
+        with pytest.raises(ConfigurationError, match="annealing"):
+            run_campaign(tasks, ga_config=TINY_GA, strategy="annealing")
+
+    def test_resume_under_a_different_strategy_is_rejected(self, tmp_path):
+        campaign_dir = str(tmp_path / "campaign")
+        tasks = grid_tasks(machines=["pentium4"], scenarios=["opt"])
+        run_campaign(
+            tasks, ga_config=TINY_GA, campaign_dir=campaign_dir, serial=True
+        )
+        with pytest.raises(CampaignError, match="different configuration"):
+            run_campaign(
+                tasks,
+                ga_config=TINY_GA,
+                campaign_dir=campaign_dir,
+                serial=True,
+                resume=True,
+                strategy="cmaes",
+            )
+
+    def test_ga_resume_fingerprint_is_unchanged_by_the_field(self, tmp_path):
+        # a pre-strategy manifest must keep resuming under the default
+        campaign_dir = str(tmp_path / "campaign")
+        tasks = grid_tasks(machines=["pentium4"], scenarios=["opt"])
+        run_campaign(
+            tasks, ga_config=TINY_GA, campaign_dir=campaign_dir, serial=True
+        )
+        resumed = run_campaign(
+            tasks,
+            ga_config=TINY_GA,
+            campaign_dir=campaign_dir,
+            serial=True,
+            resume=True,
+        )
+        assert resumed.failures == ()
+        assert resumed.total_evaluations == 0  # every cell answered by skip
+
+    def test_cell_request_payload_strategy_roundtrip(self):
+        tasks = grid_tasks(machines=["pentium4"], scenarios=["opt"])
+        base = (tasks[0], TINY_GA, None, 0, None, None, None, False)
+        legacy = CellRequest.from_payload(base)
+        assert legacy.strategy == "ga"
+        tagged = CellRequest.from_payload(base + ("bandit",))
+        assert tagged.strategy == "bandit"

@@ -1,0 +1,141 @@
+"""Vector (multi-objective) fitness across the persistence stack.
+
+The scalar-only-fitness audit (ROADMAP item 3's bugfix rider) made the
+fitness plumbing explicit about which layers accept objective vectors:
+``coerce_fitness`` canonicalizes them, the cache and the single-file
+:class:`~repro.perf.store.EvaluationStore` round-trip them, checkpoints
+escalate to format v3, and the sharded :class:`TierStore` — whose pack
+schema is scalar-only — refuses them loudly instead of truncating.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import CheckpointError, GAError
+from repro.ga.checkpoint import load_checkpoint, save_checkpoint
+from repro.ga.fitness import FitnessCache, coerce_fitness
+from repro.ga.individual import Individual
+from repro.perf.store import EvaluationStore
+from repro.perf.storetier import TierStore
+
+
+class TestCoerceFitness:
+    def test_scalar_stays_float(self):
+        assert coerce_fitness(3) == 3.0
+        assert type(coerce_fitness(3)) is float
+        assert coerce_fitness(2.5) == 2.5
+
+    def test_sequences_become_float_tuples(self):
+        assert coerce_fitness([1, 2.5, 3]) == (1.0, 2.5, 3.0)
+        assert coerce_fitness((4, 5)) == (4.0, 5.0)
+        assert all(type(v) is float for v in coerce_fitness([1, 2]))
+
+
+class TestCacheVectors:
+    def test_evaluate_and_peek_roundtrip_tuples(self):
+        cache = FitnessCache(lambda genome: [sum(genome), 1.0])
+        assert cache.evaluate((1, 2)) == (3.0, 1.0)
+        assert cache.peek((1, 2)) == (3.0, 1.0)
+        assert cache.misses == 1
+        assert cache.evaluate((1, 2)) == (3.0, 1.0)
+        assert cache.hits == 1
+
+    def test_non_finite_component_is_rejected(self):
+        cache = FitnessCache(lambda genome: (1.0, float("nan")))
+        with pytest.raises(GAError, match="non-finite"):
+            cache.evaluate((0, 0))
+
+    def test_insert_coerces_lists(self):
+        cache = FitnessCache(lambda genome: 0.0)
+        cache.insert((5, 6), [7, 8])
+        assert cache.peek((5, 6)) == (7.0, 8.0)
+
+
+class TestStoreVectors:
+    def test_single_file_store_roundtrips_vectors(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        with EvaluationStore(path) as store:
+            store.record((1, 2, 3), (4.0, 5.0, 6.0))
+            store.record((7, 8, 9), 1.5)
+        with EvaluationStore(path) as store:
+            assert store.get((1, 2, 3)) == (4.0, 5.0, 6.0)
+            assert store.get((7, 8, 9)) == 1.5
+
+    def test_cache_recall_promotes_stored_vectors(self, tmp_path):
+        path = str(tmp_path / "store.jsonl")
+        with EvaluationStore(path) as store:
+            store.record((1, 2), (3.0, 4.0))
+        with EvaluationStore(path) as store:
+            cache = FitnessCache(lambda genome: 0.0, store=store)
+            assert cache.recall((1, 2)) == (3.0, 4.0)
+            assert cache.peek((1, 2)) == (3.0, 4.0)
+
+    def test_tier_store_refuses_vectors(self, tmp_path):
+        store = TierStore(str(tmp_path / "tier"))
+        try:
+            store.record((1, 2), 3.0)  # scalars stay fine
+            with pytest.raises(GAError, match="scalar-only"):
+                store.record((4, 5), (6.0, 7.0))
+        finally:
+            store.close()
+
+
+class TestCheckpointVectors:
+    def test_vector_population_escalates_to_v3(self, tmp_path):
+        path = str(tmp_path / "pareto.json")
+        population = [
+            Individual((1, 2), (3.0, 4.0)),
+            Individual((5, 6), (7.0, 8.0)),
+        ]
+        save_checkpoint(
+            path, generation=2, population=population, best=population[0]
+        )
+        with open(path) as handle:
+            assert json.load(handle)["version"] == 3
+        checkpoint = load_checkpoint(path)
+        assert checkpoint.population[0].fitness == (3.0, 4.0)
+        assert checkpoint.best.fitness == (3.0, 4.0)
+
+    def test_vector_cache_entries_escalate_and_roundtrip(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        cache = FitnessCache(lambda genome: (1.0, 2.0))
+        cache.evaluate((9, 9))
+        save_checkpoint(
+            path,
+            generation=0,
+            population=[Individual((9, 9), (1.0, 2.0))],
+            best=None,
+            cache=cache,
+        )
+        with open(path) as handle:
+            assert json.load(handle)["version"] == 3
+        checkpoint = load_checkpoint(path)
+        assert checkpoint.cache_entries[(9, 9)] == (1.0, 2.0)
+
+    def test_scalar_checkpoint_stays_v2(self, tmp_path):
+        path = str(tmp_path / "scalar.json")
+        save_checkpoint(
+            path,
+            generation=1,
+            population=[Individual((1, 2), 3.0)],
+            best=Individual((1, 2), 3.0),
+        )
+        with open(path) as handle:
+            assert json.load(handle)["version"] == 2
+
+    def test_v2_file_holding_vectors_is_rejected(self, tmp_path):
+        path = str(tmp_path / "forged.json")
+        payload = {
+            "version": 2,
+            "generation": 0,
+            "population": [{"genome": [1, 2], "fitness": [3.0, 4.0]}],
+            "best": None,
+            "cache": [],
+            "rng_state": None,
+            "stale": 0,
+        }
+        with open(path, "w") as handle:
+            json.dump(payload, handle)
+        with pytest.raises(CheckpointError, match="format v3"):
+            load_checkpoint(path)

@@ -1,0 +1,306 @@
+"""Unit tests for the pluggable search strategies and their driver.
+
+Every strategy speaks the same ask/tell protocol and is driven by
+:func:`repro.search.driver.run_search`; the tests here exercise each
+one on cheap synthetic fitness landscapes — the end-to-end runs through
+the JVM simulator live in ``tests/core/test_tuner.py``.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import CheckpointError, GAError
+from repro.ga.individual import IntVectorSpace
+from repro.search import (
+    DEFAULT_STRATEGY,
+    STRATEGY_NAMES,
+    SearchResult,
+    SearchStrategy,
+    run_search,
+    strategy_class,
+)
+from repro.search.bandit import BanditHalvingStrategy
+from repro.search.cmaes import CMAESStrategy
+from repro.search.mcts import InlineMCTSStrategy
+from repro.search.pareto import (
+    ParetoStrategy,
+    crowding_distance,
+    non_dominated_sort,
+)
+
+
+def sphere(genome):
+    return float(sum((g - 10) ** 2 for g in genome))
+
+
+def multi(genome):
+    """Two conflicting objectives plus a constant third."""
+    a = float(sum(g**2 for g in genome))
+    b = float(sum((g - 8) ** 2 for g in genome))
+    return (a, b, 1.0)
+
+
+@pytest.fixture
+def space():
+    return IntVectorSpace([0, 0, 0], [31, 31, 31])
+
+
+class TestRegistry:
+    def test_names_and_default(self):
+        assert DEFAULT_STRATEGY == "ga"
+        assert set(STRATEGY_NAMES) == {"ga", "mcts", "cmaes", "bandit", "pareto"}
+
+    @pytest.mark.parametrize("name", STRATEGY_NAMES)
+    def test_every_name_resolves_to_a_strategy(self, name):
+        cls = strategy_class(name)
+        assert issubclass(cls, SearchStrategy)
+        assert cls.name == name
+
+    def test_unknown_name_is_a_structured_error(self):
+        with pytest.raises(GAError, match="annealing"):
+            strategy_class("annealing")
+
+    def test_only_the_ga_stays_on_legacy_spans(self):
+        # the GA keeps its historical ga.generation spans; every other
+        # strategy gets driver-emitted strategy.* events
+        for name in STRATEGY_NAMES:
+            assert strategy_class(name).emits_events == (name != "ga")
+
+
+class TestCMAES:
+    def test_converges_on_sphere(self, space):
+        strategy = CMAESStrategy(space, budget=150, seed=1)
+        result = run_search(strategy, sphere)
+        assert result.best_fitness <= sphere((0, 0, 0)) / 4
+        assert result.evaluations <= 150 + strategy.lam
+
+    def test_deterministic_and_seed_sensitive(self, space):
+        runs = [
+            run_search(CMAESStrategy(space, budget=60, seed=s), sphere)
+            for s in (7, 7, 8)
+        ]
+        assert runs[0].best_genome == runs[1].best_genome
+        assert runs[0].history == runs[1].history
+
+    def test_initial_genomes_are_evaluated_first(self, space):
+        default = (10, 10, 10)
+        strategy = CMAESStrategy(space, budget=20, seed=0, initial_genomes=[default])
+        result = run_search(strategy, sphere)
+        # the seeded optimum can never be lost
+        assert result.best_fitness == 0.0
+        assert result.best_genome == default
+
+    def test_checkpoint_resume_matches_uninterrupted(self, space, tmp_path):
+        path = str(tmp_path / "cmaes.json")
+        full = run_search(CMAESStrategy(space, budget=80, seed=3), sphere)
+
+        interrupted = CMAESStrategy(space, budget=80, seed=3)
+        # drive half the budget manually, checkpointing each batch
+        cache_probe = []
+
+        def counting(genome):
+            cache_probe.append(genome)
+            return sphere(genome)
+
+        result = run_search(
+            CMAESStrategy(space, budget=40, seed=3),
+            counting,
+            checkpoint_path=path,
+        )
+        assert os.path.exists(path)
+        resumed = CMAESStrategy(space, budget=80, seed=3)
+        resumed.restore_from(path)
+        continued = run_search(resumed, sphere, checkpoint_path=path)
+        assert continued.best_fitness <= result.best_fitness
+        assert continued.best_fitness == full.best_fitness
+
+
+class TestBandit:
+    def test_halving_converges_and_respects_budget(self, space):
+        strategy = BanditHalvingStrategy(space, budget=48, seed=2)
+        result = run_search(strategy, sphere)
+        assert result.evaluations <= 48
+        assert result.best_fitness <= sphere((31, 31, 31))
+
+    def test_survivor_count_shrinks_by_eta(self, space):
+        strategy = BanditHalvingStrategy(space, budget=32, eta=2, seed=0)
+        first = strategy.ask()
+        strategy.tell(first, [sphere(g) for g in first])
+        second = strategy.ask()
+        assert len(second) <= max(2, len(first) // 2 + len(first))  # refilled cohort
+        assert strategy.iteration == 1
+
+    def test_seeded_default_survives_round_one(self, space):
+        default = (10, 10, 10)
+        strategy = BanditHalvingStrategy(
+            space, budget=24, seed=1, initial_genomes=[default]
+        )
+        result = run_search(strategy, sphere)
+        assert result.best_fitness == 0.0
+
+
+class TestParetoPrimitives:
+    def test_non_dominated_sort_layers(self):
+        objectives = [(1.0, 1.0), (2.0, 2.0), (1.0, 2.0), (0.5, 3.0)]
+        fronts = non_dominated_sort(objectives)
+        assert fronts[0] == [0, 3]  # (1,1) and (0.5,3) are incomparable
+        assert 1 in fronts[-1]  # (2,2) is dominated by (1,1)
+
+    def test_crowding_boundaries_are_infinite(self):
+        objectives = [(0.0, 3.0), (1.0, 2.0), (2.0, 1.0), (3.0, 0.0)]
+        crowd = crowding_distance([0, 1, 2, 3], objectives)
+        assert crowd[0] == float("inf") and crowd[3] == float("inf")
+        assert 0 < crowd[1] < float("inf")
+
+    def test_duplicate_objectives_do_not_crash(self):
+        objectives = [(1.0, 1.0)] * 3
+        fronts = non_dominated_sort(objectives)
+        assert fronts == [[0, 1, 2]]
+        crowd = crowding_distance([0, 1, 2], objectives)
+        assert all(v >= 0 or v == float("inf") for v in crowd.values())
+
+
+class TestParetoStrategy:
+    def test_returns_a_non_dominated_front(self, space):
+        strategy = ParetoStrategy(space, population_size=12, generations=6, seed=4)
+        result = run_search(strategy, multi)
+        assert result.front, "empty Pareto front"
+        objectives = [obj for _, obj in result.front]
+        for i, a in enumerate(objectives):
+            for j, b in enumerate(objectives):
+                if i != j:
+                    assert not (
+                        all(x <= y for x, y in zip(a, b))
+                        and any(x < y for x, y in zip(a, b))
+                    ), f"front member {j} is dominated by {i}"
+        # the knee is a front member
+        assert result.best_genome in {genome for genome, _ in result.front}
+
+    def test_scalar_fitness_is_a_structured_error(self, space):
+        strategy = ParetoStrategy(space, population_size=6, generations=2, seed=0)
+        with pytest.raises(GAError, match="multi-objective"):
+            run_search(strategy, sphere)
+
+    def test_deterministic(self, space):
+        results = [
+            run_search(
+                ParetoStrategy(space, population_size=8, generations=4, seed=9),
+                multi,
+            )
+            for _ in range(2)
+        ]
+        assert results[0].front == results[1].front
+
+
+class TestMCTS:
+    def test_decision_vectors_and_budget(self):
+        seen = []
+
+        def fitness(genome):
+            seen.append(genome)
+            # prefer inlining early call sites
+            return float(len(genome) - sum(genome) + len(genome) * 0.01)
+
+        strategy = InlineMCTSStrategy(budget=40, max_depth=8, seed=5)
+        result = run_search(strategy, fitness)
+        assert result.iterations == 40
+        assert all(set(g) <= {0, 1} for g in seen)
+        assert all(len(g) <= 8 for g in seen)
+        # rewards steer the tree toward inlining
+        assert sum(result.best_genome) >= len(result.best_genome) // 2
+
+    def test_checkpoint_roundtrip_preserves_the_tree(self, tmp_path):
+        path = str(tmp_path / "mcts.json")
+
+        def fitness(genome):
+            return float(-sum(genome))
+
+        first = InlineMCTSStrategy(budget=10, max_depth=6, seed=1)
+        run_search(first, fitness, checkpoint_path=path)
+        assert json.load(open(path))["strategy"] == "mcts"
+
+        resumed = InlineMCTSStrategy(budget=20, max_depth=6, seed=1)
+        resumed.restore_from(path)
+        assert resumed.iteration == first.iteration
+        result = run_search(resumed, fitness)
+        assert result.iterations == 20
+
+    def test_checkpoint_name_mismatch_is_rejected(self, space, tmp_path):
+        path = str(tmp_path / "wrong.json")
+        run_search(
+            CMAESStrategy(space, budget=10, seed=0), sphere, checkpoint_path=path
+        )
+        strategy = InlineMCTSStrategy(budget=10)
+        with pytest.raises(CheckpointError, match="cmaes"):
+            strategy.restore_from(path)
+
+
+class TestDriver:
+    def test_strategy_events_and_counters(self, space, tmp_path):
+        from repro.telemetry import configure, get_session, shutdown
+
+        configure(str(tmp_path))
+        try:
+            run_search(CMAESStrategy(space, budget=20, seed=0), sphere)
+            session = get_session()
+            session.export_prometheus()
+        finally:
+            shutdown()
+        events = []
+        for name in os.listdir(str(tmp_path)):
+            if name.startswith("events-"):
+                with open(os.path.join(str(tmp_path), name)) as handle:
+                    events += [json.loads(line) for line in handle if line.strip()]
+        kinds = {event["event"] for event in events}
+        assert "strategy.batch" in kinds and "strategy.done" in kinds
+        batch = next(e for e in events if e["event"] == "strategy.batch")
+        assert batch["strategy"] == "cmaes"
+        prom = open(os.path.join(str(tmp_path), "metrics.prom")).read()
+        assert "repro_strategy_batches_total" in prom
+        assert "repro_strategy_evaluations_total" in prom
+
+    def test_ga_emits_no_strategy_events(self, space, tmp_path):
+        from repro.ga.engine import GAConfig, GAEngine
+        from repro.telemetry import configure, shutdown
+
+        configure(str(tmp_path))
+        try:
+            GAEngine(space, GAConfig(population_size=4, generations=2)).run(sphere)
+        finally:
+            shutdown()
+        events = []
+        for name in os.listdir(str(tmp_path)):
+            if name.startswith("events-"):
+                with open(os.path.join(str(tmp_path), name)) as handle:
+                    events += [json.loads(line) for line in handle if line.strip()]
+        kinds = {event.get("event") for event in events}
+        assert "strategy.batch" not in kinds
+        # the historical span stream is intact
+        assert any(
+            event.get("event") == "span" and event.get("span") == "ga.generation"
+            for event in events
+        )
+
+    def test_store_recall_counts_as_hits(self, space, tmp_path):
+        from repro.perf.store import EvaluationStore
+
+        calls = []
+
+        def counting(genome):
+            calls.append(genome)
+            return sphere(genome)
+
+        store_path = str(tmp_path / "store.jsonl")
+        with EvaluationStore(store_path) as store:
+            run_search(CMAESStrategy(space, budget=30, seed=6), counting, store=store)
+        first_calls = len(calls)
+        with EvaluationStore(store_path) as store:
+            result = run_search(
+                CMAESStrategy(space, budget=30, seed=6), counting, store=store
+            )
+        # the identical run replays entirely from the store
+        assert len(calls) == first_calls
+        assert result.evaluations == 0

@@ -336,3 +336,180 @@ class TestEndToEnd:
         assert not (tmp_path / "state" / "endpoint.json").exists()
         twin = JobJournal(state)
         assert twin.get(submitted["id"]).state == "done"
+
+
+class TestCancellation:
+    """The cancel op, pool-free: queued jobs settle immediately; the
+    in-flight write-off path is driven through the scheduler's own
+    boundary hooks (the slow e2e class covers the wire)."""
+
+    def test_cancel_queued_job_is_immediate_and_journalled(self, idle_daemon):
+        job_id = submit(idle_daemon, "alpha")["id"]
+        response = idle_daemon._dispatch({"op": "cancel", "id": job_id})
+        assert response["ok"] and response["cancelled"]
+        assert response["state"] == "cancelled"
+        record = idle_daemon.journal.get(job_id)
+        assert record.state == "cancelled" and record.terminal
+        # journalled before the ack: a fresh journal instance agrees
+        twin = JobJournal(idle_daemon.state_dir)
+        assert twin.get(job_id).state == "cancelled"
+        # the scheduler dropped the job from its active set
+        assert idle_daemon.scheduler.active_jobs() == 0
+        with idle_daemon.scheduler._cond:
+            assert idle_daemon.scheduler._pick_next(time.monotonic()) is None
+
+    def test_cancel_by_key(self, idle_daemon):
+        submit(idle_daemon, "alpha")
+        response = idle_daemon._dispatch({"op": "cancel", "key": "alpha"})
+        assert response["ok"] and response["cancelled"]
+
+    def test_cancel_unknown_job_is_not_found(self, idle_daemon):
+        response = idle_daemon._dispatch({"op": "cancel", "id": "job-999999"})
+        assert not response["ok"]
+        assert response["error"]["code"] == "not-found"
+
+    def test_cancel_terminal_job_is_an_acknowledged_noop(self, idle_daemon):
+        job_id = submit(idle_daemon, "alpha")["id"]
+        record = idle_daemon.journal.get(job_id)
+        record.cell_done("adapt:running@pentium4", {"fitness": 1.0}, 8)
+        idle_daemon.journal.update(record)
+        idle_daemon.scheduler._jobs.pop(job_id, None)
+        response = idle_daemon._dispatch({"op": "cancel", "id": job_id})
+        assert response["ok"] and not response["cancelled"]
+        assert response["state"] == "done"
+
+    def test_cancelled_job_stays_cancelled_after_recovery(self, idle_daemon):
+        job_id = submit(idle_daemon, "alpha")["id"]
+        idle_daemon._dispatch({"op": "cancel", "id": job_id})
+        twin = JobJournal(idle_daemon.state_dir)
+        # a restarted daemon must not resume a cancelled job's cells
+        assert [r.job_id for r in twin.active_jobs()] == []
+
+    def test_inflight_cell_is_written_off_at_the_boundary(self, tmp_path):
+        events = []
+        journal = JobJournal(str(tmp_path / "state"))
+        scheduler = CellScheduler(
+            str(tmp_path / "state"), journal, workers=1,
+            events=lambda kind, **fields: events.append((kind, fields)),
+        )
+        from repro.service.jobs import JobRecord, validate_job_payload
+
+        record = JobRecord(
+            job_id="job-000001",
+            spec=validate_job_payload(
+                {
+                    "key": "inflight",
+                    "machines": ["pentium4"],
+                    "scenarios": ["adapt", "opt"],
+                    "metrics": ["running"],
+                }
+            ),
+        )
+        journal.admit(record)
+        scheduler.submit(record)
+        job = scheduler._jobs["job-000001"]
+        flying = job.cells[0]
+        flying.inflight = True
+        job.inflight = 1
+
+        assert scheduler.cancel("job-000001") is True
+        # the queued sibling settled immediately; the in-flight cell is
+        # still draining, so the job has not been finalized yet
+        assert job.cells[1].settled and not flying.settled
+        assert record.state == "cancelled"
+        assert "job-000001" in scheduler._jobs
+
+        # the cell boundary: _consume's bookkeeping then the result
+        # landing, which must be written off, not journalled as done
+        with scheduler._cond:
+            flying.inflight = False
+            job.inflight -= 1
+        scheduler._record_success(job, flying, outcome=None)
+        assert flying.settled
+        assert record.cells[flying.name]["state"] == "cancelled"
+        assert "job-000001" not in scheduler._jobs
+        kinds = [kind for kind, _ in events]
+        assert "cell_written_off" in kinds
+        assert kinds.count("job_cancelled") == 1
+        assert "cell_done" not in kinds
+
+    def test_cancelled_job_cells_never_run_afterwards(self, tmp_path):
+        journal = JobJournal(str(tmp_path / "state"))
+        scheduler = CellScheduler(str(tmp_path / "state"), journal, workers=1)
+        from repro.service.jobs import JobRecord, validate_job_payload
+
+        record = JobRecord(
+            job_id="job-000001",
+            spec=validate_job_payload(
+                {
+                    "key": "soon-gone",
+                    "machines": ["pentium4", "powerpc-g4"],
+                    "scenarios": ["adapt"],
+                    "metrics": ["running"],
+                }
+            ),
+        )
+        journal.admit(record)
+        scheduler.submit(record)
+        assert scheduler.cancel("job-000001") is True
+        # nothing of the cancelled job is ever picked for dispatch again
+        with scheduler._cond:
+            assert scheduler._pick_next(time.monotonic()) is None
+        assert scheduler.queue_depth() == 0
+
+
+class TestShmHygiene:
+    """Stale shared-memory segments are swept on daemon restart.
+
+    A SIGKILLed daemon cannot unlink its published segments; the
+    ``shm.json`` registry in the state dir lets its successor do it.
+    """
+
+    def test_stale_segments_swept_on_start(self, tmp_path):
+        from repro.perf.shm import shared_memory_supported
+
+        if not shared_memory_supported():
+            pytest.skip("shared memory unavailable on this platform")
+        import os
+
+        import numpy as np
+
+        from repro.perf.shm import SharedArraySegment
+
+        state = tmp_path / "state"
+        state.mkdir()
+        orphan = SharedArraySegment.create(
+            {"data": np.zeros(4, dtype=np.int64)}
+        )
+        name = orphan.name
+        # simulate the SIGKILL: drop the handle without unlinking
+        orphan.close()
+        registry = state / "shm.json"
+        registry.write_text(
+            json.dumps({"segments": [name, "repro-never-existed"]})
+        )
+
+        journal = JobJournal(str(state))
+        CellScheduler(str(state), journal, workers=1)
+
+        with pytest.raises(FileNotFoundError):
+            SharedArraySegment.attach(name, readonly=True)
+        assert not registry.exists()
+
+    def test_graceful_stop_clears_registry(self, tmp_path):
+        state = tmp_path / "state"
+        journal = JobJournal(str(state))
+        scheduler = CellScheduler(str(state), journal, workers=1)
+        scheduler.start()
+        registry = state / "shm.json"
+        assert registry.exists()
+        scheduler.stop(wait_seconds=5.0)
+        assert not registry.exists()
+
+    def test_corrupt_registry_is_tolerated(self, tmp_path):
+        state = tmp_path / "state"
+        state.mkdir()
+        (state / "shm.json").write_text("{not json")
+        journal = JobJournal(str(state))
+        CellScheduler(str(state), journal, workers=1)
+        assert not (state / "shm.json").exists()

@@ -238,3 +238,73 @@ class TestJobRecordStateMachine:
         clone = JobRecord.from_dict(record.as_dict())
         assert clone.as_dict() == record.as_dict()
         assert clone.pending_cells() == record.pending_cells()
+
+
+class TestJobSpecStrategy:
+    def test_default_is_ga_and_absent_from_fingerprint(self):
+        spec = validate_job_payload(good_payload())
+        assert spec.strategy == "ga"
+        explicit = validate_job_payload(good_payload(strategy="ga"))
+        # pre-strategy journals fingerprinted without the field; the
+        # default must keep deduplicating against them
+        assert spec.fingerprint() == explicit.fingerprint()
+
+    def test_non_default_strategy_changes_the_fingerprint(self):
+        base = validate_job_payload(good_payload())
+        mcts = validate_job_payload(good_payload(strategy="mcts"))
+        assert mcts.strategy == "mcts"
+        assert base.fingerprint() != mcts.fingerprint()
+
+    def test_unknown_strategy_is_a_bad_request(self):
+        failure = rejection(good_payload(strategy="annealing"))
+        assert failure.code == "bad-request"
+        assert "annealing" in failure.message
+        assert "mcts" in failure.message  # alternatives are named
+
+    def test_dict_roundtrip_and_legacy_payloads(self):
+        spec = validate_job_payload(good_payload(strategy="cmaes"))
+        assert JobSpec.from_dict(spec.as_dict()) == spec
+        legacy = spec.as_dict()
+        del legacy["strategy"]
+        assert JobSpec.from_dict(legacy).strategy == "ga"
+
+
+class TestJobRecordCancellation:
+    def make(self):
+        spec = validate_job_payload(good_payload(scenarios=["adapt", "opt"]))
+        return JobRecord(job_id="job-000001", spec=spec)
+
+    def test_cancel_settles_queued_cells_and_is_terminal(self):
+        record = self.make()
+        written_off = record.cancel()
+        assert record.state == "cancelled"
+        assert record.terminal
+        assert sorted(written_off) == sorted(record.spec.cell_names())
+        assert record.pending_cells() == []
+        assert all(
+            cell["state"] == "cancelled" for cell in record.cells.values()
+        )
+
+    def test_cancel_keeps_finished_cell_results(self):
+        record = self.make()
+        record.cell_done("adapt:running@pentium4", {"fitness": 1.0}, 8)
+        written_off = record.cancel()
+        assert written_off == ["opt:running@pentium4"]
+        assert record.cells["adapt:running@pentium4"]["state"] == "done"
+        assert record.cells["adapt:running@pentium4"]["tuned"] == {"fitness": 1.0}
+
+    def test_late_cell_completion_cannot_resurrect_a_cancelled_job(self):
+        record = self.make()
+        record.cancel()
+        # an in-flight cell landing after the cancel must not flip the
+        # job back to running/done
+        record.cell_done("adapt:running@pentium4", {"fitness": 1.0}, 8)
+        assert record.state == "cancelled"
+
+    def test_cancelled_record_survives_a_journal_roundtrip(self):
+        record = self.make()
+        record.cancel()
+        clone = JobRecord.from_dict(record.as_dict())
+        assert clone.state == "cancelled"
+        assert clone.terminal
+        assert clone.pending_cells() == []

@@ -159,3 +159,87 @@ class TestNoOpConveniences:
         (record,) = _read_events(str(tmp_path))
         assert record["event"] == "span"
         assert record["span"] == "campaign"
+
+
+class TestForwardCompatibleEvents:
+    """Unknown *namespaced* events are forward compatibility, not
+    corruption — the checker downgrades them to warnings."""
+
+    def base(self, name, **fields):
+        record = {"event": name, "ts": 1.0, "mono": 1.0, "pid": 1}
+        record.update(fields)
+        return record
+
+    def test_unknown_namespaced_event_is_classified(self):
+        from repro.telemetry.schema import is_unknown_namespaced_event
+
+        record = self.base("future.shiny", detail=1)
+        assert validate_event(record) is not None
+        assert is_unknown_namespaced_event(record)
+
+    def test_known_unnamespaced_and_torn_records_are_not(self):
+        from repro.telemetry.schema import is_unknown_namespaced_event
+
+        # known event (even when its required fields are missing)
+        assert not is_unknown_namespaced_event(self.base("strategy.batch"))
+        # no namespace: that shape never comes from a newer emitter
+        assert not is_unknown_namespaced_event(self.base("mystery"))
+        # broken base fields are corruption regardless of the name
+        assert not is_unknown_namespaced_event({"event": "future.shiny"})
+
+    def test_strategy_events_are_schema_valid(self):
+        batch = self.base(
+            "strategy.batch", strategy="cmaes", iteration=3, proposed=8,
+            evaluated=5,
+        )
+        done = self.base(
+            "strategy.done", strategy="cmaes", iterations=10, evaluations=64
+        )
+        assert validate_event(batch) is None
+        assert validate_event(done) is None
+        assert validate_event(self.base("strategy.batch")) is not None
+
+    def test_checker_warns_but_passes_on_unknown_namespaced(self, tmp_path):
+        import json as json_mod
+        import os
+        import sys as sys_mod
+
+        tools = os.path.join(
+            os.path.dirname(
+                os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+            ),
+            "tools",
+        )
+        sys_mod.path.insert(0, tools)
+        try:
+            from check_telemetry import check_directory
+        finally:
+            sys_mod.path.remove(tools)
+        from repro.telemetry.schema import REQUIRED_METRIC_FAMILIES
+
+        lines = [
+            self.base("campaign.start", tasks=1),
+            self.base("campaign.cell_done", task="t", ok=True, new_records=0),
+            self.base("campaign.done", succeeded=1, failed=0),
+            self.base("span", span="campaign", secs=0.1, ok=True),
+            self.base("future.shiny", detail=1),  # unknown, namespaced
+        ]
+        with open(tmp_path / "events-1.jsonl", "w") as handle:
+            for line in lines:
+                handle.write(json_mod.dumps(line) + "\n")
+        with open(tmp_path / "metrics.prom", "w") as handle:
+            for family in REQUIRED_METRIC_FAMILIES:
+                handle.write(f"{family} 1\n")
+
+        warnings = []
+        problems = check_directory(str(tmp_path), warnings=warnings)
+        assert problems == []
+        assert len(warnings) == 1 and "future.shiny" in warnings[0]
+
+        # a malformed KNOWN event still fails
+        with open(tmp_path / "events-1.jsonl", "a") as handle:
+            handle.write(
+                json_mod.dumps(self.base("strategy.batch", strategy=7)) + "\n"
+            )
+        problems = check_directory(str(tmp_path), warnings=[])
+        assert any("strategy.batch" in problem for problem in problems)

@@ -40,6 +40,7 @@ sys.path.insert(
 from repro.telemetry.schema import (  # noqa: E402
     REQUIRED_METRIC_FAMILIES,
     SERVICE_METRIC_FAMILIES,
+    is_unknown_namespaced_event,
     validate_event,
 )
 
@@ -63,8 +64,17 @@ BASELINES = {
 }
 
 
-def check_directory(directory: str, require_events=(), baseline="campaign") -> list:
-    """Return a list of violation strings (empty = pass)."""
+def check_directory(
+    directory: str, require_events=(), baseline="campaign", warnings=None
+) -> list:
+    """Return a list of violation strings (empty = pass).
+
+    Unknown events in a dotted namespace (``family.name``) are forward
+    compatibility, not corruption — a newer emitter may add an event
+    family this checker predates — so they land in *warnings* (when a
+    list is passed) instead of failing the run.  Malformed *known*
+    events still fail.
+    """
     problems = []
     baseline_events, required_families = BASELINES[baseline]
 
@@ -88,7 +98,13 @@ def check_directory(directory: str, require_events=(), baseline="campaign") -> l
                     continue
                 error = validate_event(record)
                 if error:
-                    problems.append(f"{name}:{lineno}: {error}")
+                    if is_unknown_namespaced_event(record):
+                        if warnings is not None:
+                            warnings.append(f"{name}:{lineno}: {error}")
+                        if isinstance(record, dict):
+                            seen_events.add(record.get("event"))
+                    else:
+                        problems.append(f"{name}:{lineno}: {error}")
                 elif isinstance(record, dict):
                     seen_events.add(record.get("event"))
 
@@ -130,9 +146,13 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     extra = [e.strip() for e in args.require_events.split(",") if e.strip()]
+    warnings: list = []
     problems = check_directory(
-        args.directory, require_events=extra, baseline=args.baseline
+        args.directory, require_events=extra, baseline=args.baseline,
+        warnings=warnings,
     )
+    for warning in warnings:
+        print(f"WARN: {warning}", file=sys.stderr)
     if problems:
         for problem in problems:
             print(f"FAIL: {problem}", file=sys.stderr)

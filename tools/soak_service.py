@@ -14,7 +14,10 @@ whole contract at once:
 * **no result wrong** — every cell's tuned parameters and fitness are
   bitwise-identical to a fault-free in-process reference run of the
   same specification;
-* **no work leaked** — every cell of every job is journalled terminal.
+* **no work leaked** — every cell of every job is journalled terminal;
+* **no zombie work** — cancelled jobs go terminal as ``cancelled`` and
+  no cell of theirs lands ``done`` after the cancel was acknowledged
+  (in-flight cells are written off at the cell boundary).
 
 Usage (full soak, then the shortened CI variant)::
 
@@ -178,6 +181,12 @@ def main(argv=None) -> int:
         help="seconds before the soak is declared stuck (default 600)",
     )
     parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument(
+        "--cancel",
+        type=int,
+        default=4,
+        help="extra jobs submitted then cancelled mid-soak (default 4)",
+    )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
         "--keep",
@@ -290,6 +299,36 @@ def main(argv=None) -> int:
                         f"different job id {response['id']}"
                     )
 
+        # -- cancellation: submit extra jobs and cancel them while the
+        # daemon is busy.  A cancelled job must settle as `cancelled`,
+        # and no cell may land `done` after the cancel was acknowledged
+        # — in-flight cells drain and are written off, never journalled.
+        cancelled = {}
+        for index in range(args.cancel):
+            payload = job_payload(index)
+            payload["key"] = f"soak-cancel-{index:04d}"
+            try:
+                response = client.submit(payload)
+                if not response.get("ok"):
+                    continue
+                job_id = response["id"]
+                ack = client.cancel(job_id=job_id)
+                if not ack.get("ok"):
+                    problems.append(f"{job_id}: cancel failed: {ack}")
+                    continue
+                if not ack.get("cancelled"):
+                    continue  # raced to terminal before the cancel; fine
+                snapshot = client.result(job_id)["cells"]
+                cancelled[job_id] = {
+                    name
+                    for name, cell in snapshot.items()
+                    if cell.get("state") == "done"
+                }
+            except ServiceUnavailable:
+                continue
+        if cancelled:
+            print(f"soak: cancelled {len(cancelled)} jobs mid-run")
+
         print("soak: waiting for all jobs to settle")
         for key, job_id in sorted(submitted.items()):
             remaining = deadline - time.monotonic()
@@ -305,6 +344,17 @@ def main(argv=None) -> int:
                 problems.append(
                     f"{job_id} ({key}) finished {final['state']}: "
                     f"{final.get('error')}"
+                )
+        for job_id in sorted(cancelled):
+            remaining = max(1.0, deadline - time.monotonic())
+            try:
+                final = client.wait_job(job_id, timeout=remaining, poll=0.2)
+            except TimeoutError:
+                problems.append(f"{job_id} (cancelled) never became terminal")
+                continue
+            if final["state"] != "cancelled":
+                problems.append(
+                    f"{job_id}: cancelled job finished {final['state']}"
                 )
     finally:
         daemon.terminate()
@@ -358,6 +408,30 @@ def main(argv=None) -> int:
                     f"fault-free reference: {got} != {expected}"
                 )
             checked_cells += 1
+
+    # cancelled jobs: journalled cancelled, and the set of done cells is
+    # exactly what was done at the cancel ack — nothing ran afterwards
+    by_id = {job["job_id"]: job for job in jobs}
+    for job_id, done_at_cancel in sorted(cancelled.items()):
+        job = by_id.get(job_id)
+        if job is None:
+            problems.append(f"{job_id}: cancelled job lost from the journal")
+            continue
+        if job["state"] != "cancelled":
+            problems.append(
+                f"{job_id}: journalled {job['state']}, expected cancelled"
+            )
+        done_after = {
+            name
+            for name, cell in job["cells"].items()
+            if cell.get("state") == "done"
+        }
+        ran_afterwards = done_after - done_at_cancel
+        if ran_afterwards:
+            problems.append(
+                f"{job_id}: cells ran after cancellation: "
+                + ", ".join(sorted(ran_afterwards))
+            )
 
     elapsed = time.monotonic() - started
     if problems:
